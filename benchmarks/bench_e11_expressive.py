@@ -1,0 +1,107 @@
+"""E11 — Theorems 5–6 (§5): expressive power via generic machines / tids.
+
+Regenerates:
+
+* input-order independence (genericity) of the non-deterministic
+  choose-one machine and the deterministic parity machine;
+* agreement between the choose-one NGTM and the IDLOG program
+  ``pick(X) :- item[](X, 0)`` — the two formalisms defining the same
+  non-deterministic query;
+* the tid-as-total-order construction: n! enumerations, deterministic
+  counting, and the Datalog-inexpressible parity query.
+"""
+
+import math
+
+from repro.core import IdlogEngine
+from repro.datalog.database import Database
+from repro.ndtm import (TOTAL_ORDER_PROGRAM, choose_one_machine,
+                        decode_output, domain_db, domain_parity,
+                        domain_size, encode_database,
+                        input_order_independent, parity_machine)
+
+
+def items_db(n: int) -> Database:
+    return Database.from_facts({"item": [(f"i{k}",) for k in range(n)]})
+
+
+def test_e11_machine_genericity(benchmark, table):
+    db = items_db(3)
+    machine = choose_one_machine()
+    generic = benchmark(
+        lambda: input_order_independent(machine, db, trials=5))
+    assert generic
+    assert input_order_independent(parity_machine(), db, trials=5)
+    table("E11: genericity (input-order independence)",
+          ["machine", "generic"],
+          [("choose-one NGTM", True), ("parity TM", True)])
+
+
+def test_e11_ngtm_equals_idlog_query(benchmark, table):
+    """The NGTM and the IDLOG sampling program define the same query."""
+    rows = []
+    for n in (1, 2, 3, 4):
+        db = items_db(n)
+        encoding = encode_database(db)
+        outputs = choose_one_machine().outputs(encoding.tape())
+        machine_answers = frozenset(
+            decode_output(o, encoding.codes) for o in outputs)
+        idlog_answers = IdlogEngine("pick(X) :- item[](X, 0).") \
+            .answers(db, "pick")
+        assert machine_answers == idlog_answers
+        assert len(machine_answers) == n
+        rows.append((n, len(machine_answers)))
+    table("E11: NGTM == IDLOG on 'pick one' (answers per n)",
+          ["n", "answers"], rows)
+    db = items_db(4)
+    encoding = encode_database(db)
+    machine = choose_one_machine()
+    benchmark(lambda: machine.outputs(encoding.tape()))
+
+
+def test_e11_total_order_enumeration(benchmark, table):
+    engine = IdlogEngine(TOTAL_ORDER_PROGRAM)
+    rows = []
+    for n in (2, 3, 4):
+        db = domain_db([f"e{i}" for i in range(n)])
+        answers = engine.answers(db, "ordered")
+        assert len(answers) == math.factorial(n)
+        rows.append((n, len(answers)))
+    table("E11: tids enumerate all total orders", ["n", "n! orders"], rows)
+    db = domain_db([f"e{i}" for i in range(4)])
+    benchmark(lambda: engine.answers(db, "ordered"))
+
+
+def test_e11_deterministic_counting_and_parity(benchmark, table):
+    rows = []
+    for n in (1, 2, 3, 4):
+        db = domain_db([f"e{i}" for i in range(n)])
+        size = domain_size(db)
+        assert size == {frozenset({(n,)})}
+        even, odd = domain_parity(db)
+        parity = "even" if even == {frozenset({("yes",)})} else "odd"
+        assert parity == ("even" if n % 2 == 0 else "odd")
+        rows.append((n, n, parity))
+    table("E11: deterministic queries over an arbitrary order",
+          ["|dom|", "size()", "parity"], rows)
+    db = domain_db([f"e{i}" for i in range(4)])
+    benchmark(lambda: domain_size(db))
+
+
+def test_e11_idlog_parity_matches_machine(benchmark, table):
+    """Cross-formalism: the parity NGTM and PARITY_PROGRAM agree."""
+    machine = parity_machine()
+    rows = []
+    for n in (2, 3, 4, 5):
+        db = items_db(n)
+        (raw,) = machine.outputs(encode_database(db).tape())
+        machine_even = raw == "(0)"
+        even, _ = domain_parity(domain_db([f"i{k}" for k in range(n)]))
+        idlog_even = even == {frozenset({("yes",)})}
+        assert machine_even == idlog_even
+        rows.append((n, "even" if machine_even else "odd",
+                     "even" if idlog_even else "odd"))
+    table("E11: parity, machine vs IDLOG", ["n", "TM", "IDLOG"], rows)
+    db = items_db(5)
+    encoding = encode_database(db)
+    benchmark(lambda: machine.outputs(encoding.tape()))

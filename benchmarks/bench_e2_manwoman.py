@@ -1,0 +1,73 @@
+"""E2 — Example 2 (§3.1): the man/woman query across four languages.
+
+Regenerates: man(r) = woman(r) = {∅, {a}, {b}, {a,b}} via IDLOG, and the
+agreement of DATALOG^∨ (minimal models), DATALOG^C (§3.2.2's program) and
+stable models on the same query.
+"""
+
+import pytest
+
+from repro.choice import ChoiceEngine
+from repro.core import IdlogEngine
+from repro.datalog.database import Database
+from repro.disjunctive import DisjunctiveEngine
+from repro.stable import StableEngine
+
+IDLOG = """
+    sex_guess(X, male) :- person(X).
+    sex_guess(X, female) :- person(X).
+    man(X) :- sex_guess[1](X, male, 1).
+    woman(X) :- sex_guess[1](X, female, 1).
+"""
+
+CHOICE = """
+    sex_guess(X, male) :- person(X).
+    sex_guess(X, female) :- person(X).
+    sex(X, Y) :- sex_guess(X, Y), choice((X), (Y)).
+    man(X) :- sex(X, male).
+    woman(X) :- sex(X, female).
+"""
+
+NORMAL = """
+    man(X) :- person(X), not woman(X).
+    woman(X) :- person(X), not man(X).
+"""
+
+PEOPLE = Database.from_facts({"person": [("a",), ("b",)]})
+
+EXPECTED = {frozenset(), frozenset({("a",)}), frozenset({("b",)}),
+            frozenset({("a",), ("b",)})}
+
+
+def test_e2_idlog_answer_set(benchmark, table):
+    engine = IdlogEngine(IDLOG)
+    answers = benchmark(lambda: engine.answers(PEOPLE, "man"))
+    assert answers == EXPECTED
+    assert engine.answers(PEOPLE, "woman") == EXPECTED
+    table("E2: man(r) per language (paper: {∅,{a},{b},{a,b}})",
+          ["language", "man answers"],
+          [("IDLOG", sorted(sorted(a) for a in answers))])
+
+
+@pytest.mark.parametrize("name,make_answers", [
+    ("DATALOG^C", lambda: ChoiceEngine(CHOICE).answers(PEOPLE, "man")),
+    ("DATALOG^∨", lambda: DisjunctiveEngine(
+        "man(X) | woman(X) :- person(X).").answers(PEOPLE, "man")),
+    ("stable models", lambda: StableEngine(NORMAL).answers(PEOPLE, "man")),
+])
+def test_e2_language_agreement(benchmark, name, make_answers):
+    answers = benchmark(make_answers)
+    assert answers == EXPECTED
+
+
+def test_e2_scaling_people(benchmark, table):
+    """Answer-set size is 2^n — all subsets of person."""
+    rows = []
+    for n in (1, 2, 3):
+        db = Database.from_facts({"person": [(f"p{i}",) for i in range(n)]})
+        answers = IdlogEngine(IDLOG).answers(db, "man")
+        assert len(answers) == 2 ** n
+        rows.append((n, len(answers)))
+    table("E2: |man(r)| vs |person|", ["n", "answers = 2^n"], rows)
+    db = Database.from_facts({"person": [(f"p{i}",) for i in range(3)]})
+    benchmark(lambda: IdlogEngine(IDLOG).answers(db, "man"))

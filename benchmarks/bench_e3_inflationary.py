@@ -1,0 +1,68 @@
+"""E3 — Example 3 (§3.2.1): DL under the two inflationary semantics.
+
+Regenerates: for man(X) :- person(X), ¬woman(X) (and symmetric), the
+non-deterministic inflationary semantics yields man(r) = {∅,{a},{b},{a,b}}
+while the deterministic semantics yields man(r) = {(a),(b)} — the paper's
+exact values — plus a state-space growth sweep.
+"""
+
+from repro.datalog.database import Database
+from repro.inflationary import DLEngine
+
+EX3 = """
+    man(X) :- person(X), not woman(X).
+    woman(X) :- person(X), not man(X).
+"""
+
+PEOPLE = Database.from_facts({"person": [("a",), ("b",)]})
+
+
+def test_e3_nondeterministic_semantics(benchmark, table):
+    engine = DLEngine(EX3)
+    answers = benchmark(lambda: engine.answers(PEOPLE, "man"))
+    expected = {frozenset(), frozenset({("a",)}), frozenset({("b",)}),
+                frozenset({("a",), ("b",)})}
+    assert answers == expected
+    assert engine.answers(PEOPLE, "woman") == expected
+    table("E3: Example 3 answer sets",
+          ["semantics", "man(r)"],
+          [("non-deterministic", sorted(sorted(a) for a in answers))])
+
+
+def test_e3_deterministic_semantics(benchmark, table):
+    engine = DLEngine(EX3)
+    state = benchmark(lambda: engine.deterministic_fixpoint(PEOPLE))
+    man = engine.project(state, "man")
+    woman = engine.project(state, "woman")
+    assert man == {("a",), ("b",)}
+    assert woman == {("a",), ("b",)}
+    table("E3: deterministic inflationary fixpoint",
+          ["relation", "value"],
+          [("man", sorted(man)), ("woman", sorted(woman))])
+
+
+def test_e3_answer_growth(benchmark, table):
+    """2^n answers: each person independently classified."""
+    rows = []
+    for n in (1, 2, 3):
+        db = Database.from_facts({"person": [(f"p{i}",) for i in range(n)]})
+        answers = DLEngine(EX3).answers(db, "man")
+        assert len(answers) == 2 ** n
+        rows.append((n, len(answers)))
+    table("E3: |man(r)| under nondet inflationary semantics",
+          ["n", "answers = 2^n"], rows)
+    db = Database.from_facts({"person": [(f"p{i}",) for i in range(3)]})
+    benchmark(lambda: DLEngine(EX3).answers(db, "man"))
+
+
+def test_e3_agreement_with_idlog(benchmark):
+    """The DL query coincides with IDLOG's Example 2 query (E2 <-> E3)."""
+    from repro.core import IdlogEngine
+    idlog = IdlogEngine("""
+        sex_guess(X, male) :- person(X).
+        sex_guess(X, female) :- person(X).
+        man(X) :- sex_guess[1](X, male, 1).
+    """)
+    dl_answers = DLEngine(EX3).answers(PEOPLE, "man")
+    idlog_answers = benchmark(lambda: idlog.answers(PEOPLE, "man"))
+    assert dl_answers == idlog_answers

@@ -1,0 +1,59 @@
+"""E4 — Example 4 (§3.3): one employee per department.
+
+Regenerates: the DATALOG^C program and the IDLOG program define the same
+query (answer-set equality), with a scaling sweep of sampling cost for
+both implementations.
+"""
+
+from conftest import employees_db
+
+from repro.choice import ChoiceEngine
+from repro.core import IdlogEngine
+
+CHOICE = "select_emp(N) :- emp(N, D), choice((D), (N))."
+IDLOG = "select_emp(N) :- emp[2](N, D, 0)."
+
+
+def test_e4_answer_set_equality(benchmark, table):
+    db = employees_db(per_dept=3, departments=2)
+    choice_engine = ChoiceEngine(CHOICE)
+    idlog_engine = IdlogEngine(IDLOG)
+    choice_answers = choice_engine.answers(db, "select_emp")
+    idlog_answers = benchmark(lambda: idlog_engine.answers(db, "select_emp"))
+    assert choice_answers == idlog_answers
+    assert len(idlog_answers) == 3 ** 2  # one of 3 per department
+    table("E4: one-per-department answer sets",
+          ["language", "distinct selections"],
+          [("DATALOG^C", len(choice_answers)),
+           ("IDLOG", len(idlog_answers))])
+
+
+def test_e4_sample_correctness_sweep(table, benchmark):
+    rows = []
+    for per_dept, departments in [(5, 2), (10, 5), (20, 10)]:
+        db = employees_db(per_dept, departments)
+        idlog_sample = IdlogEngine(IDLOG).one(db, seed=1).tuples("select_emp")
+        choice_sample = ChoiceEngine(CHOICE).one(db, seed=1) \
+            .tuples("select_emp")
+        assert len(idlog_sample) == departments
+        assert len(choice_sample) == departments
+        rows.append((f"{per_dept}x{departments}",
+                     len(idlog_sample), len(choice_sample)))
+    table("E4: sample sizes (= #departments)",
+          ["emp per dept x depts", "IDLOG", "DATALOG^C"], rows)
+    db = employees_db(20, 10)
+    benchmark(lambda: IdlogEngine(IDLOG).one(db, seed=1))
+
+
+def test_e4_idlog_sampling_throughput(benchmark):
+    db = employees_db(per_dept=50, departments=20)
+    engine = IdlogEngine(IDLOG)
+    result = benchmark(lambda: engine.one(db, seed=7))
+    assert len(result.tuples("select_emp")) == 20
+
+
+def test_e4_choice_sampling_throughput(benchmark):
+    db = employees_db(per_dept=50, departments=20)
+    engine = ChoiceEngine(CHOICE)
+    result = benchmark(lambda: engine.one(db, seed=7))
+    assert len(result.tuples("select_emp")) == 20

@@ -1,0 +1,113 @@
+"""E7 — Example 7 (§4): ∀-existential vs ∃-existential arguments diverge.
+
+The paper's program P::
+
+    [1] q1 :- x(c).      [2] q2 :- x(a).
+    [3] x(Y) :- p(Y).
+    [4] p(b) :- y(X).    [5] p(c) :- y(X).
+
+q1 is TRUE iff y is non-empty; q2 is always FALSE.  The argument position
+of Y in clause [3] is:
+
+* ∀-existential w.r.t. q1 (the Definition 1 rewrite P1 — where the
+  replaced variable ranges over the whole domain, realized through the
+  domain-closure predicate ``udom`` of the paper's database programs —
+  preserves q1) but NOT ∃-existential w.r.t. q1 (the ID rewrite P2 can
+  return FALSE on non-empty inputs);
+* ∃-existential w.r.t. q2 (P2 keeps q2 constantly FALSE) but NOT
+  ∀-existential w.r.t. q2 (q2 of P1 is TRUE on non-empty inputs).
+
+This bench regenerates the full truth table.
+"""
+
+from repro.core import IdlogEngine
+from repro.datalog.database import Database
+
+P = """
+    q1() :- x(c).
+    q2() :- x(a).
+    x(Y) :- p(Y).
+    p(b) :- y(X).
+    p(c) :- y(X).
+"""
+
+# Definition 1 rewrite: p's column is projected to pp(); the variable the
+# clause [3] head loses ranges over the domain-closure relation udom.
+P1 = """
+    q1() :- x(c).
+    q2() :- x(a).
+    x(Yp) :- pp(), udom(Yp).
+    pp() :- p(Y).
+    p(b) :- y(X).
+    p(c) :- y(X).
+"""
+
+# Definition 2 rewrite: one arbitrary tuple of p via an ID-literal.
+P2 = """
+    q1() :- x(c).
+    q2() :- x(a).
+    x(Y) :- p[](Y, 0).
+    p(b) :- y(X).
+    p(c) :- y(X).
+"""
+
+UDOM = ["a", "b", "c", "w"]
+
+TRUE = frozenset({()})
+FALSE = frozenset()
+
+
+def db_for(y_nonempty: bool) -> Database:
+    facts = {"udom": [(d,) for d in UDOM]}
+    if y_nonempty:
+        facts["y"] = [("w",)]
+    return Database.from_facts(facts, udomain=UDOM)
+
+
+def answer_sets(source: str, pred: str) -> dict[bool, frozenset]:
+    return {y: IdlogEngine(source).answers(db_for(y), pred)
+            for y in (False, True)}
+
+
+def _fmt(answers) -> str:
+    names = sorted({"TRUE" if a else "FALSE" for a in answers})
+    return "{" + ",".join(names) + "}"
+
+
+def test_e7_q1_forall_but_not_exists(benchmark, table):
+    p_ans = answer_sets(P, "q1")
+    p1_ans = answer_sets(P1, "q1")
+    p2_ans = benchmark(lambda: answer_sets(P2, "q1"))
+
+    # P: q1 TRUE iff y non-empty.
+    assert p_ans == {False: {FALSE}, True: {TRUE}}
+    # ∀-existential w.r.t. q1: P1 is q1-equivalent.
+    assert p1_ans == p_ans
+    # NOT ∃-existential w.r.t. q1: "depending on which tuple gets tid 0,
+    # q1 may return TRUE or FALSE on non-empty inputs".
+    assert p2_ans == {False: {FALSE}, True: {FALSE, TRUE}}
+
+    table("E7: q1 (∀-existential: yes, ∃-existential: no)",
+          ["y input", "P", "P1 (∀ rewrite)", "P2 (∃ rewrite)"],
+          [(("empty", "non-empty")[y], _fmt(p_ans[y]), _fmt(p1_ans[y]),
+            _fmt(p2_ans[y])) for y in (False, True)])
+
+
+def test_e7_q2_exists_but_not_forall(benchmark, table):
+    p_ans = answer_sets(P, "q2")
+    p1_ans = answer_sets(P1, "q2")
+    p2_ans = benchmark(lambda: answer_sets(P2, "q2"))
+
+    # P: q2 always FALSE.
+    assert p_ans == {False: {FALSE}, True: {FALSE}}
+    # NOT ∀-existential w.r.t. q2: "q2 defined by P1 returns TRUE on
+    # non-empty inputs".
+    assert p1_ans == {False: {FALSE}, True: {TRUE}}
+    # ∃-existential w.r.t. q2: "q2 defined by P2 always returns FALSE no
+    # matter what the input is".
+    assert p2_ans == p_ans
+
+    table("E7: q2 (∀-existential: no, ∃-existential: yes)",
+          ["y input", "P", "P1 (∀ rewrite)", "P2 (∃ rewrite)"],
+          [(("empty", "non-empty")[y], _fmt(p_ans[y]), _fmt(p1_ans[y]),
+            _fmt(p2_ans[y])) for y in (False, True)])

@@ -1,0 +1,81 @@
+"""E8 — §4 / footnotes 6–7: the group-limit (tid-bound) optimization.
+
+Regenerates: "the condition N < 2 can be used to generate an optimization
+information which ensures that only two tuples of the relation emp will be
+used in the evaluation" — measured as ID-tuples materialized and join
+probes, with and without the optimization, over growing databases; plus
+the enumeration-space reduction ∏ k! → ∏ P(k, limit).
+"""
+
+from conftest import employees_db
+
+from repro.core import IdlogEngine
+
+SELECT_TWO = "select_two_emp(N) :- emp[2](N, D, T), T < 2."
+SELECT_ONE = "all_depts(D) :- emp[2](N, D, 0)."
+
+
+def test_e8_materialization_reduction(table, benchmark):
+    limited = IdlogEngine(SELECT_TWO, use_group_limits=True)
+    full = IdlogEngine(SELECT_TWO, use_group_limits=False)
+    rows = []
+    for per_dept in (5, 20, 80):
+        db = employees_db(per_dept, departments=4)
+        r_lim = limited.run(db)
+        r_full = full.run(db)
+        assert r_lim.tuples("select_two_emp") == \
+            r_full.tuples("select_two_emp")
+        assert r_lim.stats.id_tuples == 2 * 4       # two per department
+        assert r_full.stats.id_tuples == per_dept * 4
+        rows.append((per_dept * 4,
+                     r_full.stats.id_tuples, r_lim.stats.id_tuples,
+                     r_full.stats.probes, r_lim.stats.probes))
+    table("E8: tid<2 materializes 2 tuples/dept (id tuples | probes)",
+          ["|emp|", "id full", "id limited",
+           "probes full", "probes limited"], rows)
+    db = employees_db(80, 4)
+    benchmark(lambda: limited.run(db))
+
+
+def test_e8_unoptimized_baseline(benchmark):
+    engine = IdlogEngine(SELECT_TWO, use_group_limits=False)
+    db = employees_db(80, 4)
+    result = benchmark(lambda: engine.run(db))
+    assert len(result.tuples("select_two_emp")) == 8
+
+
+def test_e8_enumeration_space(table, benchmark):
+    """count_models drops from prod k! to prod P(k, bound)."""
+    rows = []
+    for per_dept in (2, 3, 4):
+        db = employees_db(per_dept, departments=2)
+        limited = IdlogEngine(SELECT_ONE, use_group_limits=True)
+        full = IdlogEngine(SELECT_ONE, use_group_limits=False)
+        n_limited = limited.count_models(db)
+        n_full = full.count_models(db)
+        assert n_limited == per_dept ** 2          # P(k,1)^2
+        assert n_limited <= n_full
+        rows.append((per_dept, n_full, n_limited))
+    table("E8: enumeration leaves, tid=0 (∏k! vs ∏P(k,1))",
+          ["emp per dept", "without bound", "with bound"], rows)
+    db = employees_db(4, 2)
+    engine = IdlogEngine(SELECT_ONE, use_group_limits=True)
+    benchmark(lambda: engine.count_models(db))
+
+
+def test_e8_all_depts_intro_optimization(table, benchmark):
+    """§1: computing all_depts needs one tuple per department."""
+    engine = IdlogEngine(SELECT_ONE)
+    rows = []
+    for per_dept in (10, 100, 500):
+        db = employees_db(per_dept, departments=5)
+        result = engine.run(db)
+        assert result.tuples("all_depts") == {
+            (f"dept{d}",) for d in range(5)}
+        assert result.stats.id_tuples == 5
+        rows.append((per_dept * 5, result.stats.id_tuples,
+                     result.stats.probes))
+    table("E8: all_depts touches one tuple per department",
+          ["|emp|", "id tuples", "probes"], rows)
+    db = employees_db(500, 5)
+    benchmark(lambda: engine.run(db))

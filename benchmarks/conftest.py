@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_e*.py`` module regenerates one experiment from the paper's
+examples/claims (see DESIGN.md §3 and EXPERIMENTS.md).  The modules both
+*assert* the qualitative result (who wins, what the answer set is) and
+*time* the relevant kernels with pytest-benchmark; run them with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the printed result tables that mirror the paper's
+narrative claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.database import Database
+
+
+def employees_db(per_dept: int, departments: int) -> Database:
+    """An emp(Name, Dept) relation with ``per_dept`` employees per
+    department."""
+    rows = [(f"e{d}_{i}", f"dept{d}")
+            for d in range(departments) for i in range(per_dept)]
+    return Database.from_facts({"emp": rows})
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[tuple]) -> None:
+    """Print a small aligned table (visible with pytest -s)."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)] if rows else \
+             [len(str(h)) for h in headers]
+    print(f"\n--- {title}")
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(v).ljust(w)
+                               for v, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    """The table printer as a fixture (keeps bench modules terse)."""
+    return print_table

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Aggregates from tuple identifiers.
+
+Plain Datalog cannot count; IDLOG can (§5's counting construction).  This
+example computes per-department headcounts, salary totals and extrema —
+all *deterministic* queries built from a non-deterministic primitive —
+and verifies the determinism by enumerating the full answer set.
+
+Run with::
+
+    python examples/aggregates_and_orders.py
+"""
+
+from repro import Database
+from repro.aggregates import (count_per_group, max_per_group,
+                              min_per_group, sum_per_group)
+from repro.datalog.pretty import to_source
+
+STAFF = Database.from_facts({"staff": [
+    ("ann", "toys", 120), ("bob", "toys", 95), ("cal", "toys", 130),
+    ("dee", "it", 150), ("eli", "it", 140),
+]})
+
+
+def main() -> None:
+    print("== headcount per department (count via tids) ==")
+    headcount = count_per_group("staff", 3, group=[2])
+    print("generated program:")
+    for line in to_source(headcount.program).strip().splitlines():
+        print("   ", line)
+    print("result:", sorted(headcount.compute(STAFF)))
+    print("deterministic despite arbitrary tid order:",
+          headcount.is_deterministic_on(STAFF))
+    print()
+
+    print("== salary totals per department (fold along the tid order) ==")
+    totals = sum_per_group("staff", 3, group=[2], value=3)
+    print("result:", sorted(totals.compute(STAFF)))
+    print("order-independent:", totals.is_deterministic_on(STAFF))
+    print()
+
+    print("== salary extrema ==")
+    lo = min_per_group("staff", 3, group=[2], value=3)
+    hi = max_per_group("staff", 3, group=[2], value=3)
+    print("min:", sorted(lo.compute(STAFF)))
+    print("max:", sorted(hi.compute(STAFF)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""DATALOG^C vs IDLOG (paper §3.2.2, Theorem 2, Example 2).
+
+Shows the same non-deterministic query — guess every person's sex — in
+four languages, all with identical answer sets, and demonstrates the
+automatic Theorem 2 translation DATALOG^C → four-layer IDLOG.
+
+Run with::
+
+    python examples/choice_vs_idlog.py
+"""
+
+from repro import (ChoiceEngine, Database, DisjunctiveEngine, DLEngine,
+                   IdlogEngine, StableEngine, choice_to_idlog)
+from repro.datalog import to_source
+
+PEOPLE = Database.from_facts({"person": [("a",), ("b",)]})
+
+IDLOG = """
+    sex_guess(X, male) :- person(X).
+    sex_guess(X, female) :- person(X).
+    man(X) :- sex_guess[1](X, male, 1).
+    woman(X) :- sex_guess[1](X, female, 1).
+"""
+
+CHOICE = """
+    sex_guess(X, male) :- person(X).
+    sex_guess(X, female) :- person(X).
+    sex(X, Y) :- sex_guess(X, Y), choice((X), (Y)).
+    man(X) :- sex(X, male).
+    woman(X) :- sex(X, female).
+"""
+
+DISJUNCTIVE = "man(X) | woman(X) :- person(X)."
+
+DL = """
+    man(X) :- person(X), not woman(X).
+    woman(X) :- person(X), not man(X).
+"""
+
+
+def show(name: str, answers) -> None:
+    rendered = sorted(sorted(x for (x,) in a) for a in answers)
+    print(f"{name:28s} man answers = {rendered}")
+
+
+def main() -> None:
+    print("== Example 2: the same query in four languages ==")
+    show("IDLOG (Example 2)", IdlogEngine(IDLOG).answers(PEOPLE, "man"))
+    show("DATALOG^C (§3.2.2)", ChoiceEngine(CHOICE).answers(PEOPLE, "man"))
+    show("DATALOG^∨ (minimal models)",
+         DisjunctiveEngine(DISJUNCTIVE).answers(PEOPLE, "man"))
+    show("DL (nondet inflationary)", DLEngine(DL).answers(PEOPLE, "man"))
+    show("stable models", StableEngine(DL).answers(PEOPLE, "man"))
+    print()
+
+    print("== Theorem 2: automatic DATALOG^C -> IDLOG translation ==")
+    translated = choice_to_idlog(CHOICE)
+    for line in to_source(translated.program).strip().splitlines():
+        print("   ", line)
+    direct = ChoiceEngine(CHOICE).answers(PEOPLE, "man")
+    via_idlog = IdlogEngine(translated).answers(PEOPLE, "man")
+    print("answer sets identical:", direct == via_idlog)
+    print()
+
+    print("== Deterministic inflationary semantics differs (Example 3) ==")
+    engine = DLEngine(DL)
+    state = engine.deterministic_fixpoint(PEOPLE)
+    print("deterministic DL: man =",
+          sorted(engine.project(state, "man")),
+          " (everyone is both man and woman!)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: plain Datalog, then the paper's headline IDLOG query.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database, DatalogEngine, IdlogEngine, IdlogQuery
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Deterministic Datalog: transitive closure with negation.
+    # ------------------------------------------------------------------
+    datalog = DatalogEngine("""
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        unreachable(X, Y) :- node(X), node(Y), not path(X, Y).
+    """)
+    graph = Database.from_facts({
+        "edge": [("a", "b"), ("b", "c"), ("c", "d")],
+        "node": [("a",), ("b",), ("c",), ("d",)],
+    })
+    result = datalog.run(graph)
+    print("== Datalog: transitive closure ==")
+    print("path       =", sorted(result.tuples("path")))
+    print("unreachable:", len(result.tuples("unreachable")), "pairs")
+    print("stats      =", result.stats)
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. IDLOG: the paper's Section 1 sampling query — "an arbitrary set
+    #    of employee samples with exactly 2 employees per department".
+    # ------------------------------------------------------------------
+    employees = Database.from_facts({"emp": [
+        ("ann", "toys"), ("bob", "toys"), ("cal", "toys"),
+        ("dee", "it"), ("eli", "it"), ("fox", "it"),
+    ]})
+    engine = IdlogEngine(
+        "select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.")
+
+    print("== IDLOG: two employees per department ==")
+    for seed in range(3):
+        sample = engine.one(employees, seed=seed).tuples("select_two_emp")
+        print(f"sample (seed={seed}):", sorted(n for (n,) in sample))
+
+    answers = engine.answers(employees, "select_two_emp")
+    print("distinct possible samples:", len(answers))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. The non-deterministic query object: answer sets, determinism.
+    # ------------------------------------------------------------------
+    query = IdlogQuery("all_depts(D) :- emp[2](N, D, 0).", "all_depts")
+    print("== IDLOG: a deterministic query written non-deterministically ==")
+    print("all_depts deterministic?",
+          query.is_deterministic_on(employees))
+    print("answer =", sorted(query.deterministic_answer(employees)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""IDLOG: a non-deterministic deductive database language.
+
+Reproduction of Yeh-Heng Sheng, *A Non-deterministic Deductive Database
+Language*, SIGMOD 1991.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the per-experiment index.
+
+Quick tour::
+
+    from repro import Database, IdlogEngine
+
+    engine = IdlogEngine(
+        "select_two_emp(N) :- emp[2](N, D, T), T < 2.")
+    db = Database.from_facts({"emp": [
+        ("ann", "toys"), ("bob", "toys"), ("cal", "toys"),
+        ("dee", "it"), ("eli", "it")]})
+    sample = engine.one(db, seed=0).tuples("select_two_emp")
+
+Subpackages:
+
+* :mod:`repro.datalog` — the deterministic Datalog substrate (parser,
+  storage, safety, stratification, semi-naive engine).
+* :mod:`repro.core` — the paper's contribution: ID-relations, assignment
+  strategies, the IDLOG engine and non-deterministic queries.
+* :mod:`repro.choice` — DATALOG^C and the Theorem 2 translation.
+* :mod:`repro.sampling` — high-level sampling-query builders.
+* :mod:`repro.optimizer` — §4: adornment, projection pushing,
+  ∃-existential ID-literal rewriting, cost reports.
+* :mod:`repro.inflationary`, :mod:`repro.disjunctive`, :mod:`repro.stable`
+  — the rival non-deterministic languages reviewed in §3.2.
+* :mod:`repro.ndtm` — generic Turing machines and the §5 expressive-power
+  constructions.
+"""
+
+from .aggregates import (count_per_group, max_per_group, min_per_group,
+                         sum_per_group)
+from .choice import ChoiceEngine, ChoiceProgram, choice_to_idlog
+from .core import (CanonicalAssignment, IdlogEngine, IdlogProgram,
+                   IdlogQuery, OracleAssignment, RandomAssignment)
+from .datalog import (Database, DatalogEngine, IncrementalEngine, Program,
+                      Relation, TopDownEngine, parse_program)
+from .disjunctive import DisjunctiveEngine
+from .inflationary import DLEngine
+from .optimizer import (answer_goal, compare_cost, detect_existential,
+                        magic_rewrite, optimize)
+from .sampling import (arbitrary_subset, sample_k, sample_k_per_group,
+                       sample_one_per_group)
+from .stable import StableEngine
+from .wellfounded import WellFoundedEngine, WellFoundedModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "count_per_group", "max_per_group", "min_per_group", "sum_per_group",
+    "ChoiceEngine", "ChoiceProgram", "choice_to_idlog",
+    "CanonicalAssignment", "IdlogEngine", "IdlogProgram", "IdlogQuery",
+    "OracleAssignment", "RandomAssignment",
+    "Database", "DatalogEngine", "IncrementalEngine", "Program",
+    "Relation", "TopDownEngine", "parse_program",
+    "DisjunctiveEngine", "DLEngine",
+    "answer_goal", "compare_cost", "detect_existential", "magic_rewrite",
+    "optimize",
+    "arbitrary_subset", "sample_k", "sample_k_per_group",
+    "sample_one_per_group",
+    "StableEngine",
+    "WellFoundedEngine", "WellFoundedModel",
+    "__version__",
+]

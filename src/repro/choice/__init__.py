@@ -1,0 +1,19 @@
+"""DATALOG^C: the choice operator of Krishnamurthy & Naqvi (paper §3.2.2).
+
+Provides the KN88 semantics directly (:class:`ChoiceEngine`) and the
+Theorem 2 translation into stratified IDLOG (:func:`choice_to_idlog`),
+which is how the paper positions IDLOG as "a general framework for
+implementing the choice operator".
+"""
+
+from .program import ChoiceOccurrence, ChoiceProgram
+from .semantics import (ChoiceEngine, count_functional_subsets,
+                        enumerate_functional_subsets, functional_groups)
+from .translate import choice_to_idlog
+
+__all__ = [
+    "ChoiceOccurrence", "ChoiceProgram",
+    "ChoiceEngine", "count_functional_subsets",
+    "enumerate_functional_subsets", "functional_groups",
+    "choice_to_idlog",
+]

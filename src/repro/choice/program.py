@@ -1,0 +1,156 @@
+"""DATALOG^C programs: syntax restrictions (C1) and (C2).
+
+Section 3.2.2 of the paper imposes two conditions for the KN88 choice
+semantics to be appropriate:
+
+* (C1) every clause contains at most one choice operator;
+* (C2) no clause containing a choice operator is *related to* the head
+  predicate of another clause that contains a choice operator (choices must
+  not feed into each other).
+
+This module validates them and performs the shared first translation step:
+replacing every choice operator by a fresh *choice predicate*
+``ext_choice_i`` and adding the *choice clause*
+``ext_choice_i(X̄, Ȳ) :- body`` (the clause's body without the operator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..datalog.ast import Atom, ChoiceAtom, Clause, Literal, Program
+from ..datalog.parser import parse_program
+from ..errors import ChoiceConditionError
+
+
+@dataclass(frozen=True)
+class ChoiceOccurrence:
+    """One use of the choice operator.
+
+    Attributes:
+        index: 1-based occurrence number (names the choice predicate).
+        clause_index: Position of the host clause in the program.
+        choice: The operator itself.
+        pred: The generated choice-predicate name (``ext_choice_<index>``).
+    """
+
+    index: int
+    clause_index: int
+    choice: ChoiceAtom
+    pred: str
+
+    @property
+    def args(self) -> tuple:
+        """The choice predicate's argument list: domain then range vars."""
+        return tuple(self.choice.domain) + tuple(self.choice.range)
+
+    @property
+    def domain_width(self) -> int:
+        """Number of domain (grouping) arguments."""
+        return len(self.choice.domain)
+
+    @property
+    def count(self) -> int:
+        """How many range tuples survive per domain value (``choiceK``)."""
+        return self.choice.count
+
+
+def _fresh_prefix(program: Program, base: str) -> str:
+    """A predicate-name prefix not clashing with the program's predicates."""
+    prefix = base
+    taken = program.predicates
+    while any(p.startswith(prefix) for p in taken):
+        prefix += "x"
+    return prefix
+
+
+@dataclass(frozen=True)
+class ChoiceProgram:
+    """A validated DATALOG^C program.
+
+    Attributes:
+        program: The original program (with choice atoms).
+        translated: ``P_c``: choice operators replaced by choice-predicate
+            literals, plus one choice clause per occurrence.
+        occurrences: Metadata for every choice operator.
+    """
+
+    program: Program
+    translated: Program
+    occurrences: tuple[ChoiceOccurrence, ...]
+
+    @classmethod
+    def compile(cls, source: Union[str, Program],
+                name: str = "program") -> "ChoiceProgram":
+        """Parse (if needed) and validate a DATALOG^C program.
+
+        Raises:
+            ChoiceConditionError: when (C1) or (C2) is violated, or when the
+                program mixes choice with ID-atoms (the paper keeps the
+                languages separate; translate to IDLOG instead).
+        """
+        program = parse_program(source, name=name) \
+            if isinstance(source, str) else source
+        if program.has_id_atoms():
+            raise ChoiceConditionError(
+                "DATALOG^C programs must not contain ID-atoms; "
+                "IDLOG subsumes choice (Theorem 2), not the reverse")
+        _check_c1(program)
+        _check_c2(program)
+        translated, occurrences = _translate(program)
+        return cls(program, translated, occurrences)
+
+    @property
+    def choice_predicates(self) -> frozenset[str]:
+        """The generated ``ext_choice_i`` predicate names."""
+        return frozenset(o.pred for o in self.occurrences)
+
+
+def _check_c1(program: Program) -> None:
+    for clause in program.clauses:
+        if len(clause.choice_atoms) > 1:
+            raise ChoiceConditionError(
+                f"(C1) violated: clause {clause} contains more than one "
+                "choice operator")
+
+
+def _check_c2(program: Program) -> None:
+    choice_clauses = [c for c in program.clauses if c.choice_atoms]
+    for i, first in enumerate(choice_clauses):
+        for second in choice_clauses[i + 1:]:
+            related_to_second = program.related_to(second.head.pred)
+            related_to_first = program.related_to(first.head.pred)
+            if first.head.pred in related_to_second \
+                    or second.head.pred in related_to_first:
+                raise ChoiceConditionError(
+                    f"(C2) violated: choice clauses for "
+                    f"{first.head.pred} and {second.head.pred} are related")
+
+
+def _translate(program: Program) -> tuple[Program,
+                                          tuple[ChoiceOccurrence, ...]]:
+    prefix = _fresh_prefix(program, "ext_choice_")
+    occurrences: list[ChoiceOccurrence] = []
+    new_clauses: list[Clause] = []
+    extra_clauses: list[Clause] = []
+    counter = 0
+    for clause_index, clause in enumerate(program.clauses):
+        choices = clause.choice_atoms
+        if not choices:
+            new_clauses.append(clause)
+            continue
+        counter += 1
+        choice = choices[0]
+        occurrence = ChoiceOccurrence(
+            counter, clause_index, choice, f"{prefix}{counter}")
+        occurrences.append(occurrence)
+        rest = tuple(lit for lit in clause.body
+                     if not isinstance(lit.atom, ChoiceAtom))
+        choice_literal = Literal(Atom(occurrence.pred, occurrence.args))
+        new_clauses.append(Clause(clause.head, rest + (choice_literal,)))
+        extra_clauses.append(Clause(
+            Atom(occurrence.pred, occurrence.args), rest))
+    translated = Program(tuple(new_clauses) + tuple(extra_clauses),
+                         name=f"{program.name}_c")
+    return translated, tuple(occurrences)

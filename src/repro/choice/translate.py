@@ -1,0 +1,94 @@
+"""Theorem 2: translating DATALOG^C into stratified IDLOG.
+
+For every DATALOG^C program satisfying (C1) and (C2) there is a
+q-equivalent stratified *four-stratum* IDLOG program.  The construction
+mirrors the paper's sex-guess example:
+
+for each choice occurrence ``choice((X̄), (Ȳ))`` in a clause
+``h :- body, choice((X̄), (Ȳ))``:
+
+1. collect all candidates:      ``all_i(X̄, Ȳ) :- body.``
+2. choose one Ȳ per X̄ by tid:  ``sel_i(X̄, Ȳ) :- all_i[1..|X̄|](X̄, Ȳ, 0).``
+3. use the selection:           ``h :- body, sel_i(X̄, Ȳ).``
+
+Grouping ``all_i`` by its domain positions makes the tid-0 tuples exactly a
+functional subset of the candidates w.r.t. ``X̄ → Ȳ`` — every ``X̄``-block
+contributes exactly one tuple — so ranging over all ID-functions ranges over
+all functional subsets and the translated program defines the same
+non-deterministic query (checked exhaustively by the E9 experiment).
+
+The strata: body predicates (1), ``all_i`` (2), ``sel_i`` (3, strict via the
+ID-literal), the host clause's head (4).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..datalog.ast import Atom, ChoiceAtom, Clause, Literal, Program
+from ..datalog.terms import Const, Var
+from ..core.program import IdlogProgram
+from .program import ChoiceProgram, _fresh_prefix
+
+
+def choice_to_idlog(source: Union[str, Program, ChoiceProgram],
+                    ) -> IdlogProgram:
+    """Translate a DATALOG^C program into an equivalent IDLOG program.
+
+    Args:
+        source: DATALOG^C source text, a parsed program, or an
+            already-validated :class:`ChoiceProgram`.
+
+    Returns:
+        The compiled IDLOG program (validated, stratified).
+
+    Raises:
+        ChoiceConditionError: when (C1)/(C2) fail.
+    """
+    compiled = source if isinstance(source, ChoiceProgram) \
+        else ChoiceProgram.compile(source)
+    program = compiled.program
+    all_prefix = _fresh_prefix(program, "choice_all_")
+    sel_prefix = _fresh_prefix(program, "choice_sel_")
+
+    new_clauses: list[Clause] = []
+    extra_clauses: list[Clause] = []
+    counter = 0
+    for clause in program.clauses:
+        choices = clause.choice_atoms
+        if not choices:
+            new_clauses.append(clause)
+            continue
+        counter += 1
+        choice = choices[0]
+        args = tuple(choice.domain) + tuple(choice.range)
+        rest = tuple(lit for lit in clause.body
+                     if not isinstance(lit.atom, ChoiceAtom))
+        all_pred = f"{all_prefix}{counter}"
+        sel_pred = f"{sel_prefix}{counter}"
+        # Stratum 2: all candidate (X̄, Ȳ) pairs.
+        extra_clauses.append(Clause(Atom(all_pred, args), rest))
+        # Stratum 3: the k lowest-tid tuples of every X̄-block — a
+        # k-functional subset.  For the paper's plain choice (k = 1) this
+        # is the constant tid 0; for choiceK it is a tid bound T < K,
+        # Example 5's multi-sample idiom.
+        group = frozenset(range(1, len(choice.domain) + 1))
+        if choice.count == 1:
+            sel_body: tuple[Literal, ...] = (
+                Literal(Atom(all_pred, args + (Const(0),), group)),)
+        else:
+            taken = {v.name for v in clause.vars}
+            tid_name = "T"
+            while tid_name in taken:
+                tid_name += "t"
+            tid = Var(tid_name)
+            sel_body = (
+                Literal(Atom(all_pred, args + (tid,), group)),
+                Literal(Atom("<", (tid, Const(choice.count)))))
+        extra_clauses.append(Clause(Atom(sel_pred, args), sel_body))
+        # Stratum 4: the host clause reads the selection.
+        sel_literal = Literal(Atom(sel_pred, args))
+        new_clauses.append(Clause(clause.head, rest + (sel_literal,)))
+    translated = Program(tuple(new_clauses) + tuple(extra_clauses),
+                         name=f"{program.name}_idlog")
+    return IdlogProgram.compile(translated)

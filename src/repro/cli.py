@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    repro-idlog check PROGRAM        # parse + safety + stratification
+    repro-idlog explain PROGRAM      # the evaluation plan
+    repro-idlog run PROGRAM [-f FACTS] [-q PRED] [--mode MODE] ...
+
+``PROGRAM`` is a file of clauses in the surface syntax; ``FACTS`` is a
+file of ground facts (``emp(ann, toys).``), whose ``udom(c)`` facts — if
+any — declare extra u-domain elements.  The engine is picked from the
+program's constructs: choice operators → DATALOG^C, ID-atoms → IDLOG,
+otherwise plain Datalog.
+
+Modes for ``run``:
+
+* ``run``      one model under the canonical (deterministic) assignment;
+* ``one``      one arbitrary answer (``--seed`` for reproducibility);
+* ``answers``  the exact answer set (``--max-branches`` guards blowup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .choice import ChoiceEngine
+from .core import IdlogEngine
+from .core.dbp import strip_database_program
+from .datalog import Database, parse_program
+from .datalog.explain import explain_program
+from .datalog.safety import check_program
+from .datalog.stratify import stratify
+from .errors import ReproError
+
+
+def _load_program(path: str):
+    with open(path) as handle:
+        return parse_program(handle.read(), name=path)
+
+
+def _load_facts(path: Optional[str]) -> Database:
+    if path is None:
+        return Database()
+    with open(path) as handle:
+        program = parse_program(handle.read(), name=path)
+    non_facts = [c for c in program.clauses if not c.is_fact]
+    if non_facts:
+        raise ReproError(
+            f"facts file {path} contains non-fact clauses "
+            f"(first: {non_facts[0]})")
+    _, db = strip_database_program(program)
+    return db
+
+
+def _print_relation(rows, out) -> None:
+    for row in sorted(rows, key=lambda r: tuple(map(repr, r))):
+        print("  " + ", ".join(map(str, row)), file=out)
+
+
+def _cmd_check(args, out) -> int:
+    program = _load_program(args.program)
+    if program.has_choice():
+        # Validates (C1)/(C2) plus safety/stratification of the
+        # translated program; the planner itself rejects raw choice atoms.
+        ChoiceEngine(program)
+    else:
+        check_program(program)
+    strat = stratify(program)
+    print(f"ok: {len(program)} clauses, "
+          f"{len(program.predicates)} predicates, "
+          f"{strat.depth} strata", file=out)
+    print(f"input predicates: "
+          f"{', '.join(sorted(program.input_predicates)) or '(none)'}",
+          file=out)
+    print(f"output predicates: "
+          f"{', '.join(sorted(program.head_predicates)) or '(none)'}",
+          file=out)
+    if program.has_choice():
+        print("constructs: choice operator (DATALOG^C)", file=out)
+    if program.has_id_atoms():
+        groupings = ", ".join(
+            f"{p}[{','.join(map(str, sorted(g)))}]"
+            for p, g in sorted(program.id_groupings,
+                               key=lambda pg: (pg[0], sorted(pg[1]))))
+        print(f"constructs: ID-predicates ({groupings})", file=out)
+    if not program.has_choice():
+        from .datalog.sorts import format_signatures, infer_signatures
+        print("inferred sorts (0=u, 1=i, ?=either):", file=out)
+        for line in format_signatures(
+                infer_signatures(program)).splitlines():
+            print(f"  {line}", file=out)
+    return 0
+
+
+def _cmd_lint(args, out) -> int:
+    from .datalog.lint import lint
+    program = _load_program(args.program)
+    findings = lint(program, hints=not args.no_hints)
+    if not findings:
+        print("clean: no findings", file=out)
+        return 0
+    for finding in findings:
+        print(str(finding), file=out)
+    warnings = sum(1 for f in findings if f.code.startswith("W"))
+    print(f"{warnings} warning(s), {len(findings) - warnings} hint(s)",
+          file=out)
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    program = _load_program(args.program)
+    if program.has_choice():
+        from .choice import choice_to_idlog
+        program = choice_to_idlog(program).program
+        print("(choice operators translated to IDLOG — Theorem 2)",
+              file=out)
+    print(explain_program(program), file=out)
+    return 0
+
+
+def _pick_queries(program, requested: Optional[str]) -> list[str]:
+    if requested:
+        if requested not in program.head_predicates:
+            raise ReproError(
+                f"{requested} is not an output predicate of the program")
+        return [requested]
+    return sorted(program.head_predicates)
+
+
+def _cmd_run(args, out) -> int:
+    program = _load_program(args.program)
+    db = _load_facts(args.facts)
+    queries = _pick_queries(program, args.query)
+
+    if program.has_choice():
+        engine = ChoiceEngine(program)
+    else:
+        engine = IdlogEngine(program)
+
+    if args.mode == "answers":
+        for pred in queries:
+            if isinstance(engine, ChoiceEngine):
+                answers = engine.answers(db, pred, args.max_branches)
+            else:
+                answers = engine.answers(db, pred, args.max_branches)
+            print(f"{pred}: {len(answers)} possible answer(s)", file=out)
+            for i, answer in enumerate(
+                    sorted(answers, key=lambda a: sorted(map(repr, a)))):
+                print(f" answer {i + 1} ({len(answer)} tuple(s)):", file=out)
+                _print_relation(answer, out)
+        return 0
+
+    if args.mode == "one":
+        result = engine.one(db, seed=args.seed)
+    else:
+        result = engine.run(db)
+    for pred in queries:
+        rows = result.tuples(pred)
+        print(f"{pred}: {len(rows)} tuple(s)", file=out)
+        _print_relation(rows, out)
+    if args.stats:
+        stats = result.stats
+        print(f"stats: derived={stats.total_derived} "
+              f"firings={stats.firings} probes={stats.probes} "
+              f"iterations={stats.iterations} id_tuples={stats.id_tuples}",
+              file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-idlog",
+        description="IDLOG: a non-deterministic deductive database "
+                    "language (Sheng, SIGMOD 1991)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and validate a program")
+    check.add_argument("program", help="program file")
+
+    explain = sub.add_parser("explain", help="show the evaluation plan")
+    explain.add_argument("program", help="program file")
+
+    lint_cmd = sub.add_parser(
+        "lint", help="report likely mistakes and optimization hints")
+    lint_cmd.add_argument("program", help="program file")
+    lint_cmd.add_argument("--no-hints", action="store_true",
+                          help="suppress the H-series optimization hints")
+
+    run = sub.add_parser("run", help="evaluate a program")
+    run.add_argument("program", help="program file")
+    run.add_argument("-f", "--facts", help="facts file (ground clauses)")
+    run.add_argument("-q", "--query",
+                     help="output predicate (default: all)")
+    run.add_argument("--mode", choices=("run", "one", "answers"),
+                     default="run",
+                     help="canonical model / one arbitrary answer / "
+                          "the exact answer set")
+    run.add_argument("--seed", type=int, default=None,
+                     help="random seed for --mode one")
+    run.add_argument("--max-branches", type=int, default=200_000,
+                     help="enumeration budget for --mode answers")
+    run.add_argument("--stats", action="store_true",
+                     help="print evaluation counters")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"check": _cmd_check, "explain": _cmd_explain,
+                "lint": _cmd_lint, "run": _cmd_run}
+    try:
+        return handlers[args.command](args, out)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Database programs ``dbp(P, q, r)`` (the paper's Section 3.1).
+
+Given a program ``P``, an output predicate ``q`` and an input database
+``r`` over u-domain ``D = {d1, ..., dm}``, the paper evaluates the query
+against the *database program*::
+
+    dbp(P, q, r) = P/q  ∪  { p_j(t) : t ∈ r_j, p_j appears in P/q }
+                        ∪  { udom(d_i) : i = 1..m }
+
+together with the unique-name and domain-closure axioms.  Inlining the
+facts makes the program self-contained, and the ``udom`` relation gives
+clauses access to the domain closure (used e.g. by the Definition 1
+rewrite in experiment E7).
+
+This module constructs that object explicitly; the engines accept it like
+any other program (it simply has an empty EDB).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..datalog.ast import Clause, Program, fact
+from ..datalog.database import Database
+from ..datalog.parser import parse_program
+from ..errors import SchemaError
+
+UDOM_PREDICATE = "udom"
+"""The reserved name of the domain-closure predicate."""
+
+
+def database_program(program: Union[str, Program], query: str,
+                     db: Database) -> Program:
+    """Build ``dbp(P, query, db)``.
+
+    Args:
+        program: The program ``P`` (source text or parsed).
+        query: The output predicate.
+        db: The input database; its relations for the slice's input
+            predicates are inlined as facts and its u-domain becomes the
+            ``udom`` relation.
+
+    Returns:
+        A self-contained program: the ``P/query`` slice, one fact clause
+        per input tuple, and one ``udom`` fact per domain element.
+
+    Raises:
+        SchemaError: when ``P`` already defines the reserved ``udom``
+            predicate with clauses that would clash with the generated
+            facts.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    sliced = program.restrict_to(query)
+    if UDOM_PREDICATE in sliced.head_predicates:
+        raise SchemaError(
+            f"{UDOM_PREDICATE} is reserved for the domain-closure facts "
+            "of database programs")
+
+    facts: list[Clause] = []
+    for name in sorted(sliced.input_predicates):
+        if name == UDOM_PREDICATE or name not in db:
+            continue
+        for row in sorted(db.relation(name), key=lambda r: tuple(map(repr, r))):
+            facts.append(fact(name, *row))
+    for constant in sorted(db.udomain):
+        facts.append(fact(UDOM_PREDICATE, constant))
+
+    return Program(sliced.clauses + tuple(facts),
+                   name=f"dbp({program.name},{query})")
+
+
+def strip_database_program(program: Program) -> tuple[Program, Database]:
+    """Invert :func:`database_program`: split fact clauses back out.
+
+    Returns:
+        (rules-only program, database built from the fact clauses).
+        ``udom`` facts become the returned database's declared u-domain.
+    """
+    rules: list[Clause] = []
+    db = Database()
+    udomain: set[str] = set()
+    for clause in program.clauses:
+        if clause.is_fact:
+            values = tuple(term.value for term in clause.head.args)  # type: ignore[union-attr]
+            if clause.head.pred == UDOM_PREDICATE and len(values) == 1 \
+                    and isinstance(values[0], str):
+                udomain.add(values[0])
+            else:
+                db.add_fact(clause.head.pred, values)
+        else:
+            rules.append(clause)
+    stripped = Database({n: db.relation(n) for n in db.relation_names()},
+                        udomain=udomain or None)
+    return Program(tuple(rules), name=program.name), stripped

@@ -1,0 +1,350 @@
+"""The IDLOG evaluation engine (the paper's Sections 2–3).
+
+Evaluation of a stratified IDLOG program is stratum-by-stratum least
+fixpoints, exactly like stratified Datalog, except that ID-relations are
+materialized lazily: the first time a stratum's clause reads ``p[s]``, the
+engine asks its :class:`~repro.core.assignment.AssignmentStrategy` for an
+ID-function of the (complete, lower-stratum) relation ``p`` and installs the
+resulting ID-relation.  Different strategies realize the language's
+non-determinism:
+
+* ``run`` — deterministic canonical assignment (repeatable),
+* ``one`` — seeded random assignment: *one arbitrary answer* of the query,
+* ``answers`` — exhaustive enumeration of the full answer set, branching
+  over every ID-function at every stratum (exact on example-scale inputs;
+  guarded against explosion).
+
+The group-limit optimization (Section 4 / footnotes 6–7) is applied
+automatically: when every use of ``p[s]`` bounds its tid below ``k``, only
+``k`` tuples per sub-relation are materialized, and enumeration shrinks from
+``∏ b!`` to ``∏ P(b, k)`` per block size ``b``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Iterator, Optional, Union
+
+from ..datalog.ast import Atom, Program
+from ..datalog.database import Database, Relation
+from ..datalog.engine import EvalResult
+from ..datalog.seminaive import (EvalStats, RelationStore, evaluate_stratum,
+                                 prepare_store)
+from ..errors import EvaluationError
+from .assignment import (AssignmentStrategy, CanonicalAssignment,
+                         RandomAssignment)
+from .idrelations import (Grouping, count_id_functions,
+                          enumerate_id_functions, make_id_relation)
+from .program import IdlogProgram
+
+
+class _StrategyIdProvider:
+    """IdProvider backed by an assignment strategy plus tid limits."""
+
+    def __init__(self, strategy: AssignmentStrategy,
+                 limits: dict[tuple[str, Grouping], Optional[int]],
+                 use_limits: bool) -> None:
+        self._strategy = strategy
+        self._limits = limits
+        self._use_limits = use_limits
+        #: Everything materialized so far (exposed on EvalResult).
+        self.materialized: dict[tuple[str, Grouping], Relation] = {}
+
+    def materialize(self, pred: str, group: Grouping,
+                    base: Relation, stats: EvalStats) -> Relation:
+        id_function = self._strategy.id_function(pred, group, base)
+        limit = self._limits.get((pred, group)) if self._use_limits else None
+        relation = make_id_relation(base, id_function, limit)
+        stats.id_tuples += len(relation)
+        self.materialized[(pred, group)] = relation
+        return relation
+
+
+class _FixedIdProvider:
+    """IdProvider returning pre-materialized relations (enumeration branches)."""
+
+    def __init__(self, relations: dict[tuple[str, Grouping], Relation]) -> None:
+        self._relations = relations
+
+    def materialize(self, pred: str, group: Grouping,
+                    base: Relation, stats: EvalStats) -> Relation:
+        relation = self._relations.get((pred, group))
+        if relation is None:
+            raise EvaluationError(
+                f"enumeration branch is missing the ID-relation for "
+                f"{pred}[{sorted(group)}]")
+        stats.id_tuples += len(relation)
+        return relation
+
+
+class IdlogEngine:
+    """Evaluator for stratified IDLOG programs.
+
+    Example (the paper's Section 1 sampling query):
+        >>> engine = IdlogEngine('''
+        ...     select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.
+        ... ''')
+        >>> db = Database.from_facts({"emp": [
+        ...     ("ann", "toys"), ("bob", "toys"), ("cal", "toys"),
+        ...     ("dee", "it"), ("eli", "it")]})
+        >>> sample = engine.one(db, seed=0).tuples("select_two_emp")
+        >>> len(sample)
+        4
+
+    Args:
+        program: IDLOG source text, a parsed :class:`Program`, or an
+            already-compiled :class:`IdlogProgram`.
+        use_group_limits: Apply the Section 4 tid-bound optimization
+            (default on; turn off to measure its effect).
+    """
+
+    def __init__(self, program: Union[str, Program, IdlogProgram],
+                 use_group_limits: bool = True) -> None:
+        if isinstance(program, IdlogProgram):
+            self.compiled = program
+        else:
+            self.compiled = IdlogProgram.compile(program)
+        self.use_group_limits = use_group_limits
+
+    @property
+    def program(self) -> Program:
+        """The underlying clause set."""
+        return self.compiled.program
+
+    # -- single-model evaluation ------------------------------------------
+
+    def run(self, db: Database,
+            assignment: Optional[AssignmentStrategy] = None) -> EvalResult:
+        """Evaluate under one assignment (canonical by default).
+
+        Returns one perfect model of the database program; with the default
+        canonical strategy this is deterministic and repeatable.
+        """
+        strategy = assignment or CanonicalAssignment()
+        provider = _StrategyIdProvider(
+            strategy, self.compiled.tid_limits, self.use_group_limits)
+        stats = EvalStats()
+        store = prepare_store(self.program, db, provider, stats)
+        self._run_strata(store, stats)
+        database = store.as_database(db.udomain | self.program.u_constants())
+        return EvalResult(database, stats, dict(provider.materialized))
+
+    def one(self, db: Database, seed: Optional[int] = None) -> EvalResult:
+        """Sample one answer: evaluate under a random assignment."""
+        return self.run(db, RandomAssignment(seed))
+
+    def query(self, db: Database, pred: str,
+              assignment: Optional[AssignmentStrategy] = None,
+              ) -> frozenset[tuple]:
+        """Evaluate under one assignment and project one predicate."""
+        return self.run(db, assignment).tuples(pred)
+
+    def _run_strata(self, store: RelationStore, stats: EvalStats) -> None:
+        heads = self.program.head_predicates
+        for stratum in self.compiled.stratification.strata:
+            stratum_heads = frozenset(stratum & heads)
+            clauses = tuple(c for c in self.program.clauses
+                            if c.head.pred in stratum_heads)
+            if clauses:
+                evaluate_stratum(clauses, stratum_heads, store, stats)
+
+    # -- answer-set enumeration --------------------------------------------
+
+    def answers(self, db: Database, pred: str,
+                max_branches: int = 200_000,
+                slice_program: bool = True) -> frozenset[frozenset[tuple]]:
+        """The exact answer set of the query ``pred`` on ``db``.
+
+        Enumerates every combination of ID-functions (branching per stratum,
+        because lower-stratum contents may depend on earlier choices) and
+        collects the distinct values of ``pred``.  This realizes the paper's
+        definition ``q(r) = {q^M : M ∈ PERF_D}``.
+
+        Args:
+            db: Input database.
+            pred: Output predicate to project.
+            max_branches: Abort (with :class:`EvaluationError`) after this
+                many enumeration leaves — non-determinism can be factorial.
+            slice_program: Evaluate only the program portion ``P/pred``
+                (the paper's dbp construction); avoids branching on
+                ID-functions irrelevant to the query.
+
+        Returns:
+            A frozenset of relations (each a frozenset of tuples).
+        """
+        snapshots = self.answer_relations(db, (pred,), max_branches,
+                                          slice_program)
+        return frozenset(snapshot[0] for snapshot in snapshots)
+
+    def answer_relations(self, db: Database, preds: tuple[str, ...],
+                         max_branches: int = 200_000,
+                         slice_program: bool = True,
+                         ) -> frozenset[tuple[frozenset[tuple], ...]]:
+        """Joint answer set over several output predicates.
+
+        Each element is a tuple of relations, one per requested predicate,
+        arising from a single perfect model — so correlations between output
+        predicates (e.g. man/woman partitioning person) are preserved.
+        """
+        compiled = self.compiled
+        if slice_program:
+            program = self.program
+            related: set[str] = set()
+            for pred in preds:
+                related |= program.related_to(pred)
+            sliced = Program(
+                tuple(c for c in program.clauses if c.head.pred in related),
+                name=f"{program.name}/{'+'.join(preds)}")
+            compiled = IdlogProgram.compile(sliced)
+        results = set()
+        budget = [max_branches]
+        for relations, _, _ in self._enumerate_models(compiled, db, budget):
+            snapshot = tuple(
+                relations[p].frozen() if p in relations else frozenset()
+                for p in preds)
+            results.add(snapshot)
+        return frozenset(results)
+
+    def answer_probabilities(self, db: Database, pred: str,
+                             max_branches: int = 200_000,
+                             slice_program: bool = True,
+                             ) -> dict[frozenset[tuple], Fraction]:
+        """The EXACT probability of every answer under uniform tids.
+
+        Each (predicate, grouping) pair draws its ID-function uniformly;
+        the probability of an answer is the total weight of the
+        enumeration leaves producing it (leaves within one branch node are
+        equally likely; prefix-limited classes partition the full space
+        evenly).  The returned probabilities sum to exactly 1 — they are
+        :class:`fractions.Fraction` values, not floats.
+
+        This is what ``IdlogQuery.answer_distribution`` estimates by
+        sampling; the E4/E5-style sampling queries come out uniform.
+        """
+        compiled = self.compiled
+        if slice_program:
+            sliced = self.program.restrict_to(pred)
+            compiled = IdlogProgram.compile(sliced)
+        budget = [max_branches]
+        probabilities: dict[frozenset[tuple], Fraction] = {}
+        for relations, _, weight in self._enumerate_models(
+                compiled, db, budget):
+            answer = relations[pred].frozen() if pred in relations \
+                else frozenset()
+            probabilities[answer] = probabilities.get(
+                answer, Fraction(0)) + weight
+        return probabilities
+
+    def count_models(self, db: Database, max_branches: int = 200_000) -> int:
+        """Number of enumeration leaves (assignment combinations) on ``db``.
+
+        An upper bound on (and usually far above) the number of distinct
+        answers.
+        """
+        budget = [max_branches]
+        return sum(1 for _ in self._enumerate_models(
+            self.compiled, db, budget))
+
+    def _enumerate_models(
+            self, compiled: IdlogProgram, db: Database, budget: list[int],
+    ) -> Iterator[tuple[dict[str, Relation],
+                        dict[tuple[str, Grouping], Relation], Fraction]]:
+        """Yield every perfect model of the program on ``db``.
+
+        Walks strata in order; before evaluating stratum ``k``, branches on
+        every ID-function of every (pred, group) pair first needed there.
+        Yields (relations, chosen ID-relations, weight) per model: the
+        first dict maps predicate names to their final relations (shared
+        EDB relations included); the second maps each (predicate,
+        grouping) pair to the ID-relation the model's interpretation
+        assigns it; the weight is the model's exact probability under
+        uniformly random ID-functions (weights sum to 1).
+        """
+        program = compiled.program
+        stats = EvalStats()
+        store = prepare_store(program, db, _FixedIdProvider({}), stats)
+        relations = {name: store.relation(name)
+                     for name in program.predicates}
+        heads = program.head_predicates
+        strata = compiled.stratification.strata
+
+        # Each ID-predicate gets exactly ONE ID-relation per interpretation,
+        # so a (pred, group) pair is branched on at its first-use stratum
+        # only; the chosen relation is carried to later strata.
+        assigned: set[tuple[str, Grouping]] = set()
+        needed_per_stratum = []
+        for stratum in strata:
+            needed: set[tuple[str, Grouping]] = set()
+            for clause in program.clauses:
+                if clause.head.pred not in stratum:
+                    continue
+                for literal in clause.body:
+                    atom = literal.atom
+                    if isinstance(atom, Atom) and atom.is_id:
+                        key = (atom.pred, atom.group)
+                        if key not in assigned:
+                            needed.add(key)
+                            assigned.add(key)
+            needed_per_stratum.append(sorted(needed))
+
+        yield from self._branch(compiled, relations, heads, strata, 0,
+                                needed_per_stratum, budget, {},
+                                Fraction(1))
+
+    def _branch(self, compiled: IdlogProgram,
+                relations: dict[str, Relation], heads: frozenset[str],
+                strata, k: int, needed_per_stratum, budget: list[int],
+                chosen: dict[tuple[str, Grouping], Relation],
+                weight: Fraction,
+                ) -> Iterator[tuple]:
+        program = compiled.program
+        if k == len(strata):
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise EvaluationError(
+                    "answer-set enumeration exceeded max_branches; the "
+                    "input is too non-deterministic to enumerate exactly — "
+                    "raise max_branches or sample with one()")
+            yield relations, chosen, weight
+            return
+
+        stratum_heads = frozenset(strata[k] & heads)
+        clauses = tuple(c for c in program.clauses
+                        if c.head.pred in stratum_heads)
+        needed = needed_per_stratum[k]
+
+        choice_spaces = []
+        for pred, group in needed:
+            base = relations[pred]
+            limit = compiled.tid_limits.get((pred, group)) \
+                if self.use_group_limits else None
+            count = count_id_functions(base, group, limit)
+            if count > max(budget[0], 1):
+                raise EvaluationError(
+                    f"{count} ID-functions for {pred}[{sorted(group)}] "
+                    "exceed the enumeration budget; raise max_branches or "
+                    "sample with one()")
+            choice_spaces.append([
+                make_id_relation(base, fn, limit)
+                for fn in enumerate_id_functions(base, group, limit)])
+
+        branch_weight = weight
+        for space in choice_spaces:
+            branch_weight /= len(space)
+        for combo in product(*choice_spaces) if choice_spaces else [()]:
+            branch_relations = {
+                name: (rel.copy() if name in heads else rel)
+                for name, rel in relations.items()}
+            branch_chosen = dict(chosen)
+            branch_chosen.update(zip(needed, combo))
+            stats = EvalStats()
+            provider = _FixedIdProvider(branch_chosen)
+            store = RelationStore(provider, stats)
+            for name, rel in branch_relations.items():
+                store.install(name, rel)
+            if clauses:
+                evaluate_stratum(clauses, stratum_heads, store, stats)
+            yield from self._branch(compiled, branch_relations, heads,
+                                    strata, k + 1, needed_per_stratum,
+                                    budget, branch_chosen, branch_weight)

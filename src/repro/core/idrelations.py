@@ -1,0 +1,201 @@
+"""ID-relations and ID-functions (the paper's Section 2.1).
+
+Given a relation ``r`` and a set ``s`` of attribute positions, the
+*sub-relations of r grouped by s* partition ``r`` into blocks of tuples
+agreeing on the attributes in ``s``.  An *ID-function* of a block of size k
+is a bijection onto ``{0, ..., k-1}``; an *ID-relation of r on s* augments
+every tuple with the tid its block's ID-function assigns.
+
+Example 1 of the paper: for ``r = {(a,c), (a,d), (b,c)}`` grouped by the
+first attribute the blocks are ``{(a,c), (a,d)}`` and ``{(b,c)}``, so there
+are exactly two ID-relations of ``r`` on ``{1}``.
+
+The *choice* of ID-function is the language's source of non-determinism;
+this module provides construction, counting and exhaustive enumeration of
+ID-functions, including the *prefix-limited* variant used by the Section 4
+optimization (when every use of ``p[s]`` constrains the tid below ``k``,
+only the k-prefix of each block's ordering matters, shrinking both the
+materialized relation and the enumeration space from ``k!`` to ``P(n, k)``
+per block).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from itertools import permutations, product
+from typing import Iterator, Mapping, Optional, Sequence
+
+from ..datalog.database import Relation
+from ..datalog.terms import Value
+from ..errors import SchemaError
+
+Grouping = frozenset[int]
+"""A set of 1-based attribute positions of the base relation."""
+
+IdFunction = Mapping[tuple[Value, ...], int]
+"""An assignment of tids to base tuples (bijective within each block)."""
+
+
+def group_key(row: tuple[Value, ...], group: Grouping) -> tuple[Value, ...]:
+    """The grouping key of a tuple: its values at ``group`` positions.
+
+    Positions are 1-based, following the paper; the key orders them
+    ascending so it is deterministic.
+    """
+    return tuple(row[i - 1] for i in sorted(group))
+
+
+def sub_relations(base: Relation,
+                  group: Grouping) -> dict[tuple, list[tuple[Value, ...]]]:
+    """Partition ``base`` into its sub-relations grouped by ``group``.
+
+    Returns a mapping from grouping key to the tuples of that block, in a
+    deterministic (sorted) order so downstream constructions are repeatable.
+    """
+    for i in group:
+        if not 1 <= i <= base.arity:
+            raise SchemaError(
+                f"grouping position {i} outside 1..{base.arity}")
+    blocks: dict[tuple, list[tuple[Value, ...]]] = {}
+    for row in base:
+        blocks.setdefault(group_key(row, group), []).append(row)
+    for rows in blocks.values():
+        rows.sort(key=lambda r: tuple(map(repr, r)))
+    return blocks
+
+
+def validate_id_function(base: Relation, group: Grouping,
+                         id_function: IdFunction) -> None:
+    """Check that ``id_function`` is a valid ID-function of ``base`` on
+    ``group``: defined on every tuple and bijective onto 0..k-1 within each
+    block.
+
+    Raises:
+        SchemaError: when the function is not a block-wise bijection.
+    """
+    for key, rows in sub_relations(base, group).items():
+        tids = sorted(id_function[row] for row in rows)
+        if tids != list(range(len(rows))):
+            raise SchemaError(
+                f"tids {tids} of block {key} are not a bijection onto "
+                f"0..{len(rows) - 1}")
+
+
+def canonical_id_function(base: Relation, group: Grouping) -> dict:
+    """The deterministic ID-function: tids follow the sorted tuple order.
+
+    Used as the default assignment so repeated evaluations of the same
+    program on the same database agree.
+    """
+    mapping: dict[tuple, int] = {}
+    for rows in sub_relations(base, group).values():
+        for tid, row in enumerate(rows):
+            mapping[row] = tid
+    return mapping
+
+
+def random_id_function(base: Relation, group: Grouping,
+                       rng: random.Random) -> dict:
+    """A uniformly random ID-function (independent shuffle per block)."""
+    mapping: dict[tuple, int] = {}
+    for rows in sub_relations(base, group).values():
+        shuffled = list(rows)
+        rng.shuffle(shuffled)
+        for tid, row in enumerate(shuffled):
+            mapping[row] = tid
+    return mapping
+
+
+def count_id_functions(base: Relation, group: Grouping,
+                       limit: Optional[int] = None) -> int:
+    """The number of (distinct-prefix) ID-functions of ``base`` on ``group``.
+
+    Without ``limit`` this is ``∏ k!`` over block sizes ``k``.  With a tid
+    limit only the assignment of tids ``0..limit-1`` is observable, so the
+    count drops to ``∏ P(k, min(k, limit))``.
+    """
+    total = 1
+    for rows in sub_relations(base, group).values():
+        k = len(rows)
+        take = k if limit is None else min(k, limit)
+        total *= math.perm(k, take)
+    return total
+
+
+def enumerate_id_functions(base: Relation, group: Grouping,
+                           limit: Optional[int] = None) -> Iterator[dict]:
+    """Yield every ID-function of ``base`` on ``group``.
+
+    With ``limit`` k, yields every *distinct k-prefix*: functions are partial
+    (defined only on tuples receiving tids below k in their block), which is
+    exactly what a tid-limited materialization needs.  The number of yields
+    matches :func:`count_id_functions`.
+    """
+    blocks = list(sub_relations(base, group).values())
+    if not blocks:
+        yield {}
+        return
+    per_block: list[list[tuple[tuple, ...]]] = []
+    for rows in blocks:
+        take = len(rows) if limit is None else min(len(rows), limit)
+        per_block.append(list(permutations(rows, take)))
+    for combo in product(*per_block):
+        mapping: dict[tuple, int] = {}
+        for ordering in combo:
+            for tid, row in enumerate(ordering):
+                mapping[row] = tid
+        yield mapping
+
+
+def make_id_relation(base: Relation, id_function: IdFunction,
+                     limit: Optional[int] = None) -> Relation:
+    """Build the ID-relation: every base tuple extended with its tid.
+
+    Args:
+        base: The base relation.
+        id_function: Tid assignment (may be partial when prefix-limited).
+        limit: When given, keep only tuples with tid < limit (the Section 4
+            group-limit optimization; sound when every use of the
+            ID-predicate constrains the tid below ``limit``).
+    """
+    result = Relation(base.arity + 1)
+    for row in base:
+        tid = id_function.get(row)
+        if tid is None:
+            if limit is None:
+                raise SchemaError(
+                    f"ID-function undefined on {row!r} without a tid limit")
+            continue
+        if limit is not None and tid >= limit:
+            continue
+        result.add(row + (tid,))
+    return result
+
+
+def id_relations_of(base: Relation, group: Grouping,
+                    limit: Optional[int] = None) -> Iterator[Relation]:
+    """Yield every possible ID-relation of ``base`` on ``group``.
+
+    This is the object the paper enumerates in Example 1; mostly useful for
+    tests and small demonstrations (the engine enumerates ID-functions and
+    materializes on demand instead).
+    """
+    for id_function in enumerate_id_functions(base, group, limit):
+        yield make_id_relation(base, id_function, limit)
+
+
+def ordering_to_id_function(orderings: Sequence[Sequence[tuple]],
+                            ) -> dict:
+    """Build an ID-function from explicit per-block tuple orderings.
+
+    Convenience for tests and oracles: each sequence lists one block's
+    tuples in tid order.
+    """
+    mapping: dict[tuple, int] = {}
+    for ordering in orderings:
+        for tid, row in enumerate(ordering):
+            if row in mapping:
+                raise SchemaError(f"tuple {row!r} listed twice")
+            mapping[row] = tid
+    return mapping

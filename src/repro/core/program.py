@@ -1,0 +1,148 @@
+"""IDLOG program wrapper: validation, slicing, and tid-bound analysis.
+
+:class:`IdlogProgram` validates the syntactic restrictions of Section 2.2
+(heads are ordinary atoms, safety, stratifiability with ID-literals counted
+strict) and precomputes the *tid bounds* used by the Section 4 group-limit
+optimization: when every occurrence of ``p[s]`` in the program constrains
+its tid below some constant ``k`` (a constant tid, ``N < k``, ``N <= k-1``
+or ``N = k-1``), the engine needs to materialize at most ``k`` tuples per
+sub-relation — the paper's footnotes 6 and 7 ("the condition N < 2 ...
+ensures that only two tuples of the relation emp will be used in the
+evaluation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..datalog.ast import Atom, Clause, Program
+from ..datalog.parser import parse_program
+from ..datalog.safety import check_program
+from ..datalog.stratify import Stratification, stratify
+from ..datalog.terms import Const, Var
+from ..errors import SchemaError
+from .idrelations import Grouping
+
+
+def _tid_bound_from_literal(atom: Atom, tid_var: Var) -> Optional[int]:
+    """The exclusive tid bound one comparison literal implies, if any."""
+    if atom.group is not None or len(atom.args) != 2:
+        return None
+    left, right = atom.args
+    if atom.pred == "<" and left == tid_var and isinstance(right, Const) \
+            and isinstance(right.value, int):
+        return right.value
+    if atom.pred == "<=" and left == tid_var and isinstance(right, Const) \
+            and isinstance(right.value, int):
+        return right.value + 1
+    if atom.pred == ">" and right == tid_var and isinstance(left, Const) \
+            and isinstance(left.value, int):
+        return left.value
+    if atom.pred == ">=" and right == tid_var and isinstance(left, Const) \
+            and isinstance(left.value, int):
+        return left.value + 1
+    if atom.pred == "=":
+        if left == tid_var and isinstance(right, Const) \
+                and isinstance(right.value, int):
+            return right.value + 1
+        if right == tid_var and isinstance(left, Const) \
+                and isinstance(left.value, int):
+            return left.value + 1
+    return None
+
+
+def _occurrence_bound(clause: Clause, id_atom: Atom) -> Optional[int]:
+    """The exclusive tid bound of one ID-atom occurrence, if derivable."""
+    tid_term = id_atom.args[-1]
+    if isinstance(tid_term, Const):
+        if not isinstance(tid_term.value, int):
+            raise SchemaError(f"tid of {id_atom} must be of sort i")
+        return tid_term.value + 1
+    bounds = []
+    for literal in clause.body:
+        if not literal.positive or not isinstance(literal.atom, Atom):
+            continue
+        bound = _tid_bound_from_literal(literal.atom, tid_term)
+        if bound is not None:
+            bounds.append(bound)
+    return min(bounds) if bounds else None
+
+
+def compute_tid_limits(program: Program) -> dict[tuple[str, Grouping],
+                                                 Optional[int]]:
+    """Per (predicate, grouping), the max tids any occurrence can observe.
+
+    Returns a mapping whose value is ``None`` when some occurrence is
+    unbounded (full materialization required) and an integer ``k`` when
+    every occurrence of ``p[s]`` only ever inspects tids below ``k``.
+    """
+    limits: dict[tuple[str, Grouping], Optional[int]] = {}
+    seen_unbounded: set[tuple[str, Grouping]] = set()
+    for clause in program.clauses:
+        for literal in clause.body:
+            atom = literal.atom
+            if not isinstance(atom, Atom) or not atom.is_id:
+                continue
+            key = (atom.pred, atom.group)
+            bound = _occurrence_bound(clause, atom)
+            if bound is None:
+                seen_unbounded.add(key)
+                limits[key] = None
+            elif key not in seen_unbounded:
+                current = limits.get(key)
+                limits[key] = bound if current is None else max(current, bound)
+    return limits
+
+
+@dataclass(frozen=True)
+class IdlogProgram:
+    """A validated IDLOG program.
+
+    Attributes:
+        program: The underlying clause set.
+        stratification: Stratum assignment (ID-literals strict).
+        tid_limits: Result of :func:`compute_tid_limits`.
+    """
+
+    program: Program
+    stratification: Stratification
+    tid_limits: dict[tuple[str, Grouping], Optional[int]]
+
+    @classmethod
+    def compile(cls, source: Union[str, Program],
+                name: str = "program") -> "IdlogProgram":
+        """Parse (if needed) and validate an IDLOG program.
+
+        Raises:
+            SchemaError: when the program uses choice operators (those
+                belong to :mod:`repro.choice`).
+            SafetyError: when some clause is unsafe.
+            StratificationError: when the program is not stratified.
+        """
+        program = parse_program(source, name=name) \
+            if isinstance(source, str) else source
+        if program.has_choice():
+            raise SchemaError(
+                "IDLOG programs have no choice operator; translate with "
+                "repro.choice first")
+        check_program(program)
+        return cls(program, stratify(program), compute_tid_limits(program))
+
+    @property
+    def input_predicates(self) -> frozenset[str]:
+        """The EDB predicates (paper Section 3.1)."""
+        return self.program.input_predicates
+
+    @property
+    def output_predicates(self) -> frozenset[str]:
+        """The IDB predicates (paper Section 3.1)."""
+        return self.program.head_predicates
+
+    def restrict_to(self, query: str) -> "IdlogProgram":
+        """The validated program portion ``P/query``."""
+        return IdlogProgram.compile(self.program.restrict_to(query))
+
+    def genericity_constants(self) -> frozenset[str]:
+        """The constants ``C`` making every defined query C-generic."""
+        return self.program.u_constants()

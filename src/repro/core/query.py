@@ -1,0 +1,169 @@
+"""Non-deterministic IDLOG queries (the paper's Section 3.1).
+
+A (non-deterministic) query of type ``(a1,...,an) -> a0 / C`` is a binary
+relation between input databases and answer relations; equivalently a
+function from databases to *sets* of answers.  :class:`IdlogQuery` is that
+object for the query a stratified IDLOG program defines on one output
+predicate: ``answers`` gives the full set
+``q(r) = { q^M : M a finite perfect model of dbp(P, q, r) }``,
+``one`` samples a single answer, and genericity can be checked against
+explicit domain permutations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Union
+
+from ..datalog.ast import Program
+from ..datalog.database import Database, Relation
+from ..errors import NotDeterministicError
+from .engine import IdlogEngine
+from .program import IdlogProgram
+
+Answer = frozenset[tuple]
+"""One answer of a query: a relation as a frozenset of tuples."""
+
+
+def permute_value(value, mapping: Mapping[str, str]):
+    """Apply a u-domain permutation to one value (i-values fixed)."""
+    if isinstance(value, str):
+        return mapping.get(value, value)
+    return value
+
+
+def permute_database(db: Database, mapping: Mapping[str, str]) -> Database:
+    """Apply a u-domain permutation to every relation of a database."""
+    relations = {}
+    for name in db.relation_names():
+        source = db.relation(name)
+        target = Relation(source.arity)
+        for row in source:
+            target.add(tuple(permute_value(v, mapping) for v in row))
+        relations[name] = target
+    udomain = frozenset(mapping.get(d, d) for d in db.udomain)
+    return Database(relations, udomain)
+
+
+def permute_answer(answer: Answer, mapping: Mapping[str, str]) -> Answer:
+    """Apply a u-domain permutation to an answer relation."""
+    return frozenset(
+        tuple(permute_value(v, mapping) for v in row) for row in answer)
+
+
+class IdlogQuery:
+    """The non-deterministic query one output predicate of a program defines.
+
+    The program is sliced to its portion related to the output predicate
+    (the paper's ``P/q``), so irrelevant non-determinism neither shows up in
+    answers nor slows enumeration.
+
+    Example (the paper's Example 2):
+        >>> query = IdlogQuery('''
+        ...     sex_guess(X, male) :- person(X).
+        ...     sex_guess(X, female) :- person(X).
+        ...     man(X) :- sex_guess[1](X, male, 1).
+        ... ''', "man")
+        >>> db = Database.from_facts({"person": [("a",), ("b",)]})
+        >>> sorted(sorted(ans) for ans in query.answers(db))
+        [[], [('a',)], [('a',), ('b',)], [('b',)]]
+    """
+
+    def __init__(self, program: Union[str, Program, IdlogProgram],
+                 pred: str, use_group_limits: bool = True) -> None:
+        compiled = program if isinstance(program, IdlogProgram) \
+            else IdlogProgram.compile(program)
+        self.pred = pred
+        self.compiled = compiled.restrict_to(pred)
+        self.engine = IdlogEngine(self.compiled,
+                                  use_group_limits=use_group_limits)
+
+    def one(self, db: Database, seed: Optional[int] = None) -> Answer:
+        """Sample one answer (random tid assignment, reproducible by seed)."""
+        return self.engine.one(db, seed).tuples(self.pred)
+
+    def canonical(self, db: Database) -> Answer:
+        """The answer under the canonical (deterministic) assignment."""
+        return self.engine.query(db, self.pred)
+
+    def answers(self, db: Database,
+                max_branches: int = 200_000) -> frozenset[Answer]:
+        """The exact answer set on ``db`` (see :meth:`IdlogEngine.answers`)."""
+        return self.engine.answers(db, self.pred, max_branches,
+                                   slice_program=False)
+
+    def is_deterministic_on(self, db: Database,
+                            max_branches: int = 200_000) -> bool:
+        """True when the query has exactly one answer on ``db``."""
+        return len(self.answers(db, max_branches)) == 1
+
+    def answer_probabilities(self, db: Database,
+                             max_branches: int = 200_000):
+        """Exact answer probabilities under uniform ID-functions.
+
+        See :meth:`IdlogEngine.answer_probabilities`; the query is already
+        sliced to ``P/pred``, so probabilities cover exactly this query's
+        non-determinism.
+        """
+        return self.engine.answer_probabilities(
+            db, self.pred, max_branches, slice_program=False)
+
+    def answer_distribution(self, db: Database, trials: int,
+                            seed: Optional[int] = None,
+                            ) -> dict[Answer, int]:
+        """Empirical distribution of answers over repeated sampling.
+
+        Each trial draws fresh uniform ID-functions, so for a query whose
+        answers correspond 1:1 to assignment classes of equal size (e.g.
+        the sampling queries of §3.3) the distribution converges to
+        uniform over :meth:`answers` — which is how the E4/E5 experiments
+        sanity-check the sampler.
+
+        Returns:
+            Mapping answer -> number of trials that produced it.
+        """
+        from .assignment import RandomAssignment
+        strategy = RandomAssignment(seed)
+        counts: dict[Answer, int] = {}
+        for _ in range(trials):
+            answer = self.engine.run(db, strategy).tuples(self.pred)
+            counts[answer] = counts.get(answer, 0) + 1
+        return counts
+
+    def deterministic_answer(self, db: Database,
+                             max_branches: int = 200_000) -> Answer:
+        """The unique answer on ``db``.
+
+        Raises:
+            NotDeterministicError: when the answer set is not a singleton.
+        """
+        answers = self.answers(db, max_branches)
+        if len(answers) != 1:
+            raise NotDeterministicError(
+                f"query {self.pred} has {len(answers)} answers on this "
+                "input")
+        return next(iter(answers))
+
+    def genericity_constants(self) -> frozenset[str]:
+        """The constant set C for which the query is C-generic."""
+        return self.compiled.genericity_constants()
+
+    def check_generic(self, db: Database, mapping: Mapping[str, str],
+                      max_branches: int = 200_000) -> bool:
+        """Check C-genericity against one domain permutation.
+
+        Verifies the paper's condition ``r ∈ f(τ)  iff  σ(r) ∈ f(σ(τ))``
+        for the permutation ``σ = mapping`` (which must fix the constants in
+        :meth:`genericity_constants` to be a fair test).
+
+        Returns:
+            True when the answer sets correspond under the permutation.
+        """
+        direct = self.answers(db, max_branches)
+        permuted = self.answers(permute_database(db, mapping), max_branches)
+        mapped = frozenset(permute_answer(a, mapping) for a in direct)
+        return mapped == permuted
+
+
+def answers_equal(a: Iterable[Answer], b: Iterable[Answer]) -> bool:
+    """Convenience: compare two answer sets for equality."""
+    return frozenset(a) == frozenset(b)

@@ -1,0 +1,136 @@
+"""Relational algebra over :class:`~repro.datalog.database.Relation`.
+
+The engines work through joins compiled from clause bodies; this module
+exposes the underlying operators directly — handy for loading/massaging
+data around programs, for tests, and as a secondary oracle (the algebra
+tests re-derive small clause evaluations with explicit operators).
+
+All operators are functional: inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..errors import SchemaError
+from .database import Relation
+from .terms import Value
+
+Row = tuple[Value, ...]
+
+
+def _require_same_arity(left: Relation, right: Relation, op: str) -> None:
+    if left.arity != right.arity:
+        raise SchemaError(
+            f"{op}: arities differ ({left.arity} vs {right.arity})")
+
+
+def select(relation: Relation,
+           predicate: Callable[[Row], bool]) -> Relation:
+    """σ: keep rows satisfying an arbitrary predicate."""
+    return Relation(relation.arity,
+                    tuples=(row for row in relation if predicate(row)))
+
+
+def select_eq(relation: Relation, position: int, value: Value) -> Relation:
+    """σ with an equality condition on one 0-based column (index-backed)."""
+    if not 0 <= position < relation.arity:
+        raise SchemaError(f"column {position} outside 0..{relation.arity - 1}")
+    pattern: list = [None] * relation.arity
+    pattern[position] = value
+    return Relation(relation.arity, tuples=relation.match(tuple(pattern)))
+
+
+def project(relation: Relation, positions: Sequence[int]) -> Relation:
+    """π: keep (and reorder/duplicate) the 0-based columns given."""
+    bad = [i for i in positions if not 0 <= i < relation.arity]
+    if bad:
+        raise SchemaError(f"columns {bad} outside 0..{relation.arity - 1}")
+    return Relation(len(positions), tuples=(
+        tuple(row[i] for i in positions) for row in relation))
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """∪ (set union; arities must match)."""
+    _require_same_arity(left, right, "union")
+    result = left.copy()
+    result.update(right)
+    return result
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """− (set difference; arities must match)."""
+    _require_same_arity(left, right, "difference")
+    return Relation(left.arity,
+                    tuples=(row for row in left if row not in right))
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """∩ (set intersection; arities must match)."""
+    _require_same_arity(left, right, "intersection")
+    small, large = (left, right) if len(left) <= len(right) else (right, left)
+    return Relation(left.arity,
+                    tuples=(row for row in small if row in large))
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """× (cartesian product; result arity is the sum)."""
+    result = Relation(left.arity + right.arity)
+    for lrow in left:
+        for rrow in right:
+            result.add(lrow + rrow)
+    return result
+
+
+def join(left: Relation, right: Relation,
+         on: Iterable[tuple[int, int]]) -> Relation:
+    """⋈: equi-join on (left column, right column) pairs.
+
+    The result holds all left columns followed by the right columns that
+    are *not* join columns, in order — the natural-join convention.
+    Uses the right relation's hash index on its join columns.
+    """
+    pairs = list(on)
+    if not pairs:
+        return product(left, right)
+    left_cols = tuple(i for i, _ in pairs)
+    right_cols = tuple(j for _, j in pairs)
+    for i in left_cols:
+        if not 0 <= i < left.arity:
+            raise SchemaError(f"left join column {i} out of range")
+    for j in right_cols:
+        if not 0 <= j < right.arity:
+            raise SchemaError(f"right join column {j} out of range")
+    keep_right = [j for j in range(right.arity) if j not in set(right_cols)]
+    index = right.index_on(right_cols)
+    result = Relation(left.arity + len(keep_right))
+    for lrow in left:
+        key = tuple(lrow[i] for i in left_cols)
+        for rrow in index.get(key, ()):
+            result.add(lrow + tuple(rrow[j] for j in keep_right))
+    return result
+
+
+def semijoin(left: Relation, right: Relation,
+             on: Iterable[tuple[int, int]]) -> Relation:
+    """⋉: left rows with at least one join partner on the right."""
+    pairs = list(on)
+    left_cols = tuple(i for i, _ in pairs)
+    right_cols = tuple(j for _, j in pairs)
+    index = right.index_on(right_cols)
+    return Relation(left.arity, tuples=(
+        lrow for lrow in left
+        if tuple(lrow[i] for i in left_cols) in index))
+
+
+def antijoin(left: Relation, right: Relation,
+             on: Iterable[tuple[int, int]]) -> Relation:
+    """▷: left rows with NO join partner on the right (the negation
+    operator the stratified engine realizes as bound anti-joins)."""
+    pairs = list(on)
+    left_cols = tuple(i for i, _ in pairs)
+    right_cols = tuple(j for _, j in pairs)
+    index = right.index_on(right_cols)
+    return Relation(left.arity, tuples=(
+        lrow for lrow in left
+        if tuple(lrow[i] for i in left_cols) not in index))

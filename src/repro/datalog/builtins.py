@@ -1,0 +1,268 @@
+"""Arithmetic predicates (the paper's Section 2.2).
+
+The language fixes the interpretation of a family of arithmetic predicates
+over sort *i*: ``succ`` (the only primitive one in the paper; the others are
+definable from it, but we provide them natively for efficiency), the ternary
+operations ``+ - * / mod`` read as ``op(A, B, C)`` meaning ``A op B = C``,
+the comparisons ``< <= > >=``, and the (two-sorted) equality ``=`` and
+disequality ``!=``.
+
+Each builtin carries a table of *allowed binding patterns* — strings over
+``b`` (bound) and ``n`` (unbound) — the paper's sufficient condition for
+safety.  For ``+`` the allowed patterns are ``bbb, bbn, bnb, nbb, nnb``
+exactly as listed in the paper: ``+(N, L, M)`` with only ``M`` bound has
+finitely many solutions (``L + M = 1`` in the paper's example), whereas
+``1 + L = M`` has infinitely many and is rejected.
+
+A builtin is *solved* against a partially bound argument tuple; it yields
+zero or more fully ground argument tuples.  Patterns that are only
+conditionally finite (``*(0, Y, 0)``) raise :class:`UnsafeBuiltinError` at
+run time rather than looping forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from ..errors import EvaluationError, UnsafeBuiltinError
+from .terms import Value
+
+Partial = tuple[Optional[Value], ...]
+"""A partially bound argument tuple: ``None`` marks an unbound position."""
+
+Solver = Callable[[Partial], Iterator[tuple[Value, ...]]]
+
+
+@dataclass(frozen=True)
+class BuiltinSpec:
+    """Static description of one arithmetic predicate.
+
+    Attributes:
+        name: The surface name (``succ``, ``+``, ``<``, ...).
+        arity: Number of arguments.
+        patterns: Allowed binding patterns (the safety table).
+        solve: Generator producing ground solutions for a partial binding.
+        numeric: True when every argument must be of sort i.
+    """
+
+    name: str
+    arity: int
+    patterns: frozenset[str]
+    solve: Solver
+    numeric: bool = True
+
+    def allows(self, pattern: str) -> bool:
+        """Return True when ``pattern`` (or a more-bound variant of an
+        allowed pattern) is permitted.
+
+        A position that an allowed pattern marks unbound may always be bound
+        instead — extra bindings only filter solutions.
+        """
+        if len(pattern) != self.arity:
+            return False
+        for allowed in self.patterns:
+            if all(p == "b" or a == "n" for p, a in zip(pattern, allowed)):
+                return True
+        return False
+
+
+def _require_nat(value: Value, name: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise EvaluationError(
+            f"arithmetic predicate {name} applied to non-numeric value {value!r}")
+    return value
+
+
+def _solve_succ(args: Partial) -> Iterator[tuple[Value, ...]]:
+    a, b = args
+    if a is not None:
+        a = _require_nat(a, "succ")
+        if b is None or b == a + 1:
+            yield (a, a + 1)
+    elif b is not None:
+        b = _require_nat(b, "succ")
+        if b >= 1:
+            yield (b - 1, b)
+    else:
+        raise UnsafeBuiltinError("succ with both arguments unbound")
+
+
+def _solve_add(args: Partial) -> Iterator[tuple[Value, ...]]:
+    a, b, c = args
+    known = [x if x is None else _require_nat(x, "+") for x in (a, b, c)]
+    a, b, c = known
+    if a is not None and b is not None:
+        total = a + b
+        if c is None or c == total:
+            yield (a, b, total)
+    elif c is not None:
+        if a is not None:
+            if c >= a:
+                yield (a, c - a, c)
+        elif b is not None:
+            if c >= b:
+                yield (c - b, b, c)
+        else:
+            for x in range(c + 1):  # the paper's nnb pattern: finitely many
+                yield (x, c - x, c)
+    else:
+        raise UnsafeBuiltinError("+ with an unbound result and unbound operand")
+
+
+def _solve_sub(args: Partial) -> Iterator[tuple[Value, ...]]:
+    # -(A, B, C) means A - B = C over the naturals, i.e. A = B + C.
+    a, b, c = args
+    known = [x if x is None else _require_nat(x, "-") for x in (a, b, c)]
+    a, b, c = known
+    if a is not None and b is not None:
+        if a >= b and (c is None or c == a - b):
+            yield (a, b, a - b)
+    elif a is not None and c is not None:
+        if a >= c:
+            yield (a, a - c, c)
+    elif b is not None and c is not None:
+        yield (b + c, b, c)
+    elif a is not None:
+        for x in range(a + 1):  # B+C = A: finitely many over the naturals
+            yield (a, x, a - x)
+    else:
+        raise UnsafeBuiltinError("- needs its first argument or two others bound")
+
+
+def _solve_mul(args: Partial) -> Iterator[tuple[Value, ...]]:
+    a, b, c = args
+    known = [x if x is None else _require_nat(x, "*") for x in (a, b, c)]
+    a, b, c = known
+    if a is not None and b is not None:
+        prod = a * b
+        if c is None or c == prod:
+            yield (a, b, prod)
+    elif c is not None:
+        if a is not None:
+            if a == 0:
+                if c == 0:
+                    raise UnsafeBuiltinError("*(0, Y, 0) has infinitely many solutions")
+                return
+            if c % a == 0:
+                yield (a, c // a, c)
+        elif b is not None:
+            if b == 0:
+                if c == 0:
+                    raise UnsafeBuiltinError("*(X, 0, 0) has infinitely many solutions")
+                return
+            if c % b == 0:
+                yield (c // b, b, c)
+        else:
+            if c == 0:
+                raise UnsafeBuiltinError("*(X, Y, 0) has infinitely many solutions")
+            d = 1
+            while d * d <= c:
+                if c % d == 0:
+                    yield (d, c // d, c)
+                    if d != c // d:
+                        yield (c // d, d, c)
+                d += 1
+    else:
+        raise UnsafeBuiltinError("* with an unbound result and unbound operand")
+
+
+def _solve_div(args: Partial) -> Iterator[tuple[Value, ...]]:
+    # /(A, B, C) means floor(A / B) = C; B must be positive.
+    a, b, c = args
+    known = [x if x is None else _require_nat(x, "/") for x in (a, b, c)]
+    a, b, c = known
+    if a is None or b is None:
+        raise UnsafeBuiltinError("/ requires its first two arguments bound")
+    if b == 0:
+        raise EvaluationError("division by zero")
+    q = a // b
+    if c is None or c == q:
+        yield (a, b, q)
+
+
+def _solve_mod(args: Partial) -> Iterator[tuple[Value, ...]]:
+    a, b, c = args
+    known = [x if x is None else _require_nat(x, "mod") for x in (a, b, c)]
+    a, b, c = known
+    if a is None or b is None:
+        raise UnsafeBuiltinError("mod requires its first two arguments bound")
+    if b == 0:
+        raise EvaluationError("modulo by zero")
+    r = a % b
+    if c is None or c == r:
+        yield (a, b, r)
+
+
+def _comparison(name: str, op: Callable[[int, int], bool]) -> Solver:
+    def solve(args: Partial) -> Iterator[tuple[Value, ...]]:
+        a, b = args
+        if a is None or b is None:
+            raise UnsafeBuiltinError(f"{name} requires both arguments bound")
+        a = _require_nat(a, name)
+        b = _require_nat(b, name)
+        if op(a, b):
+            yield (a, b)
+
+    return solve
+
+
+def _solve_eq(args: Partial) -> Iterator[tuple[Value, ...]]:
+    a, b = args
+    if a is not None and b is not None:
+        if a == b:
+            yield (a, b)
+    elif a is not None:
+        yield (a, a)
+    elif b is not None:
+        yield (b, b)
+    else:
+        raise UnsafeBuiltinError("= with both sides unbound")
+
+
+def _solve_neq(args: Partial) -> Iterator[tuple[Value, ...]]:
+    a, b = args
+    if a is None or b is None:
+        raise UnsafeBuiltinError("!= requires both sides bound")
+    if a != b:
+        yield (a, b)
+
+
+_REGISTRY: dict[str, BuiltinSpec] = {}
+
+
+def _register(spec: BuiltinSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(BuiltinSpec("succ", 2, frozenset({"bn", "nb"}), _solve_succ))
+_register(BuiltinSpec("+", 3, frozenset({"bbn", "bnb", "nbb", "nnb"}), _solve_add))
+_register(BuiltinSpec("-", 3, frozenset({"bbn", "bnb", "nbb", "bnn"}), _solve_sub))
+_register(BuiltinSpec("*", 3, frozenset({"bbn", "bnb", "nbb", "nnb"}), _solve_mul))
+_register(BuiltinSpec("/", 3, frozenset({"bbn"}), _solve_div))
+_register(BuiltinSpec("mod", 3, frozenset({"bbn"}), _solve_mod))
+_register(BuiltinSpec("<", 2, frozenset({"bb"}), _comparison("<", lambda a, b: a < b)))
+_register(BuiltinSpec("<=", 2, frozenset({"bb"}), _comparison("<=", lambda a, b: a <= b)))
+_register(BuiltinSpec(">", 2, frozenset({"bb"}), _comparison(">", lambda a, b: a > b)))
+_register(BuiltinSpec(">=", 2, frozenset({"bb"}), _comparison(">=", lambda a, b: a >= b)))
+_register(BuiltinSpec("=", 2, frozenset({"bn", "nb"}), _solve_eq, numeric=False))
+_register(BuiltinSpec("!=", 2, frozenset({"bb"}), _solve_neq, numeric=False))
+
+
+def is_builtin_name(name: str) -> bool:
+    """Return True when ``name`` denotes an arithmetic predicate."""
+    return name in _REGISTRY
+
+
+def builtin_spec(name: str) -> BuiltinSpec:
+    """Look up the :class:`BuiltinSpec` for ``name``.
+
+    Raises:
+        KeyError: if ``name`` is not a builtin.
+    """
+    return _REGISTRY[name]
+
+
+def builtin_names() -> frozenset[str]:
+    """The names of all arithmetic predicates."""
+    return frozenset(_REGISTRY)

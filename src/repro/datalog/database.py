@@ -1,0 +1,306 @@
+"""Relations and databases (the paper's Section 2.1).
+
+A *relation of type s1...sm over a u-domain D* is a finite set of tuples whose
+i-th components come from ``D`` when ``si = 0`` and from the naturals when
+``si = 1``.  A *database* bundles a u-domain with a collection of named
+relations; queries are C-generic mappings from databases to sets of relations.
+
+:class:`Relation` is the storage unit shared by the EDB, the IDB under
+evaluation, and materialized ID-relations.  It keeps tuples in a set and
+builds hash indexes on demand (invalidated on mutation), which is what the
+nested-index join in :mod:`repro.datalog.seminaive` probes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..errors import SchemaError
+from .terms import RelationType, Value, format_type, type_of_tuple
+
+
+class Relation:
+    """A finite, typed set of ground tuples with on-demand hash indexes.
+
+    Args:
+        arity: Number of attributes.
+        schema: Optional declared :data:`RelationType`; when omitted the type
+            is inferred from the first tuple inserted and enforced afterwards.
+        tuples: Optional initial contents.
+    """
+
+    __slots__ = ("arity", "_schema", "_tuples", "_indexes")
+
+    def __init__(self, arity: int, schema: Optional[RelationType] = None,
+                 tuples: Iterable[tuple[Value, ...]] = ()) -> None:
+        if schema is not None and len(schema) != arity:
+            raise SchemaError(
+                f"schema {format_type(schema)} does not match arity {arity}")
+        self.arity = arity
+        self._schema = schema
+        self._tuples: set[tuple[Value, ...]] = set()
+        self._indexes: dict[tuple[int, ...], dict] = {}
+        for row in tuples:
+            self.add(row)
+
+    @property
+    def schema(self) -> Optional[RelationType]:
+        """The relation type, if declared or inferred."""
+        return self._schema
+
+    def add(self, row: tuple[Value, ...]) -> bool:
+        """Insert a tuple; returns True when it was new.
+
+        Raises:
+            SchemaError: on arity or sort mismatch.
+        """
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, relation expects "
+                f"{self.arity}")
+        try:
+            rowtype = type_of_tuple(row)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"tuple {row!r}: {exc}") from exc
+        if self._schema is None:
+            self._schema = rowtype
+        elif rowtype != self._schema:
+            raise SchemaError(
+                f"tuple {row!r} of type {format_type(rowtype)} inserted into "
+                f"relation of type {format_type(self._schema)}")
+        if row in self._tuples:
+            return False
+        self._tuples.add(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in positions)
+            index.setdefault(key, []).append(row)
+        return True
+
+    def update(self, rows: Iterable[tuple[Value, ...]]) -> int:
+        """Insert many tuples; returns the number that were new."""
+        return sum(1 for row in rows if self.add(row))
+
+    def discard(self, row: tuple[Value, ...]) -> bool:
+        """Remove a tuple if present; returns True when it was removed.
+
+        Existing hash indexes are maintained.
+        """
+        if row not in self._tuples:
+            return False
+        self._tuples.discard(row)
+        for positions, index in self._indexes.items():
+            key = tuple(row[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(row)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def index_on(self, positions: tuple[int, ...]) -> Mapping:
+        """Return (building if necessary) a hash index on 0-based positions.
+
+        The index maps a key tuple (the values at ``positions``) to the list
+        of full tuples carrying that key.
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._tuples:
+                key = tuple(row[i] for i in positions)
+                index.setdefault(key, []).append(row)
+            self._indexes[positions] = index
+        return index
+
+    def match(self, pattern: tuple[Optional[Value], ...]) -> Iterator[tuple]:
+        """Yield tuples matching a partial pattern (``None`` = wildcard).
+
+        Uses a hash index on the bound positions when any exist.
+        """
+        bound = tuple(i for i, v in enumerate(pattern) if v is not None)
+        if not bound:
+            yield from self._tuples
+            return
+        key = tuple(pattern[i] for i in bound)
+        yield from self.index_on(bound).get(key, ())
+
+    def project(self, positions: tuple[int, ...]) -> "Relation":
+        """Return the projection onto the given 0-based positions."""
+        result = Relation(len(positions))
+        for row in self._tuples:
+            result.add(tuple(row[i] for i in positions))
+        return result
+
+    def u_constants(self) -> frozenset[str]:
+        """All sort-u values appearing in the relation."""
+        consts: set[str] = set()
+        for row in self._tuples:
+            for value in row:
+                if isinstance(value, str):
+                    consts.add(value)
+        return frozenset(consts)
+
+    def copy(self) -> "Relation":
+        """An independent copy (indexes are not copied)."""
+        return Relation(self.arity, self._schema, self._tuples)
+
+    def frozen(self) -> frozenset[tuple[Value, ...]]:
+        """The contents as a frozenset (hashable snapshot)."""
+        return frozenset(self._tuples)
+
+    def __contains__(self, row: tuple[Value, ...]) -> bool:
+        return row in self._tuples
+
+    def __iter__(self) -> Iterator[tuple[Value, ...]]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.arity == other.arity and self._tuples == other._tuples
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable
+        raise TypeError("Relation is mutable; use .frozen() for hashing")
+
+    def __repr__(self) -> str:
+        sample = sorted(self._tuples, key=repr)[:4]
+        suffix = ", ..." if len(self._tuples) > 4 else ""
+        rows = ", ".join(repr(r) for r in sample)
+        return f"Relation(arity={self.arity}, {{{rows}{suffix}}})"
+
+
+class Database:
+    """A named collection of relations plus a u-domain (Section 2.1).
+
+    The u-domain defaults to the set of u-constants appearing in the stored
+    relations but can be declared larger (the paper allows domain elements
+    not mentioned by any tuple).
+    """
+
+    def __init__(self, relations: Optional[Mapping[str, Relation]] = None,
+                 udomain: Optional[Iterable[str]] = None) -> None:
+        self._relations: dict[str, Relation] = dict(relations or {})
+        self._declared_udomain = frozenset(udomain) if udomain is not None else None
+
+    @classmethod
+    def from_facts(cls, facts: Mapping[str, Iterable[tuple[Value, ...]]],
+                   udomain: Optional[Iterable[str]] = None) -> "Database":
+        """Build a database from ``{predicate: iterable of tuples}``.
+
+        >>> db = Database.from_facts({"emp": [("ann", "toys"), ("bob", "toys")]})
+        >>> len(db.relation("emp"))
+        2
+        """
+        relations = {}
+        for name, rows in facts.items():
+            rows = [tuple(r) for r in rows]
+            if not rows:
+                raise SchemaError(
+                    f"cannot infer the arity of empty relation {name}; "
+                    "use add_relation with an explicit arity")
+            relation = Relation(len(rows[0]))
+            relation.update(rows)
+            relations[name] = relation
+        return cls(relations, udomain)
+
+    @property
+    def udomain(self) -> frozenset[str]:
+        """The u-domain: declared, or inferred from stored u-constants."""
+        inferred: set[str] = set()
+        for relation in self._relations.values():
+            inferred |= relation.u_constants()
+        if self._declared_udomain is not None:
+            return self._declared_udomain | frozenset(inferred)
+        return frozenset(inferred)
+
+    def relation_names(self) -> frozenset[str]:
+        """The names of all stored relations."""
+        return frozenset(self._relations)
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name.
+
+        Raises:
+            KeyError: when no relation of that name exists.
+        """
+        return self._relations[name]
+
+    def relation_or_empty(self, name: str, arity: int) -> Relation:
+        """Look up a relation, or return a fresh empty one of ``arity``."""
+        existing = self._relations.get(name)
+        if existing is not None:
+            return existing
+        return Relation(arity)
+
+    def add_relation(self, name: str, relation: Relation,
+                     replace: bool = False) -> None:
+        """Install a relation under ``name``.
+
+        Raises:
+            SchemaError: when the name is taken and ``replace`` is False.
+        """
+        if name in self._relations and not replace:
+            raise SchemaError(f"relation {name} already exists")
+        self._relations[name] = relation
+
+    def add_fact(self, name: str, row: tuple[Value, ...]) -> bool:
+        """Insert one tuple, creating the relation on first use."""
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = Relation(len(row))
+            self._relations[name] = relation
+        return relation.add(row)
+
+    def copy(self) -> "Database":
+        """A deep-ish copy (relations copied, tuples shared immutably)."""
+        return Database({n: r.copy() for n, r in self._relations.items()},
+                        self._declared_udomain)
+
+    def snapshot(self) -> dict[str, frozenset]:
+        """Hashable snapshot: name -> frozenset of tuples."""
+        return {n: r.frozen() for n, r in self._relations.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{n}/{r.arity}:{len(r)}" for n, r in sorted(self._relations.items()))
+        return f"Database({parts})"
+
+
+def relation_from_csv(text: str, numeric_columns: Iterable[int] = ()) -> Relation:
+    """Parse CSV text into a relation.
+
+    Args:
+        text: CSV content; every row must have the same number of fields.
+        numeric_columns: 0-based column indexes to parse as sort-i integers.
+    """
+    numeric = frozenset(numeric_columns)
+    rows = []
+    for record in csv.reader(io.StringIO(text)):
+        if not record:
+            continue
+        row = tuple(
+            int(field) if i in numeric else field
+            for i, field in enumerate(record))
+        rows.append(row)
+    if not rows:
+        raise SchemaError("empty CSV: cannot infer relation arity")
+    relation = Relation(len(rows[0]))
+    relation.update(rows)
+    return relation
+
+
+def relation_to_csv(relation: Relation) -> str:
+    """Render a relation as CSV text with deterministic (sorted) row order."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    for row in sorted(relation, key=lambda r: tuple(map(str, r))):
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,79 @@
+"""EXPLAIN: human-readable evaluation plans for programs.
+
+Renders what the engine will actually do — strata in evaluation order,
+each clause's planned literal ordering with the binding pattern every
+literal runs under, plus (for IDLOG programs) the ID-groupings and the
+tid bounds the group-limit optimization derived.  Used by the CLI's
+``explain`` command and handy when debugging safety errors.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .ast import Atom, Literal, Program
+from .parser import parse_program
+from .pretty import format_atom
+from .safety import binding_pattern, order_body
+from .stratify import stratify
+from .terms import Var
+
+
+def _describe_literal(literal: Literal, bound: frozenset[Var]) -> str:
+    atom = literal.atom
+    assert isinstance(atom, Atom)
+    rendered = format_atom(atom)
+    if not literal.positive:
+        return f"not {rendered}  [anti-join, all bound]"
+    if atom.is_builtin:
+        return f"{rendered}  [builtin, pattern {binding_pattern(atom, bound)}]"
+    pattern = binding_pattern(atom, bound)
+    kind = "id-scan" if atom.is_id else "scan"
+    if "b" in pattern:
+        kind = "id-probe" if atom.is_id else "index probe"
+    return f"{rendered}  [{kind}, pattern {pattern}]"
+
+
+def explain_program(program: Union[str, Program]) -> str:
+    """Render the full evaluation plan of a program as text.
+
+    The program must be safe and stratified (errors propagate with their
+    usual diagnostics — which is itself useful: ``explain`` fails exactly
+    where evaluation would).
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    strat = stratify(program)
+    lines: list[str] = [f"program: {program.name}",
+                        f"strata: {strat.depth}"]
+
+    if program.has_id_atoms():
+        from ..core.program import compute_tid_limits
+        limits = compute_tid_limits(program)
+        lines.append("id-predicates:")
+        for (pred, group), limit in sorted(
+                limits.items(), key=lambda kv: (kv[0][0], sorted(kv[0][1]))):
+            bound = "unbounded (full materialization)" if limit is None \
+                else f"tid < {limit} ({limit} tuple(s) per sub-relation)"
+            lines.append(f"  {pred}[{','.join(map(str, sorted(group)))}]"
+                         f" -> {bound}")
+
+    heads = program.head_predicates
+    for level, stratum in enumerate(strat.strata):
+        defined = sorted(stratum & heads)
+        if not defined:
+            continue
+        lines.append(f"stratum {level}: defines {', '.join(defined)}")
+        for clause in program.clauses:
+            if clause.head.pred not in stratum:
+                continue
+            lines.append(f"  {clause.head} :-")
+            if not clause.body:
+                lines.append("    (fact)")
+                continue
+            bound: frozenset[Var] = frozenset()
+            for literal in order_body(clause):
+                lines.append(f"    {_describe_literal(literal, bound)}")
+                if literal.positive:
+                    bound |= literal.atom.vars
+    return "\n".join(lines)

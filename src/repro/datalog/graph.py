@@ -1,0 +1,131 @@
+"""Predicate dependency graphs.
+
+For a clause ``h :- b1, ..., bn`` each non-arithmetic body atom contributes
+an edge from its base predicate to ``h``.  An edge is **strict** when the
+body literal is negative *or* is an ID-literal: the ID-relation of ``p`` can
+only be materialized once ``p`` is complete, so ``p[s]`` constrains strata
+exactly like negation (DESIGN.md, Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .ast import Atom, Program
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A dependency edge ``source -> target`` (target depends on source)."""
+
+    source: str
+    target: str
+    strict: bool
+
+
+@dataclass
+class DependencyGraph:
+    """Predicate-level dependency graph of a program."""
+
+    nodes: frozenset[str]
+    edges: tuple[Edge, ...]
+    _successors: dict[str, list[Edge]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        successors: dict[str, list[Edge]] = {n: [] for n in self.nodes}
+        for edge in self.edges:
+            successors[edge.source].append(edge)
+        self._successors = successors
+
+    @classmethod
+    def of_program(cls, program: Program) -> "DependencyGraph":
+        """Build the dependency graph of ``program``.
+
+        Choice atoms contribute no edges (they mention only variables); the
+        DATALOG^C front end compiles them away before stratification anyway.
+        """
+        nodes = set(program.predicates)
+        edges = []
+        seen: set[Edge] = set()
+        for clause in program.clauses:
+            target = clause.head.pred
+            for literal in clause.body:
+                atom = literal.atom
+                if not isinstance(atom, Atom) or atom.is_builtin:
+                    continue
+                strict = (not literal.positive) or atom.is_id
+                edge = Edge(atom.pred, target, strict)
+                if edge not in seen:
+                    seen.add(edge)
+                    edges.append(edge)
+        return cls(frozenset(nodes), tuple(edges))
+
+    def successors(self, node: str) -> Iterator[Edge]:
+        """Outgoing edges of ``node``."""
+        return iter(self._successors.get(node, ()))
+
+    def sccs(self) -> list[frozenset[str]]:
+        """Strongly connected components in topological order.
+
+        Iterative Tarjan (no recursion limit issues on deep programs);
+        components are returned sources-first.
+        """
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        components: list[frozenset[str]] = []
+        counter = 0
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            work: list[tuple[str, Iterator[Edge]]] = [
+                (root, self.successors(root))]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for edge in successors:
+                    succ = edge.target
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter
+                        counter += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, self.successors(succ)))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+        # Tarjan emits components in reverse topological order.
+        components.reverse()
+        return components
+
+    def edges_between(self, sources: Iterable[str],
+                      targets: Iterable[str]) -> Iterator[Edge]:
+        """Edges from any node in ``sources`` to any node in ``targets``."""
+        target_set = frozenset(targets)
+        for source in sources:
+            for edge in self.successors(source):
+                if edge.target in target_set:
+                    yield edge

@@ -1,0 +1,314 @@
+"""Incremental maintenance of materialized programs under fact updates.
+
+For **positive** programs:
+
+* insertions are monotone — maintenance is the semi-naive delta loop
+  restarted from the inserted tuple;
+* deletions use **DRed** (delete-and-rederive, Gupta/Mumick/Subrahmanian):
+  over-delete everything with a derivation through the removed tuple,
+  then re-derive survivors that have alternative support, propagating
+  reinsertions with the same insertion machinery.
+
+For programs with negation (or ID-atoms, whose materialized ID-relations
+would need re-numbering), updates are not monotone;
+:class:`IncrementalEngine` falls back to full recomputation there,
+keeping one API with two measured paths (the A4 ablation quantifies the
+difference).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..errors import EvaluationError, SchemaError
+from .ast import Atom, Program
+from .database import Database, Relation
+from .parser import parse_program
+from .safety import check_program
+from .seminaive import (EvalStats, RelationStore, evaluate_clause,
+                        evaluate_stratum, prepare_store)
+from .stratify import stratify
+from .terms import Value
+
+
+def _has_negation(program: Program) -> bool:
+    return any(
+        not literal.positive and not literal.atom.is_builtin
+        for clause in program.clauses for literal in clause.body)
+
+
+class IncrementalEngine:
+    """A materialized program view maintained under fact insertions.
+
+    Example:
+        >>> engine = IncrementalEngine('''
+        ...     path(X, Y) :- edge(X, Y).
+        ...     path(X, Y) :- edge(X, Z), path(Z, Y).
+        ... ''')
+        >>> engine.start(Database.from_facts({"edge": [("a", "b")]}))
+        >>> engine.add_fact("edge", ("b", "c"))   # returns new tuples
+        3
+        >>> sorted(engine.relation("path"))
+        [('a', 'b'), ('a', 'c'), ('b', 'c')]
+    """
+
+    def __init__(self, program: Union[str, Program]) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        if program.has_choice():
+            raise SchemaError("incremental maintenance is for Datalog/"
+                              "IDLOG programs, not DATALOG^C")
+        check_program(program)
+        self.program = program
+        self.stratification = stratify(program)
+        #: True when insertions take the delta fast path.
+        self.incremental = not _has_negation(program) \
+            and not program.has_id_atoms()
+        self._store: RelationStore | None = None
+        self._base = Database()
+        self.stats = EvalStats()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, db: Database) -> None:
+        """Materialize the program over ``db`` (copied; later insertions
+        do not touch the caller's database)."""
+        self._base = db.copy()
+        self.stats = EvalStats()
+        self._materialize()
+
+    def _materialize(self) -> None:
+        stats = EvalStats()
+        # prepare_store shares EDB relations; since we own self._base
+        # (copied in start), mutating them via add_fact is fine.
+        store = prepare_store(self.program, self._base, None, stats)
+        heads = self.program.head_predicates
+        for stratum in self.stratification.strata:
+            stratum_heads = frozenset(stratum & heads)
+            clauses = tuple(c for c in self.program.clauses
+                            if c.head.pred in stratum_heads)
+            if clauses:
+                evaluate_stratum(clauses, stratum_heads, store, stats)
+        self._store = store
+        self.stats.merge(stats)
+
+    def _require_started(self) -> RelationStore:
+        if self._store is None:
+            raise EvaluationError("call start(db) before add_fact/relation")
+        return self._store
+
+    # -- reads --------------------------------------------------------------
+
+    def relation(self, pred: str) -> frozenset[tuple]:
+        """The current materialized relation of ``pred``."""
+        store = self._require_started()
+        return store.relation(pred).frozen()
+
+    def database(self) -> Database:
+        """A snapshot of all current relations."""
+        store = self._require_started()
+        return store.as_database(
+            self._base.udomain | self.program.u_constants()).copy()
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_fact(self, pred: str, row: tuple[Value, ...]) -> int:
+        """Insert one tuple and maintain all derived relations.
+
+        Returns:
+            The number of tuples (including the inserted one) that are new.
+
+        Raises:
+            SchemaError: when ``pred`` is not a predicate of the program
+                or the row has the wrong arity/sorts.
+        """
+        store = self._require_started()
+        if pred not in self.program.predicates:
+            raise SchemaError(f"{pred} is not a predicate of the program")
+
+        if not self.incremental:
+            if pred not in self.program.input_predicates:
+                raise SchemaError(
+                    "insertions into derived predicates are only supported "
+                    "on the incremental (positive-program) path")
+            if not self._base.add_fact(pred, row):
+                return 0
+            before = {p: store.relation(p).frozen()
+                      for p in self.program.head_predicates}
+            self._materialize()
+            store = self._require_started()
+            added = 1
+            for p in self.program.head_predicates:
+                added += len(store.relation(p).frozen() - before[p])
+            return added
+
+        if not store.relation(pred).add(row):
+            return 0
+        if pred in self.program.input_predicates:
+            # Keep the base database consistent (a no-op when the store
+            # shares the base relation object).
+            self._base.add_fact(pred, row)
+        self.stats.count_derived(pred)
+        return 1 + self._propagate({pred: [row]})
+
+    def delete_fact(self, pred: str, row: tuple[Value, ...]) -> int:
+        """Remove one EDB tuple and maintain all derived relations (DRed).
+
+        Returns:
+            The number of tuples that are gone after maintenance (the
+            deleted tuple plus derived tuples that lost all support).
+
+        Raises:
+            SchemaError: when ``pred`` is not an input predicate of the
+                program (derived tuples cannot be deleted — they would be
+                re-derived immediately).
+        """
+        store = self._require_started()
+        if pred not in self.program.input_predicates:
+            raise SchemaError(
+                f"{pred} is not an input predicate; only EDB tuples can "
+                "be deleted")
+        if row not in store.relation(pred):
+            return 0
+        if pred in self._base:
+            self._base.relation(pred).discard(row)
+
+        if not self.incremental:
+            before = {p: store.relation(p).frozen()
+                      for p in self.program.head_predicates}
+            store.relation(pred).discard(row)
+            self._materialize()
+            store = self._require_started()
+            gone = 1
+            for p in self.program.head_predicates:
+                gone += len(before[p] - store.relation(p).frozen())
+            return gone
+
+        # Phase 1 (over-delete): everything with a derivation through the
+        # deleted tuple, computed semi-naive style against the ORIGINAL
+        # relations (the standard DRed over-approximation).
+        stats = EvalStats()
+        deleted: dict[str, set[tuple]] = {pred: {row}}
+        frontier: dict[str, Relation] = {
+            pred: Relation(store.relation(pred).arity, tuples=[row])}
+        while frontier:
+            previous, frontier = frontier, {}
+            for clause, position, body_pred in self._occurrences():
+                delta = previous.get(body_pred)
+                if delta is None or not len(delta):
+                    continue
+                head = clause.head.pred
+                for candidate in list(evaluate_clause(
+                        clause, store, stats,
+                        delta_index=position, delta=delta)):
+                    if candidate in deleted.get(head, ()):
+                        continue
+                    if candidate not in store.relation(head):
+                        continue
+                    deleted.setdefault(head, set()).add(candidate)
+                    bucket = frontier.get(head)
+                    if bucket is None:
+                        bucket = Relation(store.relation(head).arity)
+                        frontier[head] = bucket
+                    bucket.add(candidate)
+        for name, rows in deleted.items():
+            relation = store.relation(name)
+            for gone_row in rows:
+                relation.discard(gone_row)
+
+        # Phase 2 (re-derive): candidates with alternative support come
+        # back, and their reinsertion propagates like an ordinary insert.
+        rederived = 0
+        for name, rows in sorted(deleted.items()):
+            if name == pred:
+                continue  # the EDB seed itself never re-derives
+            for candidate in sorted(rows, key=lambda r: tuple(map(repr, r))):
+                if candidate in store.relation(name):
+                    continue  # already back via propagation
+                if self._derivable(name, candidate):
+                    store.relation(name).add(candidate)
+                    rederived += 1 + self._propagate({name: [candidate]})
+        self.stats.merge(stats)
+        total_deleted = sum(len(rows) for rows in deleted.values())
+        return total_deleted - rederived
+
+    def _derivable(self, pred: str, row: tuple[Value, ...]) -> bool:
+        """Does some clause derive ``row`` from the current relations?"""
+        from .safety import order_body
+        from .terms import Const, Var
+        store = self._require_started()
+        stats = EvalStats()
+        for clause in self.program.clauses_defining(pred):
+            subst: dict[Var, Value] = {}
+            ok = True
+            for term, value in zip(clause.head.args, row):
+                if isinstance(term, Const):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    bound = subst.get(term)
+                    if bound is None:
+                        subst[term] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if not ok:
+                continue
+            if not clause.body:
+                return True
+            plan = order_body(clause,
+                              initially_bound=frozenset(subst))
+            from .seminaive import _solve_literals
+            for final in _solve_literals(plan, 0, subst, store, stats, {}):
+                head = tuple(
+                    t.value if isinstance(t, Const) else final[t]
+                    for t in clause.head.args)
+                if head == row:
+                    return True
+        return False
+
+    def _occurrences(self) -> list[tuple]:
+        cached = getattr(self, "_occurrence_cache", None)
+        if cached is None:
+            cached = []
+            for clause in self.program.clauses:
+                for i, literal in enumerate(clause.body):
+                    atom = literal.atom
+                    if isinstance(atom, Atom) and literal.positive \
+                            and not atom.is_builtin:
+                        cached.append((clause, i, atom.pred))
+            object.__setattr__(self, "_occurrence_cache", cached)
+        return cached
+
+    def _propagate(self, seed_deltas: dict[str, list[tuple]]) -> int:
+        """Semi-naive continuation from the inserted tuples."""
+        store = self._require_started()
+        stats = EvalStats()
+        added = 0
+        deltas: dict[str, Relation] = {}
+        for pred, rows in seed_deltas.items():
+            relation = Relation(store.relation(pred).arity)
+            relation.update(rows)
+            deltas[pred] = relation
+
+        while deltas:
+            previous, deltas = deltas, {}
+            for clause, position, pred in self._occurrences():
+                delta = previous.get(pred)
+                if delta is None or not len(delta):
+                    continue
+                head = clause.head.pred
+                for row in list(evaluate_clause(
+                        clause, store, stats,
+                        delta_index=position, delta=delta)):
+                    if store.relation(head).add(row):
+                        added += 1
+                        stats.count_derived(head)
+                        bucket = deltas.get(head)
+                        if bucket is None:
+                            bucket = Relation(store.relation(head).arity)
+                            deltas[head] = bucket
+                        bucket.add(row)
+        self.stats.merge(stats)
+        return added

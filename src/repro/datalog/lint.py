@@ -1,0 +1,147 @@
+"""A linter for programs: likely mistakes and §4 optimization hints.
+
+Checks are advisory — none of them rejects a program — and each finding
+carries a code, a location (clause), and a message:
+
+* ``W01 singleton-variable`` — a variable used once in a clause (often a
+  typo; legitimate singletons are exactly the §4 existential arguments,
+  which is why the linter pairs this with H01);
+* ``W02 unused-predicate`` — defined but never read;
+* ``W03 undefined-predicate`` — read but never defined and capitalized
+  suspiciously like a typo of a defined one (edit distance 1);
+* ``W04 duplicate-clause`` — a clause repeated verbatim;
+* ``W05 constant-only-clause`` — a rule whose head is ground (usually
+  meant to be a fact);
+* ``H01 existential-argument`` — the adornment algorithm found an
+  ∃-existential argument w.r.t. some output predicate: the ID-literal
+  rewrite of §4 applies (`repro.optimizer.optimize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .ast import Atom, Clause, Program
+from .parser import parse_program
+from .terms import Var
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding.
+
+    Attributes:
+        code: Stable identifier (W = warning, H = optimization hint).
+        clause: The clause concerned (None for program-level findings).
+        message: Human-readable description.
+    """
+
+    code: str
+    message: str
+    clause: Union[Clause, None] = None
+
+    def __str__(self) -> str:
+        location = f" in `{self.clause}`" if self.clause is not None else ""
+        return f"{self.code}: {self.message}{location}"
+
+
+def _edit_distance_one(a: str, b: str) -> bool:
+    if a == b:
+        return False
+    if abs(len(a) - len(b)) > 1:
+        return False
+    if len(a) == len(b):
+        return sum(x != y for x, y in zip(a, b)) == 1
+    short, long_ = (a, b) if len(a) < len(b) else (b, a)
+    for i in range(len(long_)):
+        if long_[:i] + long_[i + 1:] == short:
+            return True
+    return False
+
+
+def _variable_counts(clause: Clause) -> dict[Var, int]:
+    counts: dict[Var, int] = {}
+    atoms = [clause.head] + [lit.atom for lit in clause.body
+                             if isinstance(lit.atom, Atom)]
+    for atom in atoms:
+        for term in atom.args:
+            if isinstance(term, Var):
+                counts[term] = counts.get(term, 0) + 1
+    return counts
+
+
+def lint(program: Union[str, Program],
+         hints: bool = True) -> list[Finding]:
+    """Run every check; returns findings in a stable order.
+
+    Args:
+        program: Source text or a parsed program.
+        hints: Include the H-series optimization hints (requires the
+            program to be analyzable by the adornment algorithm).
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    findings: list[Finding] = []
+
+    # W01: singleton variables (skip the `_`-prefixed convention).
+    for clause in program.clauses:
+        for var, count in sorted(_variable_counts(clause).items(),
+                                 key=lambda kv: kv[0].name):
+            if count == 1 and not var.name.startswith("_"):
+                findings.append(Finding(
+                    "W01",
+                    f"variable {var.name} occurs only once "
+                    "(typo? prefix with _ if intentional)", clause))
+
+    # W02: defined but never read.
+    read = program.body_predicates
+    for pred in sorted(program.head_predicates - read):
+        findings.append(Finding(
+            "W02", f"predicate {pred} is defined but never read "
+            "(fine if it is the query)"))
+
+    # W03: likely-misspelled input predicates.
+    defined = program.head_predicates
+    for pred in sorted(program.input_predicates):
+        for candidate in sorted(defined):
+            if _edit_distance_one(pred, candidate):
+                findings.append(Finding(
+                    "W03", f"predicate {pred} is never defined — did you "
+                    f"mean {candidate}?"))
+
+    # W04: duplicate clauses.
+    seen: set[str] = set()
+    for clause in program.clauses:
+        rendered = str(clause)
+        if rendered in seen:
+            findings.append(Finding("W04", "duplicate clause", clause))
+        seen.add(rendered)
+
+    # W05: ground-headed rules.
+    for clause in program.clauses:
+        if clause.body and not clause.head.vars \
+                and not any(lit.vars for lit in clause.body):
+            findings.append(Finding(
+                "W05", "rule with no variables at all "
+                "(did you mean a fact?)", clause))
+
+    # H01: §4 existential arguments.
+    if hints and not program.has_choice() and not program.has_id_atoms():
+        from ..optimizer.adornment import detect_existential
+        from ..errors import ReproError
+        for query in sorted(program.head_predicates - read or
+                            program.head_predicates):
+            try:
+                result = detect_existential(program, query)
+            except ReproError:
+                continue
+            for pred in sorted(result.marks):
+                positions = result.existential_positions(pred)
+                if positions:
+                    findings.append(Finding(
+                        "H01",
+                        f"argument(s) {list(positions)} of {pred} are "
+                        f"existential w.r.t. {query}: the §4 ID-literal "
+                        "rewrite applies (repro.optimizer.optimize)"))
+    return findings

@@ -1,0 +1,41 @@
+"""Pretty-printing of programs back to parseable source text.
+
+``parse_program(to_source(p))`` always reproduces ``p`` (round-trip property,
+checked by tests).  Comparisons are rendered infix (``N < 2``), other
+arithmetic predicates prefix (``+(N, L, M)``) — both forms the parser accepts.
+"""
+
+from __future__ import annotations
+
+from .ast import Atom, ChoiceAtom, Clause, Literal, Program
+
+_INFIX = frozenset({"<", "<=", ">", ">=", "=", "!="})
+
+
+def format_atom(atom) -> str:
+    """Render a body atom (ordinary, ID, builtin or choice)."""
+    if isinstance(atom, ChoiceAtom):
+        return str(atom)
+    if isinstance(atom, Atom) and atom.group is None and atom.pred in _INFIX:
+        left, right = atom.args
+        return f"{left} {atom.pred} {right}"
+    return str(atom)
+
+
+def format_literal(literal: Literal) -> str:
+    """Render a literal, prefixing ``not`` when negative."""
+    text = format_atom(literal.atom)
+    return text if literal.positive else f"not {text}"
+
+
+def format_clause(clause: Clause) -> str:
+    """Render one clause, terminated by a period."""
+    if not clause.body:
+        return f"{clause.head}."
+    body = ", ".join(format_literal(lit) for lit in clause.body)
+    return f"{clause.head} :- {body}."
+
+
+def to_source(program: Program) -> str:
+    """Render a whole program, one clause per line."""
+    return "\n".join(format_clause(c) for c in program.clauses) + "\n"

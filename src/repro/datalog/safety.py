@@ -1,0 +1,155 @@
+"""Safety checking via body planning (the paper's Section 2.2).
+
+The paper requires every use of an arithmetic predicate to be *safe*: a
+sufficient number of its arguments must be positively bound in the same
+clause body.  We realize this, as deductive database systems do, by
+*planning*: a clause is safe iff some ordering of its body literals
+
+* evaluates every arithmetic literal under an allowed binding pattern
+  (see :mod:`repro.datalog.builtins` for the per-predicate tables — for
+  ``+`` these are exactly the paper's ``bbb, bbn, bnb, nbb, nnb``),
+* evaluates every negative literal with all of its variables bound, and
+* ends with every head variable bound by a positive literal.
+
+The planner is greedy with full back-pressure: filters (arithmetic and
+negative literals) are scheduled as soon as they become evaluable, positive
+relation literals are chosen to maximize already-bound variables.  Because
+filters never bind fewer variables by running early and positive literals
+are always selectable, the greedy strategy finds an ordering whenever one
+exists.  The evaluator reuses the same planner, so "checked safe" coincides
+with "evaluable".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SafetyError
+from .ast import Atom, ChoiceAtom, Clause, Literal, Program
+from .builtins import builtin_spec
+from .terms import Const, Var
+
+
+def binding_pattern(atom: Atom, bound: frozenset[Var]) -> str:
+    """The b/n binding pattern of an atom's arguments given bound vars.
+
+    Constants count as bound; a variable repeated within the atom counts as
+    bound only if bound from outside (the extra occurrences act as filters,
+    which the evaluator checks when consuming builtin solutions).
+    """
+    return "".join(
+        "b" if isinstance(a, Const) or a in bound else "n"
+        for a in atom.args)
+
+
+def _selectable(literal: Literal, bound: frozenset[Var]) -> bool:
+    atom = literal.atom
+    if isinstance(atom, ChoiceAtom):
+        raise SafetyError(
+            "choice operators must be compiled away before planning; "
+            "use the repro.choice front end")
+    if atom.is_builtin:
+        pattern = binding_pattern(atom, bound)
+        if literal.positive:
+            return builtin_spec(atom.pred).allows(pattern)
+        return "n" not in pattern
+    if literal.positive:
+        return True
+    return atom.vars <= bound
+
+
+def _binds(literal: Literal) -> frozenset[Var]:
+    if literal.positive:
+        return literal.atom.vars
+    return frozenset()
+
+
+def _bound_var_count(literal: Literal, bound: frozenset[Var]) -> int:
+    return sum(1 for v in literal.atom.vars if v in bound)
+
+
+def order_body(clause: Clause,
+               initially_bound: frozenset[Var] = frozenset(),
+               first: Optional[Literal] = None) -> tuple[Literal, ...]:
+    """Return a safe evaluation order for the clause body.
+
+    Args:
+        clause: The clause to plan.
+        initially_bound: Variables already bound before the body runs.
+        first: Optional positive relation literal forced to run first (used
+            by semi-naive evaluation to lead with the delta literal).
+
+    Raises:
+        SafetyError: when no safe ordering exists, with a description of the
+            stuck literals or the unbound head variables.
+    """
+    remaining = list(clause.body)
+    ordered: list[Literal] = []
+    bound = frozenset(initially_bound)
+
+    if first is not None:
+        if first not in remaining:
+            raise SafetyError("forced first literal is not in the body")
+        if not first.positive or not isinstance(first.atom, Atom) \
+                or first.atom.is_builtin:
+            raise SafetyError(
+                "only a positive relation literal can be forced first")
+        remaining.remove(first)
+        ordered.append(first)
+        bound |= _binds(first)
+
+    while remaining:
+        chosen: Optional[Literal] = None
+        # Pass 1: any evaluable filter (builtin or negative literal).
+        for literal in remaining:
+            atom = literal.atom
+            is_filter = (isinstance(atom, Atom) and atom.is_builtin) \
+                or not literal.positive
+            if is_filter and _selectable(literal, bound):
+                # Prefer filters that add no new bindings (pure tests) so
+                # value-generating builtins run once their inputs are rich.
+                if chosen is None or _bound_var_count(literal, bound) \
+                        > _bound_var_count(chosen, bound):
+                    chosen = literal
+        # Pass 2: otherwise the positive relation literal sharing the most
+        # bound variables (join selectivity heuristic).
+        if chosen is None:
+            best = -1
+            for literal in remaining:
+                if not _selectable(literal, bound):
+                    continue
+                score = _bound_var_count(literal, bound)
+                if score > best:
+                    best = score
+                    chosen = literal
+        if chosen is None:
+            stuck = ", ".join(str(lit) for lit in remaining)
+            raise SafetyError(
+                f"clause {clause} is unsafe: cannot schedule {stuck} "
+                f"(bound variables: {sorted(v.name for v in bound)})")
+        remaining.remove(chosen)
+        ordered.append(chosen)
+        bound |= _binds(chosen)
+
+    unbound_head = clause.head.vars - bound
+    if unbound_head:
+        names = sorted(v.name for v in unbound_head)
+        raise SafetyError(
+            f"clause {clause} is unsafe: head variables {names} are never "
+            "positively bound")
+    return tuple(ordered)
+
+
+def check_clause(clause: Clause) -> None:
+    """Raise :class:`SafetyError` if the clause cannot be planned."""
+    order_body(clause)
+
+
+def check_program(program: Program) -> None:
+    """Check every clause of the program for safety.
+
+    Raises:
+        SafetyError: on the first unsafe clause.
+    """
+    for clause in program.clauses:
+        check_clause(clause)

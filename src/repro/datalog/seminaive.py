@@ -1,0 +1,422 @@
+"""Bottom-up evaluation: naive and semi-naive fixpoints over strata.
+
+For stratified programs the stratum-by-stratum least fixpoint computes the
+unique perfect model (Przymusinski 1988), which is the semantics the paper
+builds IDLOG on (Theorem 1).  The evaluator is parameterized by an
+:class:`IdProvider` so the IDLOG engine (:mod:`repro.core.engine`) can supply
+materialized ID-relations; plain Datalog evaluation passes no provider and
+rejects ID-atoms.
+
+Instrumentation is first-class: every evaluation fills an :class:`EvalStats`
+with tuples derived per predicate, clause firings, and join probes — the
+quantities the Section 4 optimization experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Protocol
+
+from ..errors import EvaluationError
+from .ast import Atom, Clause, Literal, Program
+from .builtins import builtin_spec
+from .database import Database, Relation
+from .safety import order_body
+from .stratify import Stratification, stratify
+from .terms import Const, Value, Var
+
+
+@dataclass
+class EvalStats:
+    """Counters collected during one evaluation.
+
+    Attributes:
+        derived: New tuples added per predicate (derivations minus dups).
+        firings: Successful clause instantiations (head tuples produced,
+            counting duplicates).
+        probes: Tuples scanned/probed while joining body literals.
+        iterations: Fixpoint rounds summed over all strata.
+        id_tuples: Tuples materialized into ID-relations.
+    """
+
+    derived: dict[str, int] = field(default_factory=dict)
+    firings: int = 0
+    probes: int = 0
+    iterations: int = 0
+    id_tuples: int = 0
+
+    @property
+    def total_derived(self) -> int:
+        """Total new tuples across all predicates."""
+        return sum(self.derived.values())
+
+    def count_derived(self, pred: str, n: int = 1) -> None:
+        """Record ``n`` new tuples for ``pred``."""
+        self.derived[pred] = self.derived.get(pred, 0) + n
+
+    def merge(self, other: "EvalStats") -> None:
+        """Fold another stats object into this one."""
+        for pred, n in other.derived.items():
+            self.count_derived(pred, n)
+        self.firings += other.firings
+        self.probes += other.probes
+        self.iterations += other.iterations
+        self.id_tuples += other.id_tuples
+
+
+class IdProvider(Protocol):
+    """Supplier of materialized ID-relations.
+
+    Called at most once per (predicate, grouping) per evaluation; the result
+    is cached by the :class:`RelationStore`.
+    """
+
+    def materialize(self, pred: str, group: frozenset[int],
+                    base: Relation, stats: EvalStats) -> Relation:
+        """Return the ID-relation of ``base`` on ``group``."""
+        ...
+
+
+class _NoIdProvider:
+    """Default provider: plain Datalog rejects ID-atoms."""
+
+    def materialize(self, pred: str, group: frozenset[int],
+                    base: Relation, stats: EvalStats) -> Relation:
+        raise EvaluationError(
+            f"program uses ID-predicate {pred}[{sorted(group)}] but no "
+            "ID-provider was supplied; use the IDLOG engine "
+            "(repro.core) for programs with ID-atoms")
+
+
+class RelationStore:
+    """All relations visible during evaluation, plus the ID-relation cache."""
+
+    def __init__(self, id_provider: Optional[IdProvider],
+                 stats: EvalStats) -> None:
+        self._relations: dict[str, Relation] = {}
+        self._id_cache: dict[tuple[str, frozenset[int]], Relation] = {}
+        self._id_provider = id_provider or _NoIdProvider()
+        self._stats = stats
+
+    def install(self, name: str, relation: Relation) -> None:
+        """Make ``relation`` visible as ``name``."""
+        self._relations[name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """The current relation for ``name`` (KeyError if absent)."""
+        return self._relations[name]
+
+    def id_relation(self, pred: str, group: frozenset[int]) -> Relation:
+        """The (cached) ID-relation of ``pred`` on ``group``."""
+        key = (pred, group)
+        cached = self._id_cache.get(key)
+        if cached is None:
+            base = self._relations[pred]
+            cached = self._id_provider.materialize(
+                pred, group, base, self._stats)
+            self._id_cache[key] = cached
+        return cached
+
+    def resolve(self, atom: Atom) -> Relation:
+        """The relation an atom reads from (ID-relations materialized lazily)."""
+        if atom.is_id:
+            return self.id_relation(atom.pred, atom.group)
+        return self._relations[atom.pred]
+
+    def as_database(self, udomain: frozenset[str]) -> Database:
+        """Snapshot the store as a database."""
+        return Database(dict(self._relations), udomain)
+
+
+Substitution = dict[Var, Value]
+
+
+def _match_args(args: tuple, row: tuple[Value, ...],
+                subst: Substitution) -> Optional[Substitution]:
+    """Extend ``subst`` so that ``args`` matches ``row``; None on clash."""
+    new_bindings: Substitution = {}
+    for term, value in zip(args, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            seen = subst.get(term, new_bindings.get(term))
+            if seen is None:
+                new_bindings[term] = value
+            elif seen != value:
+                return None
+    if not new_bindings:
+        return subst
+    merged = dict(subst)
+    merged.update(new_bindings)
+    return merged
+
+
+def _ground_args(args: tuple, subst: Substitution) -> tuple:
+    """Instantiate args to values/None under ``subst`` (None = unbound)."""
+    out = []
+    for term in args:
+        if isinstance(term, Const):
+            out.append(term.value)
+        else:
+            out.append(subst.get(term))
+    return tuple(out)
+
+
+def _solve_literals(order: tuple[Literal, ...], index: int,
+                    subst: Substitution, store: RelationStore,
+                    stats: EvalStats,
+                    overrides: dict[int, Relation]) -> Iterator[Substitution]:
+    """Recursively enumerate substitutions satisfying ``order[index:]``.
+
+    ``overrides`` maps positions in ``order`` to replacement relations —
+    the mechanism by which semi-naive evaluation substitutes a delta for one
+    occurrence of a recursive predicate.
+    """
+    if index == len(order):
+        yield subst
+        return
+    literal = order[index]
+    atom = literal.atom
+    assert isinstance(atom, Atom)
+
+    if atom.is_builtin:
+        partial = _ground_args(atom.args, subst)
+        spec = builtin_spec(atom.pred)
+        if literal.positive:
+            for solution in spec.solve(partial):
+                stats.probes += 1
+                extended = _match_args(atom.args, solution, subst)
+                if extended is not None:
+                    yield from _solve_literals(
+                        order, index + 1, extended, store, stats, overrides)
+        else:
+            if None in partial:
+                raise EvaluationError(
+                    f"negated builtin {atom} evaluated with unbound arguments")
+            stats.probes += 1
+            if not any(True for _ in spec.solve(partial)):
+                yield from _solve_literals(
+                    order, index + 1, subst, store, stats, overrides)
+        return
+
+    relation = overrides.get(index)
+    if relation is None:
+        relation = store.resolve(atom)
+
+    if literal.positive:
+        pattern = _ground_args(atom.args, subst)
+        for row in relation.match(pattern):
+            stats.probes += 1
+            extended = _match_args(atom.args, row, subst)
+            if extended is not None:
+                yield from _solve_literals(
+                    order, index + 1, extended, store, stats, overrides)
+    else:
+        row = _ground_args(atom.args, subst)
+        if None in row:
+            raise EvaluationError(
+                f"negated literal {atom} evaluated with unbound variables")
+        stats.probes += 1
+        if tuple(row) not in relation:
+            yield from _solve_literals(
+                order, index + 1, subst, store, stats, overrides)
+
+
+def _head_tuple(clause: Clause, subst: Substitution) -> tuple[Value, ...]:
+    row = []
+    for term in clause.head.args:
+        if isinstance(term, Const):
+            row.append(term.value)
+        else:
+            row.append(subst[term])
+    return tuple(row)
+
+
+def evaluate_clause(clause: Clause, store: RelationStore, stats: EvalStats,
+                    delta_index: Optional[int] = None,
+                    delta: Optional[Relation] = None) -> Iterator[tuple]:
+    """Yield head tuples derivable from one clause.
+
+    When ``delta_index``/``delta`` are given, the body literal at that
+    position (in source order) reads ``delta`` instead of its full relation,
+    and is scheduled first (semi-naive variant).
+    """
+    first: Optional[Literal] = None
+    if delta_index is not None:
+        first = clause.body[delta_index]
+    order = order_body(clause, first=first)
+    overrides: dict[int, Relation] = {}
+    if delta_index is not None and delta is not None:
+        # ``first`` landed at position 0 of the ordering.
+        overrides[0] = delta
+    for subst in _solve_literals(order, 0, {}, store, stats, overrides):
+        stats.firings += 1
+        yield _head_tuple(clause, subst)
+
+
+def _recursive_positions(clause: Clause,
+                         in_stratum: frozenset[str]) -> list[int]:
+    """Source positions of positive in-stratum relation literals."""
+    positions = []
+    for i, literal in enumerate(clause.body):
+        atom = literal.atom
+        if isinstance(atom, Atom) and literal.positive and not atom.is_builtin \
+                and not atom.is_id and atom.pred in in_stratum:
+            positions.append(i)
+    return positions
+
+
+def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
+                     store: RelationStore, stats: EvalStats,
+                     max_iterations: Optional[int] = None) -> None:
+    """Run the least fixpoint of one stratum in place.
+
+    ``heads`` is the set of predicates defined in this stratum; relations for
+    them must already be installed in ``store`` (possibly empty).
+
+    Args:
+        max_iterations: Optional guard against diverging fixpoints (programs
+            whose arithmetic derives unboundedly many facts, e.g.
+            ``times(0, M, 0)`` for every M); when exceeded an
+            :class:`EvaluationError` is raised instead of looping forever.
+    """
+    deltas: dict[str, Relation] = {}
+
+    def emit(pred: str, row: tuple) -> None:
+        if store.relation(pred).add(row):
+            stats.count_derived(pred)
+            delta = deltas.get(pred)
+            if delta is None:
+                delta = Relation(store.relation(pred).arity)
+                deltas[pred] = delta
+            delta.add(row)
+
+    # Round 0: naive pass over every clause.  Derivations are buffered per
+    # clause so a recursive clause never mutates a relation it is scanning.
+    stats.iterations += 1
+    for clause in clauses:
+        for row in list(evaluate_clause(clause, store, stats)):
+            emit(clause.head.pred, row)
+
+    recursive = [(c, _recursive_positions(c, heads)) for c in clauses]
+    recursive = [(c, ps) for c, ps in recursive if ps]
+    if not recursive:
+        return
+
+    rounds = 0
+    while deltas:
+        rounds += 1
+        if max_iterations is not None and rounds > max_iterations:
+            raise EvaluationError(
+                f"stratum did not reach a fixpoint within {max_iterations} "
+                "rounds; the program may derive unboundedly many facts "
+                "through arithmetic")
+        stats.iterations += 1
+        previous, deltas = deltas, {}
+        for clause, positions in recursive:
+            for position in positions:
+                pred = clause.body[position].atom.pred
+                delta = previous.get(pred)
+                if delta is None or not len(delta):
+                    continue
+                for row in list(evaluate_clause(
+                        clause, store, stats,
+                        delta_index=position, delta=delta)):
+                    emit(clause.head.pred, row)
+
+
+def prepare_store(program: Program, db: Database,
+                  id_provider: Optional[IdProvider],
+                  stats: EvalStats) -> RelationStore:
+    """Install EDB relations and empty IDB relations for an evaluation.
+
+    IDB relations that also have facts in ``db`` start from a copy of those
+    facts (this is how the paper's database programs ``dbp(P, q, r)`` inline
+    input facts as clauses).
+    """
+    store = RelationStore(id_provider, stats)
+    heads = program.head_predicates
+    for name in program.predicates:
+        arity = program.arity(name)
+        if name in heads:
+            if name in db:
+                store.install(name, db.relation(name).copy())
+            else:
+                store.install(name, Relation(arity))
+        else:
+            if name in db:
+                relation = db.relation(name)
+                if relation.arity != arity:
+                    raise EvaluationError(
+                        f"relation {name} has arity {relation.arity}, the "
+                        f"program uses it with arity {arity}")
+                store.install(name, relation)
+            else:
+                store.install(name, Relation(arity))
+    return store
+
+
+def evaluate(program: Program, db: Database,
+             id_provider: Optional[IdProvider] = None,
+             stratification: Optional[Stratification] = None,
+             max_iterations: Optional[int] = None,
+             ) -> tuple[Database, EvalStats]:
+    """Evaluate a stratified program bottom-up (semi-naive).
+
+    Args:
+        program: The program; must be safe and stratified.
+        db: Input database supplying the EDB relations.
+        id_provider: Supplier of ID-relations (required iff the program uses
+            ID-atoms).
+        stratification: Optional precomputed stratification.
+        max_iterations: Optional per-stratum round guard against diverging
+            fixpoints (see :func:`evaluate_stratum`).
+
+    Returns:
+        The database of all relations (EDB views plus computed IDB) and the
+        evaluation statistics.
+    """
+    strat = stratification or stratify(program)
+    stats = EvalStats()
+    store = prepare_store(program, db, id_provider, stats)
+    heads = program.head_predicates
+    for stratum in strat.strata:
+        stratum_heads = frozenset(stratum & heads)
+        clauses = tuple(c for c in program.clauses
+                        if c.head.pred in stratum_heads)
+        if clauses:
+            evaluate_stratum(clauses, stratum_heads, store, stats,
+                             max_iterations)
+    return store.as_database(db.udomain | program.u_constants()), stats
+
+
+def evaluate_naive(program: Program, db: Database,
+                   id_provider: Optional[IdProvider] = None,
+                   ) -> tuple[Database, EvalStats]:
+    """Naive-iteration evaluation (reference implementation for tests).
+
+    Repeats full passes over each stratum's clauses until nothing new is
+    derived.  Slower than :func:`evaluate` but trivially correct; the test
+    suite cross-checks the two on random programs.
+    """
+    strat = stratify(program)
+    stats = EvalStats()
+    store = prepare_store(program, db, id_provider, stats)
+    heads = program.head_predicates
+    for stratum in strat.strata:
+        stratum_heads = frozenset(stratum & heads)
+        clauses = tuple(c for c in program.clauses
+                        if c.head.pred in stratum_heads)
+        if not clauses:
+            continue
+        changed = True
+        while changed:
+            changed = False
+            stats.iterations += 1
+            for clause in clauses:
+                for row in list(evaluate_clause(clause, store, stats)):
+                    if store.relation(clause.head.pred).add(row):
+                        stats.count_derived(clause.head.pred)
+                        changed = True
+    return store.as_database(db.udomain | program.u_constants()), stats

@@ -1,0 +1,187 @@
+"""Static sort inference for the two-sorted language (§2.2).
+
+The paper's language is two-sorted, but the surface syntax leaves sorts
+implicit ("we will not mention the sorts of variables and predicates if
+they can be inferred from the context").  This module does that
+inference: a union-find over *sort variables* — one per (predicate,
+column) and one per (clause, variable) — with constraints from
+
+* numeric / string constants at a position,
+* arithmetic predicates (all i-sorted, except the polymorphic ``=``/``!=``),
+* tid positions of ID-atoms (sort i),
+* shared variables within a clause, and
+* every occurrence of a predicate.
+
+The result is a signature per predicate (``Sort`` per column, or ``None``
+where unconstrained) — and a :class:`~repro.errors.SchemaError` pinpointing
+any clause that uses one column both ways, *before* evaluation would hit
+it as a runtime type error.  Databases can be validated against the
+inferred signatures up front.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..errors import SchemaError
+from .ast import Atom, Program
+from .database import Database
+from .parser import parse_program
+from .terms import Const, Sort, Var
+
+_POLYMORPHIC = frozenset({"=", "!="})
+
+
+class _SortVars:
+    """Union-find over sort variables with optional Sort labels."""
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._label: dict = {}
+
+    def _find(self, key):
+        self._parent.setdefault(key, key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def unify(self, a, b, context: str) -> None:
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return
+        la, lb = self._label.get(ra), self._label.get(rb)
+        if la is not None and lb is not None and la != lb:
+            raise SchemaError(
+                f"sort conflict {context}: one side is sort "
+                f"{la.name.lower()}, the other {lb.name.lower()}")
+        self._parent[ra] = rb
+        if la is not None:
+            self._label[rb] = la
+
+    def assign(self, key, sort: Sort, context: str) -> None:
+        root = self._find(key)
+        current = self._label.get(root)
+        if current is not None and current != sort:
+            raise SchemaError(
+                f"sort conflict {context}: inferred both "
+                f"{current.name.lower()} and {sort.name.lower()}")
+        self._label[root] = sort
+
+    def label(self, key) -> Optional[Sort]:
+        return self._label.get(self._find(key))
+
+
+def infer_signatures(program: Union[str, Program],
+                     ) -> dict[str, tuple[Optional[Sort], ...]]:
+    """Infer the column sorts of every non-arithmetic predicate.
+
+    Returns:
+        Mapping predicate -> tuple of :class:`Sort` (or ``None`` when the
+        program leaves the column unconstrained).
+
+    Raises:
+        SchemaError: on any sort conflict, naming the clause.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    uf = _SortVars()
+
+    for ci, clause in enumerate(program.clauses):
+        context = f"in `{clause}`"
+        atoms = [(clause.head, True)]
+        atoms += [(lit.atom, lit.positive) for lit in clause.body
+                  if isinstance(lit.atom, Atom)]
+        for atom, _positive in atoms:
+            if atom.is_builtin:
+                for term in atom.args:
+                    key = ("var", ci, term) if isinstance(term, Var) \
+                        else None
+                    if atom.pred in _POLYMORPHIC:
+                        continue  # polymorphic equality constrains nothing
+                    if isinstance(term, Const):
+                        if not isinstance(term.value, int):
+                            raise SchemaError(
+                                f"arithmetic argument {term} is not "
+                                f"numeric {context}")
+                    else:
+                        uf.assign(key, Sort.I, context)
+                if atom.pred in _POLYMORPHIC:
+                    left, right = atom.args
+                    lk = ("var", ci, left) if isinstance(left, Var) else None
+                    rk = ("var", ci, right) if isinstance(right, Var) \
+                        else None
+                    if lk is not None and rk is not None:
+                        uf.unify(lk, rk, context)
+                    elif lk is not None and isinstance(right, Const):
+                        uf.assign(lk, _sort_of(right), context)
+                    elif rk is not None and isinstance(left, Const):
+                        uf.assign(rk, _sort_of(left), context)
+                continue
+            base = atom.base_arity
+            for j, term in enumerate(atom.args):
+                if atom.is_id and j == base:
+                    # The tid column: always sort i, not a base column.
+                    if isinstance(term, Var):
+                        uf.assign(("var", ci, term), Sort.I, context)
+                    continue
+                column = ("col", atom.pred, j)
+                if isinstance(term, Const):
+                    uf.assign(column, _sort_of(term), context)
+                else:
+                    uf.unify(column, ("var", ci, term), context)
+
+    signatures: dict[str, tuple[Optional[Sort], ...]] = {}
+    for pred in sorted(program.predicates):
+        arity = program.arity(pred)
+        signatures[pred] = tuple(
+            uf.label(("col", pred, j)) for j in range(arity))
+    return signatures
+
+
+def _sort_of(const: Const) -> Sort:
+    return Sort.I if isinstance(const.value, int) else Sort.U
+
+
+def check_database_sorts(program: Union[str, Program],
+                         db: Database) -> None:
+    """Validate a database against the program's inferred signatures.
+
+    Raises:
+        SchemaError: when some stored relation's column carries the wrong
+            sort for how the program uses it.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    signatures = infer_signatures(program)
+    for pred, signature in signatures.items():
+        if pred not in db:
+            continue
+        relation = db.relation(pred)
+        actual = relation.schema
+        if actual is None:
+            continue  # empty relation constrains nothing
+        if len(actual) != len(signature):
+            raise SchemaError(
+                f"relation {pred} has arity {len(actual)}, the program "
+                f"uses it with arity {len(signature)}")
+        for j, (inferred, stored) in enumerate(zip(signature, actual)):
+            if inferred is not None and inferred != stored:
+                raise SchemaError(
+                    f"relation {pred}, column {j + 1}: stored sort "
+                    f"{stored.name.lower()} but the program requires "
+                    f"{inferred.name.lower()}")
+
+
+def format_signatures(signatures: dict[str, tuple[Optional[Sort], ...]],
+                      ) -> str:
+    """Render signatures in the paper's 0/1 notation (``?`` = unknown)."""
+    lines = []
+    for pred, signature in sorted(signatures.items()):
+        rendered = "".join(
+            "?" if s is None else ("1" if s is Sort.I else "0")
+            for s in signature)
+        lines.append(f"{pred}/{len(signature)}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Directory-based database persistence.
+
+A database saves to a directory of one CSV file per relation plus a
+``_schema.json`` describing arities, sorts (the paper's 0/1 strings) and
+the declared u-domain.  The sort strings make the round trip lossless:
+numeric columns load back as sort-i integers.
+
+>>> save_database(db, "snapshot/")
+>>> db2 = load_database("snapshot/")
+>>> db2.snapshot() == db.snapshot()
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import SchemaError
+from .database import Database, Relation, relation_from_csv, relation_to_csv
+from .terms import Sort, format_type, parse_type
+
+SCHEMA_FILE = "_schema.json"
+
+
+def save_database(db: Database, directory: str) -> None:
+    """Write ``db`` to ``directory`` (created if needed).
+
+    Raises:
+        SchemaError: when a stored relation has no inferable schema but
+            contains tuples (cannot happen through the public API) or a
+            relation name is not filesystem-safe.
+    """
+    os.makedirs(directory, exist_ok=True)
+    schema: dict = {"relations": {}, "udomain": sorted(db.udomain)}
+    for name in sorted(db.relation_names()):
+        if not name.replace("_", "").isalnum():
+            raise SchemaError(f"relation name {name!r} is not file-safe")
+        relation = db.relation(name)
+        reltype = relation.schema
+        if reltype is None:
+            # Empty relation with undeclared schema: store all-u.
+            reltype = (Sort.U,) * relation.arity
+        schema["relations"][name] = {
+            "arity": relation.arity,
+            "type": format_type(reltype),
+        }
+        with open(os.path.join(directory, f"{name}.csv"), "w") as handle:
+            handle.write(relation_to_csv(relation))
+    with open(os.path.join(directory, SCHEMA_FILE), "w") as handle:
+        json.dump(schema, handle, indent=2, sort_keys=True)
+
+
+def load_database(directory: str) -> Database:
+    """Read a database previously written by :func:`save_database`.
+
+    Raises:
+        SchemaError: on a missing schema file or a CSV whose shape
+            disagrees with the recorded arity.
+    """
+    schema_path = os.path.join(directory, SCHEMA_FILE)
+    if not os.path.exists(schema_path):
+        raise SchemaError(f"{directory} has no {SCHEMA_FILE}")
+    with open(schema_path) as handle:
+        schema = json.load(handle)
+    relations: dict[str, Relation] = {}
+    for name, info in schema["relations"].items():
+        reltype = parse_type(info["type"])
+        if len(reltype) != info["arity"]:
+            raise SchemaError(
+                f"relation {name}: type {info['type']} does not match "
+                f"arity {info['arity']}")
+        numeric = [i for i, sort in enumerate(reltype) if sort is Sort.I]
+        path = os.path.join(directory, f"{name}.csv")
+        with open(path) as handle:
+            text = handle.read()
+        if text.strip():
+            relation = relation_from_csv(text, numeric_columns=numeric)
+            if relation.arity != info["arity"]:
+                raise SchemaError(
+                    f"relation {name}: CSV arity {relation.arity} != "
+                    f"recorded arity {info['arity']}")
+        else:
+            relation = Relation(info["arity"], schema=reltype)
+        relations[name] = relation
+    return Database(relations, udomain=schema.get("udomain"))

@@ -1,0 +1,150 @@
+"""Two-sorted terms for IDLOG / DATALOG programs.
+
+The paper (Section 2) works in a two-sorted first-order language: sort *u*
+(uninterpreted constants, drawn from a countably infinite universe U) and
+sort *i* (the interpreted domain, the natural numbers).  Relation types are
+written as 0/1 strings; we model them as tuples over :class:`Sort`.
+
+Ground values are represented by plain Python values — ``str`` for u-constants
+and ``int`` for i-constants — so ground tuples are ordinary hashable tuples.
+Term objects (:class:`Var`, :class:`Const`) appear only inside program syntax.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+Value = Union[str, int]
+"""A ground value: ``str`` for sort u, ``int`` for sort i."""
+
+
+class Sort(enum.Enum):
+    """The two sorts of the language.
+
+    The paper encodes relation types as 0/1 sequences: 0 for uninterpreted
+    attributes and 1 for interpreted (natural number) attributes; ``Sort.U``
+    and ``Sort.I`` correspond to 0 and 1 respectively.
+    """
+
+    U = 0
+    I = 1  # noqa: E741 - the paper's name for the interpreted sort
+
+    def __repr__(self) -> str:
+        return f"Sort.{self.name}"
+
+
+RelationType = tuple[Sort, ...]
+"""The type of a relation: one :class:`Sort` per attribute."""
+
+
+def sort_of_value(value: Value) -> Sort:
+    """Return the sort of a ground value.
+
+    >>> sort_of_value("alice")
+    Sort.U
+    >>> sort_of_value(7)
+    Sort.I
+    """
+    if isinstance(value, bool):
+        raise TypeError("booleans are not values of either sort")
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(
+                f"sort i is the natural numbers; got negative value {value}")
+        return Sort.I
+    if isinstance(value, str):
+        return Sort.U
+    raise TypeError(f"not a ground value: {value!r} ({type(value).__name__})")
+
+
+def type_of_tuple(values: tuple[Value, ...]) -> RelationType:
+    """Return the relation type of a ground tuple."""
+    return tuple(sort_of_value(v) for v in values)
+
+
+def parse_type(spec: str) -> RelationType:
+    """Parse a 0/1 string (the paper's notation) into a relation type.
+
+    >>> parse_type("001")
+    (Sort.U, Sort.U, Sort.I)
+    """
+    sorts = []
+    for ch in spec:
+        if ch == "0":
+            sorts.append(Sort.U)
+        elif ch == "1":
+            sorts.append(Sort.I)
+        else:
+            raise ValueError(f"relation type must be a 0/1 string, got {spec!r}")
+    return tuple(sorts)
+
+
+def format_type(reltype: RelationType) -> str:
+    """Render a relation type in the paper's 0/1 notation."""
+    return "".join("1" if s is Sort.I else "0" for s in reltype)
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A logic variable.
+
+    Variables are untyped in the syntax; their sort is inferred from use.
+    Names conventionally start with an uppercase letter or ``_``.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant term wrapping a ground :data:`Value`."""
+
+    value: Value
+
+    @property
+    def sort(self) -> Sort:
+        """The sort of the wrapped value."""
+        return sort_of_value(self.value)
+
+    def __str__(self) -> str:
+        if isinstance(self.value, int):
+            return str(self.value)
+        if self.value.isidentifier() and self.value[:1].islower():
+            return self.value
+        return "'" + self.value.replace("\\", "\\\\").replace("'", "\\'") + "'"
+
+
+Term = Union[Var, Const]
+"""A term in program syntax: a variable or a constant."""
+
+
+def is_ground(term: Term) -> bool:
+    """Return ``True`` when the term is a constant."""
+    return isinstance(term, Const)
+
+
+def term_vars(terms: tuple[Term, ...]) -> frozenset[Var]:
+    """Return the set of variables occurring in a sequence of terms."""
+    return frozenset(t for t in terms if isinstance(t, Var))
+
+
+def fresh_var_factory(prefix: str = "_V"):
+    """Return a callable producing fresh, numbered variables.
+
+    Used by program transformations (choice translation, adornment rewriting)
+    that must invent variables not clashing with user variables; the prefix
+    starts with ``_`` which the parser reserves.
+    """
+    counter = 0
+
+    def fresh() -> Var:
+        nonlocal counter
+        counter += 1
+        return Var(f"{prefix}{counter}")
+
+    return fresh

@@ -1,0 +1,9 @@
+"""DATALOG^∨: disjunctive heads under minimal-model semantics (§3.2)."""
+
+from .dlv import (DisjunctiveClause, DisjunctiveEngine, DisjunctiveProgram,
+                  parse_disjunctive_program)
+
+__all__ = [
+    "DisjunctiveClause", "DisjunctiveEngine", "DisjunctiveProgram",
+    "parse_disjunctive_program",
+]

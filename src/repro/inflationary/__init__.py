@@ -1,0 +1,9 @@
+"""Non-deterministic inflationary semantics: DL and N-DATALOG (§3.2.1)."""
+
+from .dl import (DLClause, DLEngine, DLProgram, Fact, Firing, State,
+                 parse_dl_program, parse_ndatalog_program)
+
+__all__ = [
+    "DLClause", "DLEngine", "DLProgram", "Fact", "Firing", "State",
+    "parse_dl_program", "parse_ndatalog_program",
+]

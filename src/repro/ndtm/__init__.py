@@ -1,0 +1,19 @@
+"""Generic Turing machines and the §5 expressive-power constructions."""
+
+from .encoding import (Encoding, binary_code, decode_output,
+                       encode_database, input_order_independent)
+from .idlog_power import (COUNTING_PROGRAM, PARITY_PROGRAM,
+                          SUCCESSOR_PROGRAM, TOTAL_ORDER_PROGRAM,
+                          domain_db, domain_parity, domain_size)
+from .machine import (BLANK, Configuration, NDTM, Transition,
+                      machine_from_table)
+from .machines import choose_one_machine, parity_machine
+
+__all__ = [
+    "Encoding", "binary_code", "decode_output", "encode_database",
+    "input_order_independent",
+    "COUNTING_PROGRAM", "PARITY_PROGRAM", "SUCCESSOR_PROGRAM",
+    "TOTAL_ORDER_PROGRAM", "domain_db", "domain_parity", "domain_size",
+    "BLANK", "Configuration", "NDTM", "Transition", "machine_from_table",
+    "choose_one_machine", "parity_machine",
+]

@@ -1,0 +1,147 @@
+"""Tape encodings of databases (paper §3.1).
+
+"An input database with u-domain D is placed into an ordered list, where
+each uninterpreted constant in D − C is encoded as a string of 0's and 1's"
+with the distinguished symbols ``0 1 , ( ) [ ]`` in the tape alphabet.
+
+An :class:`Encoding` fixes (i) a bijection from the u-domain to binary
+codes and (ii) an order for relations and for the tuples inside each
+relation.  *Genericity* of a machine means its answers do not depend on
+either choice: :func:`input_order_independent` checks exactly that by
+re-running a machine under permuted encodings and tuple orders.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..datalog.database import Database
+from ..datalog.terms import Value
+from ..errors import SchemaError
+from .machine import NDTM
+
+
+def binary_code(index: int, width: int) -> str:
+    """The fixed-width binary code of ``index``."""
+    if index >= 2 ** width:
+        raise SchemaError(f"index {index} does not fit in {width} bits")
+    return format(index, f"0{width}b")
+
+
+@dataclass(frozen=True)
+class Encoding:
+    """A concrete database→tape encoding.
+
+    Attributes:
+        codes: u-constant -> binary string (all the same width).
+        relation_order: The order relations are written in.
+        tuple_orders: Per relation, the order its tuples are written in.
+    """
+
+    codes: dict[str, str]
+    relation_order: tuple[str, ...]
+    tuple_orders: dict[str, tuple[tuple[Value, ...], ...]]
+
+    def encode_value(self, value: Value) -> str:
+        """One value: a binary code (sort u) or binary numeral (sort i)."""
+        if isinstance(value, str):
+            code = self.codes.get(value)
+            if code is None:
+                raise SchemaError(f"no code for constant {value!r}")
+            return code
+        return format(value, "b")
+
+    def encode_tuple(self, row: tuple[Value, ...]) -> str:
+        return "(" + ",".join(self.encode_value(v) for v in row) + ")"
+
+    def tape(self) -> str:
+        """The full input tape: one ``[...]`` block per relation."""
+        parts = []
+        for name in self.relation_order:
+            rows = self.tuple_orders[name]
+            parts.append("[" + "".join(self.encode_tuple(r) for r in rows)
+                         + "]")
+        return "".join(parts)
+
+
+def encode_database(db: Database,
+                    relation_order: Optional[Sequence[str]] = None,
+                    rng: Optional[random.Random] = None) -> Encoding:
+    """Build an encoding of ``db``.
+
+    With ``rng`` unset, constants are coded in sorted order and tuples
+    written sorted (the canonical encoding); with ``rng``, both the
+    code assignment and the tuple orders are shuffled — the ingredient for
+    genericity checks.
+    """
+    constants = sorted(db.udomain)
+    width = max(1, (len(constants) - 1).bit_length())
+    indexes = list(range(len(constants)))
+    if rng is not None:
+        rng.shuffle(indexes)
+    codes = {c: binary_code(i, width) for c, i in zip(constants, indexes)}
+
+    names = list(relation_order) if relation_order is not None \
+        else sorted(db.relation_names())
+    tuple_orders = {}
+    for name in names:
+        rows = sorted(db.relation(name), key=lambda r: tuple(map(repr, r)))
+        if rng is not None:
+            rng.shuffle(rows)
+        tuple_orders[name] = tuple(rows)
+    return Encoding(codes, tuple(names), tuple_orders)
+
+
+def decode_output(tape: str, codes: dict[str, str]) -> frozenset[tuple]:
+    """Parse a ``(...)(...)`` output tape back into a relation.
+
+    Values are decoded through the inverse of ``codes``; codes not in the
+    table are read as binary numerals (sort i).
+    """
+    inverse = {code: const for const, code in codes.items()}
+    rows = []
+    text = tape.strip().strip("[]")
+    if not text:
+        return frozenset()
+    for chunk in text.replace(")(", ")|(").split("|"):
+        chunk = chunk.strip()
+        if not (chunk.startswith("(") and chunk.endswith(")")):
+            raise SchemaError(f"malformed output tuple {chunk!r}")
+        fields = chunk[1:-1].split(",") if len(chunk) > 2 else []
+        row = []
+        for fieldtext in fields:
+            if fieldtext in inverse:
+                row.append(inverse[fieldtext])
+            else:
+                row.append(int(fieldtext, 2))
+        rows.append(tuple(row))
+    return frozenset(rows)
+
+
+def input_order_independent(machine: NDTM, db: Database,
+                            trials: int = 5, seed: int = 0,
+                            max_steps: int = 2_000,
+                            relation_order: Optional[Sequence[str]] = None,
+                            ) -> bool:
+    """Check genericity empirically: the machine's *decoded* answer set
+    must be invariant under re-coding constants and re-ordering tuples.
+
+    Returns:
+        True when all ``trials`` randomized encodings produce the decoded
+        answer set of the canonical encoding.
+    """
+    canonical = encode_database(db, relation_order)
+    reference = frozenset(
+        decode_output(out, canonical.codes)
+        for out in machine.outputs(canonical.tape(), max_steps))
+    rng = random.Random(seed)
+    for _ in range(trials):
+        encoding = encode_database(db, relation_order, rng)
+        answers = frozenset(
+            decode_output(out, encoding.codes)
+            for out in machine.outputs(encoding.tape(), max_steps))
+        if answers != reference:
+            return False
+    return True

@@ -1,0 +1,79 @@
+"""IDLOG constructions behind the expressive-power results (paper §5).
+
+Theorem 6 says stratified IDLOG defines all computable non-deterministic
+queries.  The crux of the simulation is that a tid on the ungrouped
+ID-relation ``dom[∅]`` is an *arbitrary bijection* between the domain and
+an initial segment of ℕ — a non-deterministically chosen total order, which
+is what lets a fixed program drive a Turing-machine computation over an
+unordered database.
+
+This module packages the constructions as ready-made programs over a unary
+input predicate ``dom``:
+
+* :data:`TOTAL_ORDER_PROGRAM` — the arbitrary enumeration itself
+  (non-deterministic: every bijection is an answer);
+* :data:`SUCCESSOR_PROGRAM` — an arbitrary successor relation on the
+  domain (each answer is a Hamiltonian ordering);
+* :data:`COUNTING_PROGRAM` — ``size(n)`` with n = |dom| (deterministic:
+  every enumeration has the same maximum tid);
+* :data:`PARITY_PROGRAM` — the classic query *is |dom| even?* which no
+  Datalog program expresses but IDLOG answers deterministically despite
+  choosing an arbitrary order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.engine import IdlogEngine
+from ..datalog.database import Database
+
+TOTAL_ORDER_PROGRAM = """
+    ordered(X, N) :- dom[](X, N).
+"""
+"""An arbitrary enumeration of ``dom``: tid N runs 0..|dom|-1."""
+
+SUCCESSOR_PROGRAM = """
+    ordered(X, N) :- dom[](X, N).
+    next_elem(X, Y) :- ordered(X, N), ordered(Y, M), succ(N, M).
+    first_elem(X) :- dom[](X, 0).
+"""
+"""An arbitrary successor relation (a Hamiltonian ordering of ``dom``)."""
+
+COUNTING_PROGRAM = """
+    ordered(X, N) :- dom[](X, N).
+    has_bigger(N) :- ordered(X, N), ordered(Y, M), succ(N, M).
+    max_tid(N) :- ordered(X, N), not has_bigger(N).
+    size(M) :- max_tid(N), succ(N, M).
+"""
+"""``size(|dom|)`` — deterministic although built on an arbitrary order."""
+
+PARITY_PROGRAM = COUNTING_PROGRAM + """
+    even_size(yes) :- max_tid(N), mod(N, 2, 1).
+    odd_size(yes) :- max_tid(N), mod(N, 2, 0).
+"""
+"""Parity of |dom|: not expressible in Datalog, deterministic in IDLOG."""
+
+
+def domain_db(names: Iterable[str]) -> Database:
+    """A database with ``dom`` holding the given constants."""
+    rows = [(name,) for name in names]
+    if not rows:
+        return Database()
+    return Database.from_facts({"dom": rows})
+
+
+def domain_size(db: Database) -> frozenset[frozenset[tuple]]:
+    """Evaluate the counting query's answer set on ``db``.
+
+    For non-empty ``dom`` this is the singleton ``{{(|dom|,)}}`` — the
+    determinism is what the E11 experiment asserts.
+    """
+    return IdlogEngine(COUNTING_PROGRAM).answers(db, "size")
+
+
+def domain_parity(db: Database) -> tuple[frozenset, frozenset]:
+    """Answer sets of (even_size, odd_size) on ``db``."""
+    engine = IdlogEngine(PARITY_PROGRAM)
+    return (engine.answers(db, "even_size"),
+            engine.answers(db, "odd_size"))

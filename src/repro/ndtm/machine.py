@@ -1,0 +1,185 @@
+"""Non-deterministic (generic) Turing machines (paper §3.1 and §5).
+
+The paper uses generic Turing machines [HS89] — TMs whose operation is
+independent of how uninterpreted constants are encoded and of the order in
+which the input is presented — to characterize the computable
+(non-deterministic) queries, and shows stratified IDLOG captures exactly
+that class (Theorem 6).
+
+:class:`NDTM` is an executable machine model: a transition *relation*
+(several options per (state, symbol)), runnable under an explicit oracle
+(one choice index per step) or exhaustively by BFS over configurations.
+:func:`repro.ndtm.encoding.encode_database` supplies the paper's tape
+encoding of databases; genericity of a machine is *checked*, not assumed —
+see :func:`repro.ndtm.encoding.input_order_independent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import EvaluationError, SchemaError
+
+BLANK = "_"
+"""The blank tape symbol."""
+
+Move = int  # -1, 0, +1
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One transition option: write ``write``, move ``move``, go to ``state``."""
+
+    state: str
+    write: str
+    move: Move
+
+    def __post_init__(self) -> None:
+        if self.move not in (-1, 0, 1):
+            raise SchemaError(f"move must be -1, 0 or 1, got {self.move}")
+        if len(self.write) != 1:
+            raise SchemaError(f"write symbol must be one char: {self.write!r}")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A machine configuration: state, tape contents, head position."""
+
+    state: str
+    tape: tuple[tuple[int, str], ...]  # sparse: (position, non-blank symbol)
+    head: int
+
+    def read(self, position: int) -> str:
+        for pos, sym in self.tape:
+            if pos == position:
+                return sym
+        return BLANK
+
+    def tape_string(self) -> str:
+        """The tape from leftmost to rightmost non-blank cell."""
+        cells = dict(self.tape)
+        if not cells:
+            return ""
+        low, high = min(cells), max(cells)
+        return "".join(cells.get(i, BLANK) for i in range(low, high + 1))
+
+
+def _freeze(cells: Mapping[int, str]) -> tuple[tuple[int, str], ...]:
+    return tuple(sorted((p, s) for p, s in cells.items() if s != BLANK))
+
+
+@dataclass
+class NDTM:
+    """A non-deterministic Turing machine.
+
+    Attributes:
+        transitions: (state, read symbol) -> list of :class:`Transition`
+            options; an empty/missing entry halts the machine.
+        start: Initial state.
+        accepting: States that halt immediately (in addition to dead ends).
+    """
+
+    transitions: dict[tuple[str, str], list[Transition]]
+    start: str
+    accepting: frozenset[str] = frozenset()
+
+    def initial(self, tape: str) -> Configuration:
+        """The start configuration with ``tape`` written from cell 0."""
+        cells = {i: ch for i, ch in enumerate(tape) if ch != BLANK}
+        return Configuration(self.start, _freeze(cells), 0)
+
+    def options(self, config: Configuration) -> list[Transition]:
+        """The applicable transitions (empty = halted)."""
+        if config.state in self.accepting:
+            return []
+        return self.transitions.get(
+            (config.state, config.read(config.head)), [])
+
+    def step(self, config: Configuration,
+             transition: Transition) -> Configuration:
+        """Apply one transition."""
+        cells = dict(config.tape)
+        if transition.write == BLANK:
+            cells.pop(config.head, None)
+        else:
+            cells[config.head] = transition.write
+        return Configuration(transition.state, _freeze(cells),
+                             config.head + transition.move)
+
+    def run_with_oracle(self, tape: str, oracle: Sequence[int],
+                        max_steps: int = 10_000) -> Configuration:
+        """Run, resolving each choice with the next oracle value (mod the
+        number of options).  The oracle is reused cyclically if short.
+
+        Raises:
+            EvaluationError: when the machine does not halt in
+                ``max_steps`` steps.
+        """
+        config = self.initial(tape)
+        for i in range(max_steps):
+            options = self.options(config)
+            if not options:
+                return config
+            pick = oracle[i % len(oracle)] % len(options) if oracle else 0
+            config = self.step(config, options[pick])
+        raise EvaluationError(f"machine did not halt within {max_steps} steps")
+
+    def halting_configurations(self, tape: str, max_steps: int = 1_000,
+                               max_configs: int = 100_000,
+                               ) -> frozenset[Configuration]:
+        """Every halting configuration reachable within ``max_steps``.
+
+        BFS over the configuration graph with cycle detection.
+
+        Raises:
+            EvaluationError: when the explored set exceeds ``max_configs``
+                or some branch runs past ``max_steps``.
+        """
+        initial = self.initial(tape)
+        visited = {initial}
+        frontier = [initial]
+        halting: set[Configuration] = set()
+        for _ in range(max_steps + 1):
+            if not frontier:
+                return frozenset(halting)
+            next_frontier = []
+            for config in frontier:
+                options = self.options(config)
+                if not options:
+                    halting.add(config)
+                    continue
+                for transition in options:
+                    successor = self.step(config, transition)
+                    if successor not in visited:
+                        visited.add(successor)
+                        if len(visited) > max_configs:
+                            raise EvaluationError(
+                                "configuration space exceeds max_configs")
+                        next_frontier.append(successor)
+            frontier = next_frontier
+        raise EvaluationError(
+            f"some branch did not halt within {max_steps} steps")
+
+    def outputs(self, tape: str, max_steps: int = 1_000,
+                max_configs: int = 100_000) -> frozenset[str]:
+        """The set of halting tape contents — the machine's answer set."""
+        return frozenset(
+            c.tape_string()
+            for c in self.halting_configurations(tape, max_steps,
+                                                 max_configs))
+
+
+def machine_from_table(rows: Iterable[tuple[str, str, str, str, int]],
+                       start: str,
+                       accepting: Iterable[str] = ()) -> NDTM:
+    """Build a machine from (state, read, next state, write, move) rows.
+
+    Multiple rows for one (state, read) pair make the machine
+    non-deterministic at that point.
+    """
+    transitions: dict[tuple[str, str], list[Transition]] = {}
+    for state, read, nxt, write, move in rows:
+        transitions.setdefault((state, read), []).append(
+            Transition(nxt, write, move))
+    return NDTM(transitions, start, frozenset(accepting))

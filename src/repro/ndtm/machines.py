@@ -1,0 +1,78 @@
+"""Concrete generic Turing machines used by the §5 experiments.
+
+Two machines over the paper's tape alphabet ``0 1 , ( ) [ ]``:
+
+* :func:`choose_one_machine` — a *non-deterministic* generic machine
+  computing the sampling query "pick one tuple of the input relation":
+  at every tuple it branches between selecting it (erasing the rest) and
+  skipping it.  Its decoded answer set is the set of singletons, invariant
+  under re-coding and re-ordering — a genuinely generic NGTM.
+* :func:`parity_machine` — a *deterministic* generic machine writing
+  ``(0)`` when the input relation has an even number of tuples and ``(1)``
+  otherwise; the query IDLOG expresses with
+  :data:`repro.ndtm.idlog_power.PARITY_PROGRAM`.
+"""
+
+from __future__ import annotations
+
+from .machine import NDTM, machine_from_table
+
+_DATA = "01,"
+
+
+def choose_one_machine() -> NDTM:
+    """Non-deterministically select exactly one tuple of a unary relation.
+
+    Input tape: ``[(c1)(c2)...(cn)]``; halting tapes: ``(ci)`` for every i.
+    On the empty relation ``[]`` every branch spins forever, so the answer
+    set is empty.
+    """
+    rows = [
+        ("s0", "[", "scan", "_", 1),
+        # At a tuple: select it or skip it (the non-deterministic choice).
+        ("scan", "(", "keep", "{", 1),
+        ("scan", "(", "skip", "_", 1),
+        # Nothing selected and relation exhausted: diverge (no answer).
+        ("scan", "]", "spin", "_", 0),
+        ("spin", "_", "spin", "_", 0),
+        # Skipping: erase through the closing parenthesis.
+        ("skip", ")", "scan", "_", 1),
+        # Keeping: pass over the payload, then erase everything after.
+        ("keep", ")", "wipe", ")", 1),
+        ("wipe", "(", "wipe", "_", 1),
+        ("wipe", ")", "wipe", "_", 1),
+        ("wipe", "]", "back", "_", -1),
+        # Return to the marker and restore the opening parenthesis.
+        ("back", "_", "back", "_", -1),
+        ("back", ")", "back", ")", -1),
+        ("back", "{", "halt", "(", 0),
+    ]
+    for ch in _DATA:
+        rows.append(("skip", ch, "skip", "_", 1))
+        rows.append(("keep", ch, "keep", ch, 1))
+        rows.append(("wipe", ch, "wipe", "_", 1))
+        rows.append(("back", ch, "back", ch, -1))
+    return machine_from_table(rows, start="s0")
+
+
+def parity_machine() -> NDTM:
+    """Write ``(0)`` for an even tuple count, ``(1)`` for odd.
+
+    Deterministic and generic: the count of ``(`` symbols does not depend
+    on constant coding or tuple order.
+    """
+    rows = [
+        ("s0", "[", "even", "_", 1),
+        ("even", "(", "odd", "_", 1),
+        ("odd", "(", "even", "_", 1),
+        ("even", "]", "we0", "(", 1),
+        ("odd", "]", "wo0", "(", 1),
+        ("we0", "_", "we1", "0", 1),
+        ("wo0", "_", "wo1", "1", 1),
+        ("we1", "_", "halt", ")", 0),
+        ("wo1", "_", "halt", ")", 0),
+    ]
+    for ch in _DATA + ")":
+        rows.append(("even", ch, "even", "_", 1))
+        rows.append(("odd", ch, "odd", "_", 1))
+    return machine_from_table(rows, start="s0")

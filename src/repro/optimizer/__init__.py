@@ -1,0 +1,27 @@
+"""Section 4: optimizing DATALOG programs with existential arguments.
+
+The pipeline: :func:`detect_existential` (RBK88 adornment, the sufficient
+test) → :func:`optimize` (projection pushing + ∃-existential ID-literals)
+→ :func:`compare_cost` (instrumented before/after) with
+:func:`q_equivalent_on` as the empirical correctness check.
+"""
+
+from .adornment import AdornmentResult, detect_existential
+from .containment import (canonical_database, cq_contained, cq_equivalent,
+                          minimize_cq, ucq_contained)
+from .equivalence import (answer_set, find_witness, q_equivalent_on,
+                          random_database, random_databases)
+from .magic import MagicResult, answer_goal, goal_pattern, magic_rewrite
+from .report import CostReport, compare_cost
+from .transform import OptimizationResult, optimize
+
+__all__ = [
+    "AdornmentResult", "detect_existential",
+    "canonical_database", "cq_contained", "cq_equivalent", "minimize_cq",
+    "ucq_contained",
+    "answer_set", "find_witness", "q_equivalent_on",
+    "random_database", "random_databases",
+    "MagicResult", "answer_goal", "goal_pattern", "magic_rewrite",
+    "CostReport", "compare_cost",
+    "OptimizationResult", "optimize",
+]

@@ -1,0 +1,151 @@
+"""The RBK88 adornment algorithm: detecting ∀-existential arguments.
+
+The paper (Section 4) recalls the sufficient test of Ramakrishnan, Beeri &
+Krishnamurthy: *if a variable Y appears in a body literal and does not
+appear anywhere else in the clause, except possibly in an existential
+argument of the head, then the argument position corresponding to Y is
+existential*; a predicate argument is existential when it is existential in
+all of the predicate's body occurrences.
+
+Detecting existential arguments exactly is undecidable (for the paper's new
+∃-existential notion too, Theorem 3), but by Theorem 4 every argument this
+sufficient test identifies is also ∃-existential — which is what licenses
+the ID-literal rewriting of :mod:`repro.optimizer.transform`.
+
+Two granularities come out of the analysis, matching how Section 4 uses
+them:
+
+* **predicate-level** marks drive step 2 (dropping existential columns from
+  output predicates, Example 6), and
+* **occurrence-level** marks drive step 3 (replacing an input-predicate
+  literal ``p(Ȳ)`` by the ID-literal ``p[s](Ȳ, 0)``, Example 8 — note the
+  paper rewrites ``p`` in clause [3] but not in clause [2]).
+
+The algorithm is a greatest fixpoint: start optimistically (every argument
+of every predicate except the query is existential) and knock marks down
+until stable.  Occurrences in negative literals, ID-literals and arithmetic
+predicates are treated conservatively (never existential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.ast import Atom, Clause, Program
+from ..datalog.terms import Const, Var
+
+ExistentialMarks = dict[str, tuple[bool, ...]]
+"""Per predicate, one flag per argument position (True = existential)."""
+
+OccurrenceMarks = dict[tuple[int, int], tuple[bool, ...]]
+"""Per (clause index, body literal index), one flag per position."""
+
+
+@dataclass(frozen=True)
+class AdornmentResult:
+    """Output of the adornment algorithm.
+
+    Attributes:
+        sliced: The analyzed program — ``P/query`` (clause/literal indexes
+            in ``occurrences`` refer to it).
+        query: The output predicate the analysis was relative to.
+        marks: Predicate-level existential flags.
+        occurrences: Occurrence-level existential flags for positive,
+            ordinary body literals.
+    """
+
+    sliced: Program
+    query: str
+    marks: ExistentialMarks
+    occurrences: OccurrenceMarks
+
+    def existential_positions(self, pred: str) -> tuple[int, ...]:
+        """The 1-based predicate-level existential positions of ``pred``."""
+        flags = self.marks.get(pred, ())
+        return tuple(i + 1 for i, flag in enumerate(flags) if flag)
+
+    def any_existential(self) -> bool:
+        """True when the analysis found anything to eliminate."""
+        return any(any(flags) for flags in self.marks.values()) or \
+            any(any(flags) for flags in self.occurrences.values())
+
+
+def _occurrence_is_existential(clause: Clause, literal_index: int,
+                               position: int,
+                               marks: dict[str, list[bool]]) -> bool:
+    """Apply the RBK88 occurrence rule to one body argument position."""
+    atom = clause.body[literal_index].atom
+    assert isinstance(atom, Atom)
+    term = atom.args[position]
+    if isinstance(term, Const):
+        return False  # a constant is a filter, not a projectable column
+    assert isinstance(term, Var)
+    # Every OTHER occurrence of the variable must be an existential
+    # argument of the head.
+    for j, head_term in enumerate(clause.head.args):
+        if head_term == term and not marks[clause.head.pred][j]:
+            return False
+    for i, other in enumerate(clause.body):
+        other_atom = other.atom
+        if not isinstance(other_atom, Atom):
+            return False  # a choice operator mentions variables opaquely
+        for j, other_term in enumerate(other_atom.args):
+            if (i, j) == (literal_index, position):
+                continue
+            if other_term == term:
+                return False
+    return True
+
+
+def detect_existential(program: Program, query: str) -> AdornmentResult:
+    """Run the adornment algorithm for output predicate ``query``.
+
+    The program is first restricted to ``P/query``; predicates outside the
+    slice get no marks.  Arguments of ``query`` itself are never existential
+    (the caller asked for them).
+    """
+    sliced = program.restrict_to(query)
+    marks: dict[str, list[bool]] = {}
+    for pred in sliced.predicates:
+        arity = sliced.arity(pred)
+        marks[pred] = [pred != query] * arity
+
+    def eligible(literal) -> bool:
+        atom = literal.atom
+        return isinstance(atom, Atom) and literal.positive \
+            and not atom.is_builtin and not atom.is_id
+
+    changed = True
+    while changed:
+        changed = False
+        for clause in sliced.clauses:
+            for i, literal in enumerate(clause.body):
+                atom = literal.atom
+                if not isinstance(atom, Atom) or atom.is_builtin:
+                    continue
+                conservative = not eligible(literal)
+                base_arity = atom.base_arity
+                for j in range(base_arity):
+                    if not marks[atom.pred][j]:
+                        continue
+                    existential = (not conservative) and \
+                        _occurrence_is_existential(clause, i, j, marks)
+                    if not existential:
+                        marks[atom.pred][j] = False
+                        changed = True
+
+    occurrences: OccurrenceMarks = {}
+    for ci, clause in enumerate(sliced.clauses):
+        for li, literal in enumerate(clause.body):
+            if not eligible(literal):
+                continue
+            atom = literal.atom
+            flags = tuple(
+                _occurrence_is_existential(clause, li, j, marks)
+                for j in range(len(atom.args)))
+            occurrences[(ci, li)] = flags
+
+    return AdornmentResult(
+        sliced, query,
+        {pred: tuple(flags) for pred, flags in marks.items()},
+        occurrences)

@@ -1,0 +1,159 @@
+"""Conjunctive-query containment and minimization (Chandra–Merkle).
+
+The paper leans on undecidability for its *existential-argument* notions
+(Theorem 3); for plain **conjunctive queries** — single positive
+non-recursive clauses — containment IS decidable, by the classic
+canonical-database argument: ``Q1 ⊑ Q2`` iff evaluating ``Q2`` over the
+*frozen body* of ``Q1`` (variables turned into fresh constants) yields
+``Q1``'s frozen head.  On top of the check we get CQ **minimization**:
+repeatedly drop body atoms whose removal keeps the query equivalent —
+the optimizer-adjacent tool for removing genuinely redundant joins (as
+opposed to §4's projectable columns).
+
+Scope: positive, builtin-free, u-sorted conjunctive queries.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..datalog.ast import Atom, Clause, Program
+from ..datalog.database import Database
+from ..datalog.engine import DatalogEngine
+from ..datalog.parser import parse_clause
+from ..datalog.terms import Const, Term, Var
+from ..errors import SchemaError
+
+
+def _as_clause(query: Union[str, Clause]) -> Clause:
+    return parse_clause(query) if isinstance(query, str) else query
+
+
+def _check_cq(clause: Clause) -> None:
+    if not clause.body:
+        raise SchemaError(f"{clause} has no body; not a conjunctive query")
+    for literal in clause.body:
+        atom = literal.atom
+        if not isinstance(atom, Atom) or atom.is_builtin or atom.is_id:
+            raise SchemaError(
+                f"{clause}: conjunctive queries allow plain positive "
+                "relation atoms only")
+        if not literal.positive:
+            raise SchemaError(f"{clause}: negation is not a CQ construct")
+        if atom.pred == clause.head.pred:
+            raise SchemaError(f"{clause}: recursive — not a CQ")
+        for term in atom.args:
+            if isinstance(term, Const) and isinstance(term.value, int):
+                raise SchemaError(
+                    f"{clause}: i-sorted constants are not supported by "
+                    "the freezing construction")
+
+
+def _freeze(term: Term, table: dict[Var, str]) -> str:
+    if isinstance(term, Const):
+        assert isinstance(term.value, str)
+        return term.value
+    if term not in table:
+        table[term] = f"frz_{len(table)}_{term.name.lower()}"
+    return table[term]
+
+
+def canonical_database(clause: Clause) -> tuple[Database, tuple[str, ...]]:
+    """The frozen body of a CQ, plus its frozen head tuple.
+
+    Every variable becomes a fresh constant; the body atoms become the
+    database's facts.
+    """
+    _check_cq(clause)
+    table: dict[Var, str] = {}
+    db = Database()
+    for literal in clause.body:
+        atom = literal.atom
+        assert isinstance(atom, Atom)
+        db.add_fact(atom.pred,
+                    tuple(_freeze(t, table) for t in atom.args))
+    head = tuple(_freeze(t, table) for t in clause.head.args)
+    return db, head
+
+
+def cq_contained(first: Union[str, Clause],
+                 second: Union[str, Clause]) -> bool:
+    """Is ``first ⊑ second`` (every answer of first is one of second)?
+
+    Both queries must share the head predicate's arity.  Decided by
+    evaluating ``second`` over ``first``'s canonical database.
+    """
+    q1 = _as_clause(first)
+    q2 = _as_clause(second)
+    _check_cq(q1)
+    _check_cq(q2)
+    if len(q1.head.args) != len(q2.head.args):
+        raise SchemaError("the queries have different head arities")
+    db, frozen_head = canonical_database(q1)
+    aligned = Clause(q2.head.rename_pred(q1.head.pred), q2.body)
+    engine = DatalogEngine(Program((aligned,), name="containment"))
+    return frozen_head in engine.query(db, q1.head.pred)
+
+
+def cq_equivalent(first: Union[str, Clause],
+                  second: Union[str, Clause]) -> bool:
+    """Mutual containment."""
+    return cq_contained(first, second) and cq_contained(second, first)
+
+
+def ucq_contained(first: Union[str, Clause, list],
+                  second: Union[str, Clause, list]) -> bool:
+    """Containment of unions of conjunctive queries.
+
+    ``∪ first_i ⊑ ∪ second_j`` iff each ``first_i`` is contained in the
+    union — decided by evaluating *all* of ``second`` (one program, one
+    head predicate) over each ``first_i``'s canonical database (the
+    Sagiv–Yannakakis criterion).
+
+    Args:
+        first, second: A CQ, source text, or a list of either.
+    """
+    firsts = [_as_clause(q) for q in
+              (first if isinstance(first, list) else [first])]
+    seconds = [_as_clause(q) for q in
+               (second if isinstance(second, list) else [second])]
+    for q in firsts + seconds:
+        _check_cq(q)
+    arities = {len(q.head.args) for q in firsts + seconds}
+    if len(arities) != 1:
+        raise SchemaError("the queries have different head arities")
+    for q in firsts:
+        db, frozen_head = canonical_database(q)
+        aligned = tuple(Clause(p.head.rename_pred(q.head.pred), p.body)
+                        for p in seconds)
+        engine = DatalogEngine(Program(aligned, name="ucq"))
+        if frozen_head not in engine.query(db, q.head.pred):
+            return False
+    return True
+
+
+def minimize_cq(query: Union[str, Clause]) -> Clause:
+    """An equivalent CQ with a minimal body (redundant joins dropped).
+
+    Greedy: try removing each body atom; keep the removal when the
+    shrunken query is still contained in the original (the other
+    direction is automatic — fewer conditions can only widen the
+    answer).  The result is a *core* of the query.
+    """
+    clause = _as_clause(query)
+    _check_cq(clause)
+    changed = True
+    while changed and len(clause.body) > 1:
+        changed = False
+        for i in range(len(clause.body)):
+            body = clause.body[:i] + clause.body[i + 1:]
+            head_vars = clause.head.vars
+            bound = frozenset().union(*(lit.vars for lit in body))
+            if not head_vars <= bound:
+                continue  # dropping would unbind the head
+            candidate = Clause(clause.head, body)
+            if cq_contained(candidate, clause):
+                clause = candidate
+                changed = True
+                break
+    return clause

@@ -1,0 +1,88 @@
+"""Cost reporting for the Section 4 optimization experiments.
+
+The paper's claim is qualitative — the ID-literal rewrite "may greatly
+reduce the number of intermediate redundant tuples".  :func:`compare_cost`
+makes it quantitative: it evaluates the original and the optimized program
+on the same database under the deterministic canonical assignment and
+reports derived-tuple counts, join probes and clause firings side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.engine import IdlogEngine
+from ..datalog.database import Database
+from ..datalog.seminaive import EvalStats
+from .transform import OptimizationResult
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Instrumented before/after comparison of one optimization.
+
+    Attributes:
+        original_stats: Counters from evaluating the original program.
+        optimized_stats: Counters from evaluating the optimized program.
+        answers_agree: Whether the query predicate's canonical answers
+            matched (a smoke check; full equivalence is answer-set level).
+        query: The compared output predicate.
+    """
+
+    original_stats: EvalStats
+    optimized_stats: EvalStats
+    answers_agree: bool
+    query: str
+
+    @property
+    def intermediate_tuples_before(self) -> int:
+        """Derived tuples, excluding the query predicate itself."""
+        return sum(n for p, n in self.original_stats.derived.items()
+                   if p != self.query)
+
+    @property
+    def intermediate_tuples_after(self) -> int:
+        """Derived tuples after optimization, query predicate excluded."""
+        return sum(n for p, n in self.optimized_stats.derived.items()
+                   if p != self.query)
+
+    @property
+    def probe_ratio(self) -> float:
+        """Join probes of the original per optimized probe (>1 = win)."""
+        after = max(self.optimized_stats.probes, 1)
+        return self.original_stats.probes / after
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        """Tabular summary: (metric, before, after)."""
+        return [
+            ("derived tuples (total)",
+             self.original_stats.total_derived,
+             self.optimized_stats.total_derived),
+            ("intermediate tuples",
+             self.intermediate_tuples_before,
+             self.intermediate_tuples_after),
+            ("join probes",
+             self.original_stats.probes,
+             self.optimized_stats.probes),
+            ("clause firings",
+             self.original_stats.firings,
+             self.optimized_stats.firings),
+            ("ID tuples materialized",
+             self.original_stats.id_tuples,
+             self.optimized_stats.id_tuples),
+        ]
+
+
+def compare_cost(result: OptimizationResult, db: Database) -> CostReport:
+    """Evaluate original vs optimized on ``db`` and report the counters.
+
+    Both run under the canonical assignment, so the comparison is
+    deterministic; for arguments that really are ∃-existential the two
+    canonical answers coincide (spot-checked in ``answers_agree``).
+    """
+    original_engine = IdlogEngine(result.original)
+    optimized_engine = IdlogEngine(result.optimized)
+    original = original_engine.run(db)
+    optimized = optimized_engine.run(db)
+    agree = original.tuples(result.query) == optimized.tuples(result.query)
+    return CostReport(original.stats, optimized.stats, agree, result.query)

@@ -1,0 +1,147 @@
+"""The Section 4 optimization strategy, end to end.
+
+Steps, quoting the paper:
+
+1. Use the adornment algorithm [RBK88] to identify existential arguments
+   (:mod:`repro.optimizer.adornment`).
+2. Eliminate each identified existential argument appearing in an output
+   predicate — "pushing projections", Example 6: ``a(X, Y)`` becomes
+   ``a_ex(X)``.
+3. For an input predicate literal ``p(Ȳ)`` with existential arguments
+   ``X1..Xn``, replace it by the ID-literal ``p[s](Ȳ, 0)`` where ``s``
+   corresponds to the non-existential positions — Example 8:
+   ``a_ex(X) :- p[1](X, Y, 0)``.
+4. The tid 0 is optimization information: the engine's group-limit
+   materialization (:mod:`repro.core.program`) uses at most one tuple per
+   sub-relation, the paper's footnote 7.
+
+The result is an IDLOG program that is q-equivalent to the original
+whenever the replaced arguments are ∃-existential — guaranteed for
+arguments the adornment algorithm identified (Theorem 4), and verified
+empirically by :mod:`repro.optimizer.equivalence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.program import IdlogProgram
+from ..datalog.ast import Atom, Clause, Literal, Program
+from ..datalog.parser import parse_program
+from ..datalog.terms import Const
+from .adornment import AdornmentResult, detect_existential
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Everything the optimizer produced.
+
+    Attributes:
+        original: The analyzed program slice ``P/query``.
+        optimized: The rewritten program, compiled as IDLOG (it may or may
+            not actually contain ID-literals).
+        adornment: The analysis driving the rewrite.
+        renamed: Output predicates whose existential columns were dropped,
+            mapped to their new names.
+        query: The output predicate optimized for.
+    """
+
+    original: Program
+    optimized: IdlogProgram
+    adornment: AdornmentResult
+    renamed: dict[str, str]
+    query: str
+
+    @property
+    def changed(self) -> bool:
+        """True when the rewrite did anything."""
+        return bool(self.renamed) or self.optimized.program.has_id_atoms()
+
+
+def _fresh_name(base: str, taken: set[str]) -> str:
+    candidate = f"{base}_ex"
+    while candidate in taken:
+        candidate += "x"
+    return candidate
+
+
+def _drop_positions(atom: Atom, drop: frozenset[int],
+                    new_name: str) -> Atom:
+    """Project the 1-based positions in ``drop`` out of an ordinary atom."""
+    kept = tuple(t for i, t in enumerate(atom.args, start=1)
+                 if i not in drop)
+    return Atom(new_name, kept)
+
+
+def optimize(program: Union[str, Program], query: str,
+             drop_output_columns: bool = True,
+             rewrite_inputs: bool = True) -> OptimizationResult:
+    """Run the full Section 4 strategy for output predicate ``query``.
+
+    Args:
+        program: A plain Datalog program (source text or parsed).
+        query: The output predicate to optimize for.
+        drop_output_columns: Perform step 2 (projection pushing).
+        rewrite_inputs: Perform step 3 (∃-existential ID-literals).
+
+    Returns:
+        The :class:`OptimizationResult`; ``result.optimized`` is validated
+        and ready for :class:`~repro.core.engine.IdlogEngine`.
+    """
+    if isinstance(program, str):
+        program = parse_program(program)
+    adornment = detect_existential(program, query)
+    sliced = adornment.sliced
+    inputs = sliced.input_predicates
+
+    renamed: dict[str, str] = {}
+    drops: dict[str, frozenset[int]] = {}
+    if drop_output_columns:
+        taken = set(sliced.predicates)
+        for pred in sorted(sliced.head_predicates):
+            if pred == query:
+                continue
+            positions = frozenset(adornment.existential_positions(pred))
+            if positions:
+                renamed[pred] = _fresh_name(pred, taken)
+                taken.add(renamed[pred])
+                drops[pred] = positions
+
+    new_clauses: list[Clause] = []
+    for ci, clause in enumerate(sliced.clauses):
+        head = clause.head
+        if head.pred in renamed:
+            head = _drop_positions(head, drops[head.pred],
+                                   renamed[head.pred])
+        body: list[Literal] = []
+        for li, literal in enumerate(clause.body):
+            atom = literal.atom
+            if not isinstance(atom, Atom) or atom.is_builtin or atom.is_id:
+                body.append(literal)
+                continue
+            if atom.pred in renamed and literal.positive:
+                body.append(Literal(
+                    _drop_positions(atom, drops[atom.pred],
+                                    renamed[atom.pred]),
+                    literal.positive))
+                continue
+            flags = adornment.occurrences.get((ci, li))
+            if rewrite_inputs and literal.positive \
+                    and atom.pred in inputs and flags and any(flags):
+                group = frozenset(
+                    i for i, flag in enumerate(flags, start=1) if not flag)
+                body.append(Literal(
+                    Atom(atom.pred, atom.args + (Const(0),), group)))
+                continue
+            body.append(literal)
+        new_clauses.append(Clause(head, tuple(body)))
+
+    optimized_program = Program(tuple(new_clauses),
+                                name=f"{sliced.name}_opt")
+    return OptimizationResult(
+        original=sliced,
+        optimized=IdlogProgram.compile(optimized_program),
+        adornment=adornment,
+        renamed=renamed,
+        query=query)

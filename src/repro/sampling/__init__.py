@@ -1,0 +1,9 @@
+"""Sampling queries: the paper's motivating application of IDLOG."""
+
+from .queries import (SamplingQuery, arbitrary_subset, sample_k,
+                      sample_k_per_group, sample_one_per_group)
+
+__all__ = [
+    "SamplingQuery", "arbitrary_subset", "sample_k",
+    "sample_k_per_group", "sample_one_per_group",
+]

@@ -1,0 +1,140 @@
+"""High-level sampling queries (the paper's Sections 1 and 3.3).
+
+Sampling queries "randomly choose certain samples from a set of tuples".
+The builders here compile directly to the paper's IDLOG idioms:
+
+* :func:`sample_k_per_group` — Example 5's
+  ``select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2`` generalized to
+  any k, any grouping, any projection;
+* :func:`sample_k` — k samples from the whole relation (``p[∅]``);
+* :func:`arbitrary_subset` — an arbitrary subset, via the Example 2
+  guess-and-select pattern;
+* each returns a :class:`SamplingQuery` wrapping a ready
+  :class:`~repro.core.query.IdlogQuery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.program import IdlogProgram
+from ..core.query import Answer, IdlogQuery
+from ..datalog.ast import Atom, Clause, Literal, Program
+from ..datalog.database import Database
+from ..datalog.terms import Const, Var
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class SamplingQuery:
+    """A compiled sampling query.
+
+    Attributes:
+        query: The underlying non-deterministic IDLOG query.
+        pred: Name of the output predicate.
+    """
+
+    query: IdlogQuery
+    pred: str
+
+    @property
+    def program(self) -> IdlogProgram:
+        """The generated IDLOG program."""
+        return self.query.compiled
+
+    def one(self, db: Database, seed: Optional[int] = None) -> Answer:
+        """One arbitrary sample set."""
+        return self.query.one(db, seed)
+
+    def answers(self, db: Database,
+                max_branches: int = 200_000) -> frozenset[Answer]:
+        """Every possible sample set."""
+        return self.query.answers(db, max_branches)
+
+
+def _arg_vars(arity: int) -> tuple[Var, ...]:
+    return tuple(Var(f"A{i}") for i in range(1, arity + 1))
+
+
+def _projection(args: tuple[Var, ...],
+                project: Optional[Sequence[int]]) -> tuple[Var, ...]:
+    if project is None:
+        return args
+    bad = [i for i in project if not 1 <= i <= len(args)]
+    if bad:
+        raise SchemaError(f"projection positions {bad} outside 1..{len(args)}")
+    return tuple(args[i - 1] for i in project)
+
+
+def sample_k_per_group(relation: str, arity: int,
+                       group: Sequence[int], k: int,
+                       project: Optional[Sequence[int]] = None,
+                       output: str = "sample") -> SamplingQuery:
+    """k arbitrary samples from every sub-relation grouped by ``group``.
+
+    The paper's motivating query — *find an arbitrary set of employee
+    samples that contains exactly N employees from each department* — is
+    ``sample_k_per_group("emp", 2, group=[2], k=N, project=[1])``.
+
+    Args:
+        relation: Input predicate name.
+        arity: Its arity.
+        group: 1-based grouping positions (the "per department" part).
+        k: Samples per group (groups smaller than k contribute all tuples).
+        project: Optional 1-based positions to keep in the output.
+        output: Name of the output predicate.
+    """
+    if k < 1:
+        raise SchemaError(f"sample size must be positive, got {k}")
+    args = _arg_vars(arity)
+    tid = Var("T")
+    body = [Literal(Atom(relation, args + (tid,), frozenset(group)))]
+    if k == 1:
+        # Use a constant tid (the paper's Example 4 shape).
+        body = [Literal(Atom(relation, args + (Const(0),), frozenset(group)))]
+    else:
+        body.append(Literal(Atom("<", (tid, Const(k)))))
+    head = Atom(output, _projection(args, project))
+    program = Program((Clause(head, tuple(body)),), name=f"sample_{relation}")
+    return SamplingQuery(IdlogQuery(program, output), output)
+
+
+def sample_k(relation: str, arity: int, k: int,
+             project: Optional[Sequence[int]] = None,
+             output: str = "sample") -> SamplingQuery:
+    """k arbitrary samples from the whole relation (``p[∅]``)."""
+    return sample_k_per_group(relation, arity, (), k, project, output)
+
+
+def sample_one_per_group(relation: str, arity: int, group: Sequence[int],
+                         project: Optional[Sequence[int]] = None,
+                         output: str = "sample") -> SamplingQuery:
+    """Exactly one arbitrary sample per group (Example 4)."""
+    return sample_k_per_group(relation, arity, group, 1, project, output)
+
+
+def arbitrary_subset(relation: str, arity: int,
+                     output: str = "subset") -> SamplingQuery:
+    """An arbitrary subset of the relation (any of the 2^n subsets).
+
+    Uses the paper's Example 2 pattern: guess yes/no for every tuple, then
+    keep the tuples whose *yes* guess got tid 1 in its two-element block::
+
+        guess(X̄, yes) :- rel(X̄).
+        guess(X̄, no)  :- rel(X̄).
+        subset(X̄)     :- guess[1..n](X̄, yes, 1).
+    """
+    args = _arg_vars(arity)
+    guess = f"{output}_guess"
+    group = frozenset(range(1, arity + 1))
+    clauses = (
+        Clause(Atom(guess, args + (Const("yes"),)),
+               (Literal(Atom(relation, args)),)),
+        Clause(Atom(guess, args + (Const("no"),)),
+               (Literal(Atom(relation, args)),)),
+        Clause(Atom(output, args),
+               (Literal(Atom(guess, args + (Const("yes"), Const(1)), group)),)),
+    )
+    program = Program(clauses, name=f"subset_{relation}")
+    return SamplingQuery(IdlogQuery(program, output), output)

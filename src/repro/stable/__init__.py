@@ -1,0 +1,5 @@
+"""Stable-model semantics for normal programs (paper §3.2)."""
+
+from .models import GroundClause, StableEngine
+
+__all__ = ["GroundClause", "StableEngine"]

@@ -1,0 +1,191 @@
+"""Stable models of normal logic programs (paper §3.2).
+
+The paper notes that non-stratified programs under stable-model semantics
+[GL88, SZ90] are another route to non-determinism, and that every such
+query is also definable in stratified IDLOG (a corollary of Theorem 6).
+Experiment E12 demonstrates the containment on concrete programs.
+
+Implementation: the textbook guess-and-check.  Ground the program over an
+upper bound ``U`` (the least model with negative literals dropped — every
+stable model is a subset of ``U``), then test each candidate
+``EDB ∪ S, S ⊆ derivable atoms``: ``M`` is stable iff the least model of
+the Gelfond–Lifschitz reduct ``P^M`` equals ``M``.  Exponential, intended
+for example-scale programs only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Union
+
+from ..datalog.ast import Atom, Clause, Program
+from ..datalog.database import Database, Relation
+from ..datalog.parser import parse_program
+from ..datalog.safety import order_body
+from ..datalog.seminaive import EvalStats, RelationStore, _solve_literals
+from ..datalog.terms import Const, Value
+from ..errors import EvaluationError
+
+Fact = tuple[str, tuple[Value, ...]]
+State = frozenset[Fact]
+
+
+@dataclass(frozen=True)
+class GroundClause:
+    """One ground instance: head fact, positive facts, negative facts."""
+
+    head: Fact
+    positive: tuple[Fact, ...]
+    negative: tuple[Fact, ...]
+
+
+class StableEngine:
+    """Stable-model enumeration for normal programs.
+
+    Example (the classic non-stratified choice program):
+        >>> engine = StableEngine('''
+        ...     man(X) :- person(X), not woman(X).
+        ...     woman(X) :- person(X), not man(X).
+        ... ''')
+        >>> db = Database.from_facts({"person": [("a",)]})
+        >>> len(engine.stable_models(db))
+        2
+    """
+
+    def __init__(self, program: Union[str, Program]) -> None:
+        if isinstance(program, str):
+            program = parse_program(program)
+        if program.has_choice() or program.has_id_atoms():
+            raise EvaluationError(
+                "stable-model semantics is defined here for normal "
+                "programs only (no choice, no ID-atoms)")
+        self.program = program
+        # The positive envelope: clauses with negative literals dropped.
+        self._envelope = Program(tuple(
+            Clause(c.head,
+                   tuple(lit for lit in c.body
+                         if lit.positive or lit.atom.is_builtin))
+            for c in program.clauses), name="envelope")
+
+    def _initial_facts(self, db: Database) -> State:
+        facts: set[Fact] = set()
+        for name in db.relation_names():
+            if name in self.program.predicates:
+                for row in db.relation(name):
+                    facts.add((name, row))
+        return frozenset(facts)
+
+    def _store_for(self, state: State) -> RelationStore:
+        store = RelationStore(None, EvalStats())
+        relations: dict[str, Relation] = {}
+        for pred in self.program.predicates:
+            relations[pred] = Relation(self.program.arity(pred))
+        for pred, row in state:
+            relations[pred].add(row)
+        for pred, relation in relations.items():
+            store.install(pred, relation)
+        return store
+
+    def upper_bound(self, db: Database) -> State:
+        """The least model of the positive envelope: ⊇ every stable model."""
+        state = set(self._initial_facts(db))
+        changed = True
+        plans = []
+        for clause in self._envelope.clauses:
+            positive_only = tuple(
+                lit for lit in clause.body
+                if lit.positive or lit.atom.is_builtin)
+            plans.append((clause, order_body(Clause(clause.head,
+                                                    positive_only))))
+        while changed:
+            changed = False
+            store = self._store_for(frozenset(state))
+            stats = EvalStats()
+            for clause, plan in plans:
+                for subst in list(_solve_literals(plan, 0, {}, store,
+                                                  stats, {})):
+                    row = tuple(
+                        t.value if isinstance(t, Const) else subst[t]
+                        for t in clause.head.args)
+                    fact = (clause.head.pred, row)
+                    if fact not in state:
+                        state.add(fact)
+                        changed = True
+        return frozenset(state)
+
+    def ground_clauses(self, db: Database) -> list[GroundClause]:
+        """Ground instances whose positive body lies inside the envelope."""
+        bound = self.upper_bound(db)
+        store = self._store_for(bound)
+        out: list[GroundClause] = []
+        for clause in self.program.clauses:
+            # Plan with negative relation literals removed but comparisons
+            # kept: negatives are recorded, not joined.
+            plan_body = tuple(
+                lit for lit in clause.body
+                if lit.positive or lit.atom.is_builtin)
+            plan = order_body(Clause(clause.head, plan_body))
+            negatives = tuple(
+                lit.atom for lit in clause.body
+                if not lit.positive and not lit.atom.is_builtin)
+            stats = EvalStats()
+            for subst in _solve_literals(plan, 0, {}, store, stats, {}):
+                def ground(atom: Atom) -> Fact:
+                    return (atom.pred, tuple(
+                        t.value if isinstance(t, Const) else subst[t]
+                        for t in atom.args))
+                head = ground(clause.head)
+                positive = tuple(
+                    ground(lit.atom) for lit in clause.body
+                    if lit.positive and not lit.atom.is_builtin)
+                negative = tuple(ground(atom) for atom in negatives)
+                out.append(GroundClause(head, positive, negative))
+        return out
+
+    @staticmethod
+    def _least_model_of_reduct(ground: list[GroundClause],
+                               candidate: State, base: State) -> State:
+        """Least model of the GL-reduct ``P^candidate`` over ``base`` facts."""
+        state = set(base)
+        surviving = [g for g in ground
+                     if not any(n in candidate for n in g.negative)]
+        changed = True
+        while changed:
+            changed = False
+            for g in surviving:
+                if g.head not in state and all(p in state for p in g.positive):
+                    state.add(g.head)
+                    changed = True
+        return frozenset(state)
+
+    def stable_models(self, db: Database,
+                      max_candidates: int = 1 << 20) -> frozenset[State]:
+        """All stable models on ``db``.
+
+        Raises:
+            EvaluationError: when the candidate space (2^|derivable atoms|)
+                exceeds ``max_candidates``.
+        """
+        base = self._initial_facts(db)
+        derivable = sorted(self.upper_bound(db) - base)
+        if 2 ** len(derivable) > max_candidates:
+            raise EvaluationError(
+                f"{len(derivable)} derivable atoms: candidate space too "
+                "large for exhaustive stable-model search")
+        ground = self.ground_clauses(db)
+        models: set[State] = set()
+        for k in range(len(derivable) + 1):
+            for subset in combinations(derivable, k):
+                candidate = base | frozenset(subset)
+                if self._least_model_of_reduct(ground, candidate, base) \
+                        == candidate:
+                    models.add(candidate)
+        return frozenset(models)
+
+    def answers(self, db: Database, pred: str,
+                max_candidates: int = 1 << 20) -> frozenset[frozenset[tuple]]:
+        """The non-deterministic query: ``pred``'s relation per stable model."""
+        return frozenset(
+            frozenset(row for name, row in model if name == pred)
+            for model in self.stable_models(db, max_candidates))

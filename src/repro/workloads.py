@@ -1,0 +1,86 @@
+"""Synthetic workload generators for benchmarks and examples.
+
+Deterministic (seeded) builders for the dataset shapes this repository's
+experiments use: grouped relations like the paper's running ``emp(Name,
+Dept)``, graph families for reachability workloads, and a small org
+hierarchy for same-generation-style queries.  All generators return
+ready :class:`~repro.datalog.database.Database` objects.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .datalog.database import Database, Relation
+
+
+def employees(per_dept: int, departments: int,
+              salary_range: Optional[tuple[int, int]] = None,
+              seed: int = 0) -> Database:
+    """``emp(Name, Dept)`` (or ``emp(Name, Dept, Salary)``) with equal-size
+    departments — the paper's running example at any scale."""
+    rng = random.Random(seed)
+    rows = []
+    for d in range(departments):
+        for i in range(per_dept):
+            row: tuple = (f"e{d}_{i}", f"dept{d}")
+            if salary_range is not None:
+                low, high = salary_range
+                row = row + (rng.randrange(low, high + 1),)
+            rows.append(row)
+    return Database.from_facts({"emp": rows})
+
+
+def chain_graph(n: int, fanout: int = 0) -> Database:
+    """``edge`` forming a chain ``n0 -> ... -> n<n>`` with optional leaf
+    fan-out at every node (the E6 workload shape)."""
+    rows = [(f"n{i}", f"n{i+1}") for i in range(n)]
+    rows += [(f"n{i}", f"leaf{i}_{j}")
+             for i in range(n) for j in range(fanout)]
+    return Database.from_facts({"edge": rows})
+
+
+def forest_graph(reachable: int, components: int, size: int) -> Database:
+    """One chain reachable from ``n0`` plus disconnected clutter chains
+    (the magic-sets / relevance workload shape)."""
+    rows = [(f"n{i}", f"n{i+1}") for i in range(reachable)]
+    for c in range(components):
+        rows += [(f"u{c}_{i}", f"u{c}_{i+1}") for i in range(size)]
+    return Database.from_facts({"edge": rows})
+
+
+def random_graph(nodes: int, edges: int, seed: int = 0) -> Database:
+    """A uniform random digraph with named nodes ``v0..v<nodes-1>``.
+
+    The ``node`` relation lists every vertex (isolated ones included), so
+    negation-style queries have their domain.
+    """
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(nodes)]
+    edge = Relation(2)
+    while len(edge) < min(edges, nodes * nodes):
+        edge.add((rng.choice(names), rng.choice(names)))
+    node = Relation(1, tuples=[(n,) for n in names])
+    return Database({"edge": edge, "node": node})
+
+
+def org_hierarchy(depth: int, branching: int) -> Database:
+    """A complete management tree: ``reports_to(Employee, Manager)`` and
+    ``person(X)`` — the same-generation workload shape."""
+    person = Relation(1)
+    reports = Relation(2)
+    frontier = ["ceo"]
+    person.add(("ceo",))
+    counter = 0
+    for _ in range(depth):
+        next_frontier = []
+        for boss in frontier:
+            for _ in range(branching):
+                name = f"w{counter}"
+                counter += 1
+                person.add((name,))
+                reports.add((name, boss))
+                next_frontier.append(name)
+        frontier = next_frontier
+    return Database({"person": person, "reports_to": reports})

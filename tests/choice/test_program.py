@@ -1,0 +1,89 @@
+"""Tests for DATALOG^C validation (C1/C2) and the P_c translation."""
+
+import pytest
+
+from repro.choice.program import ChoiceProgram
+from repro.datalog.parser import parse_program
+from repro.errors import ChoiceConditionError
+
+EX4 = "select_emp(N) :- emp(N, D), choice((D), (N))."
+
+
+class TestValidation:
+    def test_simple_choice_accepted(self):
+        compiled = ChoiceProgram.compile(EX4)
+        assert len(compiled.occurrences) == 1
+
+    def test_c1_two_choices_in_one_clause_rejected(self):
+        with pytest.raises(ChoiceConditionError):
+            ChoiceProgram.compile(
+                "p(X, Y) :- q(X, Y), choice((X), (Y)), choice((Y), (X)).")
+
+    def test_c2_chained_choices_rejected(self):
+        # The second choice clause reads the first one's head predicate.
+        with pytest.raises(ChoiceConditionError):
+            ChoiceProgram.compile("""
+                a(X, Y) :- e(X, Y), choice((X), (Y)).
+                b(X, Y) :- a(X, Y), f(Y), choice((Y), (X)).
+            """)
+
+    def test_c2_same_head_rejected(self):
+        with pytest.raises(ChoiceConditionError):
+            ChoiceProgram.compile("""
+                a(X, Y) :- e(X, Y), choice((X), (Y)).
+                a(X, Y) :- f(X, Y), choice((X), (Y)).
+            """)
+
+    def test_independent_choices_accepted(self):
+        """Example 5's (incorrect but legal) program satisfies C1/C2."""
+        compiled = ChoiceProgram.compile("""
+            emp1(N, D) :- emp(N, D), choice((D), (N)).
+            emp2(N, D) :- emp(N, D), choice((D), (N)).
+            two(N1) :- emp1(N1, D), emp2(N2, D), N1 != N2.
+        """)
+        assert len(compiled.occurrences) == 2
+
+    def test_id_atoms_rejected(self):
+        with pytest.raises(ChoiceConditionError):
+            ChoiceProgram.compile(
+                "p(N) :- emp[2](N, D, 0), choice((D), (N)).")
+
+
+class TestTranslationToPc:
+    def test_choice_clause_added(self):
+        compiled = ChoiceProgram.compile(EX4)
+        translated = compiled.translated
+        occ = compiled.occurrences[0]
+        assert occ.pred.startswith("ext_choice_")
+        defining = translated.clauses_defining(occ.pred)
+        assert len(defining) == 1
+        assert str(defining[0]) == f"{occ.pred}(D, N) :- emp(N, D)."
+
+    def test_host_clause_rewritten(self):
+        compiled = ChoiceProgram.compile(EX4)
+        host = compiled.translated.clauses_defining("select_emp")[0]
+        preds = [lit.atom.pred for lit in host.body]
+        assert preds == ["emp", compiled.occurrences[0].pred]
+
+    def test_choice_args_domain_then_range(self):
+        compiled = ChoiceProgram.compile(
+            "p(X) :- q(X, Y, Z), choice((X, Y), (Z)).")
+        occ = compiled.occurrences[0]
+        assert [v.name for v in occ.args] == ["X", "Y", "Z"]
+        assert occ.domain_width == 2
+
+    def test_fresh_names_avoid_collision(self):
+        program = parse_program("""
+            ext_choice_1(a).
+            p(X) :- q(X, Y), choice((X), (Y)).
+        """)
+        compiled = ChoiceProgram.compile(program)
+        assert compiled.occurrences[0].pred != "ext_choice_1"
+
+    def test_non_choice_clauses_untouched(self):
+        compiled = ChoiceProgram.compile("""
+            base(X) :- e(X).
+            p(X) :- base(X), q(X, Y), choice((X), (Y)).
+        """)
+        assert parse_program("base(X) :- e(X).").clauses[0] \
+            in compiled.translated.clauses

@@ -1,0 +1,119 @@
+"""Tests for the KN88 choice semantics (functional subsets)."""
+
+import pytest
+
+from repro.choice.semantics import (ChoiceEngine, count_functional_subsets,
+                                    enumerate_functional_subsets,
+                                    functional_groups)
+from repro.datalog.database import Database, Relation
+from repro.errors import EvaluationError
+
+EMP = Database.from_facts({"emp": [
+    ("ann", "toys"), ("bob", "toys"), ("cal", "toys"),
+    ("dee", "it"), ("eli", "it")]})
+
+EX4 = "select_emp(N) :- emp(N, D), choice((D), (N))."
+
+
+class TestFunctionalSubsets:
+    REL = Relation(2, tuples=[("d1", "a"), ("d1", "b"), ("d2", "c")])
+
+    def test_groups(self):
+        groups = functional_groups(self.REL, 1)
+        assert set(groups) == {("d1",), ("d2",)}
+        assert len(groups[("d1",)]) == 2
+
+    def test_count(self):
+        assert count_functional_subsets(self.REL, 1) == 2
+
+    def test_enumerate(self):
+        subsets = set(enumerate_functional_subsets(self.REL, 1))
+        assert subsets == {
+            frozenset({("d1", "a"), ("d2", "c")}),
+            frozenset({("d1", "b"), ("d2", "c")})}
+
+    def test_every_subset_is_functional(self):
+        for subset in enumerate_functional_subsets(self.REL, 1):
+            keys = [row[:1] for row in subset]
+            assert len(keys) == len(set(keys))       # FD X -> Y
+            assert set(keys) == {("d1",), ("d2",)}   # covers all groups
+
+    def test_empty_relation(self):
+        assert list(enumerate_functional_subsets(Relation(2), 1)) == \
+            [frozenset()]
+
+    def test_zero_domain_width_single_group(self):
+        rel = Relation(1, tuples=[("a",), ("b",)])
+        assert count_functional_subsets(rel, 0) == 2
+
+
+class TestChoiceEngine:
+    def test_example4_one_per_department(self):
+        """Paper Example 4: exactly one employee per department."""
+        engine = ChoiceEngine(EX4)
+        for seed in range(5):
+            sample = engine.one(EMP, seed=seed).tuples("select_emp")
+            assert len(sample) == 2
+
+    def test_example4_answer_set(self):
+        engine = ChoiceEngine(EX4)
+        answers = engine.answers(EMP, "select_emp")
+        assert len(answers) == 6  # 3 toys x 2 it
+
+    def test_canonical_repeatable(self):
+        engine = ChoiceEngine(EX4)
+        assert engine.query(EMP, "select_emp") == \
+            engine.query(EMP, "select_emp")
+
+    def test_count_models(self):
+        assert ChoiceEngine(EX4).count_models(EMP) == 6
+
+    def test_sex_guess_program(self):
+        """The paper's §3.2.2 program is man-equivalent to Example 2."""
+        engine = ChoiceEngine("""
+            sex_guess(X, male) :- person(X).
+            sex_guess(X, female) :- person(X).
+            sex(X, Y) :- sex_guess(X, Y), choice((X), (Y)).
+            man(X) :- sex(X, male).
+            woman(X) :- sex(X, female).
+        """)
+        db = Database.from_facts({"person": [("a",), ("b",)]})
+        expected = {frozenset(), frozenset({("a",)}), frozenset({("b",)}),
+                    frozenset({("a",), ("b",)})}
+        assert engine.answers(db, "man") == expected
+        assert engine.answers(db, "woman") == expected
+
+    def test_example5_naive_two_sample_program_is_wrong(self):
+        """Paper Example 5: the two-independent-choices program does NOT
+        define the two-per-department sampling query — some intended models
+        leave a department with fewer than two (distinct) samples."""
+        engine = ChoiceEngine("""
+            emp1(N, D) :- emp(N, D), choice((D), (N)).
+            emp2(N, D) :- emp(N, D), choice((D), (N)).
+            select_two_emp(N1) :- emp1(N1, D), emp2(N2, D), N1 != N2.
+        """)
+        answers = engine.answers(EMP, "select_two_emp")
+        # The two choices can collide: then NO employee of that department
+        # (or of any department) is selected.
+        assert frozenset() in answers
+        sizes = {len(a) for a in answers}
+        assert min(sizes) < 4  # not every model selects two per department
+
+    def test_budget_guard(self):
+        engine = ChoiceEngine(EX4)
+        with pytest.raises(EvaluationError):
+            engine.answers(EMP, "select_emp", max_branches=2)
+
+    def test_downstream_computation_uses_choice(self):
+        engine = ChoiceEngine("""
+            rep(D, N) :- emp(N, D), choice((D), (N)).
+            rep_count(N, 1) :- rep(D, N).
+        """)
+        answers = engine.answers(EMP, "rep_count")
+        for answer in answers:
+            assert 1 <= len(answer) <= 2
+
+    def test_choice_over_empty_relation(self):
+        engine = ChoiceEngine(EX4)
+        db = Database.from_facts({"other": [("x",)]})
+        assert engine.query(db, "select_emp") == frozenset()

@@ -1,0 +1,71 @@
+"""Tests for database programs dbp(P, q, r) (paper §3.1)."""
+
+import pytest
+
+from repro.core.dbp import (UDOM_PREDICATE, database_program,
+                            strip_database_program)
+from repro.core.engine import IdlogEngine
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.errors import SchemaError
+
+PROGRAM = """
+    sex_guess(X, male) :- person(X).
+    man(X) :- sex_guess[1](X, male, 0).
+    unrelated(Z) :- w(Z).
+"""
+
+DB = Database.from_facts({"person": [("a",), ("b",)],
+                          "w": [("junk",)]},
+                         udomain=["a", "b", "junk", "extra"])
+
+
+class TestConstruction:
+    def test_facts_inlined_for_slice_only(self):
+        dbp = database_program(PROGRAM, "man", DB)
+        heads = [c.head.pred for c in dbp.clauses if c.is_fact]
+        assert heads.count("person") == 2
+        assert "w" not in heads  # unrelated predicate's facts excluded
+
+    def test_udom_facts_cover_domain(self):
+        dbp = database_program(PROGRAM, "man", DB)
+        udom = {c.head.args[0].value for c in dbp.clauses
+                if c.is_fact and c.head.pred == UDOM_PREDICATE}
+        assert udom == {"a", "b", "junk", "extra"}
+
+    def test_rules_are_the_slice(self):
+        dbp = database_program(PROGRAM, "man", DB)
+        rule_heads = {c.head.pred for c in dbp.clauses if not c.is_fact}
+        assert rule_heads == {"sex_guess", "man"}
+
+    def test_reserved_udom_rejected(self):
+        with pytest.raises(SchemaError):
+            database_program("udom(X) :- p(X).\nq(X) :- udom(X).", "q", DB)
+
+    def test_self_contained_evaluation(self):
+        """dbp evaluates with an EMPTY database to the same answers."""
+        dbp = database_program(PROGRAM, "man", DB)
+        direct = IdlogEngine(PROGRAM).answers(DB, "man")
+        from_dbp = IdlogEngine(dbp).answers(Database(), "man")
+        assert direct == from_dbp
+
+
+class TestRoundTrip:
+    def test_strip_recovers_rules_and_facts(self):
+        dbp = database_program(PROGRAM, "man", DB)
+        rules, db = strip_database_program(dbp)
+        assert all(not c.is_fact for c in rules.clauses)
+        assert db.relation("person").frozen() == {("a",), ("b",)}
+        assert db.udomain >= {"a", "b", "junk", "extra"}
+
+    def test_strip_then_evaluate_matches(self):
+        dbp = database_program(PROGRAM, "man", DB)
+        rules, db = strip_database_program(dbp)
+        answers = IdlogEngine(rules).answers(db, "man")
+        assert answers == IdlogEngine(PROGRAM).answers(DB, "man")
+
+    def test_strip_plain_program_no_facts(self):
+        program = parse_program("p(X) :- q(X).")
+        rules, db = strip_database_program(program)
+        assert rules == program
+        assert not db.relation_names()

@@ -1,0 +1,137 @@
+"""Tests for the model-theory layer: interpretations, models, perfect
+models (paper §2.2 and Theorem 1)."""
+
+import pytest
+
+from repro.core.models import (IdlogInterpretation, check_interpretation,
+                               is_model, is_perfect_model, perfect_models)
+from repro.datalog.database import Database
+from repro.errors import EvaluationError, SchemaError
+
+EX2 = """
+    sex_guess(X, male) :- person(X).
+    sex_guess(X, female) :- person(X).
+    man(X) :- sex_guess[1](X, male, 1).
+"""
+
+PEOPLE = Database.from_facts({"person": [("a",), ("b",)]})
+
+
+def some_perfect_model(program=EX2, db=PEOPLE):
+    return next(iter(perfect_models(program, db)))
+
+
+class TestCheckInterpretation:
+    def test_enumerated_models_valid(self):
+        for interp in perfect_models(EX2, PEOPLE):
+            check_interpretation(interp)
+
+    def test_projection_mismatch_rejected(self):
+        interp = some_perfect_model()
+        broken = IdlogInterpretation(
+            dict(interp.relations),
+            {key: frozenset(list(rows)[:-1])
+             for key, rows in interp.id_relations.items()})
+        with pytest.raises(SchemaError):
+            check_interpretation(broken)
+
+    def test_non_bijective_tids_rejected(self):
+        interp = some_perfect_model()
+        (key, rows), = interp.id_relations.items()
+        zeroed = frozenset(row[:-1] + (0,) for row in rows)
+        broken = IdlogInterpretation(dict(interp.relations), {key: zeroed})
+        with pytest.raises(SchemaError):
+            check_interpretation(broken)
+
+    def test_duplicate_tuple_tids_rejected(self):
+        rows = frozenset({("a", 0), ("a", 1)})
+        interp = IdlogInterpretation(
+            {"p": frozenset({("a",)})}, {("p", frozenset()): rows})
+        with pytest.raises(SchemaError):
+            check_interpretation(interp)
+
+
+class TestIsModel:
+    def test_perfect_models_are_models(self):
+        for interp in perfect_models(EX2, PEOPLE):
+            assert is_model(EX2, interp)
+
+    def test_supersets_are_still_models(self):
+        """Adding facts to a head predicate keeps clause satisfaction."""
+        interp = some_perfect_model()
+        bigger = interp.with_extra("man", frozenset({("z",)}))
+        assert is_model(EX2, bigger)
+
+    def test_removing_required_fact_breaks_model(self):
+        interp = some_perfect_model()
+        relations = dict(interp.relations)
+        relations["sex_guess"] = frozenset()  # bodies still satisfiable
+        broken = IdlogInterpretation(relations, {})
+        # Without the guesses the sex_guess clauses are violated; but the
+        # ID-relations are also gone, so is_model demands them:
+        with pytest.raises(EvaluationError):
+            is_model(EX2, broken)
+
+    def test_violated_clause_detected(self):
+        interp = some_perfect_model()
+        relations = dict(interp.relations)
+        relations["man"] = frozenset()  # drop every derived man tuple
+        maybe_broken = IdlogInterpretation(relations,
+                                           dict(interp.id_relations))
+        # Whether this is a model depends on whether the assignment put a
+        # male guess at tid 1 for someone; across all perfect models at
+        # least one has non-empty man, and for that one this fails.
+        originals = list(perfect_models(EX2, PEOPLE))
+        nonempty = [i for i in originals if i.relation("man")]
+        assert nonempty
+        sliced = nonempty[0]
+        cleared = IdlogInterpretation(
+            {**sliced.relations, "man": frozenset()},
+            dict(sliced.id_relations))
+        assert not is_model(EX2, cleared)
+
+    def test_plain_datalog_model_checking(self):
+        program = "p(X) :- e(X), not f(X)."
+        good = IdlogInterpretation(
+            {"e": frozenset({("a",)}), "f": frozenset(),
+             "p": frozenset({("a",)})}, {})
+        bad = IdlogInterpretation(
+            {"e": frozenset({("a",)}), "f": frozenset(),
+             "p": frozenset()}, {})
+        assert is_model(program, good)
+        assert not is_model(program, bad)
+
+
+class TestPerfectModels:
+    def test_theorem1_at_least_one_perfect_model(self):
+        """Theorem 1: every stratified IDLOG program has a perfect model."""
+        programs = [
+            EX2,
+            "pick(X) :- item[](X, 0).",
+            "p(X) :- e(X), not f(X).\nf(X) :- g(X).",
+        ]
+        dbs = [PEOPLE,
+               Database.from_facts({"item": [("i",)]}),
+               Database.from_facts({"e": [("a",)], "g": [("a",)]})]
+        for program, db in zip(programs, dbs):
+            models = list(perfect_models(program, db))
+            assert models
+            for interp in models:
+                check_interpretation(interp)
+                assert is_model(program, interp)
+
+    def test_count_matches_assignments(self):
+        models = list(perfect_models(EX2, PEOPLE))
+        # 2 people x 2 orders per block = 4 distinct interpretations.
+        assert len(models) == 4
+
+    def test_is_perfect_model_accepts_enumerated(self):
+        for interp in perfect_models(EX2, PEOPLE):
+            assert is_perfect_model(EX2, PEOPLE, interp)
+
+    def test_non_minimal_model_not_perfect(self):
+        """A model with junk facts is a model but not a perfect model."""
+        interp = some_perfect_model()
+        bloated = interp.with_extra("man", frozenset({("z",)}))
+        assert is_model(EX2, bloated)
+        assert not is_perfect_model(EX2, PEOPLE, bloated)

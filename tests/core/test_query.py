@@ -1,0 +1,133 @@
+"""Tests for IdlogQuery: answer sets, determinism, genericity (paper §3.1)."""
+
+import pytest
+
+from repro.core.query import (IdlogQuery, answers_equal, permute_answer,
+                              permute_database)
+from repro.datalog.database import Database
+from repro.errors import NotDeterministicError
+
+EX2 = """
+    sex_guess(X, male) :- person(X).
+    sex_guess(X, female) :- person(X).
+    man(X) :- sex_guess[1](X, male, 1).
+    woman(X) :- sex_guess[1](X, female, 1).
+"""
+
+PEOPLE = Database.from_facts({"person": [("a",), ("b",)]})
+
+
+class TestAnswers:
+    def test_example2_answer_set(self):
+        query = IdlogQuery(EX2, "man")
+        assert query.answers(PEOPLE) == {
+            frozenset(), frozenset({("a",)}), frozenset({("b",)}),
+            frozenset({("a",), ("b",)})}
+
+    def test_one_always_in_answers(self):
+        query = IdlogQuery(EX2, "man")
+        answers = query.answers(PEOPLE)
+        for seed in range(8):
+            assert query.one(PEOPLE, seed=seed) in answers
+
+    def test_canonical_in_answers(self):
+        query = IdlogQuery(EX2, "man")
+        assert query.canonical(PEOPLE) in query.answers(PEOPLE)
+
+    def test_slicing_drops_unrelated_nondeterminism(self):
+        query = IdlogQuery(EX2 + """
+            noise(X) :- big[](X, N).
+        """, "man")
+        # The "big" ID-predicate is unrelated to man; slicing must keep
+        # enumeration feasible regardless of its blowup.
+        db = Database.from_facts({
+            "person": [("a",)],
+            "big": [(f"x{i}",) for i in range(30)]})
+        assert len(query.answers(db)) == 2
+
+
+class TestDeterminism:
+    def test_deterministic_query(self):
+        query = IdlogQuery("all_depts(D) :- emp[2](N, D, 0).", "all_depts")
+        db = Database.from_facts({"emp": [("a", "d1"), ("b", "d1"),
+                                          ("c", "d2")]})
+        assert query.is_deterministic_on(db)
+        assert query.deterministic_answer(db) == {("d1",), ("d2",)}
+
+    def test_nondeterministic_raises(self):
+        query = IdlogQuery(EX2, "man")
+        assert not query.is_deterministic_on(PEOPLE)
+        with pytest.raises(NotDeterministicError):
+            query.deterministic_answer(PEOPLE)
+
+
+class TestGenericity:
+    def test_permute_database(self):
+        mapping = {"a": "b", "b": "a"}
+        permuted = permute_database(PEOPLE, mapping)
+        assert permuted.relation("person").frozen() == {("a",), ("b",)}
+        db = Database.from_facts({"e": [("a", 1)]})
+        assert permute_database(db, mapping).relation("e").frozen() == \
+            {("b", 1)}
+
+    def test_permute_answer(self):
+        answer = frozenset({("a", 1), ("c", 2)})
+        assert permute_answer(answer, {"a": "z"}) == \
+            frozenset({("z", 1), ("c", 2)})
+
+    def test_example2_is_generic(self):
+        query = IdlogQuery(EX2, "man")
+        assert query.check_generic(PEOPLE, {"a": "b", "b": "a"})
+
+    def test_genericity_constants(self):
+        query = IdlogQuery(EX2, "man")
+        assert query.genericity_constants() == {"male", "female"}
+
+    def test_c_genericity_respects_constants(self):
+        """A query mentioning constant c is C-generic only for permutations
+        fixing c — permuting c breaks the correspondence."""
+        program = "hit(X) :- e[](X, 0), special(c)."
+        query = IdlogQuery(program, "hit")
+        db = Database.from_facts({"e": [("a",), ("b",)],
+                                  "special": [("c",)]})
+        # Permutation fixing c: fine.
+        assert query.check_generic(db, {"a": "b", "b": "a"})
+        # Permutation moving c: answers no longer correspond.
+        assert not query.check_generic(db, {"c": "a", "a": "c"})
+
+
+class TestHelpers:
+    def test_answers_equal(self):
+        a = [frozenset({("x",)})]
+        b = {frozenset({("x",)})}
+        assert answers_equal(a, b)
+        assert not answers_equal(a, [frozenset()])
+
+
+class TestAnswerDistribution:
+    def test_support_within_answer_set(self):
+        query = IdlogQuery("pick(X) :- item[](X, 0).", "pick")
+        db = Database.from_facts({"item": [("a",), ("b",), ("c",)]})
+        distribution = query.answer_distribution(db, trials=60, seed=1)
+        answers = query.answers(db)
+        assert set(distribution) <= answers
+        assert sum(distribution.values()) == 60
+
+    def test_full_support_reached(self):
+        query = IdlogQuery("pick(X) :- item[](X, 0).", "pick")
+        db = Database.from_facts({"item": [("a",), ("b",)]})
+        distribution = query.answer_distribution(db, trials=100, seed=0)
+        assert set(distribution) == query.answers(db)
+
+    def test_roughly_uniform_over_choices(self):
+        query = IdlogQuery("pick(X) :- item[](X, 0).", "pick")
+        db = Database.from_facts({"item": [("a",), ("b",)]})
+        distribution = query.answer_distribution(db, trials=400, seed=7)
+        for count in distribution.values():
+            assert 120 <= count <= 280  # ~200 each, generous bounds
+
+    def test_deterministic_query_single_bucket(self):
+        query = IdlogQuery("all(D) :- emp[2](N, D, 0).", "all")
+        db = Database.from_facts({"emp": [("a", "d1"), ("b", "d1")]})
+        distribution = query.answer_distribution(db, trials=20, seed=3)
+        assert len(distribution) == 1

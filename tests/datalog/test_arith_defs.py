@@ -1,0 +1,80 @@
+"""Tests verifying the paper's claim that +, −, *, /, < are definable
+from succ: the defined relations agree with the native builtins on the
+whole bounded segment."""
+
+import pytest
+
+from repro.datalog.arith_defs import (ARITHMETIC_FROM_SUCC, arithmetic_db,
+                                      defined_arithmetic)
+
+BOUND = 12
+
+
+@pytest.fixture(scope="module")
+def result():
+    return defined_arithmetic(BOUND)
+
+
+class TestNumberLine:
+    def test_num_is_initial_segment(self, result):
+        assert result.tuples("num") == {(n,) for n in range(BOUND + 1)}
+
+    def test_bound_zero(self):
+        small = defined_arithmetic(0)
+        assert small.tuples("num") == {(0,)}
+        assert small.tuples("plus") == {(0, 0, 0)}
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_db(-1)
+
+
+class TestOrder:
+    def test_lt_matches_python(self, result):
+        expected = {(a, b) for a in range(BOUND + 1)
+                    for b in range(BOUND + 1) if a < b}
+        assert result.tuples("lt") == expected
+
+    def test_le_matches_python(self, result):
+        expected = {(a, b) for a in range(BOUND + 1)
+                    for b in range(BOUND + 1) if a <= b}
+        assert result.tuples("le") == expected
+
+
+class TestPlusMinus:
+    def test_plus_matches_python(self, result):
+        expected = {(a, b, a + b)
+                    for a in range(BOUND + 1) for b in range(BOUND + 1)
+                    if a + b <= BOUND}
+        assert result.tuples("plus") == expected
+
+    def test_minus_matches_python(self, result):
+        expected = {(a, b, a - b)
+                    for a in range(BOUND + 1) for b in range(a + 1)}
+        assert result.tuples("minus") == expected
+
+
+class TestTimesDiv:
+    def test_times_matches_python(self, result):
+        expected = {(a, b, a * b)
+                    for a in range(BOUND + 1) for b in range(BOUND + 1)
+                    if a * b <= BOUND}
+        assert result.tuples("times") == expected
+
+    def test_div_matches_python_inside_bound(self, result):
+        # div(A,B,Q) is defined where B*(Q+1) still fits in the segment.
+        expected = {(a, b, a // b)
+                    for a in range(BOUND + 1) for b in range(1, BOUND + 1)
+                    if b * (a // b + 1) <= BOUND}
+        assert result.tuples("div") == expected
+
+    def test_div_by_zero_undefined(self, result):
+        assert not any(b == 0 for _, b, _ in result.tuples("div"))
+
+
+class TestProgramShape:
+    def test_uses_only_succ_and_comparisons_for_bounding(self):
+        """The definitions bottom out in succ; +,*,/ builtins are unused."""
+        assert "+(" not in ARITHMETIC_FROM_SUCC
+        assert "*(" not in ARITHMETIC_FROM_SUCC
+        assert "succ(" in ARITHMETIC_FROM_SUCC

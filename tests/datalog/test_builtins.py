@@ -1,0 +1,207 @@
+"""Tests for the arithmetic predicates and their binding-pattern tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.builtins import builtin_names, builtin_spec, is_builtin_name
+from repro.errors import EvaluationError, UnsafeBuiltinError
+
+nats = st.integers(min_value=0, max_value=10_000)
+
+
+def solve(name, *args):
+    return list(builtin_spec(name).solve(args))
+
+
+class TestRegistry:
+    def test_expected_builtins_present(self):
+        expected = {"succ", "+", "-", "*", "/", "mod",
+                    "<", "<=", ">", ">=", "=", "!="}
+        assert expected <= builtin_names()
+
+    def test_is_builtin_name(self):
+        assert is_builtin_name("+")
+        assert not is_builtin_name("emp")
+
+
+class TestPatternTables:
+    def test_plus_patterns_match_paper(self):
+        """The paper lists bbb, bbn, bnb, nbb, nnb for +."""
+        spec = builtin_spec("+")
+        for pattern in ("bbb", "bbn", "bnb", "nbb", "nnb"):
+            assert spec.allows(pattern), pattern
+        for pattern in ("bnn", "nbn", "nnn"):
+            assert not spec.allows(pattern), pattern
+
+    def test_comparisons_need_both_bound(self):
+        for name in ("<", "<=", ">", ">="):
+            spec = builtin_spec(name)
+            assert spec.allows("bb")
+            assert not spec.allows("bn")
+            assert not spec.allows("nb")
+
+    def test_equality_can_bind_one_side(self):
+        spec = builtin_spec("=")
+        assert spec.allows("bn") and spec.allows("nb") and spec.allows("bb")
+        assert not spec.allows("nn")
+
+    def test_more_bound_than_allowed_is_fine(self):
+        assert builtin_spec("succ").allows("bb")
+
+
+class TestSucc:
+    def test_forward(self):
+        assert solve("succ", 3, None) == [(3, 4)]
+
+    def test_backward(self):
+        assert solve("succ", None, 4) == [(3, 4)]
+
+    def test_backward_of_zero_empty(self):
+        assert solve("succ", None, 0) == []
+
+    def test_check(self):
+        assert solve("succ", 3, 4) == [(3, 4)]
+        assert solve("succ", 3, 5) == []
+
+    def test_unbound_both_raises(self):
+        with pytest.raises(UnsafeBuiltinError):
+            solve("succ", None, None)
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(EvaluationError):
+            solve("succ", "a", None)
+
+
+class TestAdd:
+    def test_bbn(self):
+        assert solve("+", 2, 3, None) == [(2, 3, 5)]
+
+    def test_bnb(self):
+        assert solve("+", 2, None, 5) == [(2, 3, 5)]
+
+    def test_bnb_no_natural_solution(self):
+        assert solve("+", 7, None, 5) == []
+
+    def test_nnb_paper_example(self):
+        """L + M = 1 has exactly the solutions (0,1) and (1,0)."""
+        assert solve("+", None, None, 1) == [(0, 1, 1), (1, 0, 1)]
+
+    def test_nnb_count(self):
+        assert len(solve("+", None, None, 10)) == 11
+
+    def test_bnn_raises(self):
+        """1 + L = M has infinitely many solutions (the paper's example)."""
+        with pytest.raises(UnsafeBuiltinError):
+            solve("+", 1, None, None)
+
+    @given(nats, nats)
+    def test_add_consistency(self, a, b):
+        assert solve("+", a, b, None) == [(a, b, a + b)]
+        assert solve("+", a, None, a + b) == [(a, b, a + b)]
+        assert solve("+", None, b, a + b) == [(a, b, a + b)]
+
+
+class TestSub:
+    def test_bbn(self):
+        assert solve("-", 5, 3, None) == [(5, 3, 2)]
+
+    def test_bbn_negative_result_empty(self):
+        assert solve("-", 3, 5, None) == []
+
+    def test_nbb(self):
+        assert solve("-", None, 3, 2) == [(5, 3, 2)]
+
+    def test_bnn_enumerates(self):
+        assert sorted(solve("-", 2, None, None)) == [(2, 0, 2), (2, 1, 1), (2, 2, 0)]
+
+
+class TestMul:
+    def test_bbn(self):
+        assert solve("*", 3, 4, None) == [(3, 4, 12)]
+
+    def test_bnb_divides(self):
+        assert solve("*", 3, None, 12) == [(3, 4, 12)]
+
+    def test_bnb_not_divisible(self):
+        assert solve("*", 5, None, 12) == []
+
+    def test_nnb_factor_pairs(self):
+        assert sorted(solve("*", None, None, 6)) == [
+            (1, 6, 6), (2, 3, 6), (3, 2, 6), (6, 1, 6)]
+
+    def test_nnb_square(self):
+        assert (3, 3, 9) in solve("*", None, None, 9)
+
+    def test_zero_times_unbound_raises(self):
+        with pytest.raises(UnsafeBuiltinError):
+            solve("*", 0, None, 0)
+
+    def test_nnb_zero_raises(self):
+        with pytest.raises(UnsafeBuiltinError):
+            solve("*", None, None, 0)
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_factor_pairs_complete(self, c):
+        pairs = {(a, b) for a, b, _ in solve("*", None, None, c)}
+        expected = {(a, c // a) for a in range(1, c + 1) if c % a == 0}
+        assert pairs == expected
+
+
+class TestDivMod:
+    def test_div_floor(self):
+        assert solve("/", 7, 2, None) == [(7, 2, 3)]
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            solve("/", 7, 0, None)
+
+    def test_mod(self):
+        assert solve("mod", 7, 2, None) == [(7, 2, 1)]
+
+    def test_mod_check(self):
+        assert solve("mod", 7, 2, 1) == [(7, 2, 1)]
+        assert solve("mod", 7, 2, 0) == []
+
+    @given(nats, st.integers(min_value=1, max_value=100))
+    def test_div_mod_identity(self, a, b):
+        (_, _, q), = solve("/", a, b, None)
+        (_, _, r), = solve("mod", a, b, None)
+        assert q * b + r == a
+
+
+class TestComparisons:
+    def test_lt(self):
+        assert solve("<", 1, 2) == [(1, 2)]
+        assert solve("<", 2, 2) == []
+
+    def test_le_ge(self):
+        assert solve("<=", 2, 2) == [(2, 2)]
+        assert solve(">=", 2, 2) == [(2, 2)]
+
+    def test_unbound_raises(self):
+        with pytest.raises(UnsafeBuiltinError):
+            solve("<", None, 2)
+
+
+class TestEquality:
+    def test_eq_check(self):
+        assert solve("=", "a", "a") == [("a", "a")]
+        assert solve("=", "a", "b") == []
+
+    def test_eq_binds_right(self):
+        assert solve("=", "a", None) == [("a", "a")]
+
+    def test_eq_binds_left(self):
+        assert solve("=", None, 3) == [(3, 3)]
+
+    def test_eq_unbound_raises(self):
+        with pytest.raises(UnsafeBuiltinError):
+            solve("=", None, None)
+
+    def test_neq(self):
+        assert solve("!=", "a", "b") == [("a", "b")]
+        assert solve("!=", "a", "a") == []
+
+    def test_neq_works_across_values(self):
+        assert solve("!=", 1, 2) == [(1, 2)]

@@ -1,0 +1,169 @@
+"""Tests for counting-based view maintenance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.counting import CountingEngine
+from repro.datalog.database import Database
+from repro.datalog.engine import DatalogEngine
+from repro.errors import EvaluationError, SchemaError
+
+HOP2 = "hop2(X, Z) :- edge(X, Y), edge(Y, Z)."
+
+LAYERED = """
+    mid(X, Z) :- a(X, Y), b(Y, Z).
+    out(X) :- mid(X, Z), c(Z).
+"""
+
+
+class TestLifecycle:
+    def test_requires_start(self):
+        engine = CountingEngine(HOP2)
+        with pytest.raises(EvaluationError):
+            engine.relation("hop2")
+
+    def test_start_counts(self):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [
+            ("a", "b"), ("b", "c"), ("a", "x"), ("x", "c")]}))
+        # two distinct 2-paths a->c
+        assert engine.count("hop2", ("a", "c")) == 2
+        assert engine.relation("hop2") == {("a", "c")}
+
+    def test_recursion_rejected(self):
+        with pytest.raises(SchemaError):
+            CountingEngine("""
+                path(X, Y) :- edge(X, Y).
+                path(X, Y) :- edge(X, Z), path(Z, Y).
+            """)
+
+    def test_negation_rejected(self):
+        with pytest.raises(SchemaError):
+            CountingEngine("p(X) :- e(X), not f(X).")
+
+
+class TestInsertion:
+    def test_insert_updates_counts(self):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [("a", "b"),
+                                                   ("b", "c")]}))
+        assert engine.count("hop2", ("a", "c")) == 1
+        engine.add_fact("edge", ("a", "x"))
+        engine.add_fact("edge", ("x", "c"))
+        assert engine.count("hop2", ("a", "c")) == 2
+
+    def test_duplicate_insert_noop(self):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [("a", "b")]}))
+        assert engine.add_fact("edge", ("a", "b")) == 0
+
+    def test_self_loop_inclusion_exclusion(self):
+        """edge(s, s) participates at BOTH positions of hop2: instances
+        involving it must be counted once, not twice."""
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [("a", "s")]}))
+        engine.add_fact("edge", ("s", "s"))
+        # Instances: (s,s,s), (a,s,s)... hop2(s,s) via s->s->s: count 1.
+        assert engine.count("hop2", ("s", "s")) == 1
+        assert engine.count("hop2", ("a", "s")) == 1
+        scratch = DatalogEngine(HOP2).query(
+            Database.from_facts({"edge": [("a", "s"), ("s", "s")]}), "hop2")
+        assert engine.relation("hop2") == scratch
+
+    def test_cascade_through_layers(self):
+        engine = CountingEngine(LAYERED)
+        engine.start(Database.from_facts({
+            "a": [("x", "m")], "b": [("m", "z")], "c": [("q",)]}))
+        assert engine.relation("out") == frozenset()
+        engine.add_fact("c", ("z",))
+        assert engine.relation("out") == {("x",)}
+
+
+class TestDeletion:
+    def test_count_decrement_keeps_alive(self):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [
+            ("a", "b"), ("b", "c"), ("a", "x"), ("x", "c")]}))
+        engine.delete_fact("edge", ("a", "b"))
+        # One derivation gone, one remains: hop2(a, c) survives.
+        assert engine.count("hop2", ("a", "c")) == 1
+        assert ("a", "c") in engine.relation("hop2")
+
+    def test_zero_count_kills(self):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [("a", "b"),
+                                                   ("b", "c")]}))
+        engine.delete_fact("edge", ("b", "c"))
+        assert engine.count("hop2", ("a", "c")) == 0
+        assert engine.relation("hop2") == frozenset()
+
+    def test_delete_missing_noop(self):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [("a", "b")]}))
+        assert engine.delete_fact("edge", ("z", "z")) == 0
+
+    def test_self_loop_deletion(self):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [("a", "s"),
+                                                   ("s", "s")]}))
+        engine.delete_fact("edge", ("s", "s"))
+        scratch = DatalogEngine(HOP2).query(
+            Database.from_facts({"edge": [("a", "s")]}), "hop2")
+        assert engine.relation("hop2") == scratch
+
+    def test_cascaded_death(self):
+        engine = CountingEngine(LAYERED)
+        engine.start(Database.from_facts({
+            "a": [("x", "m")], "b": [("m", "z")], "c": [("z",)]}))
+        assert engine.relation("out") == {("x",)}
+        engine.delete_fact("b", ("m", "z"))
+        assert engine.relation("out") == frozenset()
+        assert engine.relation("mid") == frozenset()
+
+
+class TestDifferential:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_random_updates_match_scratch(self, data):
+        engine = CountingEngine(HOP2)
+        engine.start(Database.from_facts({"edge": [("a", "b")]}))
+        live = {("a", "b")}
+        domain = "abcs"
+        for _ in range(data.draw(st.integers(min_value=1, max_value=12))):
+            edge = (data.draw(st.sampled_from(domain)),
+                    data.draw(st.sampled_from(domain)))
+            if data.draw(st.booleans()) or edge not in live:
+                engine.add_fact("edge", edge)
+                live.add(edge)
+            else:
+                engine.delete_fact("edge", edge)
+                live.discard(edge)
+        scratch = DatalogEngine(HOP2).query(
+            Database.from_facts({"edge": sorted(live)}), "hop2") \
+            if live else frozenset()
+        assert engine.relation("hop2") == scratch
+
+    @given(st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_layered_updates_match_scratch(self, data):
+        engine = CountingEngine(LAYERED)
+        engine.start(Database.from_facts({
+            "a": [("x", "m")], "b": [("m", "z")], "c": [("z",)]}))
+        live = {"a": {("x", "m")}, "b": {("m", "z")}, "c": {("z",)}}
+        arity = {"a": 2, "b": 2, "c": 1}
+        for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+            pred = data.draw(st.sampled_from(["a", "b", "c"]))
+            row = tuple(data.draw(st.sampled_from("xmzq"))
+                        for _ in range(arity[pred]))
+            if data.draw(st.booleans()) or row not in live[pred]:
+                engine.add_fact(pred, row)
+                live[pred].add(row)
+            else:
+                engine.delete_fact(pred, row)
+                live[pred].discard(row)
+        facts = {p: sorted(rows) for p, rows in live.items() if rows}
+        scratch_db = Database.from_facts(facts) if facts else Database()
+        result = DatalogEngine(LAYERED).run(scratch_db)
+        assert engine.relation("out") == result.tuples("out")
+        assert engine.relation("mid") == result.tuples("mid")

@@ -1,0 +1,180 @@
+"""Tests for relations, indexes and databases."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.database import (Database, Relation, relation_from_csv,
+                                    relation_to_csv)
+from repro.datalog.terms import Sort
+from repro.errors import SchemaError
+
+rows3 = st.lists(
+    st.tuples(st.sampled_from("abcde"),
+              st.sampled_from("xyz"),
+              st.integers(min_value=0, max_value=5)),
+    max_size=30)
+
+
+class TestRelation:
+    def test_add_and_contains(self):
+        r = Relation(2)
+        assert r.add(("a", "b"))
+        assert not r.add(("a", "b"))  # duplicate
+        assert ("a", "b") in r
+        assert len(r) == 1
+
+    def test_arity_mismatch(self):
+        r = Relation(2)
+        with pytest.raises(SchemaError):
+            r.add(("a",))
+
+    def test_schema_inferred_then_enforced(self):
+        r = Relation(2)
+        r.add(("a", 1))
+        assert r.schema == (Sort.U, Sort.I)
+        with pytest.raises(SchemaError):
+            r.add(("a", "b"))
+
+    def test_declared_schema_enforced(self):
+        r = Relation(1, schema=(Sort.I,))
+        with pytest.raises(SchemaError):
+            r.add(("a",))
+
+    def test_match_wildcards(self):
+        r = Relation(2, tuples=[("a", "x"), ("a", "y"), ("b", "x")])
+        assert sorted(r.match(("a", None))) == [("a", "x"), ("a", "y")]
+        assert sorted(r.match((None, "x"))) == [("a", "x"), ("b", "x")]
+        assert sorted(r.match((None, None))) == sorted(r)
+        assert list(r.match(("c", None))) == []
+
+    def test_index_sees_later_inserts(self):
+        r = Relation(2, tuples=[("a", "x")])
+        assert len(list(r.match(("a", None)))) == 1
+        r.add(("a", "y"))
+        assert len(list(r.match(("a", None)))) == 2
+
+    def test_project(self):
+        r = Relation(2, tuples=[("a", "x"), ("b", "x")])
+        assert r.project((1,)).frozen() == {("x",)}
+
+    def test_u_constants(self):
+        r = Relation(2, tuples=[("a", 1), ("b", 2)])
+        assert r.u_constants() == {"a", "b"}
+
+    def test_copy_independent(self):
+        r = Relation(1, tuples=[("a",)])
+        c = r.copy()
+        c.add(("b",))
+        assert len(r) == 1 and len(c) == 2
+
+    def test_relation_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation(1))
+
+    def test_equality(self):
+        assert Relation(1, tuples=[("a",)]) == Relation(1, tuples=[("a",)])
+        assert Relation(1, tuples=[("a",)]) != Relation(1, tuples=[("b",)])
+
+    @given(rows3)
+    def test_match_agrees_with_filter(self, rows):
+        r = Relation(3, tuples=rows)
+        for pattern in [(None, None, None), ("a", None, None),
+                        (None, "x", 1), ("a", "x", None)]:
+            expected = {row for row in set(rows)
+                        if all(p is None or p == v
+                               for p, v in zip(pattern, row))}
+            assert set(r.match(pattern)) == expected
+
+
+class TestDatabase:
+    def test_from_facts(self):
+        db = Database.from_facts({"emp": [("ann", "toys")]})
+        assert db.relation("emp").arity == 2
+
+    def test_from_facts_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Database.from_facts({"emp": []})
+
+    def test_udomain_inferred(self):
+        db = Database.from_facts({"emp": [("ann", "toys"), ("bob", "toys")]})
+        assert db.udomain == {"ann", "bob", "toys"}
+
+    def test_udomain_declared_extends(self):
+        db = Database.from_facts({"p": [("a",)]}, udomain=["a", "b"])
+        assert db.udomain == {"a", "b"}
+
+    def test_add_fact_creates_relation(self):
+        db = Database()
+        db.add_fact("p", ("a", 1))
+        assert ("a", 1) in db.relation("p")
+
+    def test_add_relation_no_clobber(self):
+        db = Database.from_facts({"p": [("a",)]})
+        with pytest.raises(SchemaError):
+            db.add_relation("p", Relation(1))
+        db.add_relation("p", Relation(1), replace=True)
+        assert len(db.relation("p")) == 0
+
+    def test_relation_or_empty(self):
+        db = Database()
+        r = db.relation_or_empty("ghost", 3)
+        assert r.arity == 3 and len(r) == 0
+
+    def test_copy_isolated(self):
+        db = Database.from_facts({"p": [("a",)]})
+        clone = db.copy()
+        clone.add_fact("p", ("b",))
+        assert len(db.relation("p")) == 1
+
+    def test_snapshot_hashable(self):
+        db = Database.from_facts({"p": [("a",)]})
+        snap = db.snapshot()
+        assert snap == {"p": frozenset({("a",)})}
+
+
+class TestCsv:
+    def test_roundtrip(self):
+        r = Relation(2, tuples=[("ann", 3), ("bob", 1)])
+        text = relation_to_csv(r)
+        back = relation_from_csv(text, numeric_columns=[1])
+        assert back == r
+
+    def test_numeric_columns(self):
+        r = relation_from_csv("a,1\nb,2\n", numeric_columns=[1])
+        assert ("a", 1) in r
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            relation_from_csv("")
+
+    def test_deterministic_order(self):
+        r = Relation(1, tuples=[("b",), ("a",)])
+        assert relation_to_csv(r) == "a\nb\n"
+
+
+class TestDiscard:
+    def test_discard_removes(self):
+        r = Relation(2, tuples=[("a", "x"), ("b", "y")])
+        assert r.discard(("a", "x"))
+        assert ("a", "x") not in r
+        assert len(r) == 1
+
+    def test_discard_missing_false(self):
+        r = Relation(1, tuples=[("a",)])
+        assert not r.discard(("z",))
+
+    def test_discard_maintains_indexes(self):
+        r = Relation(2, tuples=[("a", "x"), ("a", "y")])
+        assert len(list(r.match(("a", None)))) == 2  # builds the index
+        r.discard(("a", "x"))
+        assert list(r.match(("a", None))) == [("a", "y")]
+        r.discard(("a", "y"))
+        assert list(r.match(("a", None))) == []
+
+    def test_discard_then_add_round_trip(self):
+        r = Relation(1, tuples=[("a",)])
+        r.index_on((0,))
+        r.discard(("a",))
+        r.add(("a",))
+        assert list(r.match(("a",))) == [("a",)]

@@ -1,0 +1,68 @@
+"""Tests for the DatalogEngine facade."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.parser import parse_program
+from repro.errors import SafetyError, SchemaError, StratificationError
+
+
+class TestConstruction:
+    def test_from_text(self):
+        engine = DatalogEngine("p(X) :- q(X).")
+        assert engine.program.head_predicates == {"p"}
+
+    def test_from_program_object(self):
+        program = parse_program("p(X) :- q(X).")
+        engine = DatalogEngine(program)
+        assert engine.program is program
+
+    def test_rejects_choice(self):
+        with pytest.raises(SchemaError):
+            DatalogEngine("p(X) :- q(X, Y), choice((X), (Y)).")
+
+    def test_rejects_id_atoms(self):
+        with pytest.raises(SchemaError):
+            DatalogEngine("p(X) :- q[1](X, N).")
+
+    def test_rejects_unsafe(self):
+        with pytest.raises(SafetyError):
+            DatalogEngine("p(X, Y) :- q(X).")
+
+    def test_rejects_unstratified(self):
+        with pytest.raises(StratificationError):
+            DatalogEngine("win(X) :- move(X, Y), not win(Y).")
+
+
+class TestQuerying:
+    def test_query(self):
+        engine = DatalogEngine("""
+            anc(X, Y) :- parent(X, Y).
+            anc(X, Y) :- parent(X, Z), anc(Z, Y).
+        """)
+        db = Database.from_facts(
+            {"parent": [("tom", "bob"), ("bob", "ann")]})
+        assert engine.query(db, "anc") == {
+            ("tom", "bob"), ("bob", "ann"), ("tom", "ann")}
+
+    def test_run_exposes_stats_and_database(self):
+        engine = DatalogEngine("p(X) :- q(X).")
+        db = Database.from_facts({"q": [("a",)]})
+        result = engine.run(db)
+        assert result.tuples("p") == {("a",)}
+        assert result.stats.derived == {"p": 1}
+        assert "q" in result.database.relation_names()
+
+    def test_reusable_across_databases(self):
+        engine = DatalogEngine("p(X) :- q(X).")
+        db1 = Database.from_facts({"q": [("a",)]})
+        db2 = Database.from_facts({"q": [("b",)]})
+        assert engine.query(db1, "p") == {("a",)}
+        assert engine.query(db2, "p") == {("b",)}
+
+    def test_input_database_not_mutated(self):
+        engine = DatalogEngine("p(X) :- q(X).\nq(extra).")
+        db = Database.from_facts({"q": [("a",)]})
+        engine.run(db)
+        assert db.relation("q").frozen() == {("a",)}

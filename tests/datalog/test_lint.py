@@ -1,0 +1,84 @@
+"""Tests for the program linter."""
+
+from repro.datalog.lint import Finding, lint
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestSingletons:
+    def test_singleton_flagged(self):
+        findings = lint("p(X) :- q(X, Y).", hints=False)
+        assert "W01" in codes(findings)
+        assert "Y" in str([f for f in findings if f.code == "W01"][0])
+
+    def test_underscore_convention_silences(self):
+        findings = lint("p(X) :- q(X, _Y).", hints=False)
+        assert "W01" not in codes(findings)
+
+    def test_no_singletons_clean(self):
+        findings = lint("p(X, Y) :- q(X, Y).", hints=False)
+        assert "W01" not in codes(findings)
+
+
+class TestPredicateChecks:
+    def test_unused_predicate(self):
+        findings = lint("p(X) :- e(X).\nq(X) :- e(X).\nr(X) :- q(X).",
+                        hints=False)
+        w02 = [f for f in findings if f.code == "W02"]
+        assert {f.message.split()[1] for f in w02} == {"p", "r"}
+
+    def test_probable_typo(self):
+        findings = lint("""
+            linked(X) :- edge(X, Y).
+            lone(X) :- node(X), not linkd(X).
+        """, hints=False)
+        w03 = [f for f in findings if f.code == "W03"]
+        assert any("linkd" in f.message and "linked" in f.message
+                   for f in w03)
+
+    def test_no_typo_for_distant_names(self):
+        findings = lint("p(X) :- completely_different(X).", hints=False)
+        assert "W03" not in codes(findings)
+
+
+class TestStructuralChecks:
+    def test_duplicate_clause(self):
+        findings = lint("p(X) :- q(X).\np(X) :- q(X).", hints=False)
+        assert "W04" in codes(findings)
+
+    def test_ground_rule(self):
+        findings = lint("flag(on) :- switch(a).", hints=False)
+        assert "W05" in codes(findings)
+
+    def test_ground_rule_with_vars_elsewhere_ok(self):
+        findings = lint("flag(on) :- switch(X).", hints=False)
+        assert "W05" not in codes(findings)
+
+
+class TestHints:
+    def test_existential_hint(self):
+        findings = lint("all_depts(D) :- emp(N, D).")
+        h01 = [f for f in findings if f.code == "H01"]
+        assert h01
+        assert "emp" in h01[0].message
+
+    def test_no_hint_when_nothing_existential(self):
+        findings = lint("q(X, Y) :- e(X, Y).")
+        assert "H01" not in codes(findings)
+
+    def test_hints_can_be_disabled(self):
+        findings = lint("all_depts(D) :- emp(N, D).", hints=False)
+        assert "H01" not in codes(findings)
+
+
+class TestFindingRendering:
+    def test_str_includes_clause(self):
+        findings = lint("p(X) :- q(X, Y).", hints=False)
+        w01 = [f for f in findings if f.code == "W01"][0]
+        assert "q(X, Y)" in str(w01)
+
+    def test_program_level_finding_no_clause(self):
+        finding = Finding("W02", "message")
+        assert str(finding) == "W02: message"

@@ -1,0 +1,84 @@
+"""Coverage for small public helpers not exercised elsewhere."""
+
+import pytest
+
+from repro.datalog.ast import Atom, fact
+from repro.datalog.graph import DependencyGraph
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Const, Var, is_ground
+from repro.errors import ParseError
+
+
+class TestGraphHelpers:
+    PROGRAM = parse_program("""
+        b(X) :- a(X).
+        c(X) :- b(X), not d(X).
+        d(X) :- a(X).
+    """)
+
+    def test_edges_between(self):
+        graph = DependencyGraph.of_program(self.PROGRAM)
+        edges = list(graph.edges_between(["a"], ["b", "d"]))
+        assert {(e.source, e.target) for e in edges} == {
+            ("a", "b"), ("a", "d")}
+
+    def test_edges_between_empty(self):
+        graph = DependencyGraph.of_program(self.PROGRAM)
+        assert list(graph.edges_between(["c"], ["a"])) == []
+
+
+class TestTermHelpers:
+    def test_is_ground(self):
+        assert is_ground(Const("a"))
+        assert not is_ground(Var("X"))
+
+    def test_fact_constructor(self):
+        clause = fact("emp", "ann", 3)
+        assert clause.is_fact
+        assert clause.head.args == (Const("ann"), Const(3))
+
+
+class TestAtomHelpers:
+    def test_substitute(self):
+        atom = Atom("p", (Var("X"), Const("k"), Var("Y")))
+        out = atom.substitute({Var("X"): "v"})
+        assert out.args == (Const("v"), Const("k"), Var("Y"))
+
+    def test_substitute_preserves_group(self):
+        atom = Atom("p", (Var("X"), Var("T")), frozenset({1}))
+        out = atom.substitute({Var("T"): 0})
+        assert out.group == frozenset({1})
+
+    def test_rename_pred(self):
+        atom = Atom("p", (Var("X"),))
+        assert atom.rename_pred("q").pred == "q"
+
+
+class TestParseErrorLocations:
+    def test_column_reported(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(a) q(b).")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column is not None
+
+    def test_message_mentions_expectation(self):
+        with pytest.raises(ParseError, match="expected"):
+            parse_program("p(a)")
+
+
+class TestProgramViews:
+    def test_extend(self):
+        base = parse_program("p(X) :- q(X).")
+        extra = parse_program("r(X) :- p(X).")
+        merged = base.extend(extra.clauses)
+        assert len(merged) == 2
+        assert merged.head_predicates == {"p", "r"}
+
+    def test_len_and_iter(self):
+        program = parse_program("p(a).\nq(b).")
+        assert len(program) == 2
+        assert [c.head.pred for c in program] == ["p", "q"]
+
+    def test_arity_of_unknown_pred(self):
+        with pytest.raises(KeyError):
+            parse_program("p(a).").arity("ghost")

@@ -1,0 +1,188 @@
+"""Tests for the tokenizer, parser and pretty-printer round trip."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.ast import Atom, ChoiceAtom, Clause, Literal
+from repro.datalog.parser import parse_atom, parse_clause, parse_program
+from repro.datalog.pretty import to_source
+from repro.datalog.terms import Const, Var
+from repro.errors import ParseError
+
+
+class TestAtoms:
+    def test_plain_atom(self):
+        atom = parse_atom("emp(Name, Dept)")
+        assert atom == Atom("emp", (Var("Name"), Var("Dept")))
+
+    def test_constants(self):
+        atom = parse_atom("emp(ann, 'R & D', 3)")
+        assert atom.args == (Const("ann"), Const("R & D"), Const(3))
+
+    def test_id_atom_with_grouping(self):
+        atom = parse_atom("emp[2](Name, Dept, N)")
+        assert atom.is_id
+        assert atom.group == frozenset({2})
+        assert atom.base_arity == 2
+
+    def test_id_atom_multiple_positions(self):
+        atom = parse_atom("r[1,3](X, Y, Z, N)")
+        assert atom.group == frozenset({1, 3})
+
+    def test_id_atom_empty_grouping(self):
+        atom = parse_atom("dom[](X, N)")
+        assert atom.is_id
+        assert atom.group == frozenset()
+
+    def test_zero_arity_atom(self):
+        atom = parse_atom("q1()")
+        assert atom.args == ()
+
+    def test_prefix_arithmetic(self):
+        atom = parse_atom("+(N, L, M)")
+        assert atom.pred == "+"
+        assert atom.is_builtin
+
+
+class TestClauses:
+    def test_fact(self):
+        clause = parse_clause("emp(ann, toys).")
+        assert clause.is_fact
+
+    def test_rule_with_body(self):
+        clause = parse_clause("p(X) :- q(X, Z), r(Z).")
+        assert len(clause.body) == 2
+        assert all(lit.positive for lit in clause.body)
+
+    def test_negation(self):
+        clause = parse_clause("lone(X) :- node(X), not linked(X).")
+        assert not clause.body[1].positive
+
+    def test_comparison_infix(self):
+        clause = parse_clause("small(N) :- num(N), N < 2.")
+        cmp_atom = clause.body[1].atom
+        assert cmp_atom.pred == "<"
+        assert cmp_atom.args == (Var("N"), Const(2))
+
+    def test_all_comparisons(self):
+        for op in ("<", "<=", ">", ">=", "=", "!="):
+            clause = parse_clause(f"p(X) :- q(X, Y), X {op} Y.")
+            assert clause.body[1].atom.pred == op
+
+    def test_infix_arith_sugar(self):
+        clause = parse_clause("sum(M) :- pair(N, L), M = N + L.")
+        arith = clause.body[1].atom
+        assert arith.pred == "+"
+        # M = N + L  means  +(N, L, M)
+        assert arith.args == (Var("N"), Var("L"), Var("M"))
+
+    def test_infix_mod_sugar(self):
+        clause = parse_clause("r(M) :- num(N), M = N mod 3.")
+        assert clause.body[1].atom.pred == "mod"
+
+    def test_plain_equality_not_arith(self):
+        clause = parse_clause("p(X) :- q(X, Y), X = Y.")
+        assert clause.body[1].atom.pred == "="
+
+    def test_choice_operator(self):
+        clause = parse_clause(
+            "select_emp(Name) :- emp(Name, Dept), choice((Dept), (Name)).")
+        choice = clause.body[1].atom
+        assert isinstance(choice, ChoiceAtom)
+        assert choice.domain == (Var("Dept"),)
+        assert choice.range == (Var("Name"),)
+
+    def test_choice_empty_domain(self):
+        clause = parse_clause("one(X) :- p(X), choice((), (X)).")
+        choice = clause.body[1].atom
+        assert choice.domain == ()
+
+    def test_paper_sampling_clause(self):
+        """The paper's headline example (Section 1)."""
+        clause = parse_clause(
+            "select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.")
+        id_atom = clause.body[0].atom
+        assert id_atom.group == frozenset({2})
+        assert clause.body[1].atom.pred == "<"
+
+
+class TestPrograms:
+    def test_multi_clause_program(self):
+        program = parse_program("""
+            % transitive closure
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        assert len(program) == 2
+        assert program.head_predicates == {"path"}
+        assert program.input_predicates == {"edge"}
+
+    def test_comments_ignored(self):
+        program = parse_program("p(a). % trailing comment\n% full line\nq(b).")
+        assert len(program) == 2
+
+    def test_related_to(self):
+        program = parse_program("""
+            q1() :- x(c).
+            q2() :- x(a).
+            x(Y) :- p(Y).
+            p(b) :- u(X).
+            p(c) :- y(X).
+            unrelated(Z) :- w(Z).
+        """)
+        related = program.related_to("q1")
+        assert "unrelated" not in related
+        assert {"q1", "x", "p", "u", "y"} <= related
+
+    def test_u_constants(self):
+        program = parse_program("p(a) :- q(b, 3, X).")
+        assert program.u_constants() == {"a", "b"}
+
+
+class TestErrors:
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X)")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse_program("p('oops).")
+
+    def test_stray_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X) & r(X).")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(a).\nq(X) :- ???.")
+        assert excinfo.value.line == 2
+
+    def test_trailing_input_after_clause(self):
+        with pytest.raises(ParseError):
+            parse_clause("p(a). q(b).")
+
+
+class TestRoundTrip:
+    CASES = [
+        "p(a).",
+        "p(X) :- q(X, Z), r(Z, Y).",
+        "lone(X) :- node(X), not linked(X).",
+        "s(N) :- emp[2](X, D, N), N < 2.",
+        "t(X) :- dom[](X, N).",
+        "sum(M) :- pair(N, L), +(N, L, M).",
+        "e(X) :- w(X, Y), choice((X), (Y)).",
+        "c(X, Y) :- d(X), e(Y), X != Y.",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_parse_print_parse(self, source):
+        program = parse_program(source)
+        printed = to_source(program)
+        assert parse_program(printed) == program
+
+    @given(st.lists(st.sampled_from(CASES), min_size=1, max_size=6))
+    def test_roundtrip_combinations(self, sources):
+        text = "\n".join(sources)
+        program = parse_program(text)
+        assert parse_program(to_source(program)) == program

@@ -1,0 +1,116 @@
+"""Tests for derivation-tree provenance."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.provenance import Explainer, explain_tuple, format_tree
+from repro.errors import EvaluationError
+
+TC = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+
+def materialize(program, facts):
+    db = Database.from_facts(facts)
+    return DatalogEngine(program).run(db).database
+
+
+class TestBasics:
+    def test_edb_fact_is_leaf(self):
+        database = materialize(TC, {"edge": [("a", "b")]})
+        tree = explain_tuple(TC, database, "edge", ("a", "b"))
+        assert tree.is_edb
+        assert tree.height == 0
+
+    def test_single_step_derivation(self):
+        database = materialize(TC, {"edge": [("a", "b")]})
+        tree = explain_tuple(TC, database, "path", ("a", "b"))
+        assert not tree.is_edb
+        assert [c.fact for c in tree.children] == [("edge", ("a", "b"))]
+
+    def test_recursive_derivation(self):
+        database = materialize(TC, {"edge": [("a", "b"), ("b", "c"),
+                                             ("c", "d")]})
+        tree = explain_tuple(TC, database, "path", ("a", "d"))
+        assert tree.height == 3  # edge + two recursive steps
+        used = tree.facts_used()
+        assert ("edge", ("a", "b")) in used
+        assert ("edge", ("c", "d")) in used
+
+    def test_cycle_handled(self):
+        database = materialize(TC, {"edge": [("a", "b"), ("b", "a")]})
+        tree = explain_tuple(TC, database, "path", ("a", "a"))
+        assert tree.fact == ("path", ("a", "a"))
+        assert tree.height >= 1
+
+    def test_missing_tuple_rejected(self):
+        database = materialize(TC, {"edge": [("a", "b")]})
+        with pytest.raises(EvaluationError):
+            explain_tuple(TC, database, "path", ("b", "a"))
+
+    def test_negation_and_builtin_recorded_as_checks(self):
+        program = """
+            linked(X) :- edge(X, Y).
+            lone(X) :- node(X), not linked(X).
+            big(X) :- val(X, N), N > 5.
+        """
+        database = materialize(program, {
+            "node": [("a",), ("z",)], "edge": [("a", "b")],
+            "val": [("v", 9)]})
+        lone = explain_tuple(program, database, "lone", ("z",))
+        assert any("not linked(z)" in check for check in lone.checks)
+        big = explain_tuple(program, database, "big", ("v",))
+        assert any(">(9, 5)" in check for check in big.checks)
+
+    def test_fact_clause_derivation(self):
+        program = "edge(a, b).\npath(X, Y) :- edge(X, Y)."
+        database = DatalogEngine(program).run(Database()).database
+        tree = explain_tuple(program, database, "edge", ("a", "b"))
+        assert tree.clause is not None and tree.clause.is_fact
+
+
+class TestRendering:
+    def test_format_tree(self):
+        database = materialize(TC, {"edge": [("a", "b"), ("b", "c")]})
+        text = format_tree(explain_tuple(TC, database, "path", ("a", "c")))
+        assert "path(a, c)" in text
+        assert "[edb]" in text
+        assert "[via " in text
+
+    def test_indentation_nested(self):
+        database = materialize(TC, {"edge": [("a", "b"), ("b", "c")]})
+        text = format_tree(explain_tuple(TC, database, "path", ("a", "c")))
+        assert "\n  " in text  # at least one nested level
+
+
+class TestExplainerReuse:
+    def test_explainer_answers_many(self):
+        database = materialize(TC, {"edge": [(f"n{i}", f"n{i+1}")
+                                             for i in range(6)]})
+        explainer = Explainer(TC, database)
+        for i in range(6):
+            tree = explainer.explain("path", ("n0", f"n{i+1}"))
+            assert tree.fact == ("path", ("n0", f"n{i+1}"))
+
+    def test_idlog_support_is_assignment_leaf(self):
+        from repro.core import IdlogEngine
+        program = "pick(X) :- item[](X, 0)."
+        db = Database.from_facts({"item": [("a",), ("b",)]})
+        result = IdlogEngine(program).run(db)
+        (row,) = result.tuples("pick")
+        tree = explain_tuple(program, result.database, "pick", row,
+                             id_relations=result.id_relations)
+        (leaf,) = tree.children
+        assert leaf.fact[0] == "item[id]"
+
+    def test_idlog_without_assignment_rejected(self):
+        from repro.core import IdlogEngine
+        program = "pick(X) :- item[](X, 0)."
+        db = Database.from_facts({"item": [("a",), ("b",)]})
+        result = IdlogEngine(program).run(db)
+        (row,) = result.tuples("pick")
+        with pytest.raises(EvaluationError):
+            explain_tuple(program, result.database, "pick", row)

@@ -1,0 +1,123 @@
+"""Tests for the safety checker / body planner."""
+
+import pytest
+
+from repro.datalog.parser import parse_clause, parse_program
+from repro.datalog.safety import (binding_pattern, check_clause,
+                                  check_program, order_body)
+from repro.datalog.terms import Var
+from repro.errors import SafetyError
+
+
+def order_names(clause, **kwargs):
+    return [str(lit.atom) for lit in order_body(clause, **kwargs)]
+
+
+class TestSafeClauses:
+    def test_plain_join(self):
+        check_clause(parse_clause("p(X, Y) :- q(X, Z), r(Z, Y)."))
+
+    def test_paper_safe_plus(self):
+        """p2(X, N) :- q(X, N), +(L, M, N) is allowed in the paper."""
+        check_clause(parse_clause("p2(X, N) :- q(X, N), +(L, M, N)."))
+
+    def test_paper_unsafe_plus(self):
+        """p1(X, N) :- q(X, N), +(N, L, M) is rejected in the paper."""
+        with pytest.raises(SafetyError):
+            check_clause(parse_clause("p1(X, N) :- q(X, N), +(N, L, M)."))
+
+    def test_negation_needs_bound_vars(self):
+        check_clause(parse_clause("p(X) :- q(X), not r(X)."))
+        with pytest.raises(SafetyError):
+            check_clause(parse_clause("p(X) :- q(X), not r(Y)."))
+
+    def test_head_vars_must_be_bound(self):
+        with pytest.raises(SafetyError):
+            check_clause(parse_clause("p(X, Y) :- q(X)."))
+
+    def test_nonground_fact_unsafe(self):
+        with pytest.raises(SafetyError):
+            check_clause(parse_clause("p(X)."))
+
+    def test_comparison_reordered_after_binder(self):
+        # The comparison comes first in source order but must run second.
+        clause = parse_clause("p(N) :- N < 2, q(N).")
+        names = order_names(clause)
+        assert names == ["q(N)", "<(N, 2)"]
+
+    def test_arith_chain(self):
+        check_clause(parse_clause(
+            "p(S) :- q(A), r(B), T = A + B, S = T * 2."))
+
+    def test_equality_binds(self):
+        check_clause(parse_clause("p(Y) :- q(X), Y = X."))
+
+    def test_unbound_equality_unsafe(self):
+        with pytest.raises(SafetyError):
+            check_clause(parse_clause("p(Y) :- Y = Z."))
+
+    def test_id_literal_binds_vars(self):
+        check_clause(parse_clause("s(Name) :- emp[2](Name, Dept, 0)."))
+
+    def test_negated_id_literal_needs_bound(self):
+        check_clause(parse_clause(
+            "p(X) :- emp(X, D), num(N), not emp[2](X, D, N)."))
+
+    def test_negated_builtin_fully_bound_ok(self):
+        check_clause(parse_clause("p(X) :- q(X, N), not N < 2."))
+
+    def test_negated_builtin_unbound_rejected(self):
+        with pytest.raises(SafetyError):
+            check_clause(parse_clause("p(X) :- q(X), not N < 2."))
+
+
+class TestOrdering:
+    def test_filters_scheduled_asap(self):
+        clause = parse_clause("p(X) :- q(X), r(X, Y), X != a.")
+        names = order_names(clause)
+        # The disequality runs as soon as X is bound, before the join with r.
+        assert names.index("!=(X, a)") < names.index("r(X, Y)")
+
+    def test_forced_first_literal(self):
+        clause = parse_clause("p(X, Y) :- q(X, Z), r(Z, Y).")
+        forced = clause.body[1]
+        names = order_names(clause, first=forced)
+        assert names[0] == "r(Z, Y)"
+
+    def test_forced_first_must_be_positive_relation(self):
+        clause = parse_clause("p(X) :- q(X), not r(X).")
+        with pytest.raises(SafetyError):
+            order_body(clause, first=clause.body[1])
+
+    def test_initially_bound_allows_otherwise_unsafe(self):
+        clause = parse_clause("p(X) :- not r(X), q(X).")
+        # Fine: q binds X, planner reorders.  Also fine with X pre-bound.
+        order_body(clause)
+        order_body(clause, initially_bound=frozenset({Var("X")}))
+
+
+class TestBindingPattern:
+    def test_constants_count_bound(self):
+        clause = parse_clause("p(N) :- q(N), +(N, 1, M).")
+        plus = clause.body[1].atom
+        assert binding_pattern(plus, frozenset({Var("N")})) == "bbn"
+
+    def test_unbound_vars(self):
+        clause = parse_clause("p(N) :- q(N), +(A, B, N).")
+        plus = clause.body[1].atom
+        assert binding_pattern(plus, frozenset({Var("N")})) == "nnb"
+
+
+class TestProgramCheck:
+    def test_program_with_one_bad_clause(self):
+        program = parse_program("""
+            good(X) :- q(X).
+            bad(X, Y) :- q(X).
+        """)
+        with pytest.raises(SafetyError):
+            check_program(program)
+
+    def test_choice_rejected_by_planner(self):
+        clause = parse_clause("p(X) :- q(X, Y), choice((X), (Y)).")
+        with pytest.raises(SafetyError):
+            check_clause(clause)

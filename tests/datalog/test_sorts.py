@@ -1,0 +1,117 @@
+"""Tests for static sort inference (§2.2's implicit two-sortedness)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.sorts import (check_database_sorts, format_signatures,
+                                 infer_signatures)
+from repro.datalog.terms import Sort
+from repro.errors import SchemaError
+
+
+class TestInference:
+    def test_constants_fix_sorts(self):
+        sigs = infer_signatures("p(a, 3).")
+        assert sigs["p"] == (Sort.U, Sort.I)
+
+    def test_arithmetic_forces_i(self):
+        sigs = infer_signatures("q(M) :- pair(A, B), M = A + B.")
+        assert sigs["pair"] == (Sort.I, Sort.I)
+        assert sigs["q"] == (Sort.I,)
+
+    def test_comparison_forces_i(self):
+        sigs = infer_signatures("small(X) :- val(X, N), N < 10.")
+        assert sigs["val"] == (None, Sort.I)
+        assert sigs["small"] == (None,)
+
+    def test_shared_vars_propagate(self):
+        sigs = infer_signatures("""
+            p(X) :- q(X), r(X, 5).
+            s(Y) :- r(Y, N).
+        """)
+        # X flows q.1 -> p.1; Y flows r.1 -> s.1; r.2 is numeric.
+        assert sigs["r"] == (None, Sort.I)
+        assert sigs["q"] == sigs["p"]
+
+    def test_propagation_through_predicates(self):
+        sigs = infer_signatures("""
+            age(bob, 42).
+            adultish(X, A) :- age(X, A).
+            seen(A) :- adultish(X, A).
+        """)
+        assert sigs["age"] == (Sort.U, Sort.I)
+        assert sigs["adultish"] == (Sort.U, Sort.I)
+        assert sigs["seen"] == (Sort.I,)
+
+    def test_tid_position_is_i(self):
+        sigs = infer_signatures("two(N, T) :- emp[2](N, D, T), T < 2.")
+        assert sigs["two"] == (None, Sort.I)
+        # emp's BASE columns are unconstrained; the tid is not a column.
+        assert sigs["emp"] == (None, None)
+
+    def test_unconstrained_stays_unknown(self):
+        sigs = infer_signatures("p(X) :- q(X).")
+        assert sigs["p"] == (None,)
+
+    def test_equality_unifies_sides(self):
+        sigs = infer_signatures("p(X) :- q(X), r(N), X = N, N < 5.")
+        assert sigs["q"] == (Sort.I,)
+
+    def test_polymorphic_equality_with_string(self):
+        sigs = infer_signatures("p(X) :- q(X), X = abc.")
+        assert sigs["q"] == (Sort.U,)
+
+
+class TestConflicts:
+    def test_constant_conflict(self):
+        with pytest.raises(SchemaError, match="sort conflict"):
+            infer_signatures("p(a).\np(3).")
+
+    def test_arith_vs_string_conflict(self):
+        with pytest.raises(SchemaError, match="sort conflict"):
+            infer_signatures("""
+                p(X) :- q(X), X < 5.
+                q(abc).
+            """)
+
+    def test_cross_clause_conflict(self):
+        with pytest.raises(SchemaError):
+            infer_signatures("""
+                s(3).
+                w(X) :- s(X), name(X).
+                name(bob).
+            """)
+
+    def test_string_in_arithmetic_rejected(self):
+        with pytest.raises(SchemaError):
+            infer_signatures("p(X) :- q(X), succ(abc, X).")
+
+
+class TestDatabaseValidation:
+    PROGRAM = "small(X) :- val(X, N), N < 10."
+
+    def test_matching_database_passes(self):
+        db = Database.from_facts({"val": [("a", 5)]})
+        check_database_sorts(self.PROGRAM, db)
+
+    def test_wrong_sort_rejected(self):
+        db = Database.from_facts({"val": [("a", "five")]})
+        with pytest.raises(SchemaError, match="column 2"):
+            check_database_sorts(self.PROGRAM, db)
+
+    def test_wrong_arity_rejected(self):
+        db = Database.from_facts({"val": [("a",)]})
+        with pytest.raises(SchemaError, match="arity"):
+            check_database_sorts(self.PROGRAM, db)
+
+    def test_unconstrained_column_accepts_both(self):
+        program = "p(X) :- q(X)."
+        check_database_sorts(program, Database.from_facts({"q": [("a",)]}))
+        check_database_sorts(program, Database.from_facts({"q": [(3,)]}))
+
+
+class TestFormatting:
+    def test_paper_notation(self):
+        text = format_signatures(infer_signatures("p(a, 3) :- q(X)."))
+        assert "p/2: 01" in text
+        assert "q/1: ?" in text

@@ -1,0 +1,87 @@
+"""Tests for directory-based database persistence."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database, Relation
+from repro.datalog.storage import SCHEMA_FILE, load_database, save_database
+from repro.datalog.terms import Sort
+from repro.errors import SchemaError
+
+
+def sample_db():
+    return Database.from_facts({
+        "emp": [("ann", "toys"), ("bob", "it")],
+        "score": [("ann", 10), ("bob", 7)],
+    }, udomain=["ann", "bob", "toys", "it", "spare"])
+
+
+class TestRoundTrip:
+    def test_snapshot_identical(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "snap"))
+        back = load_database(str(tmp_path / "snap"))
+        assert back.snapshot() == db.snapshot()
+
+    def test_udomain_preserved(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "snap"))
+        back = load_database(str(tmp_path / "snap"))
+        assert "spare" in back.udomain
+
+    def test_numeric_columns_stay_numeric(self, tmp_path):
+        db = sample_db()
+        save_database(db, str(tmp_path / "snap"))
+        back = load_database(str(tmp_path / "snap"))
+        assert ("ann", 10) in back.relation("score")
+        assert back.relation("score").schema == (Sort.U, Sort.I)
+
+    def test_empty_relation_preserved(self, tmp_path):
+        db = Database({"ghost": Relation(3, schema=(Sort.U,) * 3)})
+        save_database(db, str(tmp_path / "snap"))
+        back = load_database(str(tmp_path / "snap"))
+        assert back.relation("ghost").arity == 3
+        assert len(back.relation("ghost")) == 0
+
+    @given(rows=st.lists(st.tuples(st.sampled_from("abc"),
+                                   st.integers(min_value=0, max_value=99)),
+                         min_size=1, max_size=10))
+    @settings(max_examples=15, deadline=None)
+    def test_random_roundtrip(self, rows, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("snap"))
+        db = Database.from_facts({"r": rows})
+        save_database(db, directory)
+        assert load_database(directory).snapshot() == db.snapshot()
+
+
+class TestErrors:
+    def test_missing_schema_file(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database(str(tmp_path))
+
+    def test_unsafe_relation_name(self, tmp_path):
+        db = Database({"../evil": Relation(1)})
+        with pytest.raises(SchemaError):
+            save_database(db, str(tmp_path / "snap"))
+
+    def test_corrupted_schema_arity(self, tmp_path):
+        directory = tmp_path / "snap"
+        save_database(sample_db(), str(directory))
+        schema_path = directory / SCHEMA_FILE
+        schema = json.loads(schema_path.read_text())
+        schema["relations"]["emp"]["arity"] = 5
+        schema_path.write_text(json.dumps(schema))
+        with pytest.raises(SchemaError):
+            load_database(str(directory))
+
+    def test_schema_file_lists_relations(self, tmp_path):
+        directory = tmp_path / "snap"
+        save_database(sample_db(), str(directory))
+        schema = json.loads((directory / SCHEMA_FILE).read_text())
+        assert set(schema["relations"]) == {"emp", "score"}
+        assert schema["relations"]["score"]["type"] == "01"
+        assert os.path.exists(directory / "emp.csv")

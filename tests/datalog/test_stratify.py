@@ -1,0 +1,127 @@
+"""Tests for dependency graphs and stratification."""
+
+import pytest
+
+from repro.datalog.graph import DependencyGraph
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import is_stratified, stratify
+from repro.errors import StratificationError
+
+
+class TestDependencyGraph:
+    def test_edges_and_strictness(self):
+        program = parse_program("""
+            p(X) :- q(X), not r(X).
+            s(X) :- p[1](X, N).
+        """)
+        graph = DependencyGraph.of_program(program)
+        strict = {(e.source, e.target) for e in graph.edges if e.strict}
+        lax = {(e.source, e.target) for e in graph.edges if not e.strict}
+        assert ("q", "p") in lax
+        assert ("r", "p") in strict      # negation
+        assert ("p", "s") in strict      # ID-literal
+
+    def test_builtins_contribute_no_edges(self):
+        program = parse_program("p(M) :- q(N), M = N + 1.")
+        graph = DependencyGraph.of_program(program)
+        assert {e.source for e in graph.edges} == {"q"}
+
+    def test_sccs_topological(self):
+        program = parse_program("""
+            b(X) :- a(X).
+            c(X) :- b(X).
+            b(X) :- c(X).
+            d(X) :- c(X).
+        """)
+        graph = DependencyGraph.of_program(program)
+        sccs = graph.sccs()
+        index = {pred: i for i, comp in enumerate(sccs) for pred in comp}
+        assert index["a"] < index["b"]
+        assert index["b"] == index["c"]
+        assert index["c"] < index["d"]
+
+
+class TestStratify:
+    def test_positive_recursion_single_stratum(self):
+        program = parse_program("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        strat = stratify(program)
+        assert strat.level["path"] == strat.level["edge"]
+
+    def test_negation_forces_higher_stratum(self):
+        program = parse_program("""
+            linked(X) :- edge(X, Y).
+            lone(X) :- node(X), not linked(X).
+        """)
+        strat = stratify(program)
+        assert strat.level["lone"] == strat.level["linked"] + 1
+
+    def test_id_literal_forces_higher_stratum(self):
+        program = parse_program("""
+            guess(X) :- person(X).
+            man(X) :- guess[1](X, N).
+        """)
+        strat = stratify(program)
+        assert strat.level["man"] == strat.level["guess"] + 1
+
+    def test_recursion_through_negation_rejected(self):
+        program = parse_program("""
+            win(X) :- move(X, Y), not win(Y).
+        """)
+        with pytest.raises(StratificationError):
+            stratify(program)
+        assert not is_stratified(program)
+
+    def test_recursion_through_id_literal_rejected(self):
+        program = parse_program("""
+            p(X) :- p[1](X, N).
+        """)
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_mutual_negation_rejected(self):
+        program = parse_program("""
+            man(X) :- person(X), not woman(X).
+            woman(X) :- person(X), not man(X).
+        """)
+        assert not is_stratified(program)
+
+    def test_strata_partition_predicates(self):
+        program = parse_program("""
+            a(X) :- e(X).
+            b(X) :- a(X), not c(X).
+            c(X) :- e(X).
+            d(X) :- b[1](X, N).
+        """)
+        strat = stratify(program)
+        all_preds = set()
+        for stratum in strat.strata:
+            assert not (all_preds & stratum)
+            all_preds |= stratum
+        assert all_preds == set(program.predicates)
+
+    def test_paper_theorem2_four_strata(self):
+        """The Theorem 2 translation shape: base, all-choices, chosen, head."""
+        program = parse_program("""
+            sex_guess(X, m) :- person(X).
+            sex_guess(X, f) :- person(X).
+            sex(X, Y) :- sex_guess[1](X, Y, 0).
+            man(X) :- sex(X, m).
+        """)
+        strat = stratify(program)
+        levels = {strat.level[p]
+                  for p in ("person", "sex_guess", "sex", "man")}
+        assert strat.level["person"] == strat.level["sex_guess"]
+        assert strat.level["sex"] == strat.level["sex_guess"] + 1
+        assert strat.level["man"] == strat.level["sex"]
+
+    def test_depth_counts_strict_chains(self):
+        program = parse_program("""
+            a(X) :- e(X).
+            b(X) :- e(X), not a(X).
+            c(X) :- e(X), not b(X).
+            d(X) :- e(X), not c(X).
+        """)
+        assert stratify(program).depth == 4

@@ -1,0 +1,77 @@
+"""Tests for the two-sorted term layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datalog.terms import (Const, Sort, Var, format_type,
+                                 fresh_var_factory, parse_type,
+                                 sort_of_value, term_vars, type_of_tuple)
+
+
+class TestSortOfValue:
+    def test_string_is_u(self):
+        assert sort_of_value("alice") is Sort.U
+
+    def test_int_is_i(self):
+        assert sort_of_value(7) is Sort.I
+
+    def test_zero_is_i(self):
+        assert sort_of_value(0) is Sort.I
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sort_of_value(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            sort_of_value(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            sort_of_value(1.5)
+
+
+class TestRelationTypes:
+    def test_type_of_tuple(self):
+        assert type_of_tuple(("a", 3, "b")) == (Sort.U, Sort.I, Sort.U)
+
+    def test_parse_type_roundtrip(self):
+        assert format_type(parse_type("0101")) == "0101"
+
+    def test_parse_type_rejects_other_chars(self):
+        with pytest.raises(ValueError):
+            parse_type("012")
+
+    @given(st.lists(st.sampled_from("01"), max_size=8))
+    def test_parse_format_inverse(self, chars):
+        spec = "".join(chars)
+        assert format_type(parse_type(spec)) == spec
+
+
+class TestTerms:
+    def test_var_equality_by_name(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+
+    def test_const_sort(self):
+        assert Const("a").sort is Sort.U
+        assert Const(3).sort is Sort.I
+
+    def test_const_str_quotes_non_identifier(self):
+        assert str(Const("hello world")) == "'hello world'"
+        assert str(Const("abc")) == "abc"
+        assert str(Const("Abc")) == "'Abc'"  # uppercase would read as a var
+
+    def test_term_vars(self):
+        terms = (Var("X"), Const("a"), Var("Y"), Var("X"))
+        assert term_vars(terms) == frozenset({Var("X"), Var("Y")})
+
+    def test_fresh_vars_distinct(self):
+        fresh = fresh_var_factory()
+        names = {fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_fresh_vars_reserved_prefix(self):
+        fresh = fresh_var_factory()
+        assert fresh().name.startswith("_")

@@ -1,0 +1,194 @@
+"""Tests for tabled top-down evaluation, including three-way differential
+checks against bottom-up and magic-sets evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.topdown import TopDownEngine, query_topdown
+from repro.errors import SchemaError
+from repro.optimizer.magic import answer_goal
+from repro.testing import random_edb, random_stratified_program
+
+RIGHT_TC = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+LEFT_TC = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+"""
+
+
+def chain(n):
+    return Database.from_facts(
+        {"edge": [(f"n{i}", f"n{i+1}") for i in range(n)]})
+
+
+class TestBasics:
+    def test_bound_goal(self):
+        assert query_topdown(RIGHT_TC, chain(3), "path(n0, Y)") == {
+            ("n0", "n1"), ("n0", "n2"), ("n0", "n3")}
+
+    def test_left_recursion_terminates(self):
+        """Plain SLD loops on left recursion; tabling must not."""
+        assert query_topdown(LEFT_TC, chain(3), "path(n0, Y)") == {
+            ("n0", "n1"), ("n0", "n2"), ("n0", "n3")}
+
+    def test_cyclic_data_terminates(self):
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "a")]})
+        assert query_topdown(RIGHT_TC, db, "path(a, Y)") == {
+            ("a", "a"), ("a", "b")}
+
+    def test_fully_bound_goal(self):
+        assert query_topdown(RIGHT_TC, chain(3), "path(n0, n3)") == {
+            ("n0", "n3")}
+        assert query_topdown(RIGHT_TC, chain(3), "path(n3, n0)") == \
+            frozenset()
+
+    def test_free_goal_matches_bottom_up(self):
+        db = chain(4)
+        assert query_topdown(RIGHT_TC, db, "path(X, Y)") == \
+            DatalogEngine(RIGHT_TC).query(db, "path")
+
+    def test_edb_goal(self):
+        db = chain(2)
+        assert query_topdown(RIGHT_TC, db, "edge(n0, Y)") == {("n0", "n1")}
+
+    def test_builtins_in_bodies(self):
+        program = "small(X, N) :- val(X, N), N < 10."
+        db = Database.from_facts({"val": [("a", 5), ("b", 15)]})
+        assert query_topdown(program, db, "small(X, N)") == {("a", 5)}
+
+    def test_arith_generation(self):
+        program = "s(M) :- pair(A, B), M = A + B."
+        db = Database.from_facts({"pair": [(2, 3)]})
+        assert query_topdown(program, db, "s(M)") == {(5,)}
+
+    def test_repeated_vars_in_goal(self):
+        program = "loop(X, Y) :- edge(X, Y)."
+        db = Database.from_facts({"edge": [("a", "a"), ("a", "b")]})
+        assert query_topdown(program, db, "loop(X, X)") == {("a", "a")}
+
+
+class TestRelevance:
+    def test_tables_only_reachable_subgoals(self):
+        reachable = [(f"n{i}", f"n{i+1}") for i in range(3)]
+        junk = [(f"m{i}", f"m{i+1}") for i in range(50)]
+        db = Database.from_facts({"edge": reachable + junk})
+        engine = TopDownEngine(RIGHT_TC)
+        answers = engine.query(db, "path(n0, Y)")
+        assert len(answers) == 3
+        # Subgoals stay within the n-component (+ the edge calls).
+        assert engine.subgoals_tabled < 20
+
+
+class TestValidation:
+    def test_unstratified_rejected(self):
+        from repro.errors import StratificationError
+        with pytest.raises(StratificationError):
+            TopDownEngine("win(X) :- move(X, Y), not win(Y).")
+
+    def test_id_atoms_rejected(self):
+        with pytest.raises(SchemaError):
+            TopDownEngine("p(X) :- e[](X, 0).")
+
+    def test_negative_builtin_allowed(self):
+        program = "p(X) :- e(X, N), not N < 3."
+        db = Database.from_facts({"e": [("a", 5), ("b", 1)]})
+        assert query_topdown(program, db, "p(X)") == {("a",)}
+
+
+class TestStratifiedNegation:
+    LONE = """
+        linked(X) :- edge(X, Y).
+        linked(Y) :- edge(X, Y).
+        lone(X) :- node(X), not linked(X).
+    """
+
+    def test_simple_negation(self):
+        db = Database.from_facts({
+            "node": [("a",), ("b",), ("z",)], "edge": [("a", "b")]})
+        assert query_topdown(self.LONE, db, "lone(X)") == {("z",)}
+
+    def test_negation_over_recursion(self):
+        program = RIGHT_TC + """
+            unreachable(X, Y) :- node(X), node(Y), not path(X, Y).
+        """
+        db = Database.from_facts({
+            "edge": [("a", "b")], "node": [("a",), ("b",)]})
+        assert query_topdown(program, db, "unreachable(X, Y)") == {
+            ("a", "a"), ("b", "a"), ("b", "b")}
+        assert query_topdown(program, db, "unreachable(b, Y)") == {
+            ("b", "a"), ("b", "b")}
+
+    def test_double_negation(self):
+        program = """
+            a(X) :- e(X), not b(X).
+            b(X) :- f(X).
+            c(X) :- e(X), not a(X).
+        """
+        db = Database.from_facts({"e": [("x",), ("y",)], "f": [("x",)]})
+        assert query_topdown(program, db, "c(X)") == {("x",)}
+
+    def test_negated_pred_with_recursion_inside(self):
+        """The negated cone itself needs a fixpoint (path is recursive)."""
+        program = RIGHT_TC + """
+            cut(X) :- node(X), not path(a, X).
+        """
+        db = Database.from_facts({
+            "edge": [("a", "b"), ("b", "c")],
+            "node": [("b",), ("c",), ("z",)]})
+        assert query_topdown(program, db, "cut(X)") == {("z",)}
+
+    @given(pseed=st.integers(min_value=0, max_value=5_000),
+           dseed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_differential_with_negation(self, pseed, dseed):
+        rng = random.Random(pseed)
+        program = random_stratified_program(rng, allow_negation=True)
+        query = sorted(program.head_predicates)[-1]
+        db = random_edb(program, random.Random(dseed))
+        bottom_up = DatalogEngine(program).query(db, query)
+        arity = program.arity(query)
+        goal = f"{query}({', '.join(f'V{i}' for i in range(arity))})"
+        assert query_topdown(program, db, goal) == bottom_up
+
+
+class TestThreeWayDifferential:
+    """Bottom-up, magic-rewritten bottom-up, and tabled top-down must all
+    agree — three independently implemented strategies."""
+
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.sampled_from("abcd")),
+                    max_size=8),
+           st.sampled_from("abcd"),
+           st.sampled_from([RIGHT_TC, LEFT_TC]))
+    @settings(max_examples=40, deadline=None)
+    def test_transitive_closure(self, edges, start, program):
+        db = Database.from_facts({"edge": edges}) if edges else Database()
+        goal = f"path({start}, Y)"
+        bottom_up = frozenset(
+            row for row in DatalogEngine(program).query(db, "path")
+            if row[0] == start)
+        assert query_topdown(program, db, goal) == bottom_up
+        assert answer_goal(program, db, goal) == bottom_up
+
+    @given(seed=st.integers(min_value=0, max_value=5_000),
+           dseed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_positive_programs(self, seed, dseed):
+        rng = random.Random(seed)
+        program = random_stratified_program(rng, allow_negation=False)
+        query = sorted(program.head_predicates)[-1]
+        db = random_edb(program, random.Random(dseed))
+        bottom_up = DatalogEngine(program).query(db, query)
+        arity = program.arity(query)
+        goal = f"{query}({', '.join(f'V{i}' for i in range(arity))})"
+        assert query_topdown(program, db, goal) == bottom_up
+        assert answer_goal(program, db, goal) == bottom_up

@@ -1,0 +1,92 @@
+"""Tests for DATALOG^∨ minimal-model semantics (paper §3.2, Example 2)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.disjunctive import DisjunctiveEngine, parse_disjunctive_program
+from repro.errors import SchemaError
+
+PEOPLE = Database.from_facts({"person": [("a",), ("b",)]})
+
+
+class TestParsing:
+    def test_disjunctive_heads(self):
+        program = parse_disjunctive_program("p(X) | q(X) :- e(X).")
+        assert len(program.clauses[0].heads) == 2
+
+    def test_single_head_ok(self):
+        program = parse_disjunctive_program("p(X) :- e(X).")
+        assert len(program.clauses[0].heads) == 1
+
+    def test_negative_body_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_disjunctive_program("p(X) | q(X) :- e(X), not f(X).")
+
+    def test_unbound_head_var_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_disjunctive_program("p(X) | q(Y) :- e(X).")
+
+
+class TestMinimalModels:
+    def test_example2_clause(self):
+        """man(X) ∨ woman(X) :- person(X): four minimal models."""
+        engine = DisjunctiveEngine("man(X) | woman(X) :- person(X).")
+        models = engine.minimal_models(PEOPLE)
+        assert len(models) == 4
+        for model in models:
+            classified = {row for name, row in model
+                          if name in ("man", "woman")}
+            assert classified == {("a",), ("b",)}
+            men = {row for name, row in model if name == "man"}
+            women = {row for name, row in model if name == "woman"}
+            assert not (men & women)  # minimality: never both
+
+    def test_answers_match_paper_example2(self):
+        engine = DisjunctiveEngine("man(X) | woman(X) :- person(X).")
+        expected = {frozenset(), frozenset({("a",)}), frozenset({("b",)}),
+                    frozenset({("a",), ("b",)})}
+        assert engine.answers(PEOPLE, "man") == expected
+        assert engine.answers(PEOPLE, "woman") == expected
+
+    def test_horn_program_unique_minimal_model(self):
+        engine = DisjunctiveEngine("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
+        models = engine.minimal_models(db)
+        assert len(models) == 1
+        assert engine.answers(db, "path") == {
+            frozenset({("a", "b"), ("b", "c"), ("a", "c")})}
+
+    def test_nonminimal_models_filtered(self):
+        # p(a) | q(a) has models {p}, {q} and {p, q}; only the first two
+        # are minimal.
+        engine = DisjunctiveEngine("p(X) | q(X) :- e(X).")
+        db = Database.from_facts({"e": [("a",)]})
+        assert len(engine.models(db)) >= len(engine.minimal_models(db))
+        assert len(engine.minimal_models(db)) == 2
+
+    def test_disjunction_feeding_recursion(self):
+        engine = DisjunctiveEngine("""
+            in(X) | out(X) :- node(X).
+            reached(X) :- in(X).
+        """)
+        db = Database.from_facts({"node": [("n",)]})
+        answers = engine.answers(db, "reached")
+        assert answers == {frozenset(), frozenset({("n",)})}
+
+    def test_agreement_with_idlog_example2(self):
+        """E2 cross-check: DATALOG^∨ == IDLOG on the man/woman query."""
+        from repro.core import IdlogEngine
+        dlv = DisjunctiveEngine("man(X) | woman(X) :- person(X).")
+        idlog = IdlogEngine("""
+            sex_guess(X, male) :- person(X).
+            sex_guess(X, female) :- person(X).
+            man(X) :- sex_guess[1](X, male, 1).
+            woman(X) :- sex_guess[1](X, female, 1).
+        """)
+        for people in ([("a",)], [("a",), ("b",), ("c",)]):
+            db = Database.from_facts({"person": people})
+            assert dlv.answers(db, "man") == idlog.answers(db, "man")
+            assert dlv.answers(db, "woman") == idlog.answers(db, "woman")

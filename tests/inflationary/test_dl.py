@@ -1,0 +1,148 @@
+"""Tests for DL / N-DATALOG inflationary semantics (paper §3.2.1, Ex. 3)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.errors import EvaluationError, SchemaError
+from repro.inflationary import (DLEngine, parse_dl_program,
+                                parse_ndatalog_program)
+
+EX3 = """
+    man(X) :- person(X), not woman(X).
+    woman(X) :- person(X), not man(X).
+"""
+
+PEOPLE = Database.from_facts({"person": [("a",), ("b",)]})
+
+
+class TestParsing:
+    def test_multiple_heads(self):
+        program = parse_dl_program("p(X), q(X) :- e(X).")
+        assert len(program.clauses[0].heads) == 2
+
+    def test_invented_values_detected(self):
+        program = parse_dl_program("p(X, Y) :- e(X).")
+        assert program.has_invention
+
+    def test_dl_rejects_negative_heads(self):
+        with pytest.raises(SchemaError):
+            parse_dl_program("not p(X) :- e(X).")
+
+    def test_ndatalog_accepts_negative_heads(self):
+        program = parse_ndatalog_program("not p(X) :- e(X), p(X).")
+        assert program.has_deletion
+
+    def test_ndatalog_rejects_unbound_head_vars(self):
+        with pytest.raises(SchemaError):
+            parse_ndatalog_program("p(X, Y) :- e(X).")
+
+
+class TestExample3:
+    def test_nondeterministic_answers(self):
+        """man(r) = woman(r) = {∅, {a}, {b}, {a,b}} (the paper's values)."""
+        engine = DLEngine(EX3)
+        expected = {frozenset(), frozenset({("a",)}), frozenset({("b",)}),
+                    frozenset({("a",), ("b",)})}
+        assert engine.answers(PEOPLE, "man") == expected
+        assert engine.answers(PEOPLE, "woman") == expected
+
+    def test_deterministic_answers(self):
+        """Deterministically man(r) = woman(r) = {(a), (b)}."""
+        engine = DLEngine(EX3)
+        state = engine.deterministic_fixpoint(PEOPLE)
+        assert engine.project(state, "man") == {("a",), ("b",)}
+        assert engine.project(state, "woman") == {("a",), ("b",)}
+
+    def test_one_terminal_state_consistent(self):
+        engine = DLEngine(EX3)
+        for seed in range(10):
+            state = engine.one(PEOPLE, seed=seed)
+            man = engine.project(state, "man")
+            woman = engine.project(state, "woman")
+            # Terminal: every person classified, never both ways.
+            assert man | woman == {("a",), ("b",)}
+            assert not (man & woman)
+
+
+class TestDLSemantics:
+    def test_positive_program_single_answer(self):
+        engine = DLEngine("p(X) :- e(X).")
+        db = Database.from_facts({"e": [("a",), ("b",)]})
+        assert engine.answers(db, "p") == {frozenset({("a",), ("b",)})}
+
+    def test_transitive_closure(self):
+        engine = DLEngine("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
+        assert engine.answers(db, "path") == {
+            frozenset({("a", "b"), ("b", "c"), ("a", "c")})}
+
+    def test_conjunctive_head_adds_both(self):
+        engine = DLEngine("p(X), q(X) :- e(X).")
+        db = Database.from_facts({"e": [("a",)]})
+        (answer,) = engine.answers(db, "q")
+        assert answer == {("a",)}
+
+    def test_invention_in_one(self):
+        engine = DLEngine("p(X, Y) :- e(X), not done(X).\n"
+                          "done(X) :- p(X, Y).")
+        db = Database.from_facts({"e": [("a",)]})
+        state = engine.one(db, seed=0)
+        rows = [row for pred, row in state if pred == "p"]
+        assert len(rows) >= 1
+        assert rows[0][1].startswith("new_")
+
+    def test_invention_answers_rejected(self):
+        engine = DLEngine("p(X, Y) :- e(X).")
+        db = Database.from_facts({"e": [("a",)]})
+        with pytest.raises(EvaluationError):
+            engine.answers(db, "p")
+
+    def test_order_sensitivity_example(self):
+        """First-fired clause wins: a two-way race over a shared guard."""
+        engine = DLEngine("""
+            left(X) :- item(X), not right(X).
+            right(X) :- item(X), not left(X).
+        """)
+        db = Database.from_facts({"item": [("i",)]})
+        answers = engine.answers(db, "left")
+        assert answers == {frozenset(), frozenset({("i",)})}
+
+
+class TestNDatalog:
+    def test_deletion_semantics(self):
+        engine = DLEngine(parse_ndatalog_program("""
+            done(X), not todo(X) :- todo(X).
+        """))
+        db = Database.from_facts({"todo": [("t1",), ("t2",)]})
+        answers = engine.answers(db, "todo")
+        assert answers == {frozenset()}
+        done = engine.answers(db, "done")
+        assert done == {frozenset({("t1",), ("t2",)})}
+
+    def test_inconsistent_head_never_fires(self):
+        engine = DLEngine(parse_ndatalog_program("""
+            p(X), not p(X) :- e(X).
+        """))
+        db = Database.from_facts({"e": [("a",)]})
+        assert engine.answers(db, "p") == {frozenset()}
+
+    def test_deterministic_fixpoint_rejected_with_deletions(self):
+        engine = DLEngine(parse_ndatalog_program(
+            "not p(X) :- e(X), p(X)."))
+        db = Database.from_facts({"e": [("a",)]})
+        with pytest.raises(EvaluationError):
+            engine.deterministic_fixpoint(db)
+
+    def test_token_moves_along_chain(self):
+        """Deletions model updates: a token walks the edge chain."""
+        engine = DLEngine(parse_ndatalog_program("""
+            at(Y), not at(X) :- at(X), edge(X, Y).
+        """))
+        db = Database.from_facts({
+            "at": [("n0",)],
+            "edge": [("n0", "n1"), ("n1", "n2")]})
+        answers = engine.answers(db, "at")
+        assert answers == {frozenset({("n2",)})}

@@ -1,0 +1,130 @@
+"""Tests for database tape encodings and genericity checking."""
+
+import random
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.errors import SchemaError
+from repro.ndtm.encoding import (binary_code, decode_output,
+                                 encode_database, input_order_independent)
+from repro.ndtm.machines import choose_one_machine, parity_machine
+
+ITEMS = Database.from_facts({"item": [("a",), ("b",), ("c",)]})
+
+
+class TestBinaryCode:
+    def test_width(self):
+        assert binary_code(0, 3) == "000"
+        assert binary_code(5, 3) == "101"
+
+    def test_overflow(self):
+        with pytest.raises(SchemaError):
+            binary_code(8, 3)
+
+
+class TestEncoding:
+    def test_canonical_tape_shape(self):
+        encoding = encode_database(ITEMS)
+        assert encoding.tape() == "[(00)(01)(10)]"
+
+    def test_codes_are_distinct_fixed_width(self):
+        encoding = encode_database(ITEMS)
+        codes = list(encoding.codes.values())
+        assert len(set(codes)) == len(codes)
+        assert len({len(c) for c in codes}) == 1
+
+    def test_multiple_relations_ordered(self):
+        db = Database.from_facts({"r": [("a",)], "s": [("b",)]})
+        encoding = encode_database(db, relation_order=["s", "r"])
+        assert encoding.tape().count("[") == 2
+        assert encoding.relation_order == ("s", "r")
+
+    def test_numeric_values_binary(self):
+        db = Database.from_facts({"v": [("a", 5)]})
+        encoding = encode_database(db)
+        assert ",101)" in encoding.tape()
+
+    def test_shuffled_encoding_same_multiset(self):
+        rng = random.Random(1)
+        canonical = encode_database(ITEMS)
+        shuffled = encode_database(ITEMS, rng=rng)
+        assert set(shuffled.codes.values()) == set(canonical.codes.values())
+
+    def test_decode_inverse(self):
+        encoding = encode_database(ITEMS)
+        tape = "(00)(10)"
+        assert decode_output(tape, encoding.codes) == {("a",), ("c",)}
+
+    def test_decode_numerals(self):
+        assert decode_output("(101)", {}) == {(5,)}
+
+    def test_decode_empty(self):
+        assert decode_output("", {}) == frozenset()
+
+    def test_decode_malformed(self):
+        with pytest.raises(SchemaError):
+            decode_output("(00", {"a": "00"})
+
+
+class TestGenericity:
+    def test_choose_one_machine_is_generic(self):
+        assert input_order_independent(choose_one_machine(), ITEMS)
+
+    def test_parity_machine_is_generic(self):
+        assert input_order_independent(parity_machine(), ITEMS)
+
+    def test_non_generic_machine_detected(self):
+        """A machine that outputs the FIRST tuple verbatim is not
+        input-order independent."""
+        from repro.ndtm.machine import machine_from_table
+        rows = [
+            ("s0", "[", "keep", "_", 1),
+            ("keep", "(", "keep", "(", 1),
+            ("keep", ")", "wipe", ")", 1),
+        ]
+        for ch in "01,":
+            rows.append(("keep", ch, "keep", ch, 1))
+            rows.append(("wipe", ch, "wipe", "_", 1))
+        rows += [
+            ("wipe", "(", "wipe", "_", 1),
+            ("wipe", ")", "wipe", "_", 1),
+            ("wipe", "]", "halt", "_", 0),
+        ]
+        first_tuple = machine_from_table(rows, start="s0")
+        assert not input_order_independent(first_tuple, ITEMS, trials=10)
+
+
+class TestChooseOneMachine:
+    def test_answer_set_is_all_singletons(self):
+        encoding = encode_database(ITEMS)
+        outputs = choose_one_machine().outputs(encoding.tape())
+        decoded = {decode_output(o, encoding.codes) for o in outputs}
+        assert decoded == {frozenset({("a",)}), frozenset({("b",)}),
+                           frozenset({("c",)})}
+
+    def test_empty_relation_no_answers(self):
+        machine = choose_one_machine()
+        assert machine.outputs("[]") == frozenset()
+
+    def test_matches_idlog_sampling_query(self):
+        """The NGTM and the IDLOG program define the same query."""
+        from repro.core import IdlogEngine
+        encoding = encode_database(ITEMS)
+        outputs = choose_one_machine().outputs(encoding.tape())
+        machine_answers = frozenset(
+            decode_output(o, encoding.codes) for o in outputs)
+        idlog_answers = IdlogEngine("pick(X) :- item[](X, 0).").answers(
+            ITEMS, "pick")
+        assert machine_answers == idlog_answers
+
+
+class TestParityMachine:
+    def test_even(self):
+        db = Database.from_facts({"item": [("a",), ("b",)]})
+        encoding = encode_database(db)
+        assert parity_machine().outputs(encoding.tape()) == {"(0)"}
+
+    def test_odd(self):
+        encoding = encode_database(ITEMS)
+        assert parity_machine().outputs(encoding.tape()) == {"(1)"}

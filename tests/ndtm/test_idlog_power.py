@@ -1,0 +1,95 @@
+"""Tests for the IDLOG expressive-power constructions (paper §5)."""
+
+import math
+
+from repro.core import IdlogEngine
+from repro.ndtm.idlog_power import (COUNTING_PROGRAM, PARITY_PROGRAM,
+                                    SUCCESSOR_PROGRAM, TOTAL_ORDER_PROGRAM,
+                                    domain_db, domain_parity, domain_size)
+
+
+class TestTotalOrder:
+    def test_every_bijection_is_an_answer(self):
+        engine = IdlogEngine(TOTAL_ORDER_PROGRAM)
+        db = domain_db(["a", "b", "c"])
+        answers = engine.answers(db, "ordered")
+        assert len(answers) == math.factorial(3)
+        for answer in answers:
+            tids = sorted(n for _, n in answer)
+            assert tids == [0, 1, 2]
+            elements = {x for x, _ in answer}
+            assert elements == {"a", "b", "c"}
+
+    def test_sample_is_a_bijection(self):
+        engine = IdlogEngine(TOTAL_ORDER_PROGRAM)
+        db = domain_db([f"e{i}" for i in range(20)])
+        sample = engine.one(db, seed=3).tuples("ordered")
+        assert sorted(n for _, n in sample) == list(range(20))
+
+
+class TestSuccessor:
+    def test_each_answer_is_a_hamiltonian_ordering(self):
+        engine = IdlogEngine(SUCCESSOR_PROGRAM)
+        db = domain_db(["a", "b", "c"])
+        for answer in engine.answers(db, "next_elem"):
+            assert len(answer) == 2  # n-1 successor edges
+            sources = [x for x, _ in answer]
+            targets = [y for _, y in answer]
+            assert len(set(sources)) == 2 and len(set(targets)) == 2
+
+    def test_first_element_answers(self):
+        engine = IdlogEngine(SUCCESSOR_PROGRAM)
+        db = domain_db(["a", "b", "c"])
+        answers = engine.answers(db, "first_elem")
+        assert answers == {frozenset({("a",)}), frozenset({("b",)}),
+                           frozenset({("c",)})}
+
+
+class TestCounting:
+    def test_size_deterministic(self):
+        """Every arbitrary order yields the same maximum tid: counting is a
+        deterministic query despite the non-deterministic construction."""
+        for n in (1, 2, 3, 4):
+            db = domain_db([f"e{i}" for i in range(n)])
+            assert domain_size(db) == {frozenset({(n,)})}
+
+    def test_size_via_query_object(self):
+        from repro.core import IdlogQuery
+        query = IdlogQuery(COUNTING_PROGRAM, "size")
+        assert query.is_deterministic_on(domain_db(["a", "b", "c"]))
+
+
+class TestParity:
+    def test_parity_deterministic_and_correct(self):
+        """The classic Datalog-inexpressible query, deterministic in IDLOG."""
+        for n in (1, 2, 3, 4, 5):
+            db = domain_db([f"e{i}" for i in range(n)])
+            even, odd = domain_parity(db)
+            if n % 2 == 0:
+                assert even == {frozenset({("yes",)})}
+                assert odd == {frozenset()}
+            else:
+                assert even == {frozenset()}
+                assert odd == {frozenset({("yes",)})}
+
+    def test_parity_agrees_with_ngtm(self):
+        """E11 cross-check: the IDLOG program and the parity NGTM agree."""
+        from repro.datalog.database import Database
+        from repro.ndtm.encoding import encode_database
+        from repro.ndtm.machines import parity_machine
+        machine = parity_machine()
+        for n in (2, 3, 4):
+            names = [f"e{i}" for i in range(n)]
+            db = domain_db(names)
+            tape_db = Database.from_facts({"item": [(x,) for x in names]})
+            (raw,) = machine.outputs(encode_database(tape_db).tape())
+            machine_even = raw == "(0)"
+            even, _ = domain_parity(db)
+            idlog_even = even == {frozenset({("yes",)})}
+            assert machine_even == idlog_even
+
+    def test_genericity_of_parity_query(self):
+        from repro.core import IdlogQuery
+        query = IdlogQuery(PARITY_PROGRAM, "even_size")
+        db = domain_db(["a", "b", "c", "d"])
+        assert query.check_generic(db, {"a": "b", "b": "a"})

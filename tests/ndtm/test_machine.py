@@ -1,0 +1,91 @@
+"""Tests for the NDTM simulator."""
+
+import pytest
+
+from repro.errors import EvaluationError, SchemaError
+from repro.ndtm.machine import (BLANK, NDTM, Transition, machine_from_table)
+
+
+def writer_machine():
+    """Deterministic: writes 'ab' and halts."""
+    return machine_from_table([
+        ("s0", BLANK, "s1", "a", 1),
+        ("s1", BLANK, "halt", "b", 0),
+    ], start="s0")
+
+
+def coin_machine():
+    """Non-deterministic: writes '0' or '1' and halts."""
+    return machine_from_table([
+        ("s0", BLANK, "halt", "0", 0),
+        ("s0", BLANK, "halt", "1", 0),
+    ], start="s0")
+
+
+class TestBasics:
+    def test_deterministic_run(self):
+        config = writer_machine().run_with_oracle("", [])
+        assert config.tape_string() == "ab"
+        assert config.state == "halt"
+
+    def test_oracle_selects_branch(self):
+        machine = coin_machine()
+        assert machine.run_with_oracle("", [0]).tape_string() == "0"
+        assert machine.run_with_oracle("", [1]).tape_string() == "1"
+
+    def test_oracle_wraps_modulo(self):
+        machine = coin_machine()
+        assert machine.run_with_oracle("", [5]).tape_string() == "1"
+
+    def test_outputs_enumerate_all_branches(self):
+        assert coin_machine().outputs("") == {"0", "1"}
+
+    def test_accepting_state_halts(self):
+        machine = machine_from_table(
+            [("s0", BLANK, "acc", "x", 0),
+             ("acc", "x", "acc", "x", 0)],  # would loop if not accepting
+            start="s0", accepting=["acc"])
+        assert machine.outputs("") == {"x"}
+
+    def test_nonhalting_raises_in_oracle_run(self):
+        machine = machine_from_table(
+            [("s0", BLANK, "s0", BLANK, 1)], start="s0")
+        with pytest.raises(EvaluationError):
+            machine.run_with_oracle("", [], max_steps=50)
+
+    def test_cycle_pruned_in_bfs(self):
+        # A self-loop configuration is visited once, then the branch dies.
+        machine = machine_from_table([
+            ("s0", BLANK, "s0", BLANK, 0),  # spin in place
+            ("s0", BLANK, "halt", "y", 0),
+        ], start="s0")
+        assert machine.outputs("") == {"y"}
+
+    def test_tape_reading_and_moves(self):
+        machine = machine_from_table([
+            ("s0", "a", "s0", "a", 1),
+            ("s0", "b", "halt", "B", 0),
+        ], start="s0")
+        config = machine.run_with_oracle("aab", [])
+        assert config.tape_string() == "aaB"
+
+    def test_blank_write_erases(self):
+        machine = machine_from_table([
+            ("s0", "a", "halt", BLANK, 0),
+        ], start="s0")
+        assert machine.run_with_oracle("a", []).tape_string() == ""
+
+    def test_move_validation(self):
+        with pytest.raises(SchemaError):
+            Transition("s", "a", 2)
+
+    def test_write_validation(self):
+        with pytest.raises(SchemaError):
+            Transition("s", "ab", 1)
+
+    def test_bfs_step_bound(self):
+        # A machine that expands forever to the right with fresh configs.
+        machine = machine_from_table(
+            [("s0", BLANK, "s0", "x", 1)], start="s0")
+        with pytest.raises(EvaluationError):
+            machine.halting_configurations("", max_steps=10)

@@ -1,0 +1,132 @@
+"""Tests for the RBK88 adornment algorithm (paper §4, Example 6)."""
+
+from repro.datalog.parser import parse_program
+from repro.optimizer.adornment import detect_existential
+
+EX6 = """
+    q(X) :- a(X, Y).
+    a(X, Y) :- p(X, Z), a(Z, Y).
+    a(X, Y) :- p(X, Y).
+"""
+
+
+class TestExample6:
+    def test_predicate_marks(self):
+        """The paper identifies the second argument of a as existential."""
+        result = detect_existential(parse_program(EX6), "q")
+        assert result.marks["a"] == (False, True)
+        assert result.marks["q"] == (False,)
+        # p's second argument is NOT predicate-level existential: its
+        # occurrence in clause [2] joins with a.
+        assert result.marks["p"] == (False, False)
+
+    def test_occurrence_marks(self):
+        """'Similarly, the second argument of p in [3] is existential' —
+        occurrence-level, clause [3] only."""
+        result = detect_existential(parse_program(EX6), "q")
+        # Clause index 2 = [3]: a(X, Y) :- p(X, Y); literal 0 is p.
+        assert result.occurrences[(2, 0)] == (False, True)
+        # Clause index 1 = [2]: p(X, Z) joins Z with a — not existential.
+        assert result.occurrences[(1, 0)] == (False, False)
+
+    def test_existential_positions_helper(self):
+        result = detect_existential(parse_program(EX6), "q")
+        assert result.existential_positions("a") == (2,)
+        assert result.existential_positions("p") == ()
+
+
+class TestSection4Opening:
+    PROGRAM = "p(X) :- q(X, Z), z(Z, Y), y(W)."
+
+    def test_marks(self):
+        """Y and W are existential (the paper's opening example)."""
+        result = detect_existential(parse_program(self.PROGRAM), "p")
+        assert result.marks["z"] == (False, True)
+        assert result.marks["y"] == (True,)
+        assert result.marks["q"] == (False, False)
+
+    def test_all_depts_introduction_example(self):
+        """all_depts(Dept) :- emp(Name, Dept): Name is existential."""
+        result = detect_existential(
+            parse_program("all_depts(D) :- emp(N, D)."), "all_depts")
+        assert result.marks["emp"] == (True, False)
+
+
+class TestConservativeCases:
+    def test_query_args_never_existential(self):
+        result = detect_existential(
+            parse_program("q(X, Y) :- e(X, Y)."), "q")
+        assert result.marks["q"] == (False, False)
+        assert result.marks["e"] == (False, False)
+
+    def test_join_variable_not_existential(self):
+        result = detect_existential(
+            parse_program("q(X) :- e(X, Y), f(Y)."), "q")
+        assert result.marks["e"] == (False, False)
+
+    def test_repeated_var_in_literal_not_existential(self):
+        result = detect_existential(
+            parse_program("q(X) :- e(X, Y, Y)."), "q")
+        assert result.marks["e"] == (False, False, False)
+
+    def test_constant_not_existential(self):
+        result = detect_existential(
+            parse_program("q(X) :- e(X, a)."), "q")
+        assert result.marks["e"] == (False, False)
+
+    def test_negated_occurrence_conservative(self):
+        result = detect_existential(parse_program("""
+            q(X) :- e(X), not f(X, Y), g(Y).
+        """), "q")
+        assert result.marks["f"] == (False, False)
+
+    def test_var_in_builtin_not_existential(self):
+        result = detect_existential(
+            parse_program("q(X) :- e(X, Y), Y < 5."), "q")
+        assert result.marks["e"] == (False, False)
+
+    def test_negative_occurrence_blocks_predicate_drop(self):
+        # h occurs positively (existential-looking) AND negatively.
+        result = detect_existential(parse_program("""
+            q(X) :- e(X, Y), h(Y, Z).
+            q(X) :- e(X, X), not h(X, X).
+        """), "q")
+        assert result.marks["h"] == (False, False)
+
+    def test_slice_excludes_unrelated(self):
+        result = detect_existential(parse_program("""
+            q(X) :- e(X, Y).
+            other(Z) :- w(Z, V).
+        """), "q")
+        assert "other" not in result.marks
+        assert "w" not in result.marks
+
+
+class TestPropagation:
+    def test_head_feedback(self):
+        """Existentiality propagates through head positions (the Example 6
+        mechanism): Y in the body of the recursive clause is existential
+        only because a's second head argument is."""
+        result = detect_existential(parse_program("""
+            q(X) :- a(X, Y).
+            a(X, Y) :- e(X, Y).
+        """), "q")
+        assert result.marks["a"] == (False, True)
+        assert result.marks["e"] == (False, True)
+
+    def test_feedback_blocked_by_second_use(self):
+        result = detect_existential(parse_program("""
+            q(X) :- a(X, Y).
+            q(Y) :- a(Y, Y).
+            a(X, Y) :- e(X, Y).
+        """), "q")
+        # a(Y, Y) repeats the variable, so a's second argument is not
+        # existential, and neither is e's.
+        assert result.marks["a"] == (False, False)
+        assert result.marks["e"] == (False, False)
+
+    def test_any_existential(self):
+        assert detect_existential(
+            parse_program("q(X) :- e(X, Y)."), "q").any_existential()
+        assert not detect_existential(
+            parse_program("q(X, Y) :- e(X, Y)."), "q").any_existential()

@@ -1,0 +1,162 @@
+"""Tests for conjunctive-query containment and minimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.parser import parse_clause
+from repro.datalog.pretty import format_clause
+from repro.optimizer.containment import (canonical_database, cq_contained,
+                                         cq_equivalent, minimize_cq)
+from repro.errors import SchemaError
+
+# Classic examples over edge/2.
+LEN1 = "q(X, Y) :- edge(X, Y)."
+LEN2 = "q(X, Y) :- edge(X, Z), edge(Z, Y)."
+TRIANGLE = "q(X, X) :- edge(X, Y), edge(Y, Z), edge(Z, X)."
+SELF_LOOP = "q(X, X) :- edge(X, X)."
+
+
+class TestCanonicalDatabase:
+    def test_freezing(self):
+        db, head = canonical_database(parse_clause(LEN2))
+        assert len(db.relation("edge")) == 2
+        assert len(head) == 2
+
+    def test_constants_kept(self):
+        db, head = canonical_database(
+            parse_clause("q(X) :- edge(a, X)."))
+        assert any(row[0] == "a" for row in db.relation("edge"))
+
+    def test_repeated_vars_share_constant(self):
+        db, head = canonical_database(parse_clause(SELF_LOOP))
+        (row,) = db.relation("edge")
+        assert row[0] == row[1]
+        assert head == (row[0], row[0])
+
+
+class TestContainment:
+    def test_reflexive(self):
+        for q in (LEN1, LEN2, TRIANGLE):
+            assert cq_contained(q, q)
+
+    def test_more_joins_means_contained(self):
+        # A 2-path maps homomorphically onto... no: len2 ⊑ len1? A pair
+        # (X,Y) connected by a 2-path need not be an edge.  Neither
+        # direction holds for len1 vs len2.
+        assert not cq_contained(LEN1, LEN2)
+        assert not cq_contained(LEN2, LEN1)
+
+    def test_self_loop_contained_in_triangle(self):
+        """A self-loop satisfies the triangle pattern (fold the triangle
+        onto the loop), so q_loop ⊑ q_triangle; not conversely."""
+        assert cq_contained(SELF_LOOP, TRIANGLE)
+        assert not cq_contained(TRIANGLE, SELF_LOOP)
+
+    def test_specialization_contained_in_generalization(self):
+        special = "q(X) :- edge(X, Y), label(Y)."
+        general = "q(X) :- edge(X, Y)."
+        assert cq_contained(special, general)
+        assert not cq_contained(general, special)
+
+    def test_constant_specialization(self):
+        assert cq_contained("q(X) :- edge(X, a).", "q(X) :- edge(X, Y).")
+        assert not cq_contained("q(X) :- edge(X, Y).",
+                                "q(X) :- edge(X, a).")
+
+    def test_equivalence_of_renamed_copies(self):
+        a = "q(X, Y) :- edge(X, Z), edge(Z, Y)."
+        b = "q(A, B) :- edge(A, M), edge(M, B)."
+        assert cq_equivalent(a, b)
+
+    def test_head_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            cq_contained("q(X) :- edge(X, Y).", LEN2)
+
+    def test_non_cq_rejected(self):
+        with pytest.raises(SchemaError):
+            cq_contained("q(X) :- edge(X, Y), not bad(X).", LEN1)
+        with pytest.raises(SchemaError):
+            cq_contained("q(X) :- q(X).", LEN1)
+        with pytest.raises(SchemaError):
+            cq_contained("q(X) :- edge(X, Y), Y < 3.", LEN1)
+
+
+class TestMinimization:
+    def test_duplicate_atom_dropped(self):
+        minimized = minimize_cq(
+            "q(X, Y) :- edge(X, Y), edge(X, Y).")
+        assert len(minimized.body) == 1
+
+    def test_redundant_generalization_dropped(self):
+        # edge(X, Z2) is subsumed by edge(X, Y) via Z2 -> Y.
+        minimized = minimize_cq(
+            "q(X, Y) :- edge(X, Y), edge(X, Z2).")
+        assert format_clause(minimized) == "q(X, Y) :- edge(X, Y)."
+
+    def test_core_kept_when_nothing_redundant(self):
+        minimized = minimize_cq(LEN2)
+        assert len(minimized.body) == 2
+
+    def test_minimized_is_equivalent(self):
+        queries = [
+            "q(X, Y) :- edge(X, Y), edge(X, Y).",
+            "q(X) :- edge(X, Y), edge(X, Z), label(Y).",
+            TRIANGLE,
+        ]
+        for query in queries:
+            minimized = minimize_cq(query)
+            assert cq_equivalent(minimized, query)
+
+    def test_idempotent(self):
+        once = minimize_cq("q(X) :- edge(X, Y), edge(X, Z).")
+        twice = minimize_cq(once)
+        assert once == twice
+
+    @given(st.integers(min_value=1, max_value=4))
+    @settings(max_examples=4, deadline=None)
+    def test_chain_with_shadow_atoms(self, n):
+        """A chain plus per-step 'shadow' atoms with fresh endpoints: the
+        shadows fold onto the chain and must disappear."""
+        body = [f"edge(X{i}, X{i+1})" for i in range(n)]
+        body += [f"edge(X{i}, S{i})" for i in range(n)]
+        query = f"q(X0, X{n}) :- {', '.join(body)}."
+        minimized = minimize_cq(query)
+        assert len(minimized.body) == n
+        assert cq_equivalent(minimized, query)
+
+
+class TestUnionContainment:
+    from repro.optimizer.containment import ucq_contained  # noqa: F401
+
+    def test_member_contained_in_union(self):
+        from repro.optimizer.containment import ucq_contained
+        union = ["q(X, Y) :- edge(X, Y).",
+                 "q(X, Y) :- edge(X, Z), edge(Z, Y)."]
+        assert ucq_contained(union[0], union)
+        assert ucq_contained(union[1], union)
+        assert ucq_contained(union, union)
+
+    def test_union_not_contained_in_member(self):
+        from repro.optimizer.containment import ucq_contained
+        union = ["q(X, Y) :- edge(X, Y).",
+                 "q(X, Y) :- edge(X, Z), edge(Z, Y)."]
+        assert not ucq_contained(union, union[0])
+        assert not ucq_contained(union, union[1])
+
+    def test_ucq_needs_union_not_single_homomorphism(self):
+        """The classic case: Q ⊑ Q1 ∪ Q2 with Q ⋢ Q1 and Q ⋢ Q2."""
+        from repro.optimizer.containment import ucq_contained
+        # Q: a 2-path with a colored midpoint, either red or blue.
+        q_red = "q(X, Y) :- edge(X, M), edge(M, Y), red(M)."
+        q_blue = "q(X, Y) :- edge(X, M), edge(M, Y), blue(M)."
+        q_any = ["q(X, Y) :- edge(X, M), edge(M, Y), red(M).",
+                 "q(X, Y) :- edge(X, M), edge(M, Y), blue(M)."]
+        assert ucq_contained(q_red, q_any)
+        assert not ucq_contained(q_any, q_red)
+
+    def test_arity_mismatch(self):
+        import pytest as _pytest
+        from repro.optimizer.containment import ucq_contained
+        with _pytest.raises(SchemaError):
+            ucq_contained("q(X) :- edge(X, Y).", LEN2)

@@ -1,0 +1,131 @@
+"""Tests for q-equivalence checking, the Example 7 divergence, and the
+Theorem 4 property (adornment-identified arguments are ∃-existential)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import IdlogEngine
+from repro.datalog.database import Database
+from repro.optimizer.equivalence import (answer_set, find_witness,
+                                         q_equivalent_on, random_databases)
+from repro.optimizer.transform import optimize
+
+# The paper's Example 7 program P.
+EX7 = """
+    q1(t) :- x(c).
+    q2(t) :- x(a).
+    x(Y) :- p(Y).
+    p(b) :- u(X).
+    p(c) :- y(X).
+"""
+
+# P2: the ID-rewrite of clause [3] (x(Y) :- p[](Y, 0)).
+EX7_P2 = """
+    q1(t) :- x(c).
+    q2(t) :- x(a).
+    x(Y) :- p[](Y, 0).
+    p(b) :- u(X).
+    p(c) :- y(X).
+"""
+
+
+def db7(u_rows, y_rows):
+    return Database.from_facts(
+        {name: rows for name, rows in
+         (("u", u_rows), ("y", y_rows)) if rows},
+        udomain=["a", "b", "c", "t", "w1", "w2"])
+
+
+class TestExample7:
+    """∀-existential and ∃-existential arguments are genuinely different."""
+
+    def test_not_exists_existential_wrt_q1(self):
+        """Depending on which tuple gets tid 0 in p[], q1 of P2 may return
+        TRUE or FALSE on non-empty inputs — so the rewrite changes q1."""
+        db = db7([("w1",)], [("w2",)])
+        original = answer_set(EX7, db, "q1")
+        rewritten = answer_set(EX7_P2, db, "q1")
+        assert original == {frozenset({("t",)})}  # y non-empty -> TRUE
+        assert rewritten == {frozenset(), frozenset({("t",)})}
+        assert original != rewritten
+
+    def test_exists_existential_wrt_q2(self):
+        """q2 of P2 always returns FALSE, like q2 of P — the argument IS
+        ∃-existential w.r.t. q2."""
+        for u_rows, y_rows in [([], []), ([("w1",)], []), ([], [("w2",)]),
+                               ([("w1",)], [("w2",)])]:
+            db = db7(u_rows, y_rows)
+            assert answer_set(EX7, db, "q2") == \
+                answer_set(EX7_P2, db, "q2") == {frozenset()}
+
+    def test_find_witness_locates_q1_divergence(self):
+        dbs = [db7([("w1",)], [("w2",)])]
+        assert find_witness(EX7, EX7_P2, "q1", dbs) is not None
+        assert find_witness(EX7, EX7_P2, "q2", dbs) is None
+
+    def test_q_equivalent_on(self):
+        dbs = [db7([("w1",)], [("w2",)]), db7([], [("w2",)])]
+        assert not q_equivalent_on(EX7, EX7_P2, "q1", dbs)
+        assert q_equivalent_on(EX7, EX7_P2, "q2", dbs)
+
+
+class TestRandomDatabases:
+    def test_reproducible(self):
+        a = [db.snapshot() for db in random_databases(
+            {"e": 2}, ["a", "b"], count=5, seed=3)]
+        b = [db.snapshot() for db in random_databases(
+            {"e": 2}, ["a", "b"], count=5, seed=3)]
+        assert a == b
+
+    def test_schema_respected(self):
+        for db in random_databases({"e": 2, "f": 1}, ["a"], count=3, seed=0):
+            assert db.relation("e").arity == 2
+            assert db.relation("f").arity == 1
+
+
+class TestTheorem4:
+    """Every argument the adornment algorithm identifies is ∃-existential:
+    the optimized program is q-equivalent to the original.  Checked by
+    exhaustive answer-set comparison on random databases."""
+
+    PROGRAMS = [
+        ("q(X) :- a(X, Y).\n"
+         "a(X, Y) :- p(X, Z), a(Z, Y).\n"
+         "a(X, Y) :- p(X, Y).", "q", {"p": 2}),
+        ("p(X) :- q(X, Z), z(Z, Y), y(W).", "p", {"q": 2, "z": 2, "y": 1}),
+        ("all_depts(D) :- emp(N, D).", "all_depts", {"emp": 2}),
+        ("q(X) :- e(X, Y), not f(X).\n"
+         "f(X) :- g(X, W).", "q", {"e": 2, "f": 1, "g": 2}),
+        ("r(X) :- s(X, Y), t(Y, Z).", "r", {"s": 2, "t": 2}),
+    ]
+
+    def test_theorem4_on_fixed_databases(self):
+        for source, query, schema in self.PROGRAMS:
+            result = optimize(source, query)
+            dbs = list(random_databases(schema, ["a", "b", "c"],
+                                        count=12, seed=7, max_rows=5))
+            witness = find_witness(result.original, result.optimized,
+                                   query, dbs)
+            assert witness is None, (source, witness and witness.snapshot())
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_theorem4_property(self, data):
+        source, query, schema = data.draw(st.sampled_from(self.PROGRAMS))
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        result = optimize(source, query)
+        dbs = list(random_databases(schema, ["a", "b", "c"],
+                                    count=3, seed=seed, max_rows=4))
+        assert q_equivalent_on(result.original, result.optimized, query, dbs)
+
+
+class TestAnswerSetHelper:
+    def test_plain_datalog_singleton(self):
+        db = Database.from_facts({"e": [("a", "b")]})
+        assert answer_set("q(X) :- e(X, Y).", db, "q") == \
+            {frozenset({("a",)})}
+
+    def test_idlog_multiple(self):
+        db = Database.from_facts({"e": [("a",), ("b",)]})
+        answers = answer_set("q(X) :- e[](X, 0).", db, "q")
+        assert len(answers) == 2

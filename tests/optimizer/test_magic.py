@@ -1,0 +1,199 @@
+"""Tests for the magic-sets rewriting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.parser import parse_atom
+from repro.errors import SchemaError
+from repro.optimizer.magic import answer_goal, goal_pattern, magic_rewrite
+
+TC = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+SG = """
+    sg(X, X) :- person(X).
+    sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+"""
+
+
+def chain_db(n, extra=()):
+    edges = [(f"n{i}", f"n{i+1}") for i in range(n)] + list(extra)
+    return Database.from_facts({"edge": edges})
+
+
+def direct_answer(program, db, goal_text):
+    goal = parse_atom(goal_text)
+    rows = DatalogEngine(program).query(db, goal.pred)
+    return frozenset(
+        row for row in rows
+        if all(not hasattr(t, "value") or t.value == v
+               for t, v in zip(goal.args, row)))
+
+
+class TestGoalPattern:
+    def test_patterns(self):
+        assert goal_pattern(parse_atom("p(a, Y)")) == "bf"
+        assert goal_pattern(parse_atom("p(X, Y)")) == "ff"
+        assert goal_pattern(parse_atom("p(a, 3)")) == "bb"
+
+
+class TestCorrectness:
+    def test_bound_first_argument(self):
+        db = chain_db(5, extra=[("z0", "z1"), ("z1", "z2")])
+        assert answer_goal(TC, db, "path(n0, Y)") == \
+            direct_answer(TC, db, "path(n0, Y)")
+
+    def test_fully_bound_goal(self):
+        db = chain_db(4)
+        assert answer_goal(TC, db, "path(n0, n3)") == {("n0", "n3")}
+        assert answer_goal(TC, db, "path(n3, n0)") == frozenset()
+
+    def test_free_goal_matches_full_evaluation(self):
+        db = chain_db(4)
+        assert answer_goal(TC, db, "path(X, Y)") == \
+            DatalogEngine(TC).query(db, "path")
+
+    def test_bound_second_argument(self):
+        db = chain_db(5)
+        assert answer_goal(TC, db, "path(X, n5)") == \
+            direct_answer(TC, db, "path(X, n5)")
+
+    def test_same_generation(self):
+        db = Database.from_facts({
+            "person": [(p,) for p in "abcdef"],
+            "par": [("b", "a"), ("c", "a"), ("d", "b"), ("e", "c"),
+                    ("f", "e")]})
+        assert answer_goal(SG, db, "sg(d, Y)") == \
+            direct_answer(SG, db, "sg(d, Y)")
+
+    def test_goal_on_empty_db(self):
+        assert answer_goal(TC, Database(), "path(a, Y)") == frozenset()
+
+    @given(st.lists(st.tuples(st.sampled_from("abcde"),
+                              st.sampled_from("abcde")),
+                    max_size=10),
+           st.sampled_from("abcde"))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_on_random_graphs(self, edges, start):
+        db = Database.from_facts({"edge": edges}) if edges else Database()
+        goal = f"path({start}, Y)"
+        assert answer_goal(TC, db, goal) == direct_answer(TC, db, goal)
+
+
+class TestRelevanceRestriction:
+    def test_fewer_tuples_on_disconnected_graph(self):
+        """The point of magic sets: an unreachable component costs nothing."""
+        reachable = [(f"n{i}", f"n{i+1}") for i in range(5)]
+        unreachable = [(f"m{i}", f"m{i+1}") for i in range(40)]
+        db = Database.from_facts({"edge": reachable + unreachable})
+
+        rewritten = magic_rewrite(TC, "path(n0, Y)")
+        magic_stats = rewritten.run(db).stats
+        full_stats = DatalogEngine(TC).run(db).stats
+
+        assert rewritten.answer(db) == direct_answer(db=db, program=TC,
+                                                     goal_text="path(n0, Y)")
+        assert magic_stats.total_derived < full_stats.total_derived
+        assert magic_stats.probes < full_stats.probes
+
+    def test_magic_set_contents(self):
+        """The magic set holds exactly the reachable demands."""
+        db = chain_db(3, extra=[("z0", "z1")])
+        rewritten = magic_rewrite(TC, "path(n0, Y)")
+        result = rewritten.run(db)
+        magic_rel = result.tuples("m_path__bf")
+        assert ("n0",) in magic_rel
+        assert all(v.startswith("n") for (v,) in magic_rel)
+
+
+class TestValidation:
+    def test_id_atoms_rejected(self):
+        with pytest.raises(SchemaError):
+            magic_rewrite("p(X) :- e[](X, 0).", "p(a)")
+
+    def test_unknown_goal_pred_rejected(self):
+        with pytest.raises(SchemaError):
+            magic_rewrite(TC, "nope(a)")
+
+    def test_negative_builtin_allowed(self):
+        program = "p(X) :- e(X, N), not N < 3."
+        db = Database.from_facts({"e": [("a", 5), ("b", 1)]})
+        assert answer_goal(program, db, "p(X)") == {("a",)}
+
+
+class TestStratifiedNegation:
+    LONE = """
+        linked(X) :- edge(X, Y).
+        lone(X) :- node(X), not linked(X).
+    """
+
+    def test_negation_supported(self):
+        db = Database.from_facts({
+            "node": [("a",), ("b",), ("z",)], "edge": [("a", "b")]})
+        # linked holds for edge SOURCES only, so b and z are lone.
+        assert answer_goal(self.LONE, db, "lone(X)") == {("b",), ("z",)}
+        assert answer_goal(self.LONE, db, "lone(z)") == {("z",)}
+        assert answer_goal(self.LONE, db, "lone(a)") == frozenset()
+
+    def test_negated_cone_fully_evaluated(self):
+        """The negated predicate must see ALL its tuples, even those the
+        goal's demand would never request."""
+        program = """
+            linked(X) :- edge(X, Y).
+            lone(X) :- node(X), not linked(X).
+        """
+        db = Database.from_facts({
+            "node": [("a",)],
+            "edge": [("a", "faraway")]})
+        # linked(a) holds only via an edge the magic demand for lone(a)
+        # alone would justify; check correctness either way:
+        assert answer_goal(program, db, "lone(a)") == frozenset()
+
+    def test_negation_over_recursion(self):
+        program = TC + """
+            unreachable(X, Y) :- node(X), node(Y), not path(X, Y).
+        """
+        db = Database.from_facts({
+            "edge": [("a", "b")], "node": [("a",), ("b",)]})
+        assert answer_goal(program, db, "unreachable(b, Y)") == {
+            ("b", "a"), ("b", "b")}
+
+    def test_positive_backbone_still_restricted(self):
+        """Demand restriction still applies outside the negated cone."""
+        program = TC + """
+            good(X, Y) :- path(X, Y), not bad(X).
+            bad(X) :- flagged(X).
+        """
+        reachable = [(f"n{i}", f"n{i+1}") for i in range(4)]
+        junk = [(f"m{i}", f"m{i+1}") for i in range(30)]
+        db = Database.from_facts({"edge": reachable + junk,
+                                  "flagged": [("m0",)]})
+        rewritten = magic_rewrite(program, "good(n0, Y)")
+        stats = rewritten.run(db).stats
+        full = DatalogEngine(program).run(db).stats
+        assert rewritten.answer(db) == {
+            ("n0", f"n{i+1}") for i in range(4)}
+        assert stats.total_derived < full.total_derived
+
+    def test_unstratified_rejected(self):
+        from repro.errors import StratificationError
+        with pytest.raises(StratificationError):
+            magic_rewrite("win(X) :- move(X, Y), not win(Y).", "win(a)")
+
+    def test_differential_with_negation(self):
+        import random
+        from repro.testing import random_edb, random_stratified_program
+        for pseed in range(15):
+            rng = random.Random(pseed)
+            program = random_stratified_program(rng, allow_negation=True)
+            query = sorted(program.head_predicates)[-1]
+            db = random_edb(program, random.Random(pseed + 100))
+            direct = DatalogEngine(program).query(db, query)
+            arity = program.arity(query)
+            goal = f"{query}({', '.join(f'V{i}' for i in range(arity))})"
+            assert magic_rewrite(program, goal).answer(db) == direct

@@ -1,0 +1,108 @@
+"""Tests for the high-level sampling-query builders (paper §1 and §3.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.errors import SchemaError
+from repro.sampling import (arbitrary_subset, sample_k, sample_k_per_group,
+                            sample_one_per_group)
+
+EMP = Database.from_facts({"emp": [
+    ("ann", "toys"), ("bob", "toys"), ("cal", "toys"),
+    ("dee", "it"), ("eli", "it")]})
+
+
+class TestSampleKPerGroup:
+    def test_paper_query_two_per_department(self):
+        """'exactly N employees from each department' with N=2."""
+        sq = sample_k_per_group("emp", 2, group=[2], k=2, project=[1])
+        for seed in range(5):
+            sample = sq.one(EMP, seed=seed)
+            assert len(sample) == 4
+
+    def test_answer_set_counts(self):
+        sq = sample_k_per_group("emp", 2, group=[2], k=2, project=[1])
+        answers = sq.answers(EMP)
+        assert len(answers) == math.comb(3, 2) * math.comb(2, 2)
+
+    def test_every_answer_has_k_per_group(self):
+        sq = sample_k_per_group("emp", 2, group=[2], k=2)
+        for answer in sq.answers(EMP):
+            by_dept = {}
+            for name, dept in answer:
+                by_dept.setdefault(dept, set()).add(name)
+            assert all(len(names) == 2 for names in by_dept.values())
+
+    def test_group_smaller_than_k_contributes_all(self):
+        sq = sample_k_per_group("emp", 2, group=[2], k=3, project=[1])
+        answers = sq.answers(EMP)
+        for answer in answers:
+            assert ("dee",) in answer and ("eli",) in answer
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(SchemaError):
+            sample_k_per_group("emp", 2, group=[2], k=0)
+
+    def test_bad_projection_rejected(self):
+        with pytest.raises(SchemaError):
+            sample_k_per_group("emp", 2, group=[2], k=1, project=[5])
+
+    @given(st.integers(min_value=1, max_value=3))
+    @settings(max_examples=3, deadline=None)
+    def test_sample_size_scales_with_k(self, k):
+        sq = sample_k_per_group("emp", 2, group=[2], k=k, project=[1])
+        sample = sq.one(EMP, seed=0)
+        assert len(sample) == min(k, 3) + min(k, 2)
+
+
+class TestSampleOnePerGroup:
+    def test_example4(self):
+        sq = sample_one_per_group("emp", 2, group=[2], project=[1])
+        answers = sq.answers(EMP)
+        assert len(answers) == 6
+        assert all(len(a) == 2 for a in answers)
+
+    def test_uses_constant_tid(self):
+        sq = sample_one_per_group("emp", 2, group=[2])
+        (limit,) = sq.program.tid_limits.values()
+        assert limit == 1
+
+
+class TestSampleK:
+    def test_k_overall(self):
+        sq = sample_k("emp", 2, k=3, project=[1])
+        sample = sq.one(EMP, seed=0)
+        assert len(sample) == 3
+
+    def test_answer_count_is_binomial(self):
+        sq = sample_k("emp", 2, k=2, project=[1])
+        # Names are unique, so answers are the C(5,2) unordered pairs.
+        assert len(sq.answers(EMP)) == math.comb(5, 2)
+
+    def test_k_larger_than_relation(self):
+        sq = sample_k("emp", 2, k=10)
+        assert len(sq.one(EMP, seed=0)) == 5
+
+
+class TestArbitrarySubset:
+    DB = Database.from_facts({"item": [("a",), ("b",), ("c",)]})
+
+    def test_all_subsets_reachable(self):
+        sq = arbitrary_subset("item", 1)
+        answers = sq.answers(self.DB)
+        assert len(answers) == 2 ** 3
+
+    def test_sample_is_subset(self):
+        sq = arbitrary_subset("item", 1)
+        base = self.DB.relation("item").frozen()
+        for seed in range(10):
+            assert sq.one(self.DB, seed=seed) <= base
+
+    def test_wider_relation(self):
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
+        sq = arbitrary_subset("edge", 2)
+        assert len(sq.answers(db)) == 4

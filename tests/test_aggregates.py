@@ -1,0 +1,119 @@
+"""Tests for tid-based aggregates (deterministic counting/summing — the
+extension the paper's §5 counting construction enables)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (count_per_group, max_per_group,
+                              min_per_group, sum_per_group)
+from repro.datalog.database import Database
+from repro.errors import SchemaError
+
+EMP = Database.from_facts({"emp": [
+    ("ann", "toys"), ("bob", "toys"), ("cal", "toys"),
+    ("dee", "it"), ("eli", "it")]})
+
+SALES = Database.from_facts({"sales": [
+    ("toys", 10), ("toys", 25), ("toys", 5),
+    ("it", 40), ("it", 2)]})
+
+
+class TestCount:
+    def test_counts_per_department(self):
+        agg = count_per_group("emp", 2, group=[2])
+        assert agg.compute(EMP) == {("toys", 3), ("it", 2)}
+
+    def test_deterministic_despite_arbitrary_order(self):
+        agg = count_per_group("emp", 2, group=[2])
+        assert agg.is_deterministic_on(EMP)
+
+    def test_single_tuple_groups(self):
+        db = Database.from_facts({"emp": [("a", "d1"), ("b", "d2")]})
+        agg = count_per_group("emp", 2, group=[2])
+        assert agg.compute(db) == {("d1", 1), ("d2", 1)}
+
+    def test_empty_relation(self):
+        db = Database.from_facts({"other": [("x",)]})
+        agg = count_per_group("emp", 2, group=[2])
+        assert agg.compute(db) == frozenset()
+
+    def test_group_by_multiple_columns(self):
+        db = Database.from_facts({"t": [
+            ("a", "x", "p"), ("a", "x", "q"), ("a", "y", "r")]})
+        agg = count_per_group("t", 3, group=[1, 2])
+        assert agg.compute(db) == {("a", "x", 2), ("a", "y", 1)}
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SchemaError):
+            count_per_group("emp", 2, group=[])
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(SchemaError):
+            count_per_group("emp", 2, group=[3])
+
+    @given(st.lists(st.tuples(st.sampled_from("abcdefgh"),
+                              st.sampled_from("xy")),
+                    min_size=1, max_size=10, unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_match_python(self, rows):
+        db = Database.from_facts({"emp": rows})
+        agg = count_per_group("emp", 2, group=[2])
+        expected = {}
+        for _, dept in rows:
+            expected[dept] = expected.get(dept, 0) + 1
+        assert agg.compute(db) == {(d, n) for d, n in expected.items()}
+
+
+class TestSum:
+    def test_sums_per_department(self):
+        agg = sum_per_group("sales", 2, group=[1], value=2)
+        assert agg.compute(SALES) == {("toys", 40), ("it", 42)}
+
+    def test_deterministic(self):
+        agg = sum_per_group("sales", 2, group=[1], value=2)
+        assert agg.is_deterministic_on(SALES)
+
+    def test_summing_group_column_rejected(self):
+        with pytest.raises(SchemaError):
+            sum_per_group("sales", 2, group=[1], value=1)
+
+    @given(st.lists(st.tuples(st.sampled_from("pq"),
+                              st.integers(min_value=0, max_value=20)),
+                    min_size=1, max_size=6, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_sums_match_python(self, rows):
+        db = Database.from_facts({"sales": rows})
+        agg = sum_per_group("sales", 2, group=[1], value=2)
+        expected: dict = {}
+        for key, amount in rows:
+            expected[key] = expected.get(key, 0) + amount
+        assert agg.compute(db) == {(k, s) for k, s in expected.items()}
+
+
+class TestExtrema:
+    def test_min(self):
+        agg = min_per_group("sales", 2, group=[1], value=2)
+        assert agg.compute(SALES) == {("toys", 5), ("it", 2)}
+
+    def test_max(self):
+        agg = max_per_group("sales", 2, group=[1], value=2)
+        assert agg.compute(SALES) == {("toys", 25), ("it", 40)}
+
+    def test_global_extremum_empty_group(self):
+        agg = max_per_group("sales", 2, group=[], value=2)
+        assert agg.compute(SALES) == {(40,)}
+
+    @given(st.lists(st.tuples(st.sampled_from("pq"),
+                              st.integers(min_value=0, max_value=50)),
+                    min_size=1, max_size=8, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_extrema_match_python(self, rows):
+        db = Database.from_facts({"sales": rows})
+        lo = min_per_group("sales", 2, group=[1], value=2).compute(db)
+        hi = max_per_group("sales", 2, group=[1], value=2).compute(db)
+        groups: dict = {}
+        for key, amount in rows:
+            groups.setdefault(key, []).append(amount)
+        assert lo == {(k, min(v)) for k, v in groups.items()}
+        assert hi == {(k, max(v)) for k, v in groups.items()}

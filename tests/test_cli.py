@@ -1,0 +1,200 @@
+"""Tests for the command-line interface and the EXPLAIN renderer."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.datalog.explain import explain_program
+
+PROGRAM = """
+    select_two_emp(Name) :- emp[2](Name, Dept, N), N < 2.
+"""
+
+FACTS = """
+    emp(ann, toys).
+    emp(bob, toys).
+    emp(dee, it).
+"""
+
+CHOICE_PROGRAM = """
+    select_emp(N) :- emp(N, D), choice((D), (N)).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.dl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.dl"
+    path.write_text(FACTS)
+    return str(path)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCheck:
+    def test_valid_program(self, program_file):
+        code, output = run_cli("check", program_file)
+        assert code == 0
+        assert "ok: 1 clauses" in output
+        assert "emp[2]" in output
+
+    def test_unsafe_program(self, tmp_path):
+        path = tmp_path / "bad.dl"
+        path.write_text("p(X, Y) :- q(X).")
+        code, _ = run_cli("check", str(path))
+        assert code == 1
+
+    def test_missing_file(self):
+        code, _ = run_cli("check", "/nonexistent/prog.dl")
+        assert code == 2
+
+    def test_choice_program_reported(self, tmp_path):
+        path = tmp_path / "choice.dl"
+        path.write_text(CHOICE_PROGRAM)
+        code, output = run_cli("check", str(path))
+        assert code == 0
+        assert "choice operator" in output
+
+
+class TestExplain:
+    def test_plan_rendered(self, program_file):
+        code, output = run_cli("explain", program_file)
+        assert code == 0
+        assert "tid < 2" in output
+        assert "builtin, pattern bb" in output
+
+    def test_choice_translated_first(self, tmp_path):
+        path = tmp_path / "choice.dl"
+        path.write_text(CHOICE_PROGRAM)
+        code, output = run_cli("explain", str(path))
+        assert code == 0
+        assert "Theorem 2" in output
+        assert "choice_sel_1" in output
+
+
+class TestRun:
+    def test_canonical_run(self, program_file, facts_file):
+        code, output = run_cli("run", program_file, "-f", facts_file)
+        assert code == 0
+        assert "select_two_emp:" in output
+        assert "dee" in output
+
+    def test_one_mode_seeded(self, program_file, facts_file):
+        _, first = run_cli("run", program_file, "-f", facts_file,
+                           "--mode", "one", "--seed", "5")
+        _, second = run_cli("run", program_file, "-f", facts_file,
+                            "--mode", "one", "--seed", "5")
+        assert first == second
+
+    def test_answers_mode(self, program_file, facts_file):
+        code, output = run_cli("run", program_file, "-f", facts_file,
+                               "--mode", "answers")
+        assert code == 0
+        assert "possible answer" in output
+
+    def test_stats_flag(self, program_file, facts_file):
+        _, output = run_cli("run", program_file, "-f", facts_file,
+                            "--stats")
+        assert "stats: derived=" in output
+
+    def test_query_selection(self, program_file, facts_file):
+        code, output = run_cli("run", program_file, "-f", facts_file,
+                               "-q", "select_two_emp")
+        assert code == 0
+        _, err_output = run_cli("run", program_file, "-f", facts_file,
+                                "-q", "nonexistent")
+
+    def test_unknown_query_errors(self, program_file, facts_file):
+        code, _ = run_cli("run", program_file, "-f", facts_file,
+                          "-q", "nope")
+        assert code == 1
+
+    def test_choice_program_runs(self, tmp_path, facts_file):
+        path = tmp_path / "choice.dl"
+        path.write_text(CHOICE_PROGRAM)
+        code, output = run_cli("run", str(path), "-f", facts_file,
+                               "--mode", "answers")
+        assert code == 0
+        assert "2 possible answer(s)" in output
+
+    def test_facts_file_with_rules_rejected(self, program_file, tmp_path):
+        path = tmp_path / "notfacts.dl"
+        path.write_text("p(X) :- q(X).")
+        code, _ = run_cli("run", program_file, "-f", str(path))
+        assert code == 1
+
+    def test_no_facts_runs_on_empty_db(self, program_file):
+        code, output = run_cli("run", program_file)
+        assert code == 0
+        assert "0 tuple(s)" in output
+
+
+class TestExplainRenderer:
+    def test_negation_annotated(self):
+        text = explain_program("""
+            linked(X) :- edge(X, Y).
+            lone(X) :- node(X), not linked(X).
+        """)
+        assert "anti-join" in text
+        assert "strata: 2" in text
+
+    def test_plain_program_no_id_section(self):
+        text = explain_program("p(X) :- q(X).")
+        assert "id-predicates" not in text
+
+    def test_facts_rendered(self):
+        text = explain_program("p(a).")
+        assert "(fact)" in text
+
+    def test_index_probe_annotation(self):
+        text = explain_program("p(X, Y) :- q(X, Z), r(Z, Y).")
+        # The second literal joins on the bound Z: an index probe.
+        assert "index probe" in text
+
+
+class TestLintCommand:
+    def test_findings_printed(self, tmp_path):
+        path = tmp_path / "lintme.dl"
+        path.write_text("all_depts(D) :- emp(N, D).")
+        code, output = run_cli("lint", str(path))
+        assert code == 0
+        assert "W01" in output  # singleton N
+        assert "H01" in output  # existential argument hint
+
+    def test_no_hints_flag(self, tmp_path):
+        path = tmp_path / "lintme.dl"
+        path.write_text("all_depts(D) :- emp(N, D).")
+        _, output = run_cli("lint", str(path), "--no-hints")
+        assert "H01" not in output
+
+    def test_clean_program(self, tmp_path):
+        path = tmp_path / "clean.dl"
+        path.write_text("p(X, Y) :- q(X, Y).")
+        code, output = run_cli("lint", str(path))
+        assert code == 0
+
+
+class TestCheckSignatures:
+    def test_signatures_printed(self, tmp_path):
+        path = tmp_path / "sig.dl"
+        path.write_text("small(X) :- val(X, N), N < 10.")
+        code, output = run_cli("check", str(path))
+        assert code == 0
+        assert "val/2: ?1" in output
+
+    def test_sort_conflict_fails_check(self, tmp_path):
+        path = tmp_path / "conflict.dl"
+        path.write_text("p(a).\np(3).")
+        code, _ = run_cli("check", str(path))
+        assert code == 1

@@ -1,0 +1,134 @@
+"""Failure-injection tests: every budget, guard and validation boundary
+fails loudly with the right exception type — never hangs, never silently
+truncates."""
+
+import pytest
+
+from repro.choice import ChoiceEngine
+from repro.core import IdlogEngine, IdlogQuery
+from repro.datalog import Database, DatalogEngine, Relation, parse_program
+from repro.disjunctive import DisjunctiveEngine
+from repro.errors import (ChoiceConditionError, EvaluationError, ParseError,
+                          ReproError, SafetyError, SchemaError,
+                          StratificationError)
+from repro.inflationary import DLEngine
+from repro.stable import StableEngine
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc_type in (ParseError, SchemaError, SafetyError,
+                         StratificationError, EvaluationError,
+                         ChoiceConditionError):
+            assert issubclass(exc_type, ReproError)
+
+
+class TestBudgetGuards:
+    BIG = Database.from_facts({"item": [(f"i{k}",) for k in range(30)]})
+
+    def test_idlog_enumeration_budget(self):
+        engine = IdlogEngine("t(X, N) :- item[](X, N).")
+        with pytest.raises(EvaluationError, match="max_branches"):
+            engine.answers(self.BIG, "t", max_branches=100)
+
+    def test_idlog_per_pair_budget(self):
+        # A single ID-predicate already exceeding the budget is caught
+        # before materializing anything.
+        engine = IdlogEngine("t(X, N) :- item[](X, N).")
+        with pytest.raises(EvaluationError):
+            engine.answers(self.BIG, "t", max_branches=10)
+
+    def test_query_object_budget(self):
+        query = IdlogQuery("t(X, N) :- item[](X, N).", "t")
+        with pytest.raises(EvaluationError):
+            query.answers(self.BIG, max_branches=5)
+
+    def test_choice_budget(self):
+        engine = ChoiceEngine(
+            "pair(X, Y) :- item(X), item(Y), choice((X), (Y)).")
+        with pytest.raises(EvaluationError, match="max_branches"):
+            engine.answers(self.BIG, "pair", max_branches=10)
+
+    def test_dl_state_budget(self):
+        engine = DLEngine("""
+            left(X) :- item(X), not right(X).
+            right(X) :- item(X), not left(X).
+        """)
+        db = Database.from_facts({"item": [(f"i{k}",) for k in range(12)]})
+        with pytest.raises(EvaluationError, match="max_states"):
+            engine.answers(db, "left", max_states=50)
+
+    def test_disjunctive_state_budget(self):
+        engine = DisjunctiveEngine("a(X) | b(X) :- item(X).")
+        db = Database.from_facts({"item": [(f"i{k}",) for k in range(12)]})
+        with pytest.raises(EvaluationError, match="max_states"):
+            engine.minimal_models(db, max_states=10)
+
+    def test_stable_candidate_budget(self):
+        engine = StableEngine("""
+            a(X) :- item(X), not b(X).
+            b(X) :- item(X), not a(X).
+        """)
+        db = Database.from_facts({"item": [(f"i{k}",) for k in range(15)]})
+        with pytest.raises(EvaluationError):
+            engine.stable_models(db, max_candidates=64)
+
+    def test_fixpoint_iteration_guard(self):
+        engine = DatalogEngine("""
+            up(N, 0) :- seed(N).
+            up(N, M) :- up(N, K), succ(K, M).
+        """)
+        db = Database.from_facts({"seed": [(1,)]})
+        with pytest.raises(EvaluationError, match="fixpoint"):
+            engine.run(db, max_iterations=25)
+
+
+class TestValidationBoundaries:
+    def test_wrong_engine_for_construct(self):
+        with pytest.raises(SchemaError):
+            DatalogEngine("p(X) :- q[1](X, N).")
+        with pytest.raises(SchemaError):
+            DatalogEngine("p(X) :- q(X, Y), choice((X), (Y)).")
+        with pytest.raises(ChoiceConditionError):
+            ChoiceEngine("p(N) :- q[1](N, 0), choice((), (N)).")
+
+    def test_relation_type_discipline(self):
+        relation = Relation(2)
+        relation.add(("a", 1))
+        with pytest.raises(SchemaError):
+            relation.add((1, "a"))
+
+    def test_negative_ints_rejected_everywhere(self):
+        with pytest.raises(ReproError):
+            Database.from_facts({"p": [(-1,)]})
+
+    def test_arity_conflict_across_clauses(self):
+        with pytest.raises(SchemaError):
+            parse_program("p(X) :- q(X).\nr(X) :- q(X, Y).")
+
+    def test_evaluation_error_names_missing_provider(self):
+        from repro.datalog.seminaive import evaluate
+        program = parse_program("p(X) :- q[1](X, N).")
+        db = Database.from_facts({"q": [("a",)]})
+        with pytest.raises(EvaluationError, match="ID-provider"):
+            evaluate(program, db)
+
+
+class TestErrorMessagesCarryContext:
+    def test_safety_error_names_clause(self):
+        with pytest.raises(SafetyError, match="p2"):
+            DatalogEngine("p2(X, N) :- q(X, N), +(N, L, M).")
+
+    def test_stratification_error_names_predicate(self):
+        with pytest.raises(StratificationError, match="win"):
+            DatalogEngine("win(X) :- move(X, Y), not win(Y).")
+
+    def test_parse_error_carries_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("ok(a).\nbroken(X :- q(X).")
+        assert excinfo.value.line == 2
+
+    def test_schema_error_names_relation(self):
+        db = Database.from_facts({"p": [("a",)]})
+        with pytest.raises(SchemaError, match="p"):
+            db.add_relation("p", Relation(1))

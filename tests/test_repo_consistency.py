@@ -1,0 +1,60 @@
+"""Meta-tests: the documentation and the code stay in sync."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestExperimentIndex:
+    def test_design_index_matches_bench_files(self):
+        """Every bench target DESIGN.md names exists, and every bench file
+        is indexed."""
+        design = (ROOT / "DESIGN.md").read_text()
+        named = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+        actual = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        assert named == actual, (
+            f"only in DESIGN.md: {sorted(named - actual)}; "
+            f"unindexed bench files: {sorted(actual - named)}")
+
+    def test_experiments_doc_covers_all_ids(self):
+        """EXPERIMENTS.md has a section for every E/A experiment id that
+        appears as a bench file."""
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for path in (ROOT / "benchmarks").glob("bench_*.py"):
+            exp_id = path.name.split("_")[1].upper()  # e1 -> E1, a3 -> A3
+            assert re.search(rf"\b{exp_id}\b", experiments), \
+                f"{path.name} ({exp_id}) missing from EXPERIMENTS.md"
+
+
+class TestDocsMentionModules:
+    def test_design_inventories_every_subpackage(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        src = ROOT / "src" / "repro"
+        for package in sorted(p.name for p in src.iterdir()
+                              if p.is_dir() and p.name != "__pycache__"):
+            assert f"repro.{package}" in design, \
+                f"subpackage {package} missing from DESIGN.md"
+
+    def test_readme_points_at_key_docs(self):
+        readme = (ROOT / "README.md").read_text()
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/LANGUAGE.md"):
+            assert doc in readme
+
+
+class TestPublicApiImportable:
+    def test_star_surface(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_alls(self):
+        import importlib
+        for module in ("repro.datalog", "repro.core", "repro.choice",
+                       "repro.optimizer", "repro.sampling",
+                       "repro.inflationary", "repro.disjunctive",
+                       "repro.stable", "repro.ndtm"):
+            mod = importlib.import_module(module)
+            for name in getattr(mod, "__all__", ()):
+                assert getattr(mod, name, None) is not None, \
+                    f"{module}.{name}"

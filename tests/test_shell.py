@@ -1,0 +1,189 @@
+"""Tests for the interactive shell (driven programmatically)."""
+
+import io
+
+from repro.shell import Shell
+
+
+def drive(*lines, shell=None):
+    shell = shell or Shell(out=io.StringIO())
+    keep_going = True
+    for line in lines:
+        keep_going = shell.handle_line(line)
+    return shell, shell.out.getvalue(), keep_going
+
+
+class TestClauses:
+    def test_ground_fact_goes_to_database(self):
+        shell, output, _ = drive("emp(ann, toys).")
+        assert "fact added" in output
+        assert ("ann", "toys") in shell.db.relation("emp")
+
+    def test_rule_goes_to_program(self):
+        shell, output, _ = drive("p(X) :- q(X).")
+        assert "rule added" in output
+        assert len(shell.clauses) == 1
+
+    def test_parse_error_reported_not_raised(self):
+        _, output, keep_going = drive("p(X :- q(X).")
+        assert "error:" in output
+        assert keep_going
+
+    def test_comment_and_blank_ignored(self):
+        shell, output, _ = drive("", "% a comment")
+        assert output == ""
+
+
+class TestQueries:
+    def test_query_prints_matches(self):
+        _, output, _ = drive(
+            "emp(ann, toys).", "emp(bob, it).",
+            "dept(D) :- emp(N, D).",
+            "?- dept(D).")
+        assert "dept: 2 tuple(s)" in output
+
+    def test_query_with_constant_filters(self):
+        _, output, _ = drive(
+            "emp(ann, toys).", "emp(bob, it).",
+            "?- emp(N, toys).")
+        assert "emp: 1 tuple(s)" in output
+        assert "ann" in output
+
+    def test_idlog_query(self):
+        _, output, _ = drive(
+            "emp(ann, toys).", "emp(bob, toys).",
+            "pick(N) :- emp[2](N, D, 0).",
+            "?- pick(N).")
+        assert "pick: 1 tuple(s)" in output
+
+    def test_answers_command(self):
+        _, output, _ = drive(
+            "item(a).", "item(b).",
+            "pick(X) :- item[](X, 0).",
+            ".answers pick")
+        assert "2 possible answer(s)" in output
+
+    def test_one_command_seeded(self):
+        shell1, out1, _ = drive(
+            "item(a).", "item(b).", "pick(X) :- item[](X, 0).",
+            ".one pick 3")
+        shell2, out2, _ = drive(
+            "item(a).", "item(b).", "pick(X) :- item[](X, 0).",
+            ".one pick 3")
+        assert out1 == out2
+        assert "pick: 1 tuple(s)" in out1
+
+
+class TestCommands:
+    def test_help(self):
+        _, output, _ = drive(".help")
+        assert ".answers" in output
+
+    def test_quit_stops(self):
+        _, _, keep_going = drive(".quit")
+        assert not keep_going
+
+    def test_clear(self):
+        shell, output, _ = drive("emp(a, b).", "p(X) :- emp(X, Y).",
+                                 ".clear", ".program", ".db")
+        assert "cleared" in output
+        assert "(no clauses)" in output
+        assert "(empty database)" in output
+
+    def test_program_listing(self):
+        _, output, _ = drive("p(X) :- q(X).", ".program")
+        assert "p(X) :- q(X)." in output
+
+    def test_db_summary(self):
+        _, output, _ = drive("emp(a, b).", ".db")
+        assert "emp/2: 1 tuple(s)" in output
+
+    def test_explain(self):
+        _, output, _ = drive("p(X) :- q(X), not r(X).", ".explain")
+        assert "anti-join" in output
+
+    def test_unknown_command(self):
+        _, output, _ = drive(".bogus")
+        assert "unknown command" in output
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "prog.dl"
+        path.write_text("p(X) :- q(X).\nq(a).\n")
+        shell, output, _ = drive(f".load {path}")
+        assert "loaded 1 rule(s), 1 fact(s)" in output
+        assert ("a",) in shell.db.relation("q")
+
+    def test_facts_file_rejects_rules(self, tmp_path):
+        path = tmp_path / "facts.dl"
+        path.write_text("p(X) :- q(X).\n")
+        _, output, _ = drive(f".facts {path}")
+        assert "contains a rule" in output
+
+    def test_missing_file_reported(self):
+        _, output, keep_going = drive(".load /nonexistent.dl")
+        assert "error:" in output
+        assert keep_going
+
+
+class TestRunDriver:
+    def test_run_until_eof(self):
+        shell = Shell(out=io.StringIO())
+        shell.run(io.StringIO("emp(a, b).\n?- emp(X, Y).\n"))
+        assert "emp: 1 tuple(s)" in shell.out.getvalue()
+
+    def test_run_until_quit(self):
+        shell = Shell(out=io.StringIO())
+        shell.run(io.StringIO(".quit\nemp(a, b).\n"))
+        assert "fact added" not in shell.out.getvalue()
+
+
+class TestPersistenceAndLint:
+    def test_save_and_open_roundtrip(self, tmp_path):
+        directory = str(tmp_path / "snap")
+        shell1, out1, _ = drive("emp(ann, toys).", "emp(bob, it).",
+                                f".save {directory}")
+        assert "saved 1 relation(s)" in out1
+        shell2, out2, _ = drive(f".open {directory}", ".db")
+        assert "opened 1 relation(s)" in out2
+        assert shell2.db.relation("emp").frozen() == \
+            shell1.db.relation("emp").frozen()
+
+    def test_save_usage(self):
+        _, output, _ = drive(".save")
+        assert "usage: .save" in output
+
+    def test_open_missing_dir_reported(self):
+        _, output, keep_going = drive(".open /nonexistent_dir_xyz")
+        assert "error:" in output
+        assert keep_going
+
+    def test_lint_reports_findings(self):
+        _, output, _ = drive("p(X) :- q(X, Y).", ".lint")
+        assert "W01" in output
+
+    def test_lint_clean(self):
+        _, output, _ = drive("p(X, Y) :- q(X, Y).", ".lint")
+        assert "clean" not in output or "W" not in output
+
+
+class TestWhy:
+    def test_derivation_printed(self):
+        _, output, _ = drive(
+            "edge(a, b).", "edge(b, c).",
+            "path(X, Y) :- edge(X, Y).",
+            "path(X, Y) :- edge(X, Z), path(Z, Y).",
+            ".why path(a, c).")
+        assert "path(a, c)" in output
+        assert "[edb]" in output
+
+    def test_non_ground_rejected(self):
+        _, output, _ = drive("edge(a, b).",
+                             "p(X) :- edge(X, Y).",
+                             ".why p(X).")
+        assert "usage: .why" in output
+
+    def test_underivable_reported(self):
+        _, output, _ = drive("edge(a, b).",
+                             "p(X) :- edge(X, Y).",
+                             ".why p(z).")
+        assert "error:" in output

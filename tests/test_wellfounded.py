@@ -1,0 +1,115 @@
+"""Tests for the well-founded semantics (alternating fixpoint)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database
+from repro.datalog.engine import DatalogEngine
+from repro.stable import StableEngine
+from repro.testing import random_edb, random_stratified_program
+from repro.wellfounded import WellFoundedEngine
+
+WIN = "win(X) :- move(X, Y), not win(Y)."
+
+
+class TestTotalCases:
+    def test_positive_program_total(self):
+        engine = WellFoundedEngine("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
+        model = engine.model(db)
+        assert model.is_total
+        assert model.relation("path") == {
+            ("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_stratified_equals_perfect_model(self):
+        program = """
+            linked(X) :- edge(X, Y).
+            lone(X) :- node(X), not linked(X).
+        """
+        db = Database.from_facts({"node": [("a",), ("b",)],
+                                  "edge": [("a", "x")]})
+        model = WellFoundedEngine(program).model(db)
+        assert model.is_total
+        assert model.relation("lone") == \
+            DatalogEngine(program).query(db, "lone")
+
+    def test_acyclic_game_total(self):
+        db = Database.from_facts({"move": [("a", "b"), ("b", "c")]})
+        model = WellFoundedEngine(WIN).model(db)
+        assert model.is_total
+        assert model.relation("win") == {("b",)}
+
+    @given(pseed=st.integers(min_value=0, max_value=5_000),
+           dseed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=25, deadline=None)
+    def test_stratified_programs_always_total(self, pseed, dseed):
+        """On stratified programs WFS is total and equals the iterated
+        fixpoint (perfect) model."""
+        rng = random.Random(pseed)
+        program = random_stratified_program(rng)
+        db = random_edb(program, random.Random(dseed))
+        model = WellFoundedEngine(program).model(db)
+        assert model.is_total
+        result = DatalogEngine(program).run(db)
+        for pred in program.head_predicates:
+            assert model.relation(pred) == result.tuples(pred)
+
+
+class TestPartialCases:
+    def test_even_loop_undefined(self):
+        engine = WellFoundedEngine("""
+            p(X) :- e(X), not q(X).
+            q(X) :- e(X), not p(X).
+        """)
+        model = engine.model(Database.from_facts({"e": [("a",)]}))
+        assert model.undefined_relation("p") == {("a",)}
+        assert model.undefined_relation("q") == {("a",)}
+        assert not model.relation("p")
+
+    def test_odd_loop_undefined_not_inconsistent(self):
+        """Odd negative loops kill stable models; WFS says undefined."""
+        engine = WellFoundedEngine(WIN)
+        db = Database.from_facts({
+            "move": [("a", "b"), ("b", "c"), ("c", "a")]})
+        model = engine.model(db)
+        assert not model.is_total
+        assert model.undefined_relation("win") == {("a",), ("b",), ("c",)}
+        assert StableEngine(WIN).stable_models(db) == frozenset()
+
+    def test_mixed_game(self):
+        """A determined tail attached to a cycle: the tail is two-valued,
+        the cycle undefined."""
+        db = Database.from_facts({"move": [
+            ("a", "b"), ("b", "a"),     # 2-cycle: undefined
+            ("c", "d"),                  # c wins (d stuck)
+        ]})
+        model = WellFoundedEngine(WIN).model(db)
+        assert model.relation("win") == {("c",)}
+        assert model.undefined_relation("win") == {("a",), ("b",)}
+
+
+class TestStableRelationship:
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.sampled_from("abcd")),
+                    max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_wfs_approximates_every_stable_model(self, moves):
+        """WFS-true ⊆ every stable model ⊆ WFS-non-false."""
+        db = Database.from_facts({"move": moves}) if moves else Database()
+        model = WellFoundedEngine(WIN).model(db)
+        for stable in StableEngine(WIN).stable_models(db):
+            assert model.true <= stable
+            assert not (model.false & stable)
+
+    def test_unique_stable_model_when_total(self):
+        db = Database.from_facts({"move": [("a", "b"), ("b", "c")]})
+        model = WellFoundedEngine(WIN).model(db)
+        assert model.is_total
+        (stable,) = StableEngine(WIN).stable_models(db)
+        assert stable == model.true

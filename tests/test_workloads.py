@@ -1,0 +1,76 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.datalog.engine import DatalogEngine
+from repro.workloads import (chain_graph, employees, forest_graph,
+                             org_hierarchy, random_graph)
+
+
+class TestEmployees:
+    def test_shape(self):
+        db = employees(per_dept=3, departments=4)
+        emp = db.relation("emp")
+        assert len(emp) == 12
+        assert emp.arity == 2
+
+    def test_salary_column(self):
+        db = employees(2, 2, salary_range=(50, 60), seed=1)
+        for _, _, salary in db.relation("emp"):
+            assert 50 <= salary <= 60
+
+    def test_seeded_deterministic(self):
+        a = employees(2, 2, salary_range=(0, 99), seed=5).snapshot()
+        b = employees(2, 2, salary_range=(0, 99), seed=5).snapshot()
+        assert a == b
+
+
+class TestGraphs:
+    def test_chain(self):
+        db = chain_graph(4)
+        assert len(db.relation("edge")) == 4
+
+    def test_chain_fanout(self):
+        db = chain_graph(3, fanout=2)
+        assert len(db.relation("edge")) == 3 + 6
+
+    def test_forest(self):
+        db = forest_graph(reachable=2, components=3, size=4)
+        assert len(db.relation("edge")) == 2 + 12
+
+    def test_random_graph_counts(self):
+        db = random_graph(nodes=10, edges=15, seed=2)
+        assert len(db.relation("edge")) == 15
+        assert len(db.relation("node")) == 10
+
+    def test_random_graph_capped_by_density(self):
+        db = random_graph(nodes=2, edges=100, seed=0)
+        assert len(db.relation("edge")) == 4
+
+    def test_usable_by_engine(self):
+        db = random_graph(6, 8, seed=3)
+        engine = DatalogEngine("""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- edge(X, Z), reach(Z, Y).
+        """)
+        engine.run(db)  # terminates, no errors
+
+
+class TestOrgHierarchy:
+    def test_sizes(self):
+        db = org_hierarchy(depth=2, branching=3)
+        assert len(db.relation("person")) == 1 + 3 + 9
+        assert len(db.relation("reports_to")) == 12
+
+    def test_same_generation_query(self):
+        db = org_hierarchy(depth=2, branching=2)
+        engine = DatalogEngine("""
+            sg(X, X) :- person(X).
+            sg(X, Y) :- reports_to(X, XB), sg(XB, YB),
+                        reports_to(Y, YB).
+        """)
+        result = engine.query(db, "sg")
+        # The 4 leaves are mutually same-generation: 16 leaf pairs.
+        leaves = [p for (p,) in db.relation("person")
+                  if not any(boss == p
+                             for _, boss in db.relation("reports_to"))]
+        leaf_pairs = {(a, b) for a in leaves for b in leaves}
+        assert leaf_pairs <= result

@@ -116,6 +116,12 @@ def _cmd_explain(args, out) -> int:
         program = choice_to_idlog(program).program
         print("(choice operators translated to IDLOG — Theorem 2)",
               file=out)
+    if args.plan is not None or args.facts is not None:
+        from .datalog.explain import explain_plan
+        db = _load_facts(args.facts)
+        print(explain_plan(program, db if args.facts else None,
+                           plan=args.plan or "cost"), file=out)
+        return 0
     print(explain_program(program), file=out)
     return 0
 
@@ -136,8 +142,11 @@ def _cmd_run(args, out) -> int:
 
     if program.has_choice():
         engine = ChoiceEngine(program)
+        if args.plan != "greedy":
+            print("(note: --plan applies to Datalog/IDLOG evaluation; "
+                  "the choice front end uses its own pipeline)", file=out)
     else:
-        engine = IdlogEngine(program)
+        engine = IdlogEngine(program, plan=args.plan)
 
     if args.mode == "answers":
         for pred in queries:
@@ -164,7 +173,9 @@ def _cmd_run(args, out) -> int:
         stats = result.stats
         print(f"stats: derived={stats.total_derived} "
               f"firings={stats.firings} probes={stats.probes} "
-              f"iterations={stats.iterations} id_tuples={stats.id_tuples}",
+              f"iterations={stats.iterations} id_tuples={stats.id_tuples} "
+              f"plans_built={stats.plans_built} "
+              f"plans_reused={stats.plans_reused}",
               file=out)
     return 0
 
@@ -182,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain = sub.add_parser("explain", help="show the evaluation plan")
     explain.add_argument("program", help="program file")
+    explain.add_argument("-f", "--facts",
+                         help="facts file supplying cardinalities for the "
+                              "cost-based EXPLAIN")
+    explain.add_argument("--plan", choices=("greedy", "cost"), default=None,
+                         help="render the cost-based plan with estimates "
+                              "(default: the structural plan; --facts "
+                              "implies --plan cost)")
 
     lint_cmd = sub.add_parser(
         "lint", help="report likely mistakes and optimization hints")
@@ -202,6 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="random seed for --mode one")
     run.add_argument("--max-branches", type=int, default=200_000,
                      help="enumeration budget for --mode answers")
+    run.add_argument("--plan", choices=("greedy", "cost"), default="greedy",
+                     help="body-literal planning: syntactic greedy order "
+                          "or cost-based (cardinality-aware) order")
     run.add_argument("--stats", action="store_true",
                      help="print evaluation counters")
     return parser

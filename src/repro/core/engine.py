@@ -29,6 +29,7 @@ from typing import Iterator, Optional, Union
 from ..datalog.ast import Atom, Program
 from ..datalog.database import Database, Relation
 from ..datalog.engine import EvalResult
+from ..datalog.planner import ClausePlanner, check_plan_mode
 from ..datalog.seminaive import (EvalStats, RelationStore, evaluate_stratum,
                                  prepare_store)
 from ..errors import EvaluationError
@@ -97,15 +98,20 @@ class IdlogEngine:
             already-compiled :class:`IdlogProgram`.
         use_group_limits: Apply the Section 4 tid-bound optimization
             (default on; turn off to measure its effect).
+        plan: Body-literal planning mode — ``"greedy"`` (purely syntactic)
+            or ``"cost"`` (cardinality-aware, see
+            :mod:`repro.datalog.planner`).
     """
 
     def __init__(self, program: Union[str, Program, IdlogProgram],
-                 use_group_limits: bool = True) -> None:
+                 use_group_limits: bool = True,
+                 plan: str = "greedy") -> None:
         if isinstance(program, IdlogProgram):
             self.compiled = program
         else:
             self.compiled = IdlogProgram.compile(program)
         self.use_group_limits = use_group_limits
+        self.plan = check_plan_mode(plan)
 
     @property
     def program(self) -> Program:
@@ -141,13 +147,15 @@ class IdlogEngine:
         return self.run(db, assignment).tuples(pred)
 
     def _run_strata(self, store: RelationStore, stats: EvalStats) -> None:
+        planner = ClausePlanner(self.plan)
         heads = self.program.head_predicates
         for stratum in self.compiled.stratification.strata:
             stratum_heads = frozenset(stratum & heads)
             clauses = tuple(c for c in self.program.clauses
                             if c.head.pred in stratum_heads)
             if clauses:
-                evaluate_stratum(clauses, stratum_heads, store, stats)
+                evaluate_stratum(clauses, stratum_heads, store, stats,
+                                 planner=planner)
 
     # -- answer-set enumeration --------------------------------------------
 
@@ -288,15 +296,19 @@ class IdlogEngine:
                             assigned.add(key)
             needed_per_stratum.append(sorted(needed))
 
+        # One plan cache for the whole enumeration: branches share clause
+        # identities, and the cost mode's staleness check absorbs the
+        # cardinality drift between branches.
+        planner = ClausePlanner(self.plan)
         yield from self._branch(compiled, relations, heads, strata, 0,
                                 needed_per_stratum, budget, {},
-                                Fraction(1))
+                                Fraction(1), planner)
 
     def _branch(self, compiled: IdlogProgram,
                 relations: dict[str, Relation], heads: frozenset[str],
                 strata, k: int, needed_per_stratum, budget: list[int],
                 chosen: dict[tuple[str, Grouping], Relation],
-                weight: Fraction,
+                weight: Fraction, planner: ClausePlanner,
                 ) -> Iterator[tuple]:
         program = compiled.program
         if k == len(strata):
@@ -344,7 +356,9 @@ class IdlogEngine:
             for name, rel in branch_relations.items():
                 store.install(name, rel)
             if clauses:
-                evaluate_stratum(clauses, stratum_heads, store, stats)
+                evaluate_stratum(clauses, stratum_heads, store, stats,
+                                 planner=planner)
             yield from self._branch(compiled, branch_relations, heads,
                                     strata, k + 1, needed_per_stratum,
-                                    budget, branch_chosen, branch_weight)
+                                    budget, branch_chosen, branch_weight,
+                                    planner)

@@ -15,7 +15,9 @@ from .builtins import builtin_names, builtin_spec, is_builtin_name
 from .database import (Database, Relation, relation_from_csv,
                        relation_to_csv)
 from .engine import DatalogEngine, EvalResult
-from .explain import explain_program
+from .explain import explain_plan, explain_program
+from .planner import (COST, GREEDY, PLAN_MODES, ClausePlan, ClausePlanner,
+                      LiteralEstimate, check_plan_mode, plan_body)
 from .counting import CountingEngine
 from .incremental import IncrementalEngine
 from .storage import load_database, save_database
@@ -34,7 +36,10 @@ __all__ = [
     "algebra", "Finding", "lint",
     "Derivation", "Explainer", "explain_tuple", "format_tree",
     "ARITHMETIC_FROM_SUCC", "arithmetic_db", "defined_arithmetic",
-    "explain_program", "CountingEngine", "IncrementalEngine",
+    "explain_plan", "explain_program",
+    "COST", "GREEDY", "PLAN_MODES", "ClausePlan", "ClausePlanner",
+    "LiteralEstimate", "check_plan_mode", "plan_body",
+    "CountingEngine", "IncrementalEngine",
     "load_database", "save_database",
     "TopDownEngine", "query_topdown",
     "Atom", "ChoiceAtom", "Clause", "Literal", "Program", "fact",

@@ -31,7 +31,7 @@ class Relation:
         tuples: Optional initial contents.
     """
 
-    __slots__ = ("arity", "_schema", "_tuples", "_indexes")
+    __slots__ = ("arity", "_schema", "_tuples", "_indexes", "_column_stats")
 
     def __init__(self, arity: int, schema: Optional[RelationType] = None,
                  tuples: Iterable[tuple[Value, ...]] = ()) -> None:
@@ -42,6 +42,7 @@ class Relation:
         self._schema = schema
         self._tuples: set[tuple[Value, ...]] = set()
         self._indexes: dict[tuple[int, ...], dict] = {}
+        self._column_stats: Optional[tuple[int, ...]] = None
         for row in tuples:
             self.add(row)
 
@@ -73,6 +74,7 @@ class Relation:
         if row in self._tuples:
             return False
         self._tuples.add(row)
+        self._column_stats = None
         for positions, index in self._indexes.items():
             key = tuple(row[i] for i in positions)
             index.setdefault(key, []).append(row)
@@ -90,6 +92,7 @@ class Relation:
         if row not in self._tuples:
             return False
         self._tuples.discard(row)
+        self._column_stats = None
         for positions, index in self._indexes.items():
             key = tuple(row[i] for i in positions)
             bucket = index.get(key)
@@ -125,6 +128,25 @@ class Relation:
             return
         key = tuple(pattern[i] for i in bound)
         yield from self.index_on(bound).get(key, ())
+
+    def column_stats(self) -> tuple[int, ...]:
+        """Per-position distinct-value counts, cached until the next mutation.
+
+        The selectivity statistics the cost-based planner
+        (:mod:`repro.datalog.planner`) feeds its uniform-distribution
+        estimates: an equality match on position ``i`` is expected to keep
+        ``len(self) / column_stats()[i]`` tuples.
+        """
+        if self._column_stats is None:
+            if not self._tuples:
+                self._column_stats = (0,) * self.arity
+            else:
+                columns = [set() for _ in range(self.arity)]
+                for row in self._tuples:
+                    for seen, value in zip(columns, row):
+                        seen.add(value)
+                self._column_stats = tuple(len(seen) for seen in columns)
+        return self._column_stats
 
     def project(self, positions: tuple[int, ...]) -> "Relation":
         """Return the projection onto the given 0-based positions."""

@@ -15,6 +15,7 @@ from ..errors import SchemaError
 from .ast import Program
 from .database import Database, Relation
 from .parser import parse_program
+from .planner import check_plan_mode
 from .safety import check_program
 from .seminaive import EvalStats, evaluate
 from .stratify import Stratification, stratify
@@ -56,10 +57,17 @@ class DatalogEngine:
         >>> db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
         >>> sorted(engine.query(db, "path"))
         [('a', 'b'), ('a', 'c'), ('b', 'c')]
+
+    Args:
+        program: Source text or a parsed :class:`Program`.
+        name: Program name used in diagnostics when parsing source text.
+        plan: Body-literal planning mode — ``"greedy"`` (purely syntactic)
+            or ``"cost"`` (cardinality-aware, see
+            :mod:`repro.datalog.planner`).
     """
 
     def __init__(self, program: Union[str, Program],
-                 name: str = "program") -> None:
+                 name: str = "program", plan: str = "greedy") -> None:
         if isinstance(program, str):
             program = parse_program(program, name=name)
         if program.has_choice():
@@ -70,6 +78,7 @@ class DatalogEngine:
                 "program uses ID-atoms; use the IDLOG engine (repro.core)")
         check_program(program)
         self.program = program
+        self.plan = check_plan_mode(plan)
         self.stratification: Stratification = stratify(program)
 
     def run(self, db: Database,
@@ -84,7 +93,7 @@ class DatalogEngine:
         """
         database, stats = evaluate(
             self.program, db, stratification=self.stratification,
-            max_iterations=max_iterations)
+            max_iterations=max_iterations, plan=self.plan)
         return EvalResult(database, stats)
 
     def query(self, db: Database, pred: str) -> frozenset[tuple]:

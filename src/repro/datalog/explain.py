@@ -5,14 +5,22 @@ each clause's planned literal ordering with the binding pattern every
 literal runs under, plus (for IDLOG programs) the ID-groupings and the
 tid bounds the group-limit optimization derived.  Used by the CLI's
 ``explain`` command and handy when debugging safety errors.
+
+:func:`explain_plan` is the cost-aware variant: given a database it
+renders the order the cost-based planner picks together with the
+cardinalities, estimated matches and estimated probes behind each choice
+— an EXPLAIN for the engine, including the semi-naive delta variants of
+recursive clauses.
 """
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from .ast import Atom, Literal, Program
+from .database import Database
 from .parser import parse_program
+from .planner import ClausePlan, check_plan_mode, plan_body
 from .pretty import format_atom
 from .safety import binding_pattern, order_body
 from .stratify import stratify
@@ -76,4 +84,102 @@ def explain_program(program: Union[str, Program]) -> str:
                 lines.append(f"    {_describe_literal(literal, bound)}")
                 if literal.positive:
                     bound |= literal.atom.vars
+    return "\n".join(lines)
+
+
+def _format_count(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def _render_plan(plan: ClausePlan, indent: str) -> list[str]:
+    lines = []
+    for est in plan.estimates:
+        rendered = format_atom(est.literal.atom) if est.literal.positive \
+            else f"not {format_atom(est.literal.atom)}"
+        lines.append(
+            f"{indent}{rendered}  [{est.kind}, pattern {est.pattern}, "
+            f"est matches {_format_count(est.matches)}, "
+            f"est probes {_format_count(est.probes)}]")
+    lines.append(
+        f"{indent}=> est cost {_format_count(plan.cost)} probes")
+    return lines
+
+
+def explain_plan(program: Union[str, Program],
+                 db: Optional[Database] = None,
+                 plan: str = "cost") -> str:
+    """Render the planner's chosen orders with their cost estimates.
+
+    For programs without ID-atoms the program is first evaluated to its
+    fixpoint on ``db`` so the rendered cardinalities are the ones the
+    recursive rounds actually see; IDLOG programs are costed against the
+    raw input database (planning never materializes ID-relations).
+
+    Args:
+        program: Source text or a parsed program (must be safe/stratified).
+        db: Input database supplying cardinalities; without one every
+            relation is treated as empty and only the orders are
+            meaningful.
+        plan: ``"cost"`` (default) or ``"greedy"`` — handy for rendering
+            both and diffing them.
+    """
+    check_plan_mode(plan)
+    if isinstance(program, str):
+        program = parse_program(program)
+    strat = stratify(program)
+
+    if db is None:
+        sizes = Database()
+        note = "no database given; all relations assumed empty"
+    elif program.has_id_atoms():
+        sizes = db
+        note = "cardinalities from the input EDB (ID-relations not " \
+               "materialized at plan time)"
+    else:
+        from .seminaive import evaluate
+        sizes, _ = evaluate(program, db, plan=plan)
+        note = "cardinalities from the fixpoint on the given database"
+
+    def resolver(pred: str):
+        return sizes.relation(pred) if pred in sizes else None
+
+    lines = [f"program: {program.name} (plan={plan})",
+             f"note: {note}",
+             f"strata: {strat.depth}"]
+    heads = program.head_predicates
+    for level, stratum in enumerate(strat.strata):
+        defined = sorted(stratum & heads)
+        if not defined:
+            continue
+        lines.append(f"stratum {level}: defines {', '.join(defined)}")
+        for clause in program.clauses:
+            if clause.head.pred not in stratum:
+                continue
+            lines.append(f"  {clause.head} :-")
+            if not clause.body:
+                lines.append("    (fact)")
+                continue
+            body_plan = plan_body(clause, resolver, mode=plan)
+            lines.extend(_render_plan(body_plan, "    "))
+            # Semi-naive delta variants: one per in-stratum positive
+            # relation literal, with that literal forced first.
+            for position, literal in enumerate(clause.body):
+                atom = literal.atom
+                if not (isinstance(atom, Atom) and literal.positive
+                        and not atom.is_builtin and not atom.is_id
+                        and atom.pred in stratum and atom.pred in heads):
+                    continue
+                delta_plan = plan_body(clause, resolver,
+                                       first=literal, mode=plan)
+                order = " -> ".join(
+                    ("Δ" if i == 0 else "")
+                    + (format_atom(est.literal.atom) if est.literal.positive
+                       else f"not {format_atom(est.literal.atom)}")
+                    for i, est in enumerate(delta_plan.estimates))
+                lines.append(
+                    f"    Δ-variant (delta at body position "
+                    f"{position + 1}): {order}  "
+                    f"[est cost {_format_count(delta_plan.cost)} probes]")
     return "\n".join(lines)

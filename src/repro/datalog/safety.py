@@ -68,6 +68,59 @@ def _bound_var_count(literal: Literal, bound: frozenset[Var]) -> int:
     return sum(1 for v in literal.atom.vars if v in bound)
 
 
+def _take_first(first: Literal, remaining: list[Literal]) -> None:
+    """Validate and remove the forced-first literal from ``remaining``.
+
+    Shared with :mod:`repro.datalog.planner` so the cost-based planner
+    accepts and rejects forced-first literals exactly like this module.
+    """
+    if first not in remaining:
+        raise SafetyError("forced first literal is not in the body")
+    if not first.positive or not isinstance(first.atom, Atom) \
+            or first.atom.is_builtin:
+        raise SafetyError(
+            "only a positive relation literal can be forced first")
+    remaining.remove(first)
+
+
+def _choose_filter(remaining: list[Literal],
+                   bound: frozenset[Var]) -> Optional[Literal]:
+    """The filter (builtin or negative literal) to schedule next, if any.
+
+    Filters are scheduled as soon as they become evaluable; among evaluable
+    ones, the one with the most bound variables is preferred so pure tests
+    run before value-generating builtins.  Both planners share this pass,
+    which is what keeps "plannable" identical between them.
+    """
+    chosen: Optional[Literal] = None
+    for literal in remaining:
+        atom = literal.atom
+        is_filter = (isinstance(atom, Atom) and atom.is_builtin) \
+            or not literal.positive
+        if is_filter and _selectable(literal, bound):
+            if chosen is None or _bound_var_count(literal, bound) \
+                    > _bound_var_count(chosen, bound):
+                chosen = literal
+    return chosen
+
+
+def _stuck_error(clause: Clause, remaining: list[Literal],
+                 bound: frozenset[Var]) -> SafetyError:
+    stuck = ", ".join(str(lit) for lit in remaining)
+    return SafetyError(
+        f"clause {clause} is unsafe: cannot schedule {stuck} "
+        f"(bound variables: {sorted(v.name for v in bound)})")
+
+
+def _check_head_bound(clause: Clause, bound: frozenset[Var]) -> None:
+    unbound_head = clause.head.vars - bound
+    if unbound_head:
+        names = sorted(v.name for v in unbound_head)
+        raise SafetyError(
+            f"clause {clause} is unsafe: head variables {names} are never "
+            "positively bound")
+
+
 def order_body(clause: Clause,
                initially_bound: frozenset[Var] = frozenset(),
                first: Optional[Literal] = None) -> tuple[Literal, ...]:
@@ -88,29 +141,13 @@ def order_body(clause: Clause,
     bound = frozenset(initially_bound)
 
     if first is not None:
-        if first not in remaining:
-            raise SafetyError("forced first literal is not in the body")
-        if not first.positive or not isinstance(first.atom, Atom) \
-                or first.atom.is_builtin:
-            raise SafetyError(
-                "only a positive relation literal can be forced first")
-        remaining.remove(first)
+        _take_first(first, remaining)
         ordered.append(first)
         bound |= _binds(first)
 
     while remaining:
-        chosen: Optional[Literal] = None
         # Pass 1: any evaluable filter (builtin or negative literal).
-        for literal in remaining:
-            atom = literal.atom
-            is_filter = (isinstance(atom, Atom) and atom.is_builtin) \
-                or not literal.positive
-            if is_filter and _selectable(literal, bound):
-                # Prefer filters that add no new bindings (pure tests) so
-                # value-generating builtins run once their inputs are rich.
-                if chosen is None or _bound_var_count(literal, bound) \
-                        > _bound_var_count(chosen, bound):
-                    chosen = literal
+        chosen = _choose_filter(remaining, bound)
         # Pass 2: otherwise the positive relation literal sharing the most
         # bound variables (join selectivity heuristic).
         if chosen is None:
@@ -123,20 +160,12 @@ def order_body(clause: Clause,
                     best = score
                     chosen = literal
         if chosen is None:
-            stuck = ", ".join(str(lit) for lit in remaining)
-            raise SafetyError(
-                f"clause {clause} is unsafe: cannot schedule {stuck} "
-                f"(bound variables: {sorted(v.name for v in bound)})")
+            raise _stuck_error(clause, remaining, bound)
         remaining.remove(chosen)
         ordered.append(chosen)
         bound |= _binds(chosen)
 
-    unbound_head = clause.head.vars - bound
-    if unbound_head:
-        names = sorted(v.name for v in unbound_head)
-        raise SafetyError(
-            f"clause {clause} is unsafe: head variables {names} are never "
-            "positively bound")
+    _check_head_bound(clause, bound)
     return tuple(ordered)
 
 

@@ -21,6 +21,7 @@ from ..errors import EvaluationError
 from .ast import Atom, Clause, Literal, Program
 from .builtins import builtin_spec
 from .database import Database, Relation
+from .planner import ClausePlanner
 from .safety import order_body
 from .stratify import Stratification, stratify
 from .terms import Const, Value, Var
@@ -34,9 +35,15 @@ class EvalStats:
         derived: New tuples added per predicate (derivations minus dups).
         firings: Successful clause instantiations (head tuples produced,
             counting duplicates).
-        probes: Tuples scanned/probed while joining body literals.
+        probes: Tuples scanned/probed while joining body literals; every
+            relation lookup costs at least one probe, so an index probe
+            that finds an empty bucket (or a scan of an empty relation)
+            still counts — greedy-vs-cost plan comparisons stay
+            apples-to-apples.
         iterations: Fixpoint rounds summed over all strata.
         id_tuples: Tuples materialized into ID-relations.
+        plans_built: Clause plans compiled (or re-costed) by the planner.
+        plans_reused: Cache hits on previously compiled clause plans.
     """
 
     derived: dict[str, int] = field(default_factory=dict)
@@ -44,6 +51,8 @@ class EvalStats:
     probes: int = 0
     iterations: int = 0
     id_tuples: int = 0
+    plans_built: int = 0
+    plans_reused: int = 0
 
     @property
     def total_derived(self) -> int:
@@ -62,6 +71,8 @@ class EvalStats:
         self.probes += other.probes
         self.iterations += other.iterations
         self.id_tuples += other.id_tuples
+        self.plans_built += other.plans_built
+        self.plans_reused += other.plans_reused
 
 
 class IdProvider(Protocol):
@@ -122,6 +133,14 @@ class RelationStore:
         if atom.is_id:
             return self.id_relation(atom.pred, atom.group)
         return self._relations[atom.pred]
+
+    def base_relation(self, name: str) -> Optional[Relation]:
+        """The stored base relation for ``name``, or None when absent.
+
+        The planner's statistics resolver: cost estimation reads base
+        relations only and never triggers ID-relation materialization.
+        """
+        return self._relations.get(name)
 
     def as_database(self, udomain: frozenset[str]) -> Database:
         """Snapshot the store as a database."""
@@ -184,12 +203,16 @@ def _solve_literals(order: tuple[Literal, ...], index: int,
         partial = _ground_args(atom.args, subst)
         spec = builtin_spec(atom.pred)
         if literal.positive:
+            solved = False
             for solution in spec.solve(partial):
+                solved = True
                 stats.probes += 1
                 extended = _match_args(atom.args, solution, subst)
                 if extended is not None:
                     yield from _solve_literals(
                         order, index + 1, extended, store, stats, overrides)
+            if not solved:
+                stats.probes += 1
         else:
             if None in partial:
                 raise EvaluationError(
@@ -206,12 +229,20 @@ def _solve_literals(order: tuple[Literal, ...], index: int,
 
     if literal.positive:
         pattern = _ground_args(atom.args, subst)
+        # Every lookup costs at least one probe: a full scan counts each
+        # scanned row, an index probe counts each bucket row, and an empty
+        # result still counts the lookup itself — so plans that do many
+        # fruitless probes are not reported as free.
+        yielded = False
         for row in relation.match(pattern):
+            yielded = True
             stats.probes += 1
             extended = _match_args(atom.args, row, subst)
             if extended is not None:
                 yield from _solve_literals(
                     order, index + 1, extended, store, stats, overrides)
+        if not yielded:
+            stats.probes += 1
     else:
         row = _ground_args(atom.args, subst)
         if None in row:
@@ -235,17 +266,25 @@ def _head_tuple(clause: Clause, subst: Substitution) -> tuple[Value, ...]:
 
 def evaluate_clause(clause: Clause, store: RelationStore, stats: EvalStats,
                     delta_index: Optional[int] = None,
-                    delta: Optional[Relation] = None) -> Iterator[tuple]:
+                    delta: Optional[Relation] = None,
+                    planner: Optional[ClausePlanner] = None,
+                    ) -> Iterator[tuple]:
     """Yield head tuples derivable from one clause.
 
     When ``delta_index``/``delta`` are given, the body literal at that
     position (in source order) reads ``delta`` instead of its full relation,
-    and is scheduled first (semi-naive variant).
+    and is scheduled first (semi-naive variant).  With a ``planner`` the
+    literal order comes from its compiled-plan cache (greedy or cost-based);
+    without one, the syntactic greedy order is re-derived on every call.
     """
-    first: Optional[Literal] = None
-    if delta_index is not None:
-        first = clause.body[delta_index]
-    order = order_body(clause, first=first)
+    if planner is not None:
+        order = planner.order(clause, store.base_relation,
+                              delta_index=delta_index, stats=stats)
+    else:
+        first: Optional[Literal] = None
+        if delta_index is not None:
+            first = clause.body[delta_index]
+        order = order_body(clause, first=first)
     overrides: dict[int, Relation] = {}
     if delta_index is not None and delta is not None:
         # ``first`` landed at position 0 of the ordering.
@@ -269,7 +308,8 @@ def _recursive_positions(clause: Clause,
 
 def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
                      store: RelationStore, stats: EvalStats,
-                     max_iterations: Optional[int] = None) -> None:
+                     max_iterations: Optional[int] = None,
+                     planner: Optional[ClausePlanner] = None) -> None:
     """Run the least fixpoint of one stratum in place.
 
     ``heads`` is the set of predicates defined in this stratum; relations for
@@ -280,6 +320,9 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
             whose arithmetic derives unboundedly many facts, e.g.
             ``times(0, M, 0)`` for every M); when exceeded an
             :class:`EvaluationError` is raised instead of looping forever.
+        planner: Optional shared plan cache (and plan-mode selector);
+            fixpoint rounds then reuse compiled per-(clause, delta-position)
+            plans instead of re-deriving the literal order every round.
     """
     deltas: dict[str, Relation] = {}
 
@@ -296,7 +339,8 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
     # clause so a recursive clause never mutates a relation it is scanning.
     stats.iterations += 1
     for clause in clauses:
-        for row in list(evaluate_clause(clause, store, stats)):
+        for row in list(evaluate_clause(clause, store, stats,
+                                        planner=planner)):
             emit(clause.head.pred, row)
 
     recursive = [(c, _recursive_positions(c, heads)) for c in clauses]
@@ -322,7 +366,8 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
                     continue
                 for row in list(evaluate_clause(
                         clause, store, stats,
-                        delta_index=position, delta=delta)):
+                        delta_index=position, delta=delta,
+                        planner=planner)):
                     emit(clause.head.pred, row)
 
 
@@ -361,6 +406,7 @@ def evaluate(program: Program, db: Database,
              id_provider: Optional[IdProvider] = None,
              stratification: Optional[Stratification] = None,
              max_iterations: Optional[int] = None,
+             plan: str = "greedy",
              ) -> tuple[Database, EvalStats]:
     """Evaluate a stratified program bottom-up (semi-naive).
 
@@ -372,6 +418,8 @@ def evaluate(program: Program, db: Database,
         stratification: Optional precomputed stratification.
         max_iterations: Optional per-stratum round guard against diverging
             fixpoints (see :func:`evaluate_stratum`).
+        plan: ``"greedy"`` (the syntactic body order) or ``"cost"``
+            (cardinality-aware ordering, see :mod:`repro.datalog.planner`).
 
     Returns:
         The database of all relations (EDB views plus computed IDB) and the
@@ -380,6 +428,7 @@ def evaluate(program: Program, db: Database,
     strat = stratification or stratify(program)
     stats = EvalStats()
     store = prepare_store(program, db, id_provider, stats)
+    planner = ClausePlanner(plan)
     heads = program.head_predicates
     for stratum in strat.strata:
         stratum_heads = frozenset(stratum & heads)
@@ -387,12 +436,13 @@ def evaluate(program: Program, db: Database,
                         if c.head.pred in stratum_heads)
         if clauses:
             evaluate_stratum(clauses, stratum_heads, store, stats,
-                             max_iterations)
+                             max_iterations, planner=planner)
     return store.as_database(db.udomain | program.u_constants()), stats
 
 
 def evaluate_naive(program: Program, db: Database,
                    id_provider: Optional[IdProvider] = None,
+                   plan: str = "greedy",
                    ) -> tuple[Database, EvalStats]:
     """Naive-iteration evaluation (reference implementation for tests).
 
@@ -403,6 +453,7 @@ def evaluate_naive(program: Program, db: Database,
     strat = stratify(program)
     stats = EvalStats()
     store = prepare_store(program, db, id_provider, stats)
+    planner = ClausePlanner(plan)
     heads = program.head_predicates
     for stratum in strat.strata:
         stratum_heads = frozenset(stratum & heads)
@@ -415,7 +466,8 @@ def evaluate_naive(program: Program, db: Database,
             changed = False
             stats.iterations += 1
             for clause in clauses:
-                for row in list(evaluate_clause(clause, store, stats)):
+                for row in list(evaluate_clause(clause, store, stats,
+                                                planner=planner)):
                     if store.relation(clause.head.pred).add(row):
                         stats.count_derived(clause.head.pred)
                         changed = True

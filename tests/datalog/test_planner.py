@@ -1,0 +1,497 @@
+"""Tests for the cost-based clause planner.
+
+Three concerns, mirroring the planner's contract:
+
+* **Safety preservation** — the cost planner raises ``SafetyError`` on
+  exactly the clauses ``order_body`` rejects, and every order it emits is
+  valid: negated literals and builtins run fully bound (or under an
+  allowed builtin pattern), head variables end up bound, and the order is
+  a permutation of the body.
+* **Probe regressions** — on workload shapes from the benchmark suite
+  (the ∃-style join of bench_e7, the reachability recursion of bench_a1)
+  the cost plan must beat the greedy plan by at least 2x measured probes,
+  and it must never lose on the plain shapes.
+* **Plan caching** — ``ClausePlanner`` reuses compiled plans across
+  rounds and re-costs only past the cardinality-drift threshold.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.ast import Atom, Clause, Literal
+from repro.datalog.builtins import builtin_spec
+from repro.datalog.database import Database, Relation
+from repro.datalog.engine import DatalogEngine
+from repro.datalog.explain import explain_plan
+from repro.datalog.parser import parse_clause, parse_program
+from repro.datalog.planner import (COST, GREEDY, PLAN_MODES, ClausePlanner,
+                                   check_plan_mode, plan_body)
+from repro.datalog.safety import binding_pattern, order_body
+from repro.datalog.seminaive import EvalStats, evaluate
+from repro.datalog.terms import Const, Var
+from repro.errors import SafetyError, SchemaError
+
+
+def resolver_for(db: Database):
+    return lambda pred: db.relation(pred) if pred in db else None
+
+
+def assert_valid_order(clause, order):
+    """Independent validity check: the safety invariants, re-derived."""
+    assert sorted(map(str, order)) == sorted(map(str, clause.body)), \
+        "order must be a permutation of the body"
+    bound = frozenset()
+    for literal in order:
+        atom = literal.atom
+        pattern = binding_pattern(atom, bound)
+        if not literal.positive:
+            assert "n" not in pattern, \
+                f"negated {atom} evaluated with unbound vars"
+        elif atom.is_builtin:
+            assert builtin_spec(atom.pred).allows(pattern), \
+                f"builtin {atom} run under disallowed pattern {pattern}"
+        if literal.positive:
+            bound |= atom.vars
+    assert clause.head.vars <= bound, "head variables left unbound"
+
+
+class TestPlanModeKnob:
+    def test_modes(self):
+        assert set(PLAN_MODES) == {"greedy", "cost"}
+        assert check_plan_mode(GREEDY) == "greedy"
+        assert check_plan_mode(COST) == "cost"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SchemaError):
+            check_plan_mode("volcano")
+        with pytest.raises(SchemaError):
+            plan_body(parse_clause("p(X) :- q(X)."), mode="volcano")
+        with pytest.raises(SchemaError):
+            ClausePlanner("volcano")
+        with pytest.raises(SchemaError):
+            DatalogEngine("p(X) :- q(X).", plan="volcano")
+
+
+class TestColumnStats:
+    def test_distinct_counts(self):
+        rel = Relation(2)
+        for row in [("a", 1), ("a", 2), ("b", 1)]:
+            rel.add(row)
+        assert rel.column_stats() == (2, 2)
+
+    def test_empty_relation(self):
+        assert Relation(2).column_stats() == (0, 0)
+
+    def test_cache_invalidated_on_add_and_discard(self):
+        rel = Relation(1)
+        rel.add(("a",))
+        assert rel.column_stats() == (1,)
+        rel.add(("b",))
+        assert rel.column_stats() == (2,)
+        rel.discard(("b",))
+        assert rel.column_stats() == (1,)
+
+    def test_duplicate_add_keeps_cache(self):
+        rel = Relation(1)
+        rel.add(("a",))
+        assert rel.column_stats() == (1,)
+        assert not rel.add(("a",))
+        assert rel.column_stats() == (1,)
+
+
+class TestCostOrders:
+    def test_small_relation_scanned_first(self):
+        # The e7 shape: greedy scans big (source order), cost starts from
+        # the 1-row relation and probes big's index on Y.
+        clause = parse_clause("q() :- big(X, Y), small(Y).")
+        db = Database.from_facts({
+            "big": [(f"x{i}", f"y{j}") for i in range(5) for j in range(5)],
+            "small": [("y0",)],
+        })
+        plan = plan_body(clause, resolver_for(db), mode=COST)
+        assert [l.atom.pred for l in plan.order] == ["small", "big"]
+        greedy = plan_body(clause, resolver_for(db), mode=GREEDY)
+        assert [l.atom.pred for l in greedy.order] == ["big", "small"]
+        assert plan.cost < greedy.cost
+
+    def test_greedy_mode_matches_order_body(self):
+        clause = parse_clause("p(X) :- e0(X, Y), e1(Y), e0(Y, Z).")
+        plan = plan_body(clause, mode=GREEDY)
+        assert plan.order == order_body(clause)
+
+    def test_forced_first_stays_first(self):
+        clause = parse_clause("p(X, Y) :- a(X, Z), b(Z, Y).")
+        db = Database.from_facts({
+            "a": [(f"x{i}", "z") for i in range(10)],
+            "b": [("z", "y")],
+        })
+        delta = clause.body[0]
+        plan = plan_body(clause, resolver_for(db), first=delta, mode=COST)
+        assert plan.order[0] is delta
+
+    def test_filters_still_scheduled_asap(self):
+        clause = parse_clause("p(X) :- e0(X), X < 3, e1(X).")
+        plan = plan_body(clause, mode=COST)
+        preds = [l.atom.pred for l in plan.order]
+        assert preds.index("<") == 1
+
+    def test_estimates_parallel_order(self):
+        clause = parse_clause("p(X) :- e0(X, Y), not e1(Y).")
+        db = Database.from_facts(
+            {"e0": [("a", "b")], "e1": [("b",)]})
+        plan = plan_body(clause, resolver_for(db), mode=COST)
+        assert len(plan.estimates) == len(plan.order) == 2
+        assert [e.literal for e in plan.estimates] == list(plan.order)
+        assert plan.estimates[1].kind == "anti-join"
+        assert plan.cost == sum(e.probes for e in plan.estimates)
+
+    def test_no_stats_resolver_is_neutral(self):
+        clause = parse_clause("p(X) :- e0(X, Y), e1(Y).")
+        plan = plan_body(clause, mode=COST)
+        assert [l.atom.pred for l in plan.order] == \
+            [l.atom.pred for l in order_body(clause)]
+
+
+def random_draft_clause(rng):
+    """An *unchecked* clause draft — unsafe shapes very much included."""
+    arities = {"e0": 1, "e1": 2, "e2": 2, "p0": 1, "p1": 2}
+    variables = [Var(f"X{i}") for i in range(5)]
+
+    def args(n):
+        return tuple(
+            Const("a") if rng.random() < 0.12 else rng.choice(variables)
+            for _ in range(n))
+
+    body = []
+    for _ in range(rng.randrange(1, 5)):
+        roll = rng.random()
+        if roll < 0.5:
+            pred = rng.choice(sorted(arities))
+            body.append(Literal(Atom(pred, args(arities[pred]))))
+        elif roll < 0.7:
+            pred = rng.choice(sorted(arities))
+            body.append(
+                Literal(Atom(pred, args(arities[pred])), positive=False))
+        elif roll < 0.9:
+            body.append(Literal(Atom(rng.choice(("<", "<=", "=", "!=")),
+                                     args(2))))
+        else:
+            body.append(Literal(Atom("+", args(3))))
+    head_pred, head_arity = rng.choice((("h1", 1), ("h2", 2)))
+    return Clause(Atom(head_pred, args(head_arity)), tuple(body))
+
+
+def random_resolver(rng):
+    """Random cardinalities so cost and greedy genuinely diverge."""
+    relations = {}
+    for pred, arity in (("e0", 1), ("e1", 2), ("e2", 2),
+                        ("p0", 1), ("p1", 2)):
+        rel = Relation(arity)
+        for _ in range(rng.randrange(0, 30)):
+            rel.add(tuple(f"c{rng.randrange(8)}" for _ in range(arity)))
+        relations[pred] = rel
+    return relations.get
+
+
+class TestSafetyPreservation:
+    """Satellite: the cost planner fails exactly where order_body fails,
+    and succeeds only with orders that satisfy the safety invariants."""
+
+    N_DRAFTS = 400
+
+    def test_cost_planner_agrees_with_order_body_on_random_drafts(self):
+        rng = random.Random(20260805)
+        rejected = accepted = 0
+        for _ in range(self.N_DRAFTS):
+            clause = random_draft_clause(rng)
+            resolver = random_resolver(rng)
+            try:
+                order_body(clause)
+                greedy_ok = True
+            except SafetyError:
+                greedy_ok = False
+            try:
+                plan = plan_body(clause, resolver, mode=COST)
+                cost_ok = True
+            except SafetyError:
+                cost_ok = False
+            assert greedy_ok == cost_ok, \
+                f"planners disagree on safety of: {clause}"
+            if cost_ok:
+                accepted += 1
+                assert_valid_order(clause, plan.order)
+                assert_valid_order(clause, order_body(clause))
+            else:
+                rejected += 1
+        # The corpus must genuinely exercise both outcomes.
+        assert accepted >= 50
+        assert rejected >= 50
+
+    def test_forced_first_agreement(self):
+        rng = random.Random(8)
+        for _ in range(150):
+            clause = random_draft_clause(rng)
+            candidates = [l for l in clause.body
+                          if l.positive and not l.atom.is_builtin]
+            if not candidates:
+                continue
+            first = rng.choice(candidates)
+            try:
+                order_body(clause, first=first)
+                greedy_ok = True
+            except SafetyError:
+                greedy_ok = False
+            try:
+                plan = plan_body(clause, first=first, mode=COST)
+                cost_ok = True
+            except SafetyError:
+                cost_ok = False
+            assert greedy_ok == cost_ok
+            if cost_ok:
+                assert plan.order[0] is first
+                assert_valid_order(clause, plan.order)
+
+    def test_unbound_negation_rejected(self):
+        clause = parse_clause("p(X) :- e0(X), not e1(X, Y).")
+        with pytest.raises(SafetyError):
+            order_body(clause)
+        with pytest.raises(SafetyError):
+            plan_body(clause, mode=COST)
+
+    def test_unbound_comparison_rejected(self):
+        clause = parse_clause("p(X) :- e0(X), Y < Z.")
+        with pytest.raises(SafetyError):
+            plan_body(clause, mode=COST)
+
+    def test_unbound_head_rejected(self):
+        clause = parse_clause("p(X, Y) :- e0(X).")
+        with pytest.raises(SafetyError):
+            plan_body(clause, mode=COST)
+
+    def test_generative_builtin_accepted_both(self):
+        clause = parse_clause("p(Z) :- e0(X), e0(Y), +(X, Y, Z).")
+        assert_valid_order(clause, order_body(clause))
+        assert_valid_order(clause, plan_body(clause, mode=COST).order)
+
+    def test_negation_stays_after_its_bindings_despite_cost(self):
+        # A tiny negated relation must NOT be pulled forward: pass 1 only
+        # schedules it once fully bound, whatever the cardinalities say.
+        clause = parse_clause("p(X) :- huge(X), not tiny(X).")
+        db = Database.from_facts({
+            "huge": [(f"x{i}",) for i in range(50)],
+            "tiny": [("x0",)],
+        })
+        plan = plan_body(clause, resolver_for(db), mode=COST)
+        assert [l.atom.pred for l in plan.order] == ["huge", "tiny"]
+        assert_valid_order(clause, plan.order)
+
+
+def probes(program, db, plan):
+    _, stats = evaluate(parse_program(program), db, plan=plan)
+    return stats.probes
+
+
+def results_agree(program, db):
+    parsed = parse_program(program)
+    greedy, _ = evaluate(parsed, db, plan="greedy")
+    cost, _ = evaluate(parsed, db, plan="cost")
+    return all(greedy.relation(p).frozen() == cost.relation(p).frozen()
+               for p in parsed.head_predicates)
+
+
+class TestProbeRegression:
+    """Satellite: checked-in probe counts — cost must beat greedy >= 2x on
+    the bench_e7 and bench_a1 workload shapes, and never lose elsewhere."""
+
+    E7_SHAPE = "q() :- big(X, Y), small(Y)."
+
+    def e7_db(self, n=30):
+        return Database.from_facts({
+            "big": [(f"x{i}", f"y{j}") for i in range(n) for j in range(n)],
+            "small": [("y0",)],
+        })
+
+    def test_e7_shape_cost_at_least_2x_cheaper(self):
+        db = self.e7_db()
+        greedy = probes(self.E7_SHAPE, db, "greedy")
+        cost = probes(self.E7_SHAPE, db, "cost")
+        assert 2 * cost <= greedy, (greedy, cost)
+        assert results_agree(self.E7_SHAPE, db)
+
+    REACH_SHAPE = """
+        reach(X, Y) :- edge(X, Y), source(X).
+        reach(X, Y) :- reach(X, Z), edge(Z, Y).
+    """
+
+    def reach_db(self, n=120, source=110):
+        return Database.from_facts({
+            "edge": [(f"n{i}", f"n{i + 1}") for i in range(n)],
+            "source": [(f"n{source}",)],
+        })
+
+    def test_a1_shape_cost_at_least_2x_cheaper(self):
+        db = self.reach_db()
+        greedy = probes(self.REACH_SHAPE, db, "greedy")
+        cost = probes(self.REACH_SHAPE, db, "cost")
+        assert 2 * cost <= greedy, (greedy, cost)
+        assert results_agree(self.REACH_SHAPE, db)
+
+    TC_SHAPE = """
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+    """
+
+    def test_plain_transitive_closure_never_worse(self):
+        db = Database.from_facts(
+            {"edge": [(f"n{i}", f"n{i + 1}") for i in range(40)]})
+        greedy = probes(self.TC_SHAPE, db, "greedy")
+        cost = probes(self.TC_SHAPE, db, "cost")
+        assert cost <= greedy, (greedy, cost)
+        assert results_agree(self.TC_SHAPE, db)
+
+    def test_same_generation_never_worse(self):
+        program = """
+            same_gen(X, X) :- person(X).
+            same_gen(X, Y) :- parent(X, PX), same_gen(PX, PY), parent(Y, PY).
+        """
+        people = [f"h{i}" for i in range(12)]
+        db = Database.from_facts({
+            "person": [(p,) for p in people],
+            "parent": [(people[i], people[i // 2]) for i in range(1, 12)],
+        })
+        greedy = probes(program, db, "greedy")
+        cost = probes(program, db, "cost")
+        assert cost <= greedy, (greedy, cost)
+        assert results_agree(program, db)
+
+
+class TestPlanCache:
+    CLAUSE = parse_clause("p(X) :- q(X), r(X).")
+
+    def db(self, q_rows, r_rows=3):
+        return Database.from_facts({
+            "q": [(f"q{i}",) for i in range(q_rows)],
+            "r": [(f"r{i}",) for i in range(r_rows)],
+        })
+
+    def test_plans_cached_and_counted(self):
+        planner = ClausePlanner(COST)
+        stats = EvalStats()
+        resolver = resolver_for(self.db(4))
+        first = planner.plan(self.CLAUSE, resolver, stats=stats)
+        again = planner.plan(self.CLAUSE, resolver, stats=stats)
+        assert first is again
+        assert (stats.plans_built, stats.plans_reused) == (1, 1)
+
+    def test_delta_positions_cached_separately(self):
+        planner = ClausePlanner(COST)
+        stats = EvalStats()
+        resolver = resolver_for(self.db(4))
+        naive = planner.plan(self.CLAUSE, resolver, stats=stats)
+        delta = planner.plan(self.CLAUSE, resolver, delta_index=1,
+                             stats=stats)
+        assert naive is not delta
+        assert delta.order[0] is self.CLAUSE.body[1]
+        assert stats.plans_built == 2
+
+    def test_recost_on_cardinality_drift(self):
+        planner = ClausePlanner(COST, recost_threshold=2.0)
+        stats = EvalStats()
+        db = self.db(4)
+        planner.plan(self.CLAUSE, resolver_for(db), stats=stats)
+        # Growth within the threshold: (9+1) <= 2.0 * (4+1) -> reuse.
+        for i in range(4, 9):
+            db.relation("q").add((f"q{i}",))
+        planner.plan(self.CLAUSE, resolver_for(db), stats=stats)
+        assert (stats.plans_built, stats.plans_reused) == (1, 1)
+        # One more row crosses it: (10+1) > 2.0 * (4+1) -> rebuild.
+        db.relation("q").add(("q9",))
+        rebuilt = planner.plan(self.CLAUSE, resolver_for(db), stats=stats)
+        assert stats.plans_built == 2
+        assert rebuilt.cardinalities == (("q", 10), ("r", 3))
+
+    def test_greedy_plans_never_go_stale(self):
+        planner = ClausePlanner(GREEDY)
+        stats = EvalStats()
+        db = self.db(1)
+        planner.plan(self.CLAUSE, resolver_for(db), stats=stats)
+        for i in range(1, 40):
+            db.relation("q").add((f"q{i}",))
+        planner.plan(self.CLAUSE, resolver_for(db), stats=stats)
+        assert (stats.plans_built, stats.plans_reused) == (1, 1)
+
+    def test_evaluation_reuses_plans_across_rounds(self):
+        program = parse_program("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        db = Database.from_facts(
+            {"edge": [(f"n{i}", f"n{i + 1}") for i in range(20)]})
+        for plan in PLAN_MODES:
+            _, stats = evaluate(program, db, plan=plan)
+            assert stats.plans_built >= 1
+            assert stats.plans_reused > stats.plans_built
+
+
+class TestEngineKnobs:
+    TC = """
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+    """
+
+    def test_datalog_engine_plan_knob(self):
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
+        expected = DatalogEngine(self.TC).query(db, "path")
+        assert DatalogEngine(self.TC, plan="cost").query(db, "path") == \
+            expected
+
+    def test_idlog_engine_plan_knob(self):
+        from repro.core import IdlogEngine
+        program = """
+            picked(Name) :- emp[2](Name, Dept, N), N < 1.
+        """
+        db = Database.from_facts({
+            "emp": [("ann", "toys"), ("bob", "toys"), ("dee", "it")]})
+        greedy = IdlogEngine(program).answers(db, "picked")
+        cost = IdlogEngine(program, plan="cost").answers(db, "picked")
+        assert greedy == cost
+        with pytest.raises(SchemaError):
+            IdlogEngine(program, plan="volcano")
+
+
+class TestExplainPlan:
+    def test_renders_costs_and_orders(self):
+        text = explain_plan(
+            "q() :- big(X, Y), small(Y).",
+            Database.from_facts({
+                "big": [(f"x{i}", f"y{j}")
+                        for i in range(4) for j in range(4)],
+                "small": [("y0",)],
+            }))
+        lines = text.splitlines()
+        assert lines[0].endswith("(plan=cost)")
+        body = [l for l in lines if "est matches" in l]
+        assert "small" in body[0] and "big" in body[1]
+        assert any("=> est cost" in l for l in lines)
+
+    def test_delta_variants_only_for_recursive_literals(self):
+        text = explain_plan("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """, Database.from_facts({"edge": [("a", "b")]}))
+        deltas = [l for l in text.splitlines() if "Δ-variant" in l]
+        assert len(deltas) == 1
+        assert "Δpath" in deltas[0]
+
+    def test_greedy_mode_and_no_database(self):
+        text = explain_plan("p(X) :- e0(X, Y), e1(Y).", plan="greedy")
+        assert "(plan=greedy)" in text
+        assert "all relations assumed empty" in text
+
+    def test_idlog_program_not_materialized(self):
+        text = explain_plan(
+            "picked(Name) :- emp[2](Name, Dept, N), N < 1.",
+            Database.from_facts({"emp": [("ann", "toys"), ("dee", "it")]}))
+        assert "ID-relations not materialized" in text
+        assert "id-scan" in text or "id-probe" in text

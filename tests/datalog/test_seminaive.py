@@ -189,6 +189,46 @@ class TestStats:
         _, naive = evaluate_naive(TC, db)
         assert semi.probes < naive.probes
 
+    def test_plan_counters(self):
+        # Long enough for two delta rounds, so the compiled delta plan is
+        # actually reused (a 2-edge chain converges in one round).
+        db = Database.from_facts(
+            {"edge": [("a", "b"), ("b", "c"), ("c", "d")]})
+        _, stats = evaluate(TC, db)
+        assert stats.plans_built >= 1
+        assert stats.plans_reused >= 1
+        _, merged = evaluate(TC, db)
+        merged.merge(stats)
+        assert merged.plans_built == 2 * stats.plans_built
+
+
+class TestProbeAccounting:
+    """The probe counter charges one probe per yielded tuple with a floor
+    of one per lookup — so empty scans and missed index probes still cost,
+    matching the planner's cost model."""
+
+    def test_full_scan_charges_every_row(self):
+        program = parse_program("p(X) :- q(X).")
+        db = Database.from_facts({"q": [("a",), ("b",), ("c",)]})
+        _, stats = evaluate(program, db)
+        assert stats.probes == 3
+
+    def test_empty_scan_charges_one(self):
+        from repro.datalog.database import Relation
+        program = parse_program("p(X) :- q(X).")
+        db = Database()
+        db.add_relation("q", Relation(1))
+        _, stats = evaluate(program, db)
+        assert stats.probes == 1
+
+    def test_missed_index_probe_charges_one(self):
+        # q yields 2 rows (2 probes); each row probes r's index on X and
+        # finds an empty bucket — 1 probe each, not 0.
+        program = parse_program("p(X) :- q(X), r(X).")
+        db = Database.from_facts({"q": [("a",), ("b",)], "r": [("z",)]})
+        _, stats = evaluate(program, db)
+        assert stats.probes == 4
+
 
 class TestErrors:
     def test_id_atom_without_provider(self):

@@ -82,6 +82,18 @@ class TestExplain:
         assert "Theorem 2" in output
         assert "choice_sel_1" in output
 
+    def test_cost_explain_with_facts(self, program_file, facts_file):
+        code, output = run_cli("explain", program_file, "-f", facts_file)
+        assert code == 0
+        assert "(plan=cost)" in output
+        assert "est cost" in output
+
+    def test_plan_flag_without_facts(self, program_file):
+        code, output = run_cli("explain", program_file, "--plan", "greedy")
+        assert code == 0
+        assert "(plan=greedy)" in output
+        assert "all relations assumed empty" in output
+
 
 class TestRun:
     def test_canonical_run(self, program_file, facts_file):
@@ -107,6 +119,23 @@ class TestRun:
         _, output = run_cli("run", program_file, "-f", facts_file,
                             "--stats")
         assert "stats: derived=" in output
+        assert "plans_built=" in output
+
+    def test_plan_flag_same_answers(self, program_file, facts_file):
+        _, greedy = run_cli("run", program_file, "-f", facts_file)
+        code, cost = run_cli("run", program_file, "-f", facts_file,
+                             "--plan", "cost")
+        assert code == 0
+        assert cost == greedy
+
+    def test_plan_flag_noted_for_choice_programs(self, tmp_path,
+                                                 facts_file):
+        path = tmp_path / "choice.dl"
+        path.write_text(CHOICE_PROGRAM)
+        code, output = run_cli("run", str(path), "-f", facts_file,
+                               "--plan", "cost")
+        assert code == 0
+        assert "--plan applies to Datalog/IDLOG evaluation" in output
 
     def test_query_selection(self, program_file, facts_file):
         code, output = run_cli("run", program_file, "-f", facts_file,

@@ -1,9 +1,10 @@
 """Differential property tests over randomly generated programs.
 
 These cross-check independent implementations on the same inputs:
-semi-naive vs naive evaluation, pretty-printer vs parser, optimizer
-output vs original, magic rewriting vs direct evaluation, and IDLOG
-sampling vs answer enumeration.
+semi-naive vs naive evaluation (under both planning modes), bottom-up vs
+top-down tabling, pretty-printer vs parser, optimizer output vs
+original, magic rewriting vs direct evaluation, and IDLOG sampling vs
+answer enumeration.
 """
 
 import random
@@ -12,11 +13,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import IdlogEngine
+from repro.datalog.ast import Atom
 from repro.datalog.engine import DatalogEngine
 from repro.datalog.parser import parse_program
 from repro.datalog.pretty import to_source
 from repro.datalog.seminaive import evaluate, evaluate_naive
 from repro.datalog.stratify import stratify
+from repro.datalog.terms import Var
+from repro.datalog.topdown import TopDownEngine
 from repro.optimizer import magic_rewrite, optimize
 from repro.testing import (random_edb, random_idlog_program,
                            random_stratified_program)
@@ -68,6 +72,20 @@ class TestDifferential:
         naive, _ = evaluate_naive(program, db)
         for pred in program.head_predicates:
             assert semi.relation(pred).frozen() == \
+                naive.relation(pred).frozen()
+
+    @given(seeds, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_cost_plan_equals_naive(self, pseed, dseed):
+        """Harder shapes for the cost planner: long bodies + negation."""
+        rng = random.Random(pseed)
+        program = random_stratified_program(
+            rng, n_edb=3, n_idb=3, max_body_literals=4)
+        db = random_edb(program, random.Random(dseed))
+        cost, _ = evaluate(program, db, plan="cost")
+        naive, _ = evaluate_naive(program, db)
+        for pred in program.head_predicates:
+            assert cost.relation(pred).frozen() == \
                 naive.relation(pred).frozen()
 
     @given(seeds)
@@ -127,6 +145,43 @@ class TestDifferential:
             for sample_seed in (0, 1):
                 assert engine.one(db, seed=sample_seed).tuples(pred) \
                     in answers
+
+
+class TestFourWayDifferential:
+    """Every engine configuration computes the same perfect model: naive,
+    semi-naive under the greedy planner, semi-naive under the cost-based
+    planner, and the top-down tabling engine."""
+
+    N_PROGRAMS = 200
+
+    def check_program(self, seed):
+        rng = random.Random(seed)
+        program = random_stratified_program(rng)
+        db = random_edb(program, random.Random(seed + 10_000))
+        naive, _ = evaluate_naive(program, db)
+        greedy, _ = evaluate(program, db, plan="greedy")
+        cost, _ = evaluate(program, db, plan="cost")
+        top_down = TopDownEngine(program)
+        for pred in sorted(program.head_predicates):
+            expected = naive.relation(pred).frozen()
+            assert greedy.relation(pred).frozen() == expected, \
+                (seed, pred, "greedy")
+            assert cost.relation(pred).frozen() == expected, \
+                (seed, pred, "cost")
+            goal = Atom(pred, tuple(Var(f"Q{i}")
+                                    for i in range(program.arity(pred))))
+            assert top_down.query(db, goal) == expected, \
+                (seed, pred, "top-down")
+
+    def test_all_engines_agree(self):
+        for seed in range(self.N_PROGRAMS):
+            self.check_program(seed)
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_all_engines_agree_fuzzed(self, seed):
+        """Hypothesis extension beyond the fixed 200-seed corpus."""
+        self.check_program(seed)
 
 
 def Program_with_default_name(program):

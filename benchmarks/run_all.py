@@ -1,0 +1,405 @@
+#!/usr/bin/env python
+"""Run every benchmark kernel under each engine/plan mode and record the
+perf trajectory.
+
+For each ``bench_*.py`` module this runner extracts one representative
+kernel, executes it under every (engine, plan) combination —
+``engine`` in (interp, batch) x ``plan`` in (greedy, cost) — and records
+wall time, join probes, fixpoint iterations and derived-tuple counts
+(where the kernel surfaces :class:`~repro.datalog.seminaive.EvalStats`)
+plus a canonical digest of the answer.  Results are written to
+``BENCH_pr2.json`` at the repo root.
+
+The run FAILS (exit 1) when the batch and interp engines disagree on any
+kernel's answer under the same plan — this is the CI smoke check.
+
+Usage::
+
+    python benchmarks/run_all.py            # full sizes, best of 3
+    python benchmarks/run_all.py --quick    # CI: small sizes, 1 repeat
+    python benchmarks/run_all.py --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import importlib
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+MODES = [("interp", "greedy"), ("interp", "cost"),
+         ("batch", "greedy"), ("batch", "cost")]
+
+
+def canon(obj):
+    """Canonical JSON-free form of an answer for digesting."""
+    if isinstance(obj, (frozenset, set)):
+        return sorted((canon(x) for x in obj), key=repr)
+    if isinstance(obj, (tuple, list)):
+        return [canon(x) for x in obj]
+    if isinstance(obj, dict):
+        return sorted(((k, canon(v)) for k, v in obj.items()), key=repr)
+    return obj
+
+
+def digest(answer) -> str:
+    return hashlib.sha256(repr(canon(answer)).encode()).hexdigest()[:16]
+
+
+def stats_dict(stats):
+    if stats is None:
+        return {}
+    return {"probes": stats.probes, "iterations": stats.iterations,
+            "derived": stats.total_derived, "firings": stats.firings,
+            "pipelines_compiled": stats.pipelines_compiled,
+            "pipelines_reused": stats.pipelines_reused}
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry: one kernel per bench module.  Each builder returns a
+# callable kernel(plan, engine) -> (answer, stats-or-None); kernels whose
+# code path never reaches the semi-naive evaluator simply ignore the knobs
+# (their numbers are flat across modes, which the JSON makes visible).
+# ---------------------------------------------------------------------------
+
+def _a1(quick):
+    m = importlib.import_module("bench_a1_seminaive")
+    db = m.chain(60 if quick else 200)
+
+    def kernel(plan, engine):
+        result, stats = m.evaluate(m.TC, db, plan=plan, engine=engine)
+        return result.relation("path").frozen(), stats
+    return kernel
+
+
+def _a2(quick):
+    m = importlib.import_module("bench_a2_slicing")
+    db = m.db(3, 3 if quick else 4)
+    from repro.core import IdlogEngine
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(m.PROGRAM, plan=plan, engine=engine)
+        return eng.answers(db, "pick"), None
+    return kernel
+
+
+def _a3(quick):
+    m = importlib.import_module("bench_a3_magic")
+    from repro.datalog.engine import DatalogEngine
+    db = m.forest(6, 8 if quick else 16, 6 if quick else 8)
+
+    def kernel(plan, engine):
+        result = DatalogEngine(m.TC, plan=plan, engine=engine).run(db)
+        return result.tuples("path"), result.stats
+    return kernel
+
+
+def _a4(quick):
+    m = importlib.import_module("bench_a4_incremental")
+    from repro.datalog.incremental import IncrementalEngine
+    n = 20 if quick else 40
+    inserts = 3 if quick else 8
+
+    def kernel(plan, engine):
+        eng = IncrementalEngine(m.TC)
+        eng.start(m.chain(n))
+        for k in range(inserts):
+            eng.add_fact("edge", (f"n{n + k}", f"n{n + k + 1}"))
+        return eng.relation("path"), eng.stats
+    return kernel
+
+
+def _a5(quick):
+    m = importlib.import_module("bench_a5_topdown")
+    from repro.datalog.topdown import TopDownEngine
+    db = m.forest(6, 6 if quick else 12, 8)
+
+    def kernel(plan, engine):
+        return TopDownEngine(m.TC).query(db, "path(n0, Y)"), None
+    return kernel
+
+
+def _a6(quick):
+    importlib.import_module("bench_a6_aggregates")
+    from conftest import employees_db
+    from repro.aggregates import count_per_group
+    db = employees_db(50 if quick else 200, 5)
+    agg = count_per_group("emp", 2, group=[2])
+
+    def kernel(plan, engine):
+        return frozenset(agg.compute(db)), None
+    return kernel
+
+
+def _a7(quick):
+    m = importlib.import_module("bench_a7_counting")
+    from repro.datalog.counting import CountingEngine
+    db = m.dense_db(4 if quick else 10)
+
+    def kernel(plan, engine):
+        eng = CountingEngine(m.HOP2)
+        eng.start(db)
+        return eng.relation("hop2"), None
+    return kernel
+
+
+def _e1(quick):
+    m = importlib.import_module("bench_e1_idrelations")
+    from repro.core.idrelations import count_id_functions
+
+    def kernel(plan, engine):
+        counts = tuple(count_id_functions(m.R_EXAMPLE1, m.G1, limit)
+                       for limit in (None, 1, 2))
+        return counts, None
+    return kernel
+
+
+def _e2(quick):
+    m = importlib.import_module("bench_e2_manwoman")
+    from repro.core import IdlogEngine
+    from repro.datalog.database import Database
+    n = 3 if quick else 5
+    db = Database.from_facts({"person": [(f"p{i}",) for i in range(n)]})
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(m.IDLOG, plan=plan, engine=engine)
+        return eng.answers(db, "man"), None
+    return kernel
+
+
+def _e3(quick):
+    m = importlib.import_module("bench_e3_inflationary")
+    from repro.inflationary import DLEngine
+
+    def kernel(plan, engine):
+        return DLEngine(m.EX3).answers(m.PEOPLE, "man"), None
+    return kernel
+
+
+def _e4(quick):
+    m = importlib.import_module("bench_e4_sampling_one")
+    from conftest import employees_db
+    from repro.core import IdlogEngine
+    db = employees_db(4 if quick else 6, 3 if quick else 4)
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(m.IDLOG, plan=plan, engine=engine)
+        result = eng.one(db, seed=0)
+        return result.tuples("select_emp"), result.stats
+    return kernel
+
+
+def _e5(quick):
+    m = importlib.import_module("bench_e5_sampling_k")
+    from conftest import employees_db
+    from repro.core import IdlogEngine
+    db = employees_db(4 if quick else 8, 3 if quick else 4)
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(m.IDLOG_TWO, plan=plan, engine=engine)
+        result = eng.run(db)
+        return result.tuples("select_two_emp"), result.stats
+    return kernel
+
+
+def _e6(quick):
+    m = importlib.import_module("bench_e6_adornment")
+    from repro.core import IdlogEngine
+    from repro.optimizer import optimize
+    rewrite = optimize(m.EX6, "q")
+    db = m.chain_db(15 if quick else 30)
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(rewrite.optimized, plan=plan, engine=engine)
+        result = eng.run(db)
+        return result.tuples("q"), result.stats
+    return kernel
+
+
+def _e7(quick):
+    m = importlib.import_module("bench_e7_exists_vs_forall")
+    from repro.datalog.parser import parse_program
+    from repro.datalog.seminaive import evaluate
+    program = parse_program(m.EXISTS_JOIN)
+    db = m.exists_db(15 if quick else 30)
+
+    def kernel(plan, engine):
+        result, stats = evaluate(program, db, plan=plan, engine=engine)
+        return result.relation("q").frozen(), stats
+    return kernel
+
+
+def _e8(quick):
+    m = importlib.import_module("bench_e8_group_limit")
+    from conftest import employees_db
+    from repro.core import IdlogEngine
+    db = employees_db(8 if quick else 20, 4 if quick else 6)
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(m.SELECT_TWO, plan=plan, engine=engine)
+        result = eng.run(db)
+        return result.tuples("select_two_emp"), result.stats
+    return kernel
+
+
+def _e9(quick):
+    m = importlib.import_module("bench_e9_theorem2")
+    import random
+    from repro.choice import choice_to_idlog
+    from repro.core import IdlogEngine
+    source, pred, schema = m.PROGRAMS["sex_guess"]
+    translated = choice_to_idlog(source)
+    db = m.random_db(schema, random.Random(0))
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(translated, plan=plan, engine=engine)
+        return eng.answers(db, pred), None
+    return kernel
+
+
+def _e10(quick):
+    m = importlib.import_module("bench_e10_theorem4")
+    from repro.optimizer import (optimize, q_equivalent_on,
+                                 random_databases)
+    source, query, schema = m.SUITE["example6"]
+    result = optimize(source, query)
+    dbs = list(random_databases(schema, ["a", "b", "c"],
+                                count=5 if quick else 10, seed=13,
+                                max_rows=5))
+
+    def kernel(plan, engine):
+        return q_equivalent_on(result.original, result.optimized,
+                               query, dbs), None
+    return kernel
+
+
+def _e11(quick):
+    importlib.import_module("bench_e11_expressive")
+    from repro.core import IdlogEngine
+    from repro.datalog.database import Database
+    n = 3 if quick else 4
+    db = Database.from_facts({"item": [(f"i{k}",) for k in range(n)]})
+
+    def kernel(plan, engine):
+        eng = IdlogEngine("pick(X) :- item[](X, 0).",
+                          plan=plan, engine=engine)
+        return eng.answers(db, "pick"), None
+    return kernel
+
+
+def _e12(quick):
+    m = importlib.import_module("bench_e12_stable")
+    from repro.core import IdlogEngine
+    db = m.people_db(3 if quick else 4)
+
+    def kernel(plan, engine):
+        eng = IdlogEngine(m.IDLOG, plan=plan, engine=engine)
+        return eng.answers(db, "man"), None
+    return kernel
+
+
+SCENARIOS = [
+    ("bench_a1_seminaive", _a1),
+    ("bench_a2_slicing", _a2),
+    ("bench_a3_magic", _a3),
+    ("bench_a4_incremental", _a4),
+    ("bench_a5_topdown", _a5),
+    ("bench_a6_aggregates", _a6),
+    ("bench_a7_counting", _a7),
+    ("bench_e1_idrelations", _e1),
+    ("bench_e2_manwoman", _e2),
+    ("bench_e3_inflationary", _e3),
+    ("bench_e4_sampling_one", _e4),
+    ("bench_e5_sampling_k", _e5),
+    ("bench_e6_adornment", _e6),
+    ("bench_e7_exists_vs_forall", _e7),
+    ("bench_e8_group_limit", _e8),
+    ("bench_e9_theorem2", _e9),
+    ("bench_e10_theorem4", _e10),
+    ("bench_e11_expressive", _e11),
+    ("bench_e12_stable", _e12),
+]
+
+
+def run_kernel(kernel, plan, engine, repeats):
+    best = None
+    answer = stats = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        answer, stats = kernel(plan, engine)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    record = {"wall_s": round(best, 6), "answer_digest": digest(answer),
+              "answer_size": len(answer) if hasattr(answer, "__len__")
+              else None}
+    record.update(stats_dict(stats))
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small input sizes and one repeat (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per mode (default 3, 1 "
+                             "with --quick)")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr2.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--only", default=None,
+                        help="run only scenarios whose name contains this "
+                             "substring")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    report = {"quick": args.quick, "repeats": repeats,
+              "modes": [f"{e}/{p}" for e, p in MODES],
+              "benchmarks": {}, "speedup_batch_vs_interp": {}}
+    disagreements = []
+
+    for name, build in SCENARIOS:
+        if args.only and args.only not in name:
+            continue
+        kernel = build(args.quick)
+        records = {}
+        for engine, plan in MODES:
+            key = f"{engine}/{plan}"
+            records[key] = run_kernel(kernel, plan, engine, repeats)
+            print(f"{name:28s} {key:14s} "
+                  f"{records[key]['wall_s'] * 1000:9.2f} ms  "
+                  f"probes={records[key].get('probes', '-')}",
+                  flush=True)
+        report["benchmarks"][name] = records
+
+        for plan in ("greedy", "cost"):
+            interp, batch = records[f"interp/{plan}"], records[f"batch/{plan}"]
+            if interp["answer_digest"] != batch["answer_digest"]:
+                disagreements.append((name, plan))
+        interp_t = records["interp/greedy"]["wall_s"]
+        batch_t = records["batch/greedy"]["wall_s"]
+        report["speedup_batch_vs_interp"][name] = round(
+            interp_t / batch_t, 2) if batch_t > 0 else None
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    for name, ratio in sorted(report["speedup_batch_vs_interp"].items()):
+        print(f"  speedup (batch vs interp, greedy) {name:30s} {ratio}x")
+
+    if disagreements:
+        for name, plan in disagreements:
+            print(f"ENGINE DISAGREEMENT: {name} under plan={plan}",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -142,11 +142,12 @@ def _cmd_run(args, out) -> int:
 
     if program.has_choice():
         engine = ChoiceEngine(program)
-        if args.plan != "greedy":
-            print("(note: --plan applies to Datalog/IDLOG evaluation; "
-                  "the choice front end uses its own pipeline)", file=out)
+        if args.plan != "greedy" or args.engine != "batch":
+            print("(note: --plan/--engine apply to Datalog/IDLOG "
+                  "evaluation; the choice front end uses its own pipeline)",
+                  file=out)
     else:
-        engine = IdlogEngine(program, plan=args.plan)
+        engine = IdlogEngine(program, plan=args.plan, engine=args.engine)
 
     if args.mode == "answers":
         for pred in queries:
@@ -175,7 +176,9 @@ def _cmd_run(args, out) -> int:
               f"firings={stats.firings} probes={stats.probes} "
               f"iterations={stats.iterations} id_tuples={stats.id_tuples} "
               f"plans_built={stats.plans_built} "
-              f"plans_reused={stats.plans_reused}",
+              f"plans_reused={stats.plans_reused} "
+              f"pipelines_compiled={stats.pipelines_compiled} "
+              f"pipelines_reused={stats.pipelines_reused}",
               file=out)
     return 0
 
@@ -223,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--plan", choices=("greedy", "cost"), default="greedy",
                      help="body-literal planning: syntactic greedy order "
                           "or cost-based (cardinality-aware) order")
+    run.add_argument("--engine", choices=("batch", "interp"),
+                     default="batch",
+                     help="execution engine: compiled batch join pipelines "
+                          "(fast, default) or the tuple-at-a-time "
+                          "interpreter (reference oracle); both return "
+                          "identical relations and counters")
     run.add_argument("--stats", action="store_true",
                      help="print evaluation counters")
     return parser

@@ -29,6 +29,7 @@ from typing import Iterator, Optional, Union
 from ..datalog.ast import Atom, Program
 from ..datalog.database import Database, Relation
 from ..datalog.engine import EvalResult
+from ..datalog.executor import BATCH, BatchExecutor, check_engine_mode
 from ..datalog.planner import ClausePlanner, check_plan_mode
 from ..datalog.seminaive import (EvalStats, RelationStore, evaluate_stratum,
                                  prepare_store)
@@ -101,17 +102,25 @@ class IdlogEngine:
         plan: Body-literal planning mode — ``"greedy"`` (purely syntactic)
             or ``"cost"`` (cardinality-aware, see
             :mod:`repro.datalog.planner`).
+        engine: Execution engine — ``"batch"`` (compiled set-oriented join
+            pipelines, see :mod:`repro.datalog.executor`) or ``"interp"``
+            (tuple-at-a-time reference interpreter).
     """
 
     def __init__(self, program: Union[str, Program, IdlogProgram],
                  use_group_limits: bool = True,
-                 plan: str = "greedy") -> None:
+                 plan: str = "greedy",
+                 engine: str = BATCH) -> None:
         if isinstance(program, IdlogProgram):
             self.compiled = program
         else:
             self.compiled = IdlogProgram.compile(program)
         self.use_group_limits = use_group_limits
         self.plan = check_plan_mode(plan)
+        self.engine = check_engine_mode(engine)
+
+    def _make_executor(self) -> Optional[BatchExecutor]:
+        return BatchExecutor() if self.engine == BATCH else None
 
     @property
     def program(self) -> Program:
@@ -148,6 +157,7 @@ class IdlogEngine:
 
     def _run_strata(self, store: RelationStore, stats: EvalStats) -> None:
         planner = ClausePlanner(self.plan)
+        executor = self._make_executor()
         heads = self.program.head_predicates
         for stratum in self.compiled.stratification.strata:
             stratum_heads = frozenset(stratum & heads)
@@ -155,7 +165,7 @@ class IdlogEngine:
                             if c.head.pred in stratum_heads)
             if clauses:
                 evaluate_stratum(clauses, stratum_heads, store, stats,
-                                 planner=planner)
+                                 planner=planner, executor=executor)
 
     # -- answer-set enumeration --------------------------------------------
 
@@ -296,19 +306,23 @@ class IdlogEngine:
                             assigned.add(key)
             needed_per_stratum.append(sorted(needed))
 
-        # One plan cache for the whole enumeration: branches share clause
-        # identities, and the cost mode's staleness check absorbs the
-        # cardinality drift between branches.
+        # One plan cache (and one compiled-pipeline cache) for the whole
+        # enumeration: branches share clause identities, the cost mode's
+        # staleness check absorbs the cardinality drift between branches,
+        # and pipelines resolve relations at run time so they are
+        # branch-independent.
         planner = ClausePlanner(self.plan)
+        executor = self._make_executor()
         yield from self._branch(compiled, relations, heads, strata, 0,
                                 needed_per_stratum, budget, {},
-                                Fraction(1), planner)
+                                Fraction(1), planner, executor)
 
     def _branch(self, compiled: IdlogProgram,
                 relations: dict[str, Relation], heads: frozenset[str],
                 strata, k: int, needed_per_stratum, budget: list[int],
                 chosen: dict[tuple[str, Grouping], Relation],
                 weight: Fraction, planner: ClausePlanner,
+                executor: Optional[BatchExecutor],
                 ) -> Iterator[tuple]:
         program = compiled.program
         if k == len(strata):
@@ -357,8 +371,8 @@ class IdlogEngine:
                 store.install(name, rel)
             if clauses:
                 evaluate_stratum(clauses, stratum_heads, store, stats,
-                                 planner=planner)
+                                 planner=planner, executor=executor)
             yield from self._branch(compiled, branch_relations, heads,
                                     strata, k + 1, needed_per_stratum,
                                     budget, branch_chosen, branch_weight,
-                                    planner)
+                                    planner, executor)

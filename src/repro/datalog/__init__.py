@@ -15,6 +15,8 @@ from .builtins import builtin_names, builtin_spec, is_builtin_name
 from .database import (Database, Relation, relation_from_csv,
                        relation_to_csv)
 from .engine import DatalogEngine, EvalResult
+from .executor import (BATCH, ENGINE_MODES, INTERP, BatchExecutor,
+                       check_engine_mode)
 from .explain import explain_plan, explain_program
 from .planner import (COST, GREEDY, PLAN_MODES, ClausePlan, ClausePlanner,
                       LiteralEstimate, check_plan_mode, plan_body)
@@ -46,6 +48,7 @@ __all__ = [
     "builtin_names", "builtin_spec", "is_builtin_name",
     "Database", "Relation", "relation_from_csv", "relation_to_csv",
     "DatalogEngine", "EvalResult",
+    "BATCH", "ENGINE_MODES", "INTERP", "BatchExecutor", "check_engine_mode",
     "DependencyGraph", "Edge",
     "parse_atom", "parse_clause", "parse_program",
     "format_clause", "to_source",

@@ -77,12 +77,64 @@ class Relation:
         self._column_stats = None
         for positions, index in self._indexes.items():
             key = tuple(row[i] for i in positions)
-            index.setdefault(key, []).append(row)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = {row}
+            else:
+                bucket.add(row)
         return True
 
+    #: A bulk ``update`` at least this large (and bigger than half the
+    #: current contents) drops existing indexes instead of maintaining them
+    #: row by row; ``index_on`` rebuilds lazily on the next probe.
+    BULK_REINDEX_THRESHOLD = 64
+
     def update(self, rows: Iterable[tuple[Value, ...]]) -> int:
-        """Insert many tuples; returns the number that were new."""
+        """Insert many tuples; returns the number that were new.
+
+        Large bursts (see :data:`BULK_REINDEX_THRESHOLD`) invalidate the
+        hash indexes up front rather than paying per-row maintenance for
+        index entries the burst would mostly rewrite anyway.
+        """
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        if (self._indexes
+                and len(rows) >= self.BULK_REINDEX_THRESHOLD
+                and len(rows) * 2 > len(self._tuples)):
+            self._indexes.clear()
         return sum(1 for row in rows if self.add(row))
+
+    def merge_rows(self, rows: Iterable[tuple[Value, ...]]) -> list:
+        """Bulk-insert derived rows; returns the genuinely new ones in order.
+
+        The first new row goes through :meth:`add` and is validated in
+        full; the rest are trusted to carry the same type.  That holds for
+        the rows one clause firing derives — every column is a constant or
+        a variable bound from a typed relation column or a builtin, so the
+        row type is fixed per firing — which is the only caller.  Indexes
+        are maintained exactly as :meth:`add` does.
+        """
+        fresh: list[tuple[Value, ...]] = []
+        tuples = self._tuples
+        indexes = self._indexes
+        for row in rows:
+            if row in tuples:
+                continue
+            if not fresh:
+                self.add(row)
+                fresh.append(row)
+                continue
+            tuples.add(row)
+            fresh.append(row)
+            for positions, index in indexes.items():
+                key = tuple(row[i] for i in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = {row}
+                else:
+                    bucket.add(row)
+        if fresh:
+            self._column_stats = None
+        return fresh
 
     def discard(self, row: tuple[Value, ...]) -> bool:
         """Remove a tuple if present; returns True when it was removed.
@@ -97,7 +149,7 @@ class Relation:
             key = tuple(row[i] for i in positions)
             bucket = index.get(key)
             if bucket is not None:
-                bucket.remove(row)
+                bucket.discard(row)
                 if not bucket:
                     del index[key]
         return True
@@ -105,15 +157,30 @@ class Relation:
     def index_on(self, positions: tuple[int, ...]) -> Mapping:
         """Return (building if necessary) a hash index on 0-based positions.
 
-        The index maps a key tuple (the values at ``positions``) to the list
-        of full tuples carrying that key.
+        The index maps a key tuple (the values at ``positions``) to the set
+        of full tuples carrying that key (a set, so :meth:`discard` is O(1)
+        per index).
         """
         index = self._indexes.get(positions)
         if index is None:
             index = {}
-            for row in self._tuples:
-                key = tuple(row[i] for i in positions)
-                index.setdefault(key, []).append(row)
+            if len(positions) == 1:
+                slot = positions[0]
+                for row in self._tuples:
+                    key = (row[slot],)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = {row}
+                    else:
+                        bucket.add(row)
+            else:
+                for row in self._tuples:
+                    key = tuple(row[i] for i in positions)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = {row}
+                    else:
+                        bucket.add(row)
             self._indexes[positions] = index
         return index
 
@@ -165,8 +232,15 @@ class Relation:
         return frozenset(consts)
 
     def copy(self) -> "Relation":
-        """An independent copy (indexes are not copied)."""
-        return Relation(self.arity, self._schema, self._tuples)
+        """An independent copy (indexes are not copied).
+
+        The contents are already known valid, so the copy shares the schema
+        and duplicates the tuple set directly instead of re-validating every
+        row through :meth:`add`.
+        """
+        clone = Relation(self.arity, self._schema)
+        clone._tuples = set(self._tuples)
+        return clone
 
     def frozen(self) -> frozenset[tuple[Value, ...]]:
         """The contents as a frozenset (hashable snapshot)."""

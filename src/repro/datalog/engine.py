@@ -14,6 +14,7 @@ from typing import Union
 from ..errors import SchemaError
 from .ast import Program
 from .database import Database, Relation
+from .executor import BATCH, check_engine_mode
 from .parser import parse_program
 from .planner import check_plan_mode
 from .safety import check_program
@@ -64,10 +65,14 @@ class DatalogEngine:
         plan: Body-literal planning mode — ``"greedy"`` (purely syntactic)
             or ``"cost"`` (cardinality-aware, see
             :mod:`repro.datalog.planner`).
+        engine: Execution engine — ``"batch"`` (compiled set-oriented join
+            pipelines, see :mod:`repro.datalog.executor`) or ``"interp"``
+            (tuple-at-a-time reference interpreter).
     """
 
     def __init__(self, program: Union[str, Program],
-                 name: str = "program", plan: str = "greedy") -> None:
+                 name: str = "program", plan: str = "greedy",
+                 engine: str = BATCH) -> None:
         if isinstance(program, str):
             program = parse_program(program, name=name)
         if program.has_choice():
@@ -79,6 +84,7 @@ class DatalogEngine:
         check_program(program)
         self.program = program
         self.plan = check_plan_mode(plan)
+        self.engine = check_engine_mode(engine)
         self.stratification: Stratification = stratify(program)
 
     def run(self, db: Database,
@@ -93,7 +99,8 @@ class DatalogEngine:
         """
         database, stats = evaluate(
             self.program, db, stratification=self.stratification,
-            max_iterations=max_iterations, plan=self.plan)
+            max_iterations=max_iterations, plan=self.plan,
+            engine=self.engine)
         return EvalResult(database, stats)
 
     def query(self, db: Database, pred: str) -> frozenset[tuple]:

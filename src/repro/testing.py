@@ -33,6 +33,7 @@ def random_stratified_program(
         max_body_literals: int = 3,
         allow_negation: bool = True,
         allow_recursion: bool = True,
+        allow_builtins: bool = False,
         constants: tuple[str, ...] = ("a", "b"),
 ) -> Program:
     """Generate a random safe, stratified Datalog program.
@@ -50,6 +51,10 @@ def random_stratified_program(
         max_body_literals: Positive body literals per clause (>= 1).
         allow_negation: Permit one negative literal per clause.
         allow_recursion: Permit self-recursive positive literals.
+        allow_builtins: Permit one builtin literal per clause — a ``!=``
+            filter over bound variables or a ``=`` binding a fresh
+            variable (usable in the head), the non-numeric shapes that
+            work over u-constant domains.
         constants: Pool of u-constants occasionally used as arguments.
     """
     arities = {f"e{i}": rng.choice((1, 2)) for i in range(n_edb)}
@@ -87,6 +92,15 @@ def random_stratified_program(
             args = tuple(rng.choice(used_vars)
                          for _ in range(arities[neg_pred]))
             body.append(Literal(Atom(neg_pred, args), positive=False))
+        if allow_builtins and used_vars and rng.random() < 0.5:
+            if rng.random() < 0.5:
+                body.append(Literal(Atom("!=", (rng.choice(used_vars),
+                                                rng.choice(used_vars)))))
+            else:
+                fresh = Var("Z0")
+                body.append(Literal(Atom("=", (fresh,
+                                               rng.choice(used_vars)))))
+                used_vars = used_vars + [fresh]
         if used_vars:
             head_args = tuple(rng.choice(used_vars)
                               for _ in range(arities[head_pred]))

@@ -178,3 +178,63 @@ class TestDiscard:
         r.discard(("a",))
         r.add(("a",))
         assert list(r.match(("a",))) == [("a",)]
+
+
+class TestBulkPaths:
+    """The trusted fast paths added for the batch executor: copy without
+    re-validation, merge_rows bulk insertion, and bulk-update index
+    invalidation."""
+
+    def test_copy_preserves_schema_without_revalidation(self):
+        r = Relation(2, tuples=[("a", 1), ("b", 2)])
+        clone = r.copy()
+        assert clone.schema == r.schema
+        assert clone.frozen() == r.frozen()
+        clone.add(("c", 3))
+        assert ("c", 3) not in r
+        with pytest.raises(SchemaError):
+            clone.add((1, "oops"))  # schema still enforced on the clone
+
+    def test_copy_of_empty_keeps_declared_schema(self):
+        r = Relation(1, schema=(1,))
+        clone = r.copy()
+        with pytest.raises(SchemaError):
+            clone.add(("u-value",))
+
+    def test_merge_rows_returns_only_new(self):
+        r = Relation(1, tuples=[("a",)])
+        fresh = r.merge_rows([("a",), ("b",), ("b",), ("c",)])
+        assert fresh == [("b",), ("c",)]
+        assert r.frozen() == {("a",), ("b",), ("c",)}
+
+    def test_merge_rows_maintains_existing_indexes(self):
+        r = Relation(2, tuples=[("a", "x")])
+        r.index_on((0,))
+        r.merge_rows([("a", "y"), ("b", "z")])
+        assert sorted(r.match(("a", None))) == [("a", "x"), ("a", "y")]
+        assert list(r.match(("b", None))) == [("b", "z")]
+
+    def test_merge_rows_validates_first_row(self):
+        r = Relation(2, tuples=[("a", "x")])
+        with pytest.raises(SchemaError):
+            r.merge_rows([("b",)])
+
+    def test_merge_rows_empty_input(self):
+        r = Relation(1, tuples=[("a",)])
+        assert r.merge_rows([]) == []
+
+    def test_bulk_update_invalidates_then_rebuilds_indexes(self):
+        r = Relation(1, tuples=[("a",)])
+        r.index_on((0,))
+        burst = [(f"v{i}",) for i in range(Relation.BULK_REINDEX_THRESHOLD)]
+        added = r.update(burst)
+        assert added == len(burst)
+        # Lazily rebuilt index sees both old and new rows.
+        assert list(r.match(("a",))) == [("a",)]
+        assert list(r.match(("v7",))) == [("v7",)]
+
+    def test_small_update_keeps_indexes_live(self):
+        r = Relation(1, tuples=[("a",)])
+        r.index_on((0,))
+        r.update([("b",), ("c",)])
+        assert list(r.match(("b",))) == [("b",)]

@@ -135,7 +135,7 @@ class TestRun:
         code, output = run_cli("run", str(path), "-f", facts_file,
                                "--plan", "cost")
         assert code == 0
-        assert "--plan applies to Datalog/IDLOG evaluation" in output
+        assert "--plan/--engine apply to Datalog/IDLOG evaluation" in output
 
     def test_query_selection(self, program_file, facts_file):
         code, output = run_cli("run", program_file, "-f", facts_file,

@@ -147,20 +147,37 @@ class TestDifferential:
                     in answers
 
 
-class TestFourWayDifferential:
+class TestFiveWayDifferential:
     """Every engine configuration computes the same perfect model: naive,
-    semi-naive under the greedy planner, semi-naive under the cost-based
-    planner, and the top-down tabling engine."""
+    semi-naive greedy (interp), semi-naive cost (interp), the top-down
+    tabling engine, and the batch executor (under both plans).
+
+    The batch runs additionally assert counter equality: the batch
+    executor's probe accounting is engine-independent by construction, so
+    probes / firings / derived / iterations must equal the interpreter's
+    for the same plan — a much stronger check than answer equality."""
 
     N_PROGRAMS = 200
 
-    def check_program(self, seed):
+    def check_program(self, seed, **gen_kwargs):
         rng = random.Random(seed)
-        program = random_stratified_program(rng)
+        program = random_stratified_program(rng, **gen_kwargs)
         db = random_edb(program, random.Random(seed + 10_000))
-        naive, _ = evaluate_naive(program, db)
-        greedy, _ = evaluate(program, db, plan="greedy")
-        cost, _ = evaluate(program, db, plan="cost")
+        naive, _ = evaluate_naive(program, db, engine="interp")
+        greedy, greedy_stats = evaluate(program, db, plan="greedy",
+                                        engine="interp")
+        cost, cost_stats = evaluate(program, db, plan="cost",
+                                    engine="interp")
+        batch_g, batch_g_stats = evaluate(program, db, plan="greedy",
+                                          engine="batch")
+        batch_c, batch_c_stats = evaluate(program, db, plan="cost",
+                                          engine="batch")
+        for interp_stats, batch_stats in ((greedy_stats, batch_g_stats),
+                                          (cost_stats, batch_c_stats)):
+            assert batch_stats.probes == interp_stats.probes, seed
+            assert batch_stats.firings == interp_stats.firings, seed
+            assert batch_stats.derived == interp_stats.derived, seed
+            assert batch_stats.iterations == interp_stats.iterations, seed
         top_down = TopDownEngine(program)
         for pred in sorted(program.head_predicates):
             expected = naive.relation(pred).frozen()
@@ -168,6 +185,10 @@ class TestFourWayDifferential:
                 (seed, pred, "greedy")
             assert cost.relation(pred).frozen() == expected, \
                 (seed, pred, "cost")
+            assert batch_g.relation(pred).frozen() == expected, \
+                (seed, pred, "batch/greedy")
+            assert batch_c.relation(pred).frozen() == expected, \
+                (seed, pred, "batch/cost")
             goal = Atom(pred, tuple(Var(f"Q{i}")
                                     for i in range(program.arity(pred))))
             assert top_down.query(db, goal) == expected, \
@@ -177,11 +198,52 @@ class TestFourWayDifferential:
         for seed in range(self.N_PROGRAMS):
             self.check_program(seed)
 
+    def test_all_engines_agree_with_builtins(self):
+        """The corpus again, now with ``=``/``!=`` builtin literals."""
+        for seed in range(100):
+            self.check_program(seed + 500_000, allow_builtins=True,
+                              max_body_literals=4)
+
     @given(seeds)
     @settings(max_examples=25, deadline=None)
     def test_all_engines_agree_fuzzed(self, seed):
         """Hypothesis extension beyond the fixed 200-seed corpus."""
         self.check_program(seed)
+
+
+class TestBatchIdlogDifferential:
+    """Batch vs interp on IDLOG programs with ID-atoms: the canonical
+    model and small exhaustive answer sets must match exactly."""
+
+    def test_canonical_runs_agree(self):
+        for seed in range(60):
+            rng = random.Random(seed)
+            program = random_idlog_program(rng)
+            db = random_edb(program, random.Random(seed + 20_000),
+                            max_rows=4)
+            interp = IdlogEngine(program, engine="interp").run(db)
+            batch = IdlogEngine(program, engine="batch").run(db)
+            for pred in sorted(program.head_predicates):
+                assert interp.tuples(pred) == batch.tuples(pred), \
+                    (seed, pred)
+            assert interp.stats.probes == batch.stats.probes, seed
+            assert interp.stats.id_tuples == batch.stats.id_tuples, seed
+
+    def test_answer_sets_agree(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            program = random_idlog_program(
+                rng, n_edb=1, n_idb=2, max_body_literals=2)
+            db = random_edb(program, random.Random(seed + 30_000),
+                            max_rows=3)
+            targets = [p for p in ("q0", "q1")
+                       if p in program.head_predicates]
+            for pred in targets:
+                interp = IdlogEngine(program, engine="interp").answers(
+                    db, pred, max_branches=50_000)
+                batch = IdlogEngine(program, engine="batch").answers(
+                    db, pred, max_branches=50_000)
+                assert interp == batch, (seed, pred)
 
 
 def Program_with_default_name(program):

@@ -7,8 +7,11 @@ kernel, executes it under every (engine, plan) combination —
 ``engine`` in (interp, batch) x ``plan`` in (greedy, cost) — and records
 wall time, join probes, fixpoint iterations and derived-tuple counts
 (where the kernel surfaces :class:`~repro.datalog.seminaive.EvalStats`)
-plus a canonical digest of the answer.  Results are written to
-``BENCH_pr2.json`` at the repo root.
+plus a canonical digest of the answer.  After timing, one extra untimed
+pass per kernel runs under an ambient :class:`TimingTracer`, so the
+``batch/greedy`` record also carries a per-clause/per-stratum ``profile``
+(see ``docs/OBSERVABILITY.md``).  Results are written to
+``BENCH_pr3.json`` at the repo root.
 
 The run FAILS (exit 1) when the batch and interp engines disagree on any
 kernel's answer under the same plan — this is the CI smoke check.
@@ -36,6 +39,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 MODES = [("interp", "greedy"), ("interp", "cost"),
          ("batch", "greedy"), ("batch", "cost")]
+
+#: The mode whose record carries the per-clause profile (the default
+#: production configuration).
+PROFILED_MODE = ("batch", "greedy")
 
 
 def canon(obj):
@@ -344,6 +351,18 @@ def run_kernel(kernel, plan, engine, repeats):
     return record
 
 
+def profile_kernel(kernel, plan, engine):
+    """One untimed pass under an ambient tracer; the per-clause profile,
+    or None for kernels whose code path never reaches the evaluator."""
+    from repro.datalog.trace import TimingTracer, use_tracer
+    tracer = TimingTracer()
+    with use_tracer(tracer):
+        kernel(plan, engine)
+    if not tracer.profile.clauses:
+        return None
+    return tracer.profile.as_dict()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -351,7 +370,7 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per mode (default 3, 1 "
                              "with --quick)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr2.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr3.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--only", default=None,
                         help="run only scenarios whose name contains this "
@@ -376,6 +395,10 @@ def main(argv=None) -> int:
                   f"{records[key]['wall_s'] * 1000:9.2f} ms  "
                   f"probes={records[key].get('probes', '-')}",
                   flush=True)
+        engine, plan = PROFILED_MODE
+        profile = profile_kernel(kernel, plan, engine)
+        if profile is not None:
+            records[f"{engine}/{plan}"]["profile"] = profile
         report["benchmarks"][name] = records
 
         for plan in ("greedy", "cost"):

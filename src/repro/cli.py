@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Three subcommands::
+The subcommands::
 
     repro-idlog check PROGRAM        # parse + safety + stratification
-    repro-idlog explain PROGRAM      # the evaluation plan
+    repro-idlog lint PROGRAM         # typo warnings + optimization hints
+    repro-idlog explain PROGRAM      # the evaluation plan (static)
     repro-idlog run PROGRAM [-f FACTS] [-q PRED] [--mode MODE] ...
+    repro-idlog profile PROGRAM [-f FACTS] ...   # EXPLAIN ANALYZE
 
 ``PROGRAM`` is a file of clauses in the surface syntax; ``FACTS`` is a
 file of ground facts (``emp(ann, toys).``), whose ``udom(c)`` facts — if
@@ -17,11 +19,17 @@ Modes for ``run``:
 * ``run``      one model under the canonical (deterministic) assignment;
 * ``one``      one arbitrary answer (``--seed`` for reproducibility);
 * ``answers``  the exact answer set (``--max-branches`` guards blowup).
+
+Observability (see ``docs/OBSERVABILITY.md``): ``run --profile`` prints
+the per-clause EXPLAIN ANALYZE table after the results, ``run --trace
+FILE`` streams every span event as JSONL, and ``profile`` evaluates just
+to print the table.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -32,6 +40,8 @@ from .datalog import Database, parse_program
 from .datalog.explain import explain_program
 from .datalog.safety import check_program
 from .datalog.stratify import stratify
+from .datalog.trace import (JsonTracer, TeeTracer, TimingTracer,
+                            format_profile, use_tracer)
 from .errors import ReproError
 
 
@@ -135,10 +145,29 @@ def _pick_queries(program, requested: Optional[str]) -> list[str]:
     return sorted(program.head_predicates)
 
 
+def _make_tracers(args):
+    """(ambient tracer or None, TimingTracer or None, JsonTracer or None).
+
+    The tracer is installed *ambiently* (:func:`use_tracer`) so every
+    evaluation the command triggers is traced — including the DATALOG^C
+    front end's internal IDLOG evaluations, which the CLI does not
+    construct directly.
+    """
+    timing = TimingTracer() if getattr(args, "profile", False) else None
+    json_tracer = JsonTracer(args.trace) \
+        if getattr(args, "trace", None) else None
+    tracers = [t for t in (timing, json_tracer) if t is not None]
+    if not tracers:
+        return None, None, None
+    tracer = tracers[0] if len(tracers) == 1 else TeeTracer(tracers)
+    return tracer, timing, json_tracer
+
+
 def _cmd_run(args, out) -> int:
     program = _load_program(args.program)
     db = _load_facts(args.facts)
     queries = _pick_queries(program, args.query)
+    tracer, timing, json_tracer = _make_tracers(args)
 
     if program.has_choice():
         engine = ChoiceEngine(program)
@@ -149,23 +178,27 @@ def _cmd_run(args, out) -> int:
     else:
         engine = IdlogEngine(program, plan=args.plan, engine=args.engine)
 
-    if args.mode == "answers":
-        for pred in queries:
-            if isinstance(engine, ChoiceEngine):
+    scope = use_tracer(tracer) if tracer is not None \
+        else contextlib.nullcontext()
+    with scope:
+        if args.mode == "answers":
+            for pred in queries:
                 answers = engine.answers(db, pred, args.max_branches)
-            else:
-                answers = engine.answers(db, pred, args.max_branches)
-            print(f"{pred}: {len(answers)} possible answer(s)", file=out)
-            for i, answer in enumerate(
-                    sorted(answers, key=lambda a: sorted(map(repr, a)))):
-                print(f" answer {i + 1} ({len(answer)} tuple(s)):", file=out)
-                _print_relation(answer, out)
-        return 0
+                print(f"{pred}: {len(answers)} possible answer(s)",
+                      file=out)
+                for i, answer in enumerate(
+                        sorted(answers,
+                               key=lambda a: sorted(map(repr, a)))):
+                    print(f" answer {i + 1} ({len(answer)} tuple(s)):",
+                          file=out)
+                    _print_relation(answer, out)
+            _finish_tracing(timing, json_tracer, out)
+            return 0
 
-    if args.mode == "one":
-        result = engine.one(db, seed=args.seed)
-    else:
-        result = engine.run(db)
+        if args.mode == "one":
+            result = engine.one(db, seed=args.seed)
+        else:
+            result = engine.run(db)
     for pred in queries:
         rows = result.tuples(pred)
         print(f"{pred}: {len(rows)} tuple(s)", file=out)
@@ -180,6 +213,39 @@ def _cmd_run(args, out) -> int:
               f"pipelines_compiled={stats.pipelines_compiled} "
               f"pipelines_reused={stats.pipelines_reused}",
               file=out)
+    _finish_tracing(timing, json_tracer, out)
+    return 0
+
+
+def _finish_tracing(timing, json_tracer, out) -> None:
+    if timing is not None:
+        print(format_profile(timing.profile), file=out)
+    if json_tracer is not None:
+        events = json_tracer.events_written
+        json_tracer.close()
+        print(f"(trace: {events} event(s) written)", file=out)
+
+
+def _cmd_profile(args, out) -> int:
+    """Evaluate once and print the EXPLAIN ANALYZE table."""
+    program = _load_program(args.program)
+    db = _load_facts(args.facts)
+    args.profile = True
+    tracer, timing, json_tracer = _make_tracers(args)
+
+    if program.has_choice():
+        engine = ChoiceEngine(program)
+    else:
+        engine = IdlogEngine(program, plan=args.plan, engine=args.engine)
+
+    with use_tracer(tracer):
+        if args.seed is not None:
+            result = engine.one(db, seed=args.seed)
+        else:
+            result = engine.run(db)
+    for pred in sorted(program.head_predicates):
+        print(f"{pred}: {len(result.tuples(pred))} tuple(s)", file=out)
+    _finish_tracing(timing, json_tracer, out)
     return 0
 
 
@@ -234,6 +300,29 @@ def build_parser() -> argparse.ArgumentParser:
                           "identical relations and counters")
     run.add_argument("--stats", action="store_true",
                      help="print evaluation counters")
+    run.add_argument("--profile", action="store_true",
+                     help="print a per-clause EXPLAIN ANALYZE table after "
+                          "the results (see docs/OBSERVABILITY.md)")
+    run.add_argument("--trace", metavar="FILE", default=None,
+                     help="write every span event as JSONL to FILE")
+
+    profile = sub.add_parser(
+        "profile",
+        help="evaluate and print the per-clause EXPLAIN ANALYZE table")
+    profile.add_argument("program", help="program file")
+    profile.add_argument("-f", "--facts",
+                         help="facts file (ground clauses)")
+    profile.add_argument("--plan", choices=("greedy", "cost"),
+                         default="greedy",
+                         help="body-literal planning mode to profile")
+    profile.add_argument("--engine", choices=("batch", "interp"),
+                         default="batch",
+                         help="execution engine to profile")
+    profile.add_argument("--seed", type=int, default=None,
+                         help="profile one() under this random seed "
+                              "instead of the canonical run()")
+    profile.add_argument("--trace", metavar="FILE", default=None,
+                         help="also write the span events as JSONL to FILE")
     return parser
 
 
@@ -244,7 +333,8 @@ def main(argv: Optional[Sequence[str]] = None,
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {"check": _cmd_check, "explain": _cmd_explain,
-                "lint": _cmd_lint, "run": _cmd_run}
+                "lint": _cmd_lint, "run": _cmd_run,
+                "profile": _cmd_profile}
     try:
         return handlers[args.command](args, out)
     except FileNotFoundError as exc:

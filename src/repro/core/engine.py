@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from itertools import product
+from time import perf_counter
 from typing import Iterator, Optional, Union
 
 from ..datalog.ast import Atom, Program
@@ -33,6 +34,8 @@ from ..datalog.executor import BATCH, BatchExecutor, check_engine_mode
 from ..datalog.planner import ClausePlanner, check_plan_mode
 from ..datalog.seminaive import (EvalStats, RelationStore, evaluate_stratum,
                                  prepare_store)
+from ..datalog.trace import (EV_EVAL_END, EV_EVAL_START, EV_ID_MATERIALIZED,
+                             Tracer, resolve_tracer)
 from ..errors import EvaluationError
 from .assignment import (AssignmentStrategy, CanonicalAssignment,
                          RandomAssignment)
@@ -46,20 +49,29 @@ class _StrategyIdProvider:
 
     def __init__(self, strategy: AssignmentStrategy,
                  limits: dict[tuple[str, Grouping], Optional[int]],
-                 use_limits: bool) -> None:
+                 use_limits: bool,
+                 tracer: Optional[Tracer] = None) -> None:
         self._strategy = strategy
         self._limits = limits
         self._use_limits = use_limits
+        self._tracer = tracer
         #: Everything materialized so far (exposed on EvalResult).
         self.materialized: dict[tuple[str, Grouping], Relation] = {}
 
     def materialize(self, pred: str, group: Grouping,
                     base: Relation, stats: EvalStats) -> Relation:
+        if self._tracer is not None:
+            start = perf_counter()
         id_function = self._strategy.id_function(pred, group, base)
         limit = self._limits.get((pred, group)) if self._use_limits else None
         relation = make_id_relation(base, id_function, limit)
         stats.id_tuples += len(relation)
         self.materialized[(pred, group)] = relation
+        if self._tracer is not None:
+            self._tracer.emit(
+                EV_ID_MATERIALIZED, pred=pred, group=sorted(group),
+                base_size=len(base), id_tuples=len(relation),
+                tid_limit=limit, wall_s=perf_counter() - start)
         return relation
 
 
@@ -105,12 +117,18 @@ class IdlogEngine:
         engine: Execution engine — ``"batch"`` (compiled set-oriented join
             pipelines, see :mod:`repro.datalog.executor`) or ``"interp"``
             (tuple-at-a-time reference interpreter).
+        tracer: Optional span-event receiver (see
+            :mod:`repro.datalog.trace`): :meth:`run`/:meth:`one` emit
+            eval/stratum/clause/ID-materialization spans to it.  Defaults
+            to the ambient tracer installed by
+            :func:`repro.datalog.trace.use_tracer`.
     """
 
     def __init__(self, program: Union[str, Program, IdlogProgram],
                  use_group_limits: bool = True,
                  plan: str = "greedy",
-                 engine: str = BATCH) -> None:
+                 engine: str = BATCH,
+                 tracer: Optional[Tracer] = None) -> None:
         if isinstance(program, IdlogProgram):
             self.compiled = program
         else:
@@ -118,9 +136,11 @@ class IdlogEngine:
         self.use_group_limits = use_group_limits
         self.plan = check_plan_mode(plan)
         self.engine = check_engine_mode(engine)
+        self.tracer = tracer
 
-    def _make_executor(self) -> Optional[BatchExecutor]:
-        return BatchExecutor() if self.engine == BATCH else None
+    def _make_executor(self, tracer: Optional[Tracer] = None,
+                       ) -> Optional[BatchExecutor]:
+        return BatchExecutor(tracer=tracer) if self.engine == BATCH else None
 
     @property
     def program(self) -> Program:
@@ -137,11 +157,25 @@ class IdlogEngine:
         canonical strategy this is deterministic and repeatable.
         """
         strategy = assignment or CanonicalAssignment()
+        tracer = resolve_tracer(self.tracer)
         provider = _StrategyIdProvider(
-            strategy, self.compiled.tid_limits, self.use_group_limits)
+            strategy, self.compiled.tid_limits, self.use_group_limits,
+            tracer=tracer)
         stats = EvalStats()
         store = prepare_store(self.program, db, provider, stats)
-        self._run_strata(store, stats)
+        if tracer is not None:
+            start = perf_counter()
+            tracer.emit(EV_EVAL_START, program=self.program.name,
+                        plan=self.plan, engine=self.engine,
+                        strata=self.compiled.stratification.depth,
+                        idlog=True)
+        self._run_strata(store, stats, tracer)
+        if tracer is not None:
+            tracer.emit(EV_EVAL_END, program=self.program.name,
+                        wall_s=perf_counter() - start,
+                        derived=stats.total_derived, probes=stats.probes,
+                        firings=stats.firings, iterations=stats.iterations,
+                        id_tuples=stats.id_tuples)
         database = store.as_database(db.udomain | self.program.u_constants())
         return EvalResult(database, stats, dict(provider.materialized))
 
@@ -155,17 +189,19 @@ class IdlogEngine:
         """Evaluate under one assignment and project one predicate."""
         return self.run(db, assignment).tuples(pred)
 
-    def _run_strata(self, store: RelationStore, stats: EvalStats) -> None:
-        planner = ClausePlanner(self.plan)
-        executor = self._make_executor()
+    def _run_strata(self, store: RelationStore, stats: EvalStats,
+                    tracer: Optional[Tracer] = None) -> None:
+        planner = ClausePlanner(self.plan, tracer=tracer)
+        executor = self._make_executor(tracer)
         heads = self.program.head_predicates
-        for stratum in self.compiled.stratification.strata:
+        for level, stratum in enumerate(self.compiled.stratification.strata):
             stratum_heads = frozenset(stratum & heads)
             clauses = tuple(c for c in self.program.clauses
                             if c.head.pred in stratum_heads)
             if clauses:
                 evaluate_stratum(clauses, stratum_heads, store, stats,
-                                 planner=planner, executor=executor)
+                                 planner=planner, executor=executor,
+                                 tracer=tracer, stratum=level)
 
     # -- answer-set enumeration --------------------------------------------
 
@@ -311,11 +347,12 @@ class IdlogEngine:
         # staleness check absorbs the cardinality drift between branches,
         # and pipelines resolve relations at run time so they are
         # branch-independent.
-        planner = ClausePlanner(self.plan)
-        executor = self._make_executor()
+        tracer = resolve_tracer(self.tracer)
+        planner = ClausePlanner(self.plan, tracer=tracer)
+        executor = self._make_executor(tracer)
         yield from self._branch(compiled, relations, heads, strata, 0,
                                 needed_per_stratum, budget, {},
-                                Fraction(1), planner, executor)
+                                Fraction(1), planner, executor, tracer)
 
     def _branch(self, compiled: IdlogProgram,
                 relations: dict[str, Relation], heads: frozenset[str],
@@ -323,6 +360,7 @@ class IdlogEngine:
                 chosen: dict[tuple[str, Grouping], Relation],
                 weight: Fraction, planner: ClausePlanner,
                 executor: Optional[BatchExecutor],
+                tracer: Optional[Tracer] = None,
                 ) -> Iterator[tuple]:
         program = compiled.program
         if k == len(strata):
@@ -371,8 +409,9 @@ class IdlogEngine:
                 store.install(name, rel)
             if clauses:
                 evaluate_stratum(clauses, stratum_heads, store, stats,
-                                 planner=planner, executor=executor)
+                                 planner=planner, executor=executor,
+                                 tracer=tracer, stratum=k)
             yield from self._branch(compiled, branch_relations, heads,
                                     strata, k + 1, needed_per_stratum,
                                     budget, branch_chosen, branch_weight,
-                                    planner, executor)
+                                    planner, executor, tracer)

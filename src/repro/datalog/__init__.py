@@ -31,6 +31,10 @@ from .safety import check_clause, check_program, order_body
 from .sorts import check_database_sorts, format_signatures, infer_signatures
 from .seminaive import EvalStats, evaluate, evaluate_naive
 from .stratify import Stratification, is_stratified, stratify
+from .trace import (EVENT_KINDS, CallbackTracer, ClauseProfile, JsonTracer,
+                    NullTracer, Profile, StratumProfile, TeeTracer,
+                    TimingTracer, TraceEvent, Tracer, current_tracer,
+                    format_profile, use_tracer)
 from .terms import (Const, RelationType, Sort, Term, Value, Var,
                     fresh_var_factory, parse_type, sort_of_value)
 
@@ -56,6 +60,10 @@ __all__ = [
     "check_database_sorts", "format_signatures", "infer_signatures",
     "EvalStats", "evaluate", "evaluate_naive",
     "Stratification", "is_stratified", "stratify",
+    "EVENT_KINDS", "CallbackTracer", "ClauseProfile", "JsonTracer",
+    "NullTracer", "Profile", "StratumProfile", "TeeTracer", "TimingTracer",
+    "TraceEvent", "Tracer", "current_tracer", "format_profile",
+    "use_tracer",
     "Const", "RelationType", "Sort", "Term", "Value", "Var",
     "fresh_var_factory", "parse_type", "sort_of_value",
 ]

@@ -68,11 +68,15 @@ class DatalogEngine:
         engine: Execution engine — ``"batch"`` (compiled set-oriented join
             pipelines, see :mod:`repro.datalog.executor`) or ``"interp"``
             (tuple-at-a-time reference interpreter).
+        tracer: Optional span-event receiver (see
+            :mod:`repro.datalog.trace`); every :meth:`run` emits
+            eval/stratum/clause spans to it.  Defaults to the ambient
+            tracer installed by :func:`repro.datalog.trace.use_tracer`.
     """
 
     def __init__(self, program: Union[str, Program],
                  name: str = "program", plan: str = "greedy",
-                 engine: str = BATCH) -> None:
+                 engine: str = BATCH, tracer=None) -> None:
         if isinstance(program, str):
             program = parse_program(program, name=name)
         if program.has_choice():
@@ -85,6 +89,7 @@ class DatalogEngine:
         self.program = program
         self.plan = check_plan_mode(plan)
         self.engine = check_engine_mode(engine)
+        self.tracer = tracer
         self.stratification: Stratification = stratify(program)
 
     def run(self, db: Database,
@@ -100,7 +105,7 @@ class DatalogEngine:
         database, stats = evaluate(
             self.program, db, stratification=self.stratification,
             max_iterations=max_iterations, plan=self.plan,
-            engine=self.engine)
+            engine=self.engine, tracer=self.tracer)
         return EvalResult(database, stats)
 
     def query(self, db: Database, pred: str) -> frozenset[tuple]:

@@ -40,8 +40,10 @@ from ..errors import EvaluationError, SchemaError
 from .ast import Atom, Clause, Literal
 from .builtins import builtin_spec
 from .database import Relation
+from .pretty import format_clause, format_literal
 from .safety import order_body
 from .terms import Const, Value, Var
+from .trace import EV_PIPELINE_COMPILED
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
     from .planner import ClausePlanner
@@ -370,9 +372,18 @@ class BatchExecutor:
     :class:`~repro.datalog.planner.ClausePlanner`); pipelines are keyed by
     ``(clause identity, delta position)`` and recompiled only when the
     planner hands back a different literal order.
+
+    Args:
+        tracer: Optional span-event receiver; every pipeline *compilation*
+            (not cache hits) emits one ``pipeline_compiled`` event.  The
+            :attr:`stratum` attribute labels those events and is
+            maintained by the stratum loop.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
+        self.tracer = tracer
+        #: Stratum index stamped on emitted events (set by the caller).
+        self.stratum = 0
         self._pipelines: dict[tuple[int, Optional[int]], _Pipeline] = {}
 
     def execute(self, clause: Clause, store: "RelationStore",
@@ -400,9 +411,17 @@ class BatchExecutor:
         key = (id(clause), delta_index)
         pipeline = self._pipelines.get(key)
         if pipeline is None or pipeline.order != order:
+            recompiled = pipeline is not None
             pipeline = _Pipeline(clause, order)
             self._pipelines[key] = pipeline
             stats.pipelines_compiled += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    EV_PIPELINE_COMPILED, clause=format_clause(clause),
+                    stratum=self.stratum, delta_index=delta_index,
+                    recompiled=recompiled,
+                    order=" -> ".join(format_literal(lit)
+                                      for lit in order))
         else:
             stats.pipelines_reused += 1
 

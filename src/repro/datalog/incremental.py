@@ -18,7 +18,8 @@ difference).
 
 from __future__ import annotations
 
-from typing import Union
+from time import perf_counter
+from typing import Optional, Union
 
 from ..errors import EvaluationError, SchemaError
 from .ast import Atom, Program
@@ -29,6 +30,7 @@ from .seminaive import (EvalStats, RelationStore, evaluate_clause,
                         evaluate_stratum, prepare_store)
 from .stratify import stratify
 from .terms import Value
+from .trace import EV_INCREMENTAL, Tracer, resolve_tracer
 
 
 def _has_negation(program: Program) -> bool:
@@ -52,7 +54,8 @@ class IncrementalEngine:
         [('a', 'b'), ('a', 'c'), ('b', 'c')]
     """
 
-    def __init__(self, program: Union[str, Program]) -> None:
+    def __init__(self, program: Union[str, Program],
+                 tracer: Optional[Tracer] = None) -> None:
         if isinstance(program, str):
             program = parse_program(program)
         if program.has_choice():
@@ -64,9 +67,18 @@ class IncrementalEngine:
         #: True when insertions take the delta fast path.
         self.incremental = not _has_negation(program) \
             and not program.has_id_atoms()
+        #: Optional span-event receiver; maintenance operations emit
+        #: ``incremental`` events that say which path (delta fast path,
+        #: DRed, or full-recompute fallback) handled each update.
+        self.tracer = tracer
         self._store: RelationStore | None = None
         self._base = Database()
         self.stats = EvalStats()
+
+    def _trace(self, **fields) -> None:
+        tracer = resolve_tracer(self.tracer)
+        if tracer is not None:
+            tracer.emit(EV_INCREMENTAL, **fields)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -75,20 +87,25 @@ class IncrementalEngine:
         do not touch the caller's database)."""
         self._base = db.copy()
         self.stats = EvalStats()
+        start = perf_counter()
         self._materialize()
+        self._trace(op="materialize", incremental=self.incremental,
+                    wall_s=perf_counter() - start)
 
     def _materialize(self) -> None:
         stats = EvalStats()
+        tracer = resolve_tracer(self.tracer)
         # prepare_store shares EDB relations; since we own self._base
         # (copied in start), mutating them via add_fact is fine.
         store = prepare_store(self.program, self._base, None, stats)
         heads = self.program.head_predicates
-        for stratum in self.stratification.strata:
+        for level, stratum in enumerate(self.stratification.strata):
             stratum_heads = frozenset(stratum & heads)
             clauses = tuple(c for c in self.program.clauses
                             if c.head.pred in stratum_heads)
             if clauses:
-                evaluate_stratum(clauses, stratum_heads, store, stats)
+                evaluate_stratum(clauses, stratum_heads, store, stats,
+                                 tracer=tracer, stratum=level)
         self._store = store
         self.stats.merge(stats)
 
@@ -133,6 +150,7 @@ class IncrementalEngine:
                     "on the incremental (positive-program) path")
             if not self._base.add_fact(pred, row):
                 return 0
+            start = perf_counter()
             before = {p: store.relation(p).frozen()
                       for p in self.program.head_predicates}
             self._materialize()
@@ -140,16 +158,24 @@ class IncrementalEngine:
             added = 1
             for p in self.program.head_predicates:
                 added += len(store.relation(p).frozen() - before[p])
+            self._trace(op="insert", path="fallback", pred=pred,
+                        reason="negation or ID-atoms force full "
+                               "recomputation", changed=added,
+                        wall_s=perf_counter() - start)
             return added
 
         if not store.relation(pred).add(row):
             return 0
+        start = perf_counter()
         if pred in self.program.input_predicates:
             # Keep the base database consistent (a no-op when the store
             # shares the base relation object).
             self._base.add_fact(pred, row)
         self.stats.count_derived(pred)
-        return 1 + self._propagate({pred: [row]})
+        added = 1 + self._propagate({pred: [row]})
+        self._trace(op="insert", path="delta", pred=pred, changed=added,
+                    wall_s=perf_counter() - start)
+        return added
 
     def delete_fact(self, pred: str, row: tuple[Value, ...]) -> int:
         """Remove one EDB tuple and maintain all derived relations (DRed).
@@ -174,6 +200,7 @@ class IncrementalEngine:
             self._base.relation(pred).discard(row)
 
         if not self.incremental:
+            start = perf_counter()
             before = {p: store.relation(p).frozen()
                       for p in self.program.head_predicates}
             store.relation(pred).discard(row)
@@ -182,11 +209,16 @@ class IncrementalEngine:
             gone = 1
             for p in self.program.head_predicates:
                 gone += len(before[p] - store.relation(p).frozen())
+            self._trace(op="delete", path="fallback", pred=pred,
+                        reason="negation or ID-atoms force full "
+                               "recomputation", changed=gone,
+                        wall_s=perf_counter() - start)
             return gone
 
         # Phase 1 (over-delete): everything with a derivation through the
         # deleted tuple, computed semi-naive style against the ORIGINAL
         # relations (the standard DRed over-approximation).
+        start = perf_counter()
         stats = EvalStats()
         deleted: dict[str, set[tuple]] = {pred: {row}}
         frontier: dict[str, Relation] = {
@@ -230,6 +262,10 @@ class IncrementalEngine:
                     rederived += 1 + self._propagate({name: [candidate]})
         self.stats.merge(stats)
         total_deleted = sum(len(rows) for rows in deleted.values())
+        self._trace(op="delete", path="dred", pred=pred,
+                    overdeleted=total_deleted, rederived=rederived,
+                    changed=total_deleted - rederived,
+                    wall_s=perf_counter() - start)
         return total_deleted - rederived
 
     def _derivable(self, pred: str, row: tuple[Value, ...]) -> bool:

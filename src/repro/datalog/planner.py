@@ -42,10 +42,12 @@ from typing import Callable, Optional
 from ..errors import SchemaError
 from .ast import Atom, Clause, Literal
 from .database import Relation
+from .pretty import format_clause, format_literal
 from .safety import (_binds, _bound_var_count, _check_head_bound,
                      _choose_filter, _selectable, _stuck_error, _take_first,
                      binding_pattern, order_body)
 from .terms import Const, Var
+from .trace import EV_PLAN_BUILT
 
 GREEDY = "greedy"
 COST = "cost"
@@ -301,12 +303,21 @@ class ClausePlanner:
             when some body relation's cardinality grew or shrank by more
             than this factor (compared with +1 smoothing so tiny relations
             do not thrash the cache).
+        tracer: Optional span-event receiver; every *built* plan (cache
+            misses and re-costings, not cache hits) emits one
+            ``plan_built`` event carrying the chosen order and its
+            estimated cost.  The :attr:`stratum` attribute labels those
+            events and is maintained by the stratum loop.
     """
 
     def __init__(self, mode: str = GREEDY,
-                 recost_threshold: float = 2.0) -> None:
+                 recost_threshold: float = 2.0,
+                 tracer=None) -> None:
         self.mode = check_plan_mode(mode)
         self.recost_threshold = recost_threshold
+        self.tracer = tracer
+        #: Stratum index stamped on emitted events (set by the caller).
+        self.stratum = 0
         self._plans: dict[tuple[int, Optional[int]], ClausePlan] = {}
 
     def plan(self, clause: Clause, resolver: Resolver = _no_stats,
@@ -334,6 +345,14 @@ class ClausePlanner:
         self._plans[key] = plan
         if stats is not None:
             stats.plans_built += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                EV_PLAN_BUILT, clause=format_clause(clause),
+                stratum=self.stratum, delta_index=delta_index,
+                mode=self.mode, cost=plan.cost,
+                recosted=cached is not None,
+                order=" -> ".join(format_literal(lit)
+                                  for lit in plan.order))
         return plan
 
     def order(self, clause: Clause, resolver: Resolver = _no_stats,

@@ -15,6 +15,7 @@ quantities the Section 4 optimization experiments report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterator, Optional, Protocol
 
 from ..errors import EvaluationError
@@ -23,9 +24,12 @@ from .builtins import builtin_spec
 from .database import Database, Relation
 from .executor import BATCH, BatchExecutor, check_engine_mode
 from .planner import ClausePlanner
+from .pretty import format_clause
 from .safety import order_body
 from .stratify import Stratification, stratify
 from .terms import Const, Value, Var
+from .trace import (EV_CLAUSE_FIRE, EV_EVAL_END, EV_EVAL_START, EV_ROUND,
+                    EV_STRATUM_END, EV_STRATUM_START, Tracer, resolve_tracer)
 
 
 @dataclass
@@ -324,7 +328,9 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
                      store: RelationStore, stats: EvalStats,
                      max_iterations: Optional[int] = None,
                      planner: Optional[ClausePlanner] = None,
-                     executor: Optional[BatchExecutor] = None) -> None:
+                     executor: Optional[BatchExecutor] = None,
+                     tracer: Optional[Tracer] = None,
+                     stratum: int = 0) -> None:
     """Run the least fixpoint of one stratum in place.
 
     ``heads`` is the set of predicates defined in this stratum; relations for
@@ -341,8 +347,20 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
         executor: Optional shared :class:`BatchExecutor`; clauses then run
             as compiled batch pipelines instead of the tuple-at-a-time
             interpreter (same answers, same counters, less constant cost).
+        tracer: Optional span-event receiver (see
+            :mod:`repro.datalog.trace`); ``None`` keeps the hot path
+            completely uninstrumented.
+        stratum: Stratum index carried on emitted events.
     """
     deltas: dict[str, Relation] = {}
+    if tracer is not None:
+        if planner is not None:
+            planner.stratum = stratum
+        if executor is not None:
+            executor.stratum = stratum
+        stratum_start = perf_counter()
+        tracer.emit(EV_STRATUM_START, stratum=stratum,
+                    heads=tuple(sorted(heads)))
 
     def derive(clause: Clause, delta_index: Optional[int] = None,
                delta: Optional[Relation] = None) -> list[tuple]:
@@ -354,49 +372,83 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
                                     delta_index=delta_index, delta=delta,
                                     planner=planner))
 
-    def emit(pred: str, rows: list) -> None:
+    def emit(pred: str, rows: list) -> int:
         if not rows:
-            return
+            return 0
         relation = store.relation(pred)
         fresh = relation.merge_rows(rows)
         if not fresh:
-            return
+            return 0
         stats.count_derived(pred, len(fresh))
         delta = deltas.get(pred)
         if delta is None:
             delta = Relation(relation.arity)
             deltas[pred] = delta
         delta.merge_rows(fresh)
+        return len(fresh)
+
+    clause_text: dict[int, str] = {}  # format once per clause, not per fire
+
+    def fire(clause: Clause, round_no: int,
+             delta_index: Optional[int] = None,
+             delta: Optional[Relation] = None) -> None:
+        if tracer is None:
+            emit(clause.head.pred, derive(clause, delta_index, delta))
+            return
+        probes_before = stats.probes
+        firings_before = stats.firings
+        start = perf_counter()
+        rows = derive(clause, delta_index, delta)
+        wall_s = perf_counter() - start
+        new = emit(clause.head.pred, rows)
+        text = clause_text.get(id(clause))
+        if text is None:
+            text = clause_text[id(clause)] = format_clause(clause)
+        tracer.emit(EV_CLAUSE_FIRE, clause=text,
+                    stratum=stratum, round=round_no,
+                    delta_index=delta_index, wall_s=wall_s,
+                    probes=stats.probes - probes_before,
+                    firings=stats.firings - firings_before,
+                    new=new,
+                    delta_size=len(delta) if delta is not None else None)
 
     # Round 0: naive pass over every clause.  Derivations are buffered per
     # clause so a recursive clause never mutates a relation it is scanning.
     stats.iterations += 1
     for clause in clauses:
-        emit(clause.head.pred, derive(clause))
+        fire(clause, 0)
 
     recursive = [(c, _recursive_positions(c, heads)) for c in clauses]
     recursive = [(c, ps) for c, ps in recursive if ps]
-    if not recursive:
-        return
 
     rounds = 0
-    while deltas:
-        rounds += 1
-        if max_iterations is not None and rounds > max_iterations:
-            raise EvaluationError(
-                f"stratum did not reach a fixpoint within {max_iterations} "
-                "rounds; the program may derive unboundedly many facts "
-                "through arithmetic")
-        stats.iterations += 1
-        previous, deltas = deltas, {}
-        for clause, positions in recursive:
-            for position in positions:
-                pred = clause.body[position].atom.pred
-                delta = previous.get(pred)
-                if delta is None or not len(delta):
-                    continue
-                emit(clause.head.pred,
-                     derive(clause, delta_index=position, delta=delta))
+    if recursive:
+        while deltas:
+            rounds += 1
+            if max_iterations is not None and rounds > max_iterations:
+                raise EvaluationError(
+                    f"stratum did not reach a fixpoint within "
+                    f"{max_iterations} rounds; the program may derive "
+                    "unboundedly many facts through arithmetic")
+            stats.iterations += 1
+            previous, deltas = deltas, {}
+            if tracer is not None:
+                tracer.emit(EV_ROUND, stratum=stratum, round=rounds,
+                            deltas={p: len(r) for p, r in previous.items()})
+            for clause, positions in recursive:
+                for position in positions:
+                    pred = clause.body[position].atom.pred
+                    delta = previous.get(pred)
+                    if delta is None or not len(delta):
+                        continue
+                    fire(clause, rounds, delta_index=position, delta=delta)
+
+    if tracer is not None:
+        tracer.emit(
+            EV_STRATUM_END, stratum=stratum, rounds=rounds + 1,
+            wall_s=perf_counter() - stratum_start,
+            cardinalities={pred: len(store.relation(pred))
+                           for pred in sorted(heads)})
 
 
 def prepare_store(program: Program, db: Database,
@@ -436,6 +488,7 @@ def evaluate(program: Program, db: Database,
              max_iterations: Optional[int] = None,
              plan: str = "greedy",
              engine: str = BATCH,
+             tracer: Optional[Tracer] = None,
              ) -> tuple[Database, EvalStats]:
     """Evaluate a stratified program bottom-up (semi-naive).
 
@@ -454,26 +507,40 @@ def evaluate(program: Program, db: Database,
             tuple-at-a-time reference interpreter).  Both produce identical
             relations and identical counters; ``interp`` is kept as the
             differential oracle.
+        tracer: Optional span-event receiver (see
+            :mod:`repro.datalog.trace`); defaults to the ambient tracer
+            installed by :func:`repro.datalog.trace.use_tracer`, else none.
 
     Returns:
         The database of all relations (EDB views plus computed IDB) and the
         evaluation statistics.
     """
     check_engine_mode(engine)
+    tracer = resolve_tracer(tracer)
     strat = stratification or stratify(program)
     stats = EvalStats()
     store = prepare_store(program, db, id_provider, stats)
-    planner = ClausePlanner(plan)
-    executor = BatchExecutor() if engine == BATCH else None
+    planner = ClausePlanner(plan, tracer=tracer)
+    executor = BatchExecutor(tracer=tracer) if engine == BATCH else None
     heads = program.head_predicates
-    for stratum in strat.strata:
+    if tracer is not None:
+        start = perf_counter()
+        tracer.emit(EV_EVAL_START, program=program.name, plan=plan,
+                    engine=engine, strata=strat.depth)
+    for level, stratum in enumerate(strat.strata):
         stratum_heads = frozenset(stratum & heads)
         clauses = tuple(c for c in program.clauses
                         if c.head.pred in stratum_heads)
         if clauses:
             evaluate_stratum(clauses, stratum_heads, store, stats,
                              max_iterations, planner=planner,
-                             executor=executor)
+                             executor=executor, tracer=tracer,
+                             stratum=level)
+    if tracer is not None:
+        tracer.emit(EV_EVAL_END, program=program.name,
+                    wall_s=perf_counter() - start,
+                    derived=stats.total_derived, probes=stats.probes,
+                    firings=stats.firings, iterations=stats.iterations)
     return store.as_database(db.udomain | program.u_constants()), stats
 
 
@@ -481,6 +548,7 @@ def evaluate_naive(program: Program, db: Database,
                    id_provider: Optional[IdProvider] = None,
                    plan: str = "greedy",
                    engine: str = BATCH,
+                   tracer: Optional[Tracer] = None,
                    ) -> tuple[Database, EvalStats]:
     """Naive-iteration evaluation (reference implementation for tests).
 
@@ -489,31 +557,70 @@ def evaluate_naive(program: Program, db: Database,
     suite cross-checks the two on random programs.
     """
     check_engine_mode(engine)
+    tracer = resolve_tracer(tracer)
     strat = stratify(program)
     stats = EvalStats()
     store = prepare_store(program, db, id_provider, stats)
-    planner = ClausePlanner(plan)
-    executor = BatchExecutor() if engine == BATCH else None
+    planner = ClausePlanner(plan, tracer=tracer)
+    executor = BatchExecutor(tracer=tracer) if engine == BATCH else None
     heads = program.head_predicates
-    for stratum in strat.strata:
+    if tracer is not None:
+        start = perf_counter()
+        tracer.emit(EV_EVAL_START, program=program.name, plan=plan,
+                    engine=engine, strata=strat.depth, naive=True)
+    for level, stratum in enumerate(strat.strata):
         stratum_heads = frozenset(stratum & heads)
         clauses = tuple(c for c in program.clauses
                         if c.head.pred in stratum_heads)
         if not clauses:
             continue
+        if tracer is not None:
+            planner.stratum = level
+            if executor is not None:
+                executor.stratum = level
+            stratum_start = perf_counter()
+            tracer.emit(EV_STRATUM_START, stratum=level,
+                        heads=tuple(sorted(stratum_heads)))
         changed = True
+        rounds = 0
         while changed:
             changed = False
+            rounds += 1
             stats.iterations += 1
             for clause in clauses:
+                if tracer is not None:
+                    probes_before = stats.probes
+                    firings_before = stats.firings
+                    clause_start = perf_counter()
                 if executor is not None:
                     rows = executor.execute(clause, store, stats,
                                             planner=planner)
                 else:
                     rows = list(evaluate_clause(clause, store, stats,
                                                 planner=planner))
+                new = 0
                 for row in rows:
                     if store.relation(clause.head.pred).add(row):
                         stats.count_derived(clause.head.pred)
+                        new += 1
                         changed = True
+                if tracer is not None:
+                    tracer.emit(
+                        EV_CLAUSE_FIRE, clause=format_clause(clause),
+                        stratum=level, round=rounds - 1, delta_index=None,
+                        wall_s=perf_counter() - clause_start,
+                        probes=stats.probes - probes_before,
+                        firings=stats.firings - firings_before,
+                        new=new, delta_size=None)
+        if tracer is not None:
+            tracer.emit(
+                EV_STRATUM_END, stratum=level, rounds=rounds,
+                wall_s=perf_counter() - stratum_start,
+                cardinalities={pred: len(store.relation(pred))
+                               for pred in sorted(stratum_heads)})
+    if tracer is not None:
+        tracer.emit(EV_EVAL_END, program=program.name,
+                    wall_s=perf_counter() - start,
+                    derived=stats.total_derived, probes=stats.probes,
+                    firings=stats.firings, iterations=stats.iterations)
     return store.as_database(db.udomain | program.u_constants()), stats

@@ -23,6 +23,7 @@ stratum-by-stratum evaluation.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterator, Optional, Union
 
 from ..errors import SchemaError
@@ -32,6 +33,8 @@ from .parser import parse_atom, parse_program
 from .builtins import builtin_spec
 from .safety import order_body
 from .terms import Const, Value, Var
+from .trace import (EV_TOPDOWN_QUERY, EV_TOPDOWN_ROUND, Tracer,
+                    resolve_tracer)
 
 Subgoal = tuple[str, tuple[Optional[Value], ...]]
 """A tabled call: predicate plus per-argument bound value (None = free)."""
@@ -60,7 +63,8 @@ class TopDownEngine:
         [('a', 'b'), ('a', 'c')]
     """
 
-    def __init__(self, program: Union[str, Program]) -> None:
+    def __init__(self, program: Union[str, Program],
+                 tracer: Optional[Tracer] = None) -> None:
         if isinstance(program, str):
             program = parse_program(program)
         if program.has_choice() or program.has_id_atoms():
@@ -70,6 +74,9 @@ class TopDownEngine:
         from .stratify import stratify
         stratify(program)  # stratified negation only
         self.program = program
+        #: Optional span-event receiver: each query emits per-round
+        #: ``topdown_round`` events plus one ``topdown_query`` summary.
+        self.tracer = tracer
         self._plans = {
             id(clause): order_body(clause) for clause in program.clauses}
         # Per-evaluation state (reset by query()).
@@ -98,17 +105,37 @@ class TopDownEngine:
         self._db = db
         self.subgoals_tabled = 0
         root = _subgoal_of(goal, {})
+        tracer = resolve_tracer(self.tracer)
+        if tracer is not None:
+            start = perf_counter()
+        rounds = 0
         for _ in range(max_rounds):
+            rounds += 1
             self._changed = False
             self._evaluated = set()
+            if tracer is not None:
+                round_start = perf_counter()
             self._solve_subgoal(root)
+            if tracer is not None:
+                tracer.emit(
+                    EV_TOPDOWN_ROUND, round=rounds,
+                    tables=len(self._tables),
+                    answers=sum(len(t) for t in self._tables.values()),
+                    wall_s=perf_counter() - round_start)
             if not self._changed:
                 break
         # The subgoal pattern cannot express a repeated goal variable
         # (e.g. loop(X, X)); filter with full unification.
-        return frozenset(
+        answers = frozenset(
             row for row in self._tables.get(root, set())
             if self._match(goal, row, {}) is not None)
+        if tracer is not None:
+            tracer.emit(
+                EV_TOPDOWN_QUERY, goal=str(goal), rounds=rounds,
+                subgoals_tabled=self.subgoals_tabled,
+                tables=len(self._tables), answers=len(answers),
+                wall_s=perf_counter() - start)
+        return answers
 
     # -- tabling core --------------------------------------------------------
 

@@ -1,0 +1,488 @@
+"""Structured tracing and profiling for the evaluation stack.
+
+The planner (PR 1) and the batch executor (PR 2) gave the engine real
+performance behavior; this module makes that behavior *observable*.  In
+the LDL++ tradition — where much of the system's practical usability came
+from being able to see why a plan was slow — every evaluation mode can
+emit **span events** (stratum start/end, delta rounds, clause firings,
+plan choices, pipeline compilations, ID-relation materializations,
+incremental fast-path/fallback decisions) carrying wall time, the same
+probe/firing/derived counters :class:`~repro.datalog.seminaive.EvalStats`
+totals, and relation cardinalities.
+
+Design rules:
+
+* **The hot path pays nothing by default.**  Instrumented sites guard on
+  ``tracer is not None``; with no tracer installed there is no event
+  construction, no clock call, nothing.  Enabling even the no-op
+  :class:`NullTracer` only adds two clock reads per *clause execution*
+  (per fixpoint round, not per tuple), which the benchmark runner keeps
+  under a few percent of batch-engine wall time.
+* **One emission primitive.**  A tracer is anything with
+  ``emit(kind, **fields) -> None``; the event vocabulary is the module's
+  ``EV_*`` constants.  This keeps the protocol trivial to implement
+  (tests use :class:`CallbackTracer`) and trivial to serialize
+  (:class:`JsonTracer` writes one JSON object per event).
+* **Profiles are folds over the event stream.**  :class:`TimingTracer`
+  aggregates events into per-stratum and per-clause
+  :class:`StratumProfile` / :class:`ClauseProfile` rows;
+  :func:`format_profile` renders them as the ``EXPLAIN ANALYZE``-style
+  table the CLI's ``profile`` command prints.
+
+Tracers reach an evaluation either explicitly (the ``tracer=`` knob on
+:class:`~repro.datalog.engine.DatalogEngine`,
+:class:`~repro.core.engine.IdlogEngine`,
+:class:`~repro.datalog.incremental.IncrementalEngine`,
+:class:`~repro.datalog.topdown.TopDownEngine` and
+:func:`~repro.datalog.seminaive.evaluate`) or ambiently via
+:func:`use_tracer`, which installs a process-wide default picked up at
+evaluation time — how the benchmark runner profiles kernels it does not
+construct itself.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Protocol, TextIO, Union
+
+# -- event vocabulary --------------------------------------------------------
+
+EV_EVAL_START = "eval_start"
+EV_EVAL_END = "eval_end"
+EV_STRATUM_START = "stratum_start"
+EV_STRATUM_END = "stratum_end"
+EV_ROUND = "round"
+EV_CLAUSE_FIRE = "clause_fire"
+EV_PLAN_BUILT = "plan_built"
+EV_PIPELINE_COMPILED = "pipeline_compiled"
+EV_ID_MATERIALIZED = "id_materialized"
+EV_INCREMENTAL = "incremental"
+EV_TOPDOWN_ROUND = "topdown_round"
+EV_TOPDOWN_QUERY = "topdown_query"
+
+EVENT_KINDS = (
+    EV_EVAL_START, EV_EVAL_END, EV_STRATUM_START, EV_STRATUM_END,
+    EV_ROUND, EV_CLAUSE_FIRE, EV_PLAN_BUILT, EV_PIPELINE_COMPILED,
+    EV_ID_MATERIALIZED, EV_INCREMENTAL, EV_TOPDOWN_ROUND, EV_TOPDOWN_QUERY,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One emitted span event: a kind plus its payload fields."""
+
+    kind: str
+    fields: dict
+
+    def get(self, name: str, default=None):
+        """Field accessor (sugar for ``event.fields.get``)."""
+        return self.fields.get(name, default)
+
+
+class Tracer(Protocol):
+    """Anything that can receive span events.
+
+    Implementations must treat ``emit`` as fire-and-forget: raising from a
+    tracer aborts the evaluation (deliberately — a broken trace file should
+    not be silently half-written).
+    """
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event."""
+        ...
+
+
+class NullTracer:
+    """The no-op tracer: every event is discarded.
+
+    Exists so callers can pass an always-valid tracer object; internally
+    the engines prefer ``tracer=None``, which skips even the clock reads.
+    """
+
+    def emit(self, kind: str, **fields) -> None:
+        pass
+
+
+class CallbackTracer:
+    """Tracer that records events (and optionally forwards them).
+
+    Args:
+        callback: Optional hook invoked with each :class:`TraceEvent`;
+            the event is appended to :attr:`events` either way.
+
+    The test suite's tracer: event-order and payload assertions read
+    :attr:`events`; hook-based tests pass a callback.
+    """
+
+    def __init__(self,
+                 callback: Optional[Callable[[TraceEvent], None]] = None,
+                 ) -> None:
+        self.events: list[TraceEvent] = []
+        self._callback = callback
+
+    def emit(self, kind: str, **fields) -> None:
+        event = TraceEvent(kind, fields)
+        self.events.append(event)
+        if self._callback is not None:
+            self._callback(event)
+
+    def kinds(self) -> list[str]:
+        """The event kinds in emission order (handy in assertions)."""
+        return [event.kind for event in self.events]
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class JsonTracer:
+    """Tracer writing one JSON object per event (JSONL).
+
+    Every line is ``{"event": <kind>, "seq": <n>, ...fields}`` with
+    non-primitive field values stringified — the schema documented in
+    ``docs/OBSERVABILITY.md`` and consumed by the benchmark trajectory
+    tooling.
+
+    Args:
+        sink: A path to open (truncated) or an open text file object
+            (left open on :meth:`close` when caller-owned).
+
+    Usable as a context manager::
+
+        with JsonTracer("trace.jsonl") as tracer:
+            evaluate(program, db, tracer=tracer)
+    """
+
+    def __init__(self, sink: Union[str, TextIO]) -> None:
+        if isinstance(sink, str):
+            self._file: TextIO = open(sink, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = sink
+            self._owns = False
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> None:
+        record = {"event": kind, "seq": self._seq}
+        self._seq += 1
+        for name, value in fields.items():
+            record[name] = _jsonable(value)
+        self._file.write(json.dumps(record) + "\n")
+
+    @property
+    def events_written(self) -> int:
+        """Number of JSONL lines emitted so far."""
+        return self._seq
+
+    def close(self) -> None:
+        """Flush and (for path-opened sinks) close the underlying file."""
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TeeTracer:
+    """Fan one event stream out to several tracers (e.g. timing + JSONL)."""
+
+    def __init__(self, tracers: list) -> None:
+        self.tracers = list(tracers)
+
+    def emit(self, kind: str, **fields) -> None:
+        for tracer in self.tracers:
+            tracer.emit(kind, **fields)
+
+
+# -- the ambient tracer ------------------------------------------------------
+
+_ambient: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer installed by :func:`use_tracer`, or None."""
+    return _ambient
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Install ``tracer`` as the process-wide default for the block.
+
+    Evaluations that were not handed an explicit tracer pick this one up
+    *at evaluation time* — which is how the benchmark runner profiles
+    kernels whose engines it does not construct.  Nesting restores the
+    previous ambient tracer on exit.
+    """
+    global _ambient
+    previous = _ambient
+    _ambient = tracer
+    try:
+        yield tracer
+    finally:
+        _ambient = previous
+
+
+def resolve_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """An explicit tracer if given, else the ambient one (else None).
+
+    A :class:`NullTracer` normalizes to ``None``: no event it receives is
+    observable, so the engines may keep their fully uninstrumented hot
+    path — this is what makes the "no-op tracer" genuinely free.
+    """
+    resolved = tracer if tracer is not None else _ambient
+    if type(resolved) is NullTracer:
+        return None
+    return resolved
+
+
+# -- profiles: folding the event stream -------------------------------------
+
+@dataclass
+class ClauseProfile:
+    """Aggregated execution profile of one clause within one stratum.
+
+    ``calls`` counts clause executions (one per fixpoint round per delta
+    variant); ``rows`` the head tuples produced (duplicates included,
+    i.e. firings) and ``new`` the tuples that were actually novel.
+    ``pipelines_compiled`` counts batch-pipeline compilations for the
+    clause; cache hits are therefore ``calls - pipelines_compiled`` when
+    the batch engine is on.
+    """
+
+    clause: str
+    stratum: int
+    calls: int = 0
+    wall_s: float = 0.0
+    probes: int = 0
+    firings: int = 0
+    new: int = 0
+    plan_mode: str = ""
+    plan_cost: Optional[float] = None
+    plans_built: int = 0
+    pipelines_compiled: int = 0
+
+    @property
+    def pipeline_hits(self) -> int:
+        """Pipeline-cache hits (meaningful under the batch engine)."""
+        return max(0, self.calls - self.pipelines_compiled)
+
+
+@dataclass
+class StratumProfile:
+    """Aggregated profile of one stratum."""
+
+    stratum: int
+    heads: tuple[str, ...] = ()
+    rounds: int = 0
+    wall_s: float = 0.0
+    cardinalities: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class Profile:
+    """The in-memory profile a :class:`TimingTracer` accumulates."""
+
+    meta: dict = field(default_factory=dict)
+    strata: dict[int, StratumProfile] = field(default_factory=dict)
+    clauses: dict[tuple[int, str], ClauseProfile] = field(
+        default_factory=dict)
+    events: int = 0
+
+    def clause_rows(self) -> list[ClauseProfile]:
+        """Clause profiles ordered by (stratum, first emission)."""
+        return sorted(self.clauses.values(), key=lambda c: c.stratum)
+
+    def total_wall_s(self) -> float:
+        """Total clause-execution wall time (excludes bookkeeping)."""
+        return sum(c.wall_s for c in self.clauses.values())
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (what the benchmark trajectory records)."""
+        return {
+            "meta": _jsonable(self.meta),
+            "strata": [
+                {"stratum": s.stratum, "heads": list(s.heads),
+                 "rounds": s.rounds, "wall_s": round(s.wall_s, 6),
+                 "cardinalities": dict(s.cardinalities)}
+                for s in sorted(self.strata.values(),
+                                key=lambda s: s.stratum)],
+            "clauses": [
+                {"clause": c.clause, "stratum": c.stratum,
+                 "calls": c.calls, "wall_s": round(c.wall_s, 6),
+                 "probes": c.probes, "firings": c.firings, "new": c.new,
+                 "plan": c.plan_mode or None,
+                 "plan_cost": c.plan_cost,
+                 "pipelines_compiled": c.pipelines_compiled,
+                 "pipeline_hits": c.pipeline_hits}
+                for c in self.clause_rows()],
+        }
+
+
+class TimingTracer:
+    """Tracer folding the event stream into an in-memory :class:`Profile`.
+
+    One instance can span several evaluations (e.g. an incremental
+    engine's materialization plus its maintenance passes); the profile
+    keeps accumulating.  Use a fresh instance per measurement when
+    isolation matters.
+    """
+
+    def __init__(self) -> None:
+        self.profile = Profile()
+
+    def emit(self, kind: str, **fields) -> None:
+        profile = self.profile
+        profile.events += 1
+        if kind == EV_CLAUSE_FIRE:
+            key = (fields.get("stratum", 0), fields["clause"])
+            row = profile.clauses.get(key)
+            if row is None:
+                row = ClauseProfile(fields["clause"],
+                                    fields.get("stratum", 0))
+                profile.clauses[key] = row
+            row.calls += 1
+            row.wall_s += fields.get("wall_s", 0.0)
+            row.probes += fields.get("probes", 0)
+            row.firings += fields.get("firings", 0)
+            row.new += fields.get("new", 0)
+        elif kind == EV_PLAN_BUILT:
+            key = (fields.get("stratum", 0), fields["clause"])
+            row = profile.clauses.get(key)
+            if row is None:
+                row = ClauseProfile(fields["clause"],
+                                    fields.get("stratum", 0))
+                profile.clauses[key] = row
+            row.plans_built += 1
+            row.plan_mode = fields.get("mode", row.plan_mode)
+            row.plan_cost = fields.get("cost", row.plan_cost)
+        elif kind == EV_PIPELINE_COMPILED:
+            key = (fields.get("stratum", 0), fields["clause"])
+            row = profile.clauses.get(key)
+            if row is None:
+                row = ClauseProfile(fields["clause"],
+                                    fields.get("stratum", 0))
+                profile.clauses[key] = row
+            row.pipelines_compiled += 1
+        elif kind == EV_STRATUM_START:
+            index = fields.get("stratum", 0)
+            stratum = profile.strata.get(index)
+            if stratum is None:
+                profile.strata[index] = StratumProfile(
+                    index, tuple(fields.get("heads", ())))
+        elif kind == EV_STRATUM_END:
+            index = fields.get("stratum", 0)
+            stratum = profile.strata.get(index)
+            if stratum is None:
+                stratum = StratumProfile(index)
+                profile.strata[index] = stratum
+            stratum.rounds += fields.get("rounds", 0)
+            stratum.wall_s += fields.get("wall_s", 0.0)
+            for pred, size in fields.get("cardinalities", {}).items():
+                stratum.cardinalities[pred] = size
+        elif kind == EV_EVAL_START:
+            for name in ("program", "plan", "engine"):
+                if name in fields:
+                    profile.meta[name] = fields[name]
+        elif kind == EV_EVAL_END:
+            profile.meta["wall_s"] = \
+                profile.meta.get("wall_s", 0.0) + fields.get("wall_s", 0.0)
+            profile.meta["evaluations"] = \
+                profile.meta.get("evaluations", 0) + 1
+
+
+# -- the EXPLAIN ANALYZE table ----------------------------------------------
+
+def _clip(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text
+    return text[:width - 1] + "…"
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}"
+
+
+def format_profile(profile: Profile, clause_width: int = 44) -> str:
+    """Render a profile as an ``EXPLAIN ANALYZE``-style text table.
+
+    One section per stratum (with its fixpoint rounds, wall time and
+    final head-relation cardinalities), one row per clause with the
+    columns ``calls | time | probes | firings | new | plan | pipelines``
+    — time is clause-execution wall time in milliseconds, ``plan`` the
+    planning mode (with the estimated probe cost when the cost planner
+    produced one), ``pipelines`` the batch pipeline compilations ``+``
+    cache hits.
+    """
+    meta = profile.meta
+    header_bits = []
+    for name in ("program", "plan", "engine"):
+        if name in meta:
+            header_bits.append(f"{name}={meta[name]}")
+    if "wall_s" in meta:
+        header_bits.append(f"wall={_ms(meta['wall_s'])} ms")
+    lines = ["EXPLAIN ANALYZE"
+             + (f"  ({', '.join(header_bits)})" if header_bits else "")]
+    if not profile.clauses:
+        lines.append("  (no clause executions traced)")
+        return "\n".join(lines)
+
+    columns = ("calls", "time ms", "probes", "firings", "new",
+               "plan", "pipelines")
+    widths = (6, 9, 9, 9, 7, 14, 10)
+    head = "  " + "clause".ljust(clause_width) + "  " + "  ".join(
+        c.rjust(w) for c, w in zip(columns, widths))
+
+    by_stratum: dict[int, list[ClauseProfile]] = {}
+    for row in profile.clause_rows():
+        by_stratum.setdefault(row.stratum, []).append(row)
+
+    for index in sorted(by_stratum):
+        stratum = profile.strata.get(index)
+        bits = [f"stratum {index}"]
+        if stratum is not None:
+            if stratum.heads:
+                bits.append(f"defines {', '.join(stratum.heads)}")
+            bits.append(f"{stratum.rounds} round(s)")
+            bits.append(f"{_ms(stratum.wall_s)} ms")
+            if stratum.cardinalities:
+                cards = ", ".join(f"{p}={n}" for p, n in
+                                  sorted(stratum.cardinalities.items()))
+                bits.append(f"final sizes: {cards}")
+        lines.append(": ".join([bits[0], "  ".join(bits[1:])])
+                     if len(bits) > 1 else bits[0])
+        lines.append(head)
+        for row in sorted(by_stratum[index],
+                          key=lambda r: (-r.wall_s, r.clause)):
+            plan = row.plan_mode or "-"
+            if row.plan_cost is not None:
+                plan = f"{plan}:{row.plan_cost:.0f}"
+            # No compile event means no batch pipeline ever ran this
+            # clause (interp engine), so "hits" would be meaningless.
+            pipelines = f"{row.pipelines_compiled}+{row.pipeline_hits}" \
+                if row.pipelines_compiled else "-"
+            cells = (str(row.calls), _ms(row.wall_s), str(row.probes),
+                     str(row.firings), str(row.new),
+                     _clip(plan, widths[5]), pipelines)
+            lines.append(
+                "  " + _clip(row.clause, clause_width).ljust(clause_width)
+                + "  " + "  ".join(c.rjust(w)
+                                   for c, w in zip(cells, widths)))
+    totals = (f"total: {sum(c.calls for c in profile.clauses.values())} "
+              f"clause execution(s), {_ms(profile.total_wall_s())} ms, "
+              f"{sum(c.probes for c in profile.clauses.values())} probes, "
+              f"{sum(c.new for c in profile.clauses.values())} new "
+              f"tuple(s)")
+    lines.append(totals)
+    return "\n".join(lines)

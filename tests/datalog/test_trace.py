@@ -1,0 +1,318 @@
+"""Tests for the observability layer (repro.datalog.trace).
+
+Three properties matter:
+
+1. event streams have the documented shape and ordering;
+2. tracing is observation only — results and counters are identical
+   with tracing on or off, on every engine;
+3. the profile fold and its table rendering agree with the raw
+   counters.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.core import IdlogEngine
+from repro.datalog import (
+    CallbackTracer, Database, EvalStats, IncrementalEngine, JsonTracer,
+    NullTracer, TeeTracer, TimingTracer, TopDownEngine, current_tracer,
+    evaluate, format_profile, parse_program, use_tracer)
+from repro.datalog.trace import resolve_tracer
+
+STRATIFIED = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    lone(X) :- node(X), not path(X, X).
+"""
+
+
+def graph_db():
+    return Database.from_facts({
+        "edge": [("a", "b"), ("b", "c"), ("c", "a"), ("d", "d")],
+        "node": [("a",), ("b",), ("c",), ("d",), ("e",)],
+    })
+
+
+class TestEventStream:
+    def test_event_order_on_stratified_program(self):
+        tracer = CallbackTracer()
+        program = parse_program(STRATIFIED)
+        evaluate(program, graph_db(), tracer=tracer)
+        kinds = tracer.kinds()
+
+        assert kinds[0] == "eval_start"
+        assert kinds[-1] == "eval_end"
+        # One stratum span per stratum, properly nested and ordered.
+        starts = [i for i, k in enumerate(kinds) if k == "stratum_start"]
+        ends = [i for i, k in enumerate(kinds) if k == "stratum_end"]
+        assert len(starts) == len(ends) == 2
+        assert starts[0] < ends[0] < starts[1] < ends[1]
+        # Every clause_fire falls inside a stratum span.
+        for i, kind in enumerate(kinds):
+            if kind == "clause_fire":
+                assert any(s < i < e for s, e in zip(starts, ends))
+        # A plan is built before the clause first fires.
+        assert kinds.index("plan_built") < kinds.index("clause_fire")
+
+    def test_stratum_events_carry_heads_and_cardinalities(self):
+        tracer = CallbackTracer()
+        evaluate(parse_program(STRATIFIED), graph_db(), tracer=tracer)
+        starts = [e for e in tracer.events if e.kind == "stratum_start"]
+        ends = [e for e in tracer.events if e.kind == "stratum_end"]
+        assert starts[0].get("heads") == ("path",)
+        assert starts[1].get("heads") == ("lone",)
+        assert ends[0].get("cardinalities") == {"path": 10}
+        assert ends[1].get("cardinalities") == {"lone": 1}
+        assert ends[0].get("stratum") == 0
+
+    def test_clause_fire_deltas_sum_to_stats_totals(self):
+        tracer = CallbackTracer()
+        _, stats = evaluate(parse_program(STRATIFIED), graph_db(),
+                            tracer=tracer)
+        fires = [e for e in tracer.events if e.kind == "clause_fire"]
+        assert sum(e.get("probes") for e in fires) == stats.probes
+        assert sum(e.get("firings") for e in fires) == stats.firings
+        assert sum(e.get("new") for e in fires) == stats.total_derived
+
+    def test_round_events_count_iterations(self):
+        tracer = CallbackTracer()
+        _, stats = evaluate(parse_program(STRATIFIED), graph_db(),
+                            tracer=tracer)
+        rounds = [e for e in tracer.events if e.kind == "round"]
+        # iterations counts round 0 of each stratum too; round events
+        # cover only the delta rounds.
+        assert len(rounds) == stats.iterations - 2
+
+    def test_callback_hook_invoked_per_event(self):
+        seen = []
+        tracer = CallbackTracer(callback=lambda e: seen.append(e.kind))
+        evaluate(parse_program(STRATIFIED), graph_db(), tracer=tracer)
+        assert seen == tracer.kinds()
+
+    def test_idlog_engine_emits_id_materialized(self):
+        tracer = CallbackTracer()
+        engine = IdlogEngine(
+            "pick(X) :- item[](X, 0).", tracer=tracer)
+        db = Database.from_facts({"item": [("i1",), ("i2",)]})
+        engine.run(db)
+        event = next(e for e in tracer.events
+                     if e.kind == "id_materialized")
+        assert event.get("pred") == "item"
+        assert event.get("base_size") == 2
+        assert tracer.kinds()[0] == "eval_start"
+        assert tracer.kinds()[-1] == "eval_end"
+
+    def test_incremental_engine_reports_paths(self):
+        tracer = CallbackTracer()
+        engine = IncrementalEngine(
+            "path(X, Y) :- edge(X, Y).\n"
+            "path(X, Y) :- edge(X, Z), path(Z, Y).", tracer=tracer)
+        engine.start(Database.from_facts({"edge": [("a", "b")]}))
+        engine.add_fact("edge", ("b", "c"))
+        engine.delete_fact("edge", ("a", "b"))
+        ops = [(e.get("op"), e.get("path")) for e in tracer.events
+               if e.kind == "incremental"]
+        assert ops == [("materialize", None), ("insert", "delta"),
+                       ("delete", "dred")]
+
+    def test_incremental_fallback_on_negation(self):
+        tracer = CallbackTracer()
+        engine = IncrementalEngine(
+            "lone(X) :- node(X), not hub(X).", tracer=tracer)
+        engine.start(Database.from_facts(
+            {"node": [("a",), ("b",)], "hub": [("a",)]}))
+        engine.add_fact("hub", ("b",))
+        event = next(e for e in tracer.events
+                     if e.kind == "incremental" and e.get("op") == "insert")
+        assert event.get("path") == "fallback"
+        assert "recomputation" in event.get("reason")
+
+    def test_topdown_query_events(self):
+        tracer = CallbackTracer()
+        engine = TopDownEngine(
+            "path(X, Y) :- edge(X, Y).\n"
+            "path(X, Y) :- path(X, Z), edge(Z, Y).", tracer=tracer)
+        db = Database.from_facts({"edge": [("a", "b"), ("b", "c")]})
+        answers = engine.query(db, "path(a, Y)")
+        assert len(answers) == 2
+        summary = tracer.events[-1]
+        assert summary.kind == "topdown_query"
+        assert summary.get("goal") == "path(a, Y)"
+        assert summary.get("answers") == 2
+        rounds = [e for e in tracer.events if e.kind == "topdown_round"]
+        assert len(rounds) == summary.get("rounds") >= 2
+
+
+class TestTracingIsPure:
+    """Tracing on vs off: identical relations and identical counters."""
+
+    def assert_same(self, plan, engine):
+        program = parse_program(STRATIFIED)
+        plain_db, plain_stats = evaluate(program, graph_db(),
+                                         plan=plan, engine=engine)
+        tracer = CallbackTracer()
+        traced_db, traced_stats = evaluate(program, graph_db(), plan=plan,
+                                           engine=engine, tracer=tracer)
+        for pred in ("path", "lone"):
+            assert plain_db.relation(pred).frozen() \
+                == traced_db.relation(pred).frozen()
+        assert plain_stats == traced_stats
+        assert tracer.events  # the traced run did emit
+
+    @pytest.mark.parametrize("plan", ["greedy", "cost"])
+    @pytest.mark.parametrize("engine", ["batch", "interp"])
+    def test_differential_all_modes(self, plan, engine):
+        self.assert_same(plan, engine)
+
+    def test_idlog_answers_unchanged_under_tracing(self):
+        program = "pick(X) :- item[](X, 0)."
+        db = Database.from_facts({"item": [("i1",), ("i2",), ("i3",)]})
+        plain = IdlogEngine(program).answers(db, "pick")
+        with use_tracer(TimingTracer()):
+            traced = IdlogEngine(program).answers(db, "pick")
+        assert plain == traced
+
+
+class TestAmbientTracer:
+    def test_use_tracer_scopes_and_nests(self):
+        assert current_tracer() is None
+        outer, inner = CallbackTracer(), CallbackTracer()
+        with use_tracer(outer):
+            assert current_tracer() is outer
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is None
+
+    def test_ambient_tracer_reaches_evaluation(self):
+        tracer = CallbackTracer()
+        with use_tracer(tracer):
+            evaluate(parse_program(STRATIFIED), graph_db())
+        assert "clause_fire" in tracer.kinds()
+
+    def test_explicit_tracer_wins_over_ambient(self):
+        ambient, explicit = CallbackTracer(), CallbackTracer()
+        with use_tracer(ambient):
+            evaluate(parse_program(STRATIFIED), graph_db(),
+                     tracer=explicit)
+        assert not ambient.events
+        assert explicit.events
+
+    def test_null_tracer_resolves_to_none(self):
+        assert resolve_tracer(NullTracer()) is None
+        with use_tracer(NullTracer()):
+            assert resolve_tracer(None) is None
+
+
+class TestJsonTracer:
+    def test_writes_valid_jsonl_with_sequence(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonTracer(str(path)) as tracer:
+            evaluate(parse_program(STRATIFIED), graph_db(),
+                     tracer=tracer)
+            written = tracer.events_written
+        lines = path.read_text().splitlines()
+        assert len(lines) == written > 0
+        records = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert records[0]["event"] == "eval_start"
+        assert records[-1]["event"] == "eval_end"
+        kinds = {r["event"] for r in records}
+        assert {"stratum_start", "clause_fire", "round"} <= kinds
+
+    def test_caller_owned_file_object_stays_open(self):
+        buf = io.StringIO()
+        tracer = JsonTracer(buf)
+        tracer.emit("round", stratum=0, deltas={"p": 1})
+        tracer.close()
+        assert json.loads(buf.getvalue()) == {
+            "event": "round", "seq": 0, "stratum": 0, "deltas": {"p": 1}}
+
+    def test_non_primitive_fields_are_stringified(self):
+        buf = io.StringIO()
+        JsonTracer(buf).emit("plan_built", group=frozenset([2, 1]),
+                             cost=3.5)
+        record = json.loads(buf.getvalue())
+        assert sorted(record["group"]) == [1, 2]
+        assert record["cost"] == 3.5
+
+
+class TestTeeTracer:
+    def test_fans_out_to_all(self):
+        a, b = CallbackTracer(), CallbackTracer()
+        TeeTracer([a, b]).emit("round", stratum=1)
+        assert a.kinds() == b.kinds() == ["round"]
+        assert a.events[0].get("stratum") == 1
+
+
+class TestProfile:
+    def profile_of(self, plan="greedy", engine="batch"):
+        timing = TimingTracer()
+        _, stats = evaluate(parse_program(STRATIFIED), graph_db(),
+                            plan=plan, engine=engine, tracer=timing)
+        return timing.profile, stats
+
+    def test_profile_totals_match_stats(self):
+        profile, stats = self.profile_of()
+        assert sum(c.probes for c in profile.clauses.values()) \
+            == stats.probes
+        assert sum(c.new for c in profile.clauses.values()) \
+            == stats.total_derived
+        assert sum(c.pipelines_compiled
+                   for c in profile.clauses.values()) \
+            == stats.pipelines_compiled
+
+    def test_profile_shape(self):
+        profile, _ = self.profile_of()
+        assert sorted(profile.strata) == [0, 1]
+        assert profile.strata[0].heads == ("path",)
+        assert profile.strata[0].cardinalities == {"path": 10}
+        rows = profile.clause_rows()
+        assert [r.stratum for r in rows] == [0, 0, 1]
+        recursive = next(r for r in rows if "path(Z, Y)" in r.clause)
+        assert recursive.calls > 1
+        assert recursive.pipeline_hits \
+            == recursive.calls - recursive.pipelines_compiled
+        assert profile.meta["engine"] == "batch"
+        assert profile.meta["evaluations"] == 1
+
+    def test_interp_engine_compiles_no_pipelines(self):
+        profile, _ = self.profile_of(engine="interp")
+        assert all(c.pipelines_compiled == 0
+                   for c in profile.clauses.values())
+        # ... and the table renders "-" rather than phantom cache hits.
+        for line in format_profile(profile).splitlines():
+            if line.lstrip().startswith(("path(", "lone(")):
+                assert line.rstrip().endswith("-")
+
+    def test_as_dict_is_json_ready(self):
+        profile, _ = self.profile_of()
+        data = json.loads(json.dumps(profile.as_dict()))
+        assert {c["clause"] for c in data["clauses"]} \
+            == {c.clause for c in profile.clauses.values()}
+        assert data["strata"][0]["cardinalities"] == {"path": 10}
+
+    def test_format_profile_table(self):
+        profile, stats = self.profile_of(plan="cost")
+        table = format_profile(profile)
+        assert table.startswith("EXPLAIN ANALYZE")
+        assert "stratum 0: defines path" in table
+        assert "stratum 1: defines lone" in table
+        assert f"{stats.probes} probes" in table
+        assert "cost:" in table  # the estimated-cost suffix
+        header_count = table.count("clause  ")
+        assert header_count >= 2  # one column header per stratum section
+
+    def test_format_profile_empty(self):
+        assert "no clause executions" in format_profile(
+            TimingTracer().profile)
+
+    def test_accumulates_across_evaluations(self):
+        timing = TimingTracer()
+        program = parse_program(STRATIFIED)
+        with use_tracer(timing):
+            evaluate(program, graph_db())
+            evaluate(program, graph_db())
+        assert timing.profile.meta["evaluations"] == 2

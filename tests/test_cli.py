@@ -227,3 +227,99 @@ class TestCheckSignatures:
         path.write_text("p(a).\np(3).")
         code, _ = run_cli("check", str(path))
         assert code == 1
+
+
+TC_PROGRAM = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+TC_FACTS = """
+    edge(a, b).
+    edge(b, c).
+    edge(c, d).
+"""
+
+
+@pytest.fixture
+def tc_files(tmp_path):
+    prog = tmp_path / "tc.dl"
+    prog.write_text(TC_PROGRAM)
+    facts = tmp_path / "tc_facts.dl"
+    facts.write_text(TC_FACTS)
+    return str(prog), str(facts)
+
+
+class TestProfileCommand:
+    def test_table_shape(self, tc_files):
+        prog, facts = tc_files
+        code, output = run_cli("profile", prog, "-f", facts)
+        assert code == 0
+        # The golden skeleton of the EXPLAIN ANALYZE table; times vary,
+        # structure and counters must not.
+        assert "path: 6 tuple(s)" in output
+        assert "EXPLAIN ANALYZE" in output
+        assert "plan=greedy, engine=batch" in output
+        assert "stratum 0: defines path" in output
+        assert "clause" in output and "probes" in output \
+            and "pipelines" in output
+        assert "path(X, Y) :- edge(X, Z), path(Z, Y)." in output
+        assert "path(X, Y) :- edge(X, Y)." in output
+        assert output.rstrip().splitlines()[-1].startswith("total: ")
+
+    def test_plan_and_engine_knobs(self, tc_files):
+        prog, facts = tc_files
+        code, output = run_cli("profile", prog, "-f", facts,
+                               "--plan", "cost", "--engine", "interp")
+        assert code == 0
+        assert "plan=cost, engine=interp" in output
+        assert "cost:" in output
+
+    def test_seed_profiles_one_run(self, program_file, facts_file):
+        code, output = run_cli("profile", program_file, "-f", facts_file,
+                               "--seed", "3")
+        assert code == 0
+        assert "select_two_emp: 3 tuple(s)" in output
+        assert "EXPLAIN ANALYZE" in output
+
+    def test_trace_flag_writes_jsonl(self, tc_files, tmp_path):
+        import json
+        prog, facts = tc_files
+        trace = tmp_path / "out.jsonl"
+        code, output = run_cli("profile", prog, "-f", facts,
+                               "--trace", str(trace))
+        assert code == 0
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert records[0]["event"] == "eval_start"
+        assert f"(trace: {len(records)} event(s) written)" in output
+
+
+class TestRunObservabilityFlags:
+    def test_profile_flag_appends_table(self, tc_files):
+        prog, facts = tc_files
+        code, output = run_cli("run", prog, "-f", facts, "--profile")
+        assert code == 0
+        assert "path: 6 tuple(s)" in output
+        assert output.index("path: 6 tuple(s)") \
+            < output.index("EXPLAIN ANALYZE")
+
+    def test_results_identical_with_and_without_tracing(self, tc_files):
+        prog, facts = tc_files
+        _, plain = run_cli("run", prog, "-f", facts, "--stats")
+        _, traced = run_cli("run", prog, "-f", facts, "--stats",
+                            "--profile")
+        assert traced.startswith(plain)
+
+    def test_trace_flag_on_answers_mode(self, program_file, facts_file,
+                                        tmp_path):
+        import json
+        trace = tmp_path / "answers.jsonl"
+        code, output = run_cli("run", program_file, "-f", facts_file,
+                               "--mode", "answers",
+                               "--trace", str(trace))
+        assert code == 0
+        lines = trace.read_text().splitlines()
+        assert lines  # enumeration evaluations were traced
+        kinds = {json.loads(line)["event"] for line in lines}
+        assert "clause_fire" in kinds

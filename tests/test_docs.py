@@ -1,0 +1,126 @@
+"""Docs health checks: references in the markdown stay valid.
+
+Complements ``tests/test_repo_consistency.py`` (which checks that the
+docs *cover* the code) by checking the reverse direction: every file
+path, module path, and CLI snippet the docs mention must actually
+resolve.  The executable ``>>>`` examples in ``docs/*.md`` are run
+separately by ``pytest --doctest-glob='*.md'`` (the CI docs job).
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted(
+    [ROOT / "README.md"] + list((ROOT / "docs").glob("*.md")))
+
+#: Paths the docs may cite: committed files/dirs, plus artifacts a
+#: documented command *generates* (they need not be committed).
+GENERATED_OK = {"BENCH_pr3.json", "BENCH_prN.json", "out.jsonl",
+                "prog.dl", "facts.dl", "trace.jsonl"}
+
+PATH_PATTERN = re.compile(
+    r"`([\w./-]+\.(?:py|md|dl|json|jsonl|txt|yml))`")
+
+
+def _doc_ids():
+    return [str(p.relative_to(ROOT)) for p in DOC_FILES]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_backticked_file_paths_exist(doc):
+    text = doc.read_text()
+    missing = []
+    for path in PATH_PATTERN.findall(text):
+        name = pathlib.PurePath(path).name
+        if name in GENERATED_OK or path.startswith("/"):
+            continue
+        candidates = (ROOT / path, doc.parent / path,
+                      ROOT / "src" / "repro" / path,
+                      ROOT / "src" / "repro" / "datalog" / path)
+        if not any(c.exists() for c in candidates):
+            missing.append(path)
+    assert not missing, f"{doc.name} references missing files: {missing}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_module_paths_resolve(doc):
+    """Every `repro.foo.bar` the docs mention is a real module/attr."""
+    import importlib
+    text = doc.read_text()
+    bad = []
+    for dotted in set(re.findall(r"`(repro(?:\.\w+)+)`", text)):
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            try:
+                module = importlib.import_module(".".join(parts[:cut]))
+            except ImportError:
+                continue
+            obj = module
+            try:
+                for attr in parts[cut:]:
+                    obj = getattr(obj, attr)
+            except AttributeError:
+                break
+            else:
+                break
+        else:
+            bad.append(dotted)
+    assert not bad, f"{doc.name} references missing modules: {bad}"
+
+
+class TestCliSnippets:
+    """Every `repro-idlog <sub>` line in the docs names a real
+    subcommand with real flags."""
+
+    def _snippets(self):
+        pattern = re.compile(r"repro-idlog[ \t]+(\S+)((?:[ \t]+\S+)*)")
+        for doc in DOC_FILES:
+            for line in doc.read_text().splitlines():
+                for match in pattern.finditer(line):
+                    sub = match.group(1).strip("`.,;:")
+                    rest = [tok.strip("`.,;:")
+                            for tok in match.group(2).split()]
+                    yield doc.name, sub, rest
+
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0])))
+        known = set(subparsers.choices)
+        for doc, sub, _ in self._snippets():
+            assert sub in known, \
+                f"{doc} uses unknown subcommand 'repro-idlog {sub}'"
+
+    def test_flags_exist(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0])))
+        for doc, sub, rest in self._snippets():
+            flags = {a for a in rest if a.startswith("--")}
+            known = {opt for action in subparsers.choices[sub]._actions
+                     for opt in action.option_strings}
+            unknown = flags - known
+            assert not unknown, \
+                f"{doc}: 'repro-idlog {sub}' has no flags {sorted(unknown)}"
+
+
+def test_readme_profile_example_runs():
+    """The worked `repro-idlog profile examples/tc.dl` command in the
+    README executes successfully against the committed example files."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "profile", "examples/tc.dl",
+         "-f", "examples/tc_facts.dl"],
+        cwd=ROOT, capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+    assert "EXPLAIN ANALYZE" in result.stdout
+    assert "stratum 1: defines reach" in result.stdout

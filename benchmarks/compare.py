@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Compare two benchmark trajectory files for perf/answer regressions.
+
+``run_all.py`` writes one ``BENCH_*.json`` per PR; this comparator turns
+the committed sequence into a regression gate::
+
+    python benchmarks/compare.py BENCH_pr3.json BENCH_pr4.json
+
+For every kernel x mode present in the baseline it checks, against the
+candidate:
+
+* **answers** — ``answer_digest`` must match exactly.  Kernels in
+  ``NONDETERMINISTIC`` are exempt (their digest depends on the seeded
+  sampling order, which legitimately shifts between versions); their
+  ``answer_size`` is still enforced.  ``--strict-digests`` removes the
+  exemption.
+* **counters** — ``probes``, ``iterations``, ``derived``, ``firings``,
+  ``pipelines_compiled``, ``pipelines_reused`` and ``answer_size`` must
+  be exactly equal.  These are set-iteration-order independent, so they
+  are stable across machines and hash seeds; any drift is a real
+  behavior change.
+* **wall time** — ``candidate <= baseline * tolerance + slack``.
+  Tolerance defaults to 2.0 on the theory that same-machine noise stays
+  well under that; CI (cross-machine) passes a larger ``--wall-tolerance``.
+* **coverage** — a kernel or mode present in the baseline but missing
+  from the candidate is a regression; extras in the candidate are noted.
+
+Comparing a ``--quick`` file against a full-size one is refused (exit 2):
+the counters measure different inputs.  Exit 0 = clean, 1 = regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Counter fields that must be exactly equal between trajectories.
+HARD_KEYS = ("answer_size", "probes", "iterations", "derived", "firings",
+             "pipelines_compiled", "pipelines_reused")
+
+#: Kernels whose answer_digest is allowed to differ between versions:
+#: seeded one() sampling digests depend on set-iteration order, which is
+#: not part of the compatibility contract (the *size* still is).
+NONDETERMINISTIC = frozenset({"bench_e4_sampling_one"})
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_record(kernel: str, mode: str, base: dict, cand: dict,
+                   wall_tolerance: float, wall_slack: float,
+                   strict_digests: bool) -> list[str]:
+    """Problems (possibly empty) for one kernel/mode record pair."""
+    problems = []
+    where = f"{kernel} [{mode}]"
+    if base.get("answer_digest") != cand.get("answer_digest") \
+            and (strict_digests or kernel not in NONDETERMINISTIC):
+        problems.append(
+            f"{where}: answer_digest {base.get('answer_digest')} -> "
+            f"{cand.get('answer_digest')} (answers changed)")
+    for key in HARD_KEYS:
+        if key in base and base[key] is not None:
+            if cand.get(key) != base[key]:
+                problems.append(
+                    f"{where}: {key} {base[key]} -> {cand.get(key)} "
+                    f"(must be exactly equal)")
+    base_wall, cand_wall = base.get("wall_s"), cand.get("wall_s")
+    if base_wall is not None and cand_wall is not None:
+        limit = base_wall * wall_tolerance + wall_slack
+        if cand_wall > limit:
+            problems.append(
+                f"{where}: wall_s {base_wall} -> {cand_wall} "
+                f"(limit {limit:.6f} = {wall_tolerance}x + "
+                f"{wall_slack}s slack)")
+    return problems
+
+
+def compare(baseline: dict, candidate: dict,
+            wall_tolerance: float = 2.0, wall_slack: float = 0.05,
+            strict_digests: bool = False) -> tuple[list[str], list[str]]:
+    """Returns ``(problems, notes)`` for two loaded trajectory reports."""
+    problems: list[str] = []
+    notes: list[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    cand_benches = candidate.get("benchmarks", {})
+    for kernel in sorted(base_benches):
+        if kernel not in cand_benches:
+            problems.append(f"{kernel}: present in baseline but missing "
+                            "from candidate")
+            continue
+        base_modes = base_benches[kernel]
+        cand_modes = cand_benches[kernel]
+        for mode in sorted(base_modes):
+            if mode not in cand_modes:
+                problems.append(f"{kernel}: mode {mode} missing from "
+                                "candidate")
+                continue
+            problems.extend(compare_record(
+                kernel, mode, base_modes[mode], cand_modes[mode],
+                wall_tolerance, wall_slack, strict_digests))
+        for mode in sorted(set(cand_modes) - set(base_modes)):
+            notes.append(f"{kernel}: new mode {mode} in candidate")
+    for kernel in sorted(set(cand_benches) - set(base_benches)):
+        notes.append(f"{kernel}: new kernel in candidate")
+    return problems, notes
+
+
+def main(argv=None, out=None) -> int:
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument("--wall-tolerance", type=float, default=2.0,
+                        help="candidate wall time may be at most this "
+                             "multiple of the baseline (default 2.0; use "
+                             "a larger value across machines)")
+    parser.add_argument("--wall-slack", type=float, default=0.05,
+                        help="absolute seconds added to every wall limit, "
+                             "absorbing timer noise on sub-millisecond "
+                             "kernels (default 0.05)")
+    parser.add_argument("--strict-digests", action="store_true",
+                        help="enforce answer_digest equality even for the "
+                             "NONDETERMINISTIC kernels")
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    if bool(baseline.get("quick")) != bool(candidate.get("quick")):
+        print(f"error: cannot compare quick={baseline.get('quick')} "
+              f"baseline against quick={candidate.get('quick')} candidate "
+              "(different input sizes)", file=sys.stderr)
+        return 2
+
+    problems, notes = compare(baseline, candidate,
+                              wall_tolerance=args.wall_tolerance,
+                              wall_slack=args.wall_slack,
+                              strict_digests=args.strict_digests)
+    kernels = len(baseline.get("benchmarks", {}))
+    for note in notes:
+        print(f"note: {note}", file=out)
+    if problems:
+        print(f"REGRESSION: {len(problems)} problem(s) comparing "
+              f"{args.candidate} against {args.baseline}:", file=out)
+        for problem in problems:
+            print(f"  {problem}", file=out)
+        return 1
+    print(f"ok: {args.candidate} matches {args.baseline} "
+          f"({kernels} kernel(s), wall tolerance "
+          f"{args.wall_tolerance}x + {args.wall_slack}s)", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,8 @@ plus a canonical digest of the answer.  After timing, one extra untimed
 pass per kernel runs under an ambient :class:`TimingTracer`, so the
 ``batch/greedy`` record also carries a per-clause/per-stratum ``profile``
 (see ``docs/OBSERVABILITY.md``).  Results are written to
-``BENCH_pr3.json`` at the repo root.
+``BENCH_pr4.json`` at the repo root; two trajectory files are compared
+for regressions by ``benchmarks/compare.py``.
 
 The run FAILS (exit 1) when the batch and interp engines disagree on any
 kernel's answer under the same plan — this is the CI smoke check.
@@ -370,7 +371,7 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per mode (default 3, 1 "
                              "with --quick)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr3.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr4.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--only", default=None,
                         help="run only scenarios whose name contains this "
@@ -378,7 +379,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.quick else 3)
 
-    report = {"quick": args.quick, "repeats": repeats,
+    report = {"schema": 1, "quick": args.quick, "repeats": repeats,
               "modes": [f"{e}/{p}" for e, p in MODES],
               "benchmarks": {}, "speedup_batch_vs_interp": {}}
     disagreements = []

@@ -7,6 +7,8 @@ The subcommands::
     repro-idlog explain PROGRAM      # the evaluation plan (static)
     repro-idlog run PROGRAM [-f FACTS] [-q PRED] [--mode MODE] ...
     repro-idlog profile PROGRAM [-f FACTS] ...   # EXPLAIN ANALYZE
+    repro-idlog why PROGRAM 'fact.' [-f FACTS]   # derivation tree
+    repro-idlog stats [PROGRAM] [-f FACTS | --dir DIR]  # memory report
 
 ``PROGRAM`` is a file of clauses in the surface syntax; ``FACTS`` is a
 file of ground facts (``emp(ann, toys).``), whose ``udom(c)`` facts — if
@@ -22,8 +24,14 @@ Modes for ``run``:
 
 Observability (see ``docs/OBSERVABILITY.md``): ``run --profile`` prints
 the per-clause EXPLAIN ANALYZE table after the results, ``run --trace
-FILE`` streams every span event as JSONL, and ``profile`` evaluates just
-to print the table.
+FILE`` streams every span event as JSONL (closed in a ``finally:`` so a
+failed evaluation still leaves valid partial JSONL on disk), ``run
+--metrics FILE`` exports aggregated metrics (Prometheus text or JSON),
+``run --progress`` prints stratum/round heartbeats to stderr, and
+``profile`` evaluates just to print the table.  ``stats`` reports
+memory/cardinality introspection (rows, index buckets, approximate
+bytes) for a facts file, an evaluation result, or a saved database
+directory; ``why`` prints the derivation tree of one ground fact.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from .datalog import Database, parse_program
 from .datalog.explain import explain_program
 from .datalog.safety import check_program
 from .datalog.stratify import stratify
+from .datalog.metrics import MetricsTracer, ProgressTracer
 from .datalog.trace import (JsonTracer, TeeTracer, TimingTracer,
                             format_profile, use_tracer)
 from .errors import ReproError
@@ -146,28 +155,34 @@ def _pick_queries(program, requested: Optional[str]) -> list[str]:
 
 
 def _make_tracers(args):
-    """(ambient tracer or None, TimingTracer or None, JsonTracer or None).
+    """(tracer or None, TimingTracer?, JsonTracer?, MetricsTracer?).
 
     The tracer is installed *ambiently* (:func:`use_tracer`) so every
     evaluation the command triggers is traced — including the DATALOG^C
     front end's internal IDLOG evaluations, which the CLI does not
-    construct directly.
+    construct directly.  ``--profile``, ``--trace``, ``--metrics`` and
+    ``--progress`` each contribute one tracer; several at once fan out
+    through a :class:`TeeTracer`.
     """
     timing = TimingTracer() if getattr(args, "profile", False) else None
     json_tracer = JsonTracer(args.trace) \
         if getattr(args, "trace", None) else None
-    tracers = [t for t in (timing, json_tracer) if t is not None]
+    metrics = MetricsTracer() if getattr(args, "metrics", None) else None
+    progress = ProgressTracer() if getattr(args, "progress", False) \
+        else None
+    tracers = [t for t in (timing, json_tracer, metrics, progress)
+               if t is not None]
     if not tracers:
-        return None, None, None
+        return None, None, None, None
     tracer = tracers[0] if len(tracers) == 1 else TeeTracer(tracers)
-    return tracer, timing, json_tracer
+    return tracer, timing, json_tracer, metrics
 
 
 def _cmd_run(args, out) -> int:
     program = _load_program(args.program)
     db = _load_facts(args.facts)
     queries = _pick_queries(program, args.query)
-    tracer, timing, json_tracer = _make_tracers(args)
+    tracer, timing, json_tracer, metrics = _make_tracers(args)
 
     if program.has_choice():
         engine = ChoiceEngine(program)
@@ -180,41 +195,51 @@ def _cmd_run(args, out) -> int:
 
     scope = use_tracer(tracer) if tracer is not None \
         else contextlib.nullcontext()
-    with scope:
-        if args.mode == "answers":
-            for pred in queries:
-                answers = engine.answers(db, pred, args.max_branches)
-                print(f"{pred}: {len(answers)} possible answer(s)",
-                      file=out)
-                for i, answer in enumerate(
-                        sorted(answers,
-                               key=lambda a: sorted(map(repr, a)))):
-                    print(f" answer {i + 1} ({len(answer)} tuple(s)):",
+    # The finally: guarantees the JSONL trace is flushed/closed even when
+    # the evaluation dies mid-stratum — a partial trace of a failed run
+    # is exactly when you need the file to be valid.
+    try:
+        with scope:
+            if args.mode == "answers":
+                for pred in queries:
+                    answers = engine.answers(db, pred, args.max_branches)
+                    print(f"{pred}: {len(answers)} possible answer(s)",
                           file=out)
-                    _print_relation(answer, out)
-            _finish_tracing(timing, json_tracer, out)
-            return 0
+                    for i, answer in enumerate(
+                            sorted(answers,
+                                   key=lambda a: sorted(map(repr, a)))):
+                        print(f" answer {i + 1} ({len(answer)} tuple(s)):",
+                              file=out)
+                        _print_relation(answer, out)
+                _finish_tracing(timing, json_tracer, out)
+                _write_metrics(metrics, args, out)
+                return 0
 
-        if args.mode == "one":
-            result = engine.one(db, seed=args.seed)
-        else:
-            result = engine.run(db)
-    for pred in queries:
-        rows = result.tuples(pred)
-        print(f"{pred}: {len(rows)} tuple(s)", file=out)
-        _print_relation(rows, out)
-    if args.stats:
-        stats = result.stats
-        print(f"stats: derived={stats.total_derived} "
-              f"firings={stats.firings} probes={stats.probes} "
-              f"iterations={stats.iterations} id_tuples={stats.id_tuples} "
-              f"plans_built={stats.plans_built} "
-              f"plans_reused={stats.plans_reused} "
-              f"pipelines_compiled={stats.pipelines_compiled} "
-              f"pipelines_reused={stats.pipelines_reused}",
-              file=out)
-    _finish_tracing(timing, json_tracer, out)
-    return 0
+            if args.mode == "one":
+                result = engine.one(db, seed=args.seed)
+            else:
+                result = engine.run(db)
+        for pred in queries:
+            rows = result.tuples(pred)
+            print(f"{pred}: {len(rows)} tuple(s)", file=out)
+            _print_relation(rows, out)
+        if args.stats:
+            stats = result.stats
+            print(f"stats: derived={stats.total_derived} "
+                  f"firings={stats.firings} probes={stats.probes} "
+                  f"iterations={stats.iterations} "
+                  f"id_tuples={stats.id_tuples} "
+                  f"plans_built={stats.plans_built} "
+                  f"plans_reused={stats.plans_reused} "
+                  f"pipelines_compiled={stats.pipelines_compiled} "
+                  f"pipelines_reused={stats.pipelines_reused}",
+                  file=out)
+        _finish_tracing(timing, json_tracer, out)
+        _write_metrics(metrics, args, out)
+        return 0
+    finally:
+        if json_tracer is not None:
+            json_tracer.close()  # idempotent; no-op on the success path
 
 
 def _finish_tracing(timing, json_tracer, out) -> None:
@@ -226,12 +251,31 @@ def _finish_tracing(timing, json_tracer, out) -> None:
         print(f"(trace: {events} event(s) written)", file=out)
 
 
+def _write_metrics(metrics, args, out) -> None:
+    """Export the run's metrics registry (``run --metrics FILE``)."""
+    if metrics is None:
+        return
+    fmt = getattr(args, "metrics_format", "prom")
+    if fmt == "json":
+        import json as json_module
+        text = json_module.dumps(metrics.snapshot(), indent=2) + "\n"
+    else:
+        text = metrics.to_prometheus()
+    if args.metrics == "-":
+        out.write(text)
+        return
+    with open(args.metrics, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"(metrics: {metrics.registry.total_series()} series "
+          f"written to {args.metrics})", file=out)
+
+
 def _cmd_profile(args, out) -> int:
     """Evaluate once and print the EXPLAIN ANALYZE table."""
     program = _load_program(args.program)
     db = _load_facts(args.facts)
     args.profile = True
-    tracer, timing, json_tracer = _make_tracers(args)
+    tracer, timing, json_tracer, _ = _make_tracers(args)
 
     if program.has_choice():
         engine = ChoiceEngine(program)
@@ -246,6 +290,112 @@ def _cmd_profile(args, out) -> int:
     for pred in sorted(program.head_predicates):
         print(f"{pred}: {len(result.tuples(pred))} tuple(s)", file=out)
     _finish_tracing(timing, json_tracer, out)
+    return 0
+
+
+def _print_stats_report(report: dict, out) -> None:
+    """Human-readable rendering of a stats report dict."""
+    for name in sorted(report["relations"]):
+        info = report["relations"][name]
+        fields = " ".join(f"{key}={info[key]}" for key in sorted(info))
+        print(f"  {name}: {fields}", file=out)
+    totals = " ".join(f"{key}={value}" for key, value in report.items()
+                      if key != "relations")
+    print(f"total: {totals}", file=out)
+
+
+def _cmd_stats(args, out) -> int:
+    """Memory/cardinality introspection (``repro-idlog stats``)."""
+    import json as json_module
+    if args.dir is not None:
+        if args.program is not None or args.facts is not None:
+            raise ReproError(
+                "--dir reads a saved database directory; it cannot be "
+                "combined with a program or facts file")
+        from .datalog.storage import directory_stats
+        report = directory_stats(args.dir)
+        if args.json:
+            print(json_module.dumps(report, indent=2, sort_keys=True),
+                  file=out)
+        else:
+            print(f"database directory {args.dir}:", file=out)
+            _print_stats_report(report, out)
+        return 0
+
+    if args.program is None:
+        if args.facts is None:
+            raise ReproError(
+                "stats needs a PROGRAM, a facts file (-f) or a saved "
+                "database directory (--dir)")
+        report = _load_facts(args.facts).stats()
+        if args.json:
+            print(json_module.dumps(report, indent=2, sort_keys=True),
+                  file=out)
+        else:
+            print(f"facts file {args.facts}:", file=out)
+            _print_stats_report(report, out)
+        return 0
+
+    program = _load_program(args.program)
+    db = _load_facts(args.facts)
+    if program.has_choice():
+        engine = ChoiceEngine(program)
+    else:
+        engine = IdlogEngine(program, plan=args.plan, engine=args.engine)
+    result = engine.run(db)
+    report = result.database.stats()
+    id_stats = [r.memory_stats() for r in result.id_relations.values()]
+    report["id_relations"] = len(id_stats)
+    report["id_rows"] = sum(s["rows"] for s in id_stats)
+    report["id_approx_bytes"] = sum(s["approx_bytes"] for s in id_stats)
+    stats = result.stats
+    report["counters"] = {
+        "derived": stats.total_derived, "firings": stats.firings,
+        "probes": stats.probes, "iterations": stats.iterations,
+        "id_tuples": stats.id_tuples,
+    }
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True), file=out)
+        return 0
+    print(f"evaluation of {args.program}:", file=out)
+    counters = report.pop("counters")
+    _print_stats_report(report, out)
+    print("counters: " + " ".join(
+        f"{key}={counters[key]}" for key in sorted(counters)), file=out)
+    return 0
+
+
+def _cmd_why(args, out) -> int:
+    """Derivation tree for one ground fact (``repro-idlog why``)."""
+    from .datalog.parser import parse_atom
+    from .datalog.provenance import Explainer, format_tree
+    from .datalog.terms import Const
+    program = _load_program(args.program)
+    if program.has_choice():
+        raise ReproError(
+            "why explains Datalog/IDLOG derivations; translate the choice "
+            "program first (repro-idlog explain shows the translation)")
+    goal_text = args.goal.strip()
+    if goal_text.endswith("."):
+        goal_text = goal_text[:-1]
+    goal = parse_atom(goal_text)
+    if goal.group is not None:
+        raise ReproError(
+            "why explains base facts, not ID-atoms; ask about "
+            f"{goal.pred}(...) instead")
+    if not all(isinstance(term, Const) for term in goal.args):
+        raise ReproError(f"goal must be ground: {args.goal!r}")
+    row = tuple(term.value for term in goal.args)
+
+    db = _load_facts(args.facts)
+    engine = IdlogEngine(program, plan=args.plan, engine=args.engine)
+    if args.seed is not None:
+        result = engine.one(db, seed=args.seed)
+    else:
+        result = engine.run(db)
+    explainer = Explainer(program, result.database, result.id_relations)
+    derivation = explainer.explain(goal.pred, row)
+    print(format_tree(derivation), file=out)
     return 0
 
 
@@ -305,6 +455,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "the results (see docs/OBSERVABILITY.md)")
     run.add_argument("--trace", metavar="FILE", default=None,
                      help="write every span event as JSONL to FILE")
+    run.add_argument("--metrics", metavar="FILE", default=None,
+                     help="export aggregated metrics to FILE after the run "
+                          "('-' for stdout); see docs/OBSERVABILITY.md")
+    run.add_argument("--metrics-format", choices=("prom", "json"),
+                     default="prom",
+                     help="metrics exposition format: Prometheus text "
+                          "(default) or a JSON snapshot")
+    run.add_argument("--progress", action="store_true",
+                     help="print stratum/round heartbeats to stderr while "
+                          "evaluating")
 
     profile = sub.add_parser(
         "profile",
@@ -323,6 +483,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of the canonical run()")
     profile.add_argument("--trace", metavar="FILE", default=None,
                          help="also write the span events as JSONL to FILE")
+
+    why = sub.add_parser(
+        "why", help="print the derivation tree of one ground fact")
+    why.add_argument("program", help="program file")
+    why.add_argument("goal",
+                     help="ground fact to explain, e.g. 'path(a, c).'")
+    why.add_argument("-f", "--facts", help="facts file (ground clauses)")
+    why.add_argument("--plan", choices=("greedy", "cost"),
+                     default="greedy", help="body-literal planning mode")
+    why.add_argument("--engine", choices=("batch", "interp"),
+                     default="batch", help="execution engine")
+    why.add_argument("--seed", type=int, default=None,
+                     help="explain against the one() model drawn under "
+                          "this seed instead of the canonical run()")
+
+    stats = sub.add_parser(
+        "stats",
+        help="memory/cardinality report for a facts file, an evaluation "
+             "result, or a saved database directory")
+    stats.add_argument("program", nargs="?", default=None,
+                       help="program file — when given, the program is "
+                            "evaluated and the result database is reported")
+    stats.add_argument("-f", "--facts",
+                       help="facts file (reported directly when no "
+                            "program is given)")
+    stats.add_argument("--dir", default=None,
+                       help="saved database directory (see save_database); "
+                            "reported from disk without loading relations")
+    stats.add_argument("--plan", choices=("greedy", "cost"),
+                       default="greedy", help="body-literal planning mode")
+    stats.add_argument("--engine", choices=("batch", "interp"),
+                       default="batch", help="execution engine")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
     return parser
 
 
@@ -334,7 +528,8 @@ def main(argv: Optional[Sequence[str]] = None,
     args = parser.parse_args(argv)
     handlers = {"check": _cmd_check, "explain": _cmd_explain,
                 "lint": _cmd_lint, "run": _cmd_run,
-                "profile": _cmd_profile}
+                "profile": _cmd_profile, "why": _cmd_why,
+                "stats": _cmd_stats}
     try:
         return handlers[args.command](args, out)
     except FileNotFoundError as exc:

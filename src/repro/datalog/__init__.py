@@ -22,7 +22,9 @@ from .planner import (COST, GREEDY, PLAN_MODES, ClausePlan, ClausePlanner,
                       LiteralEstimate, check_plan_mode, plan_body)
 from .counting import CountingEngine
 from .incremental import IncrementalEngine
-from .storage import load_database, save_database
+from .metrics import (COUNT_BUCKETS, TIME_BUCKETS, MetricsRegistry,
+                      MetricsTracer, ProgressTracer, log_buckets)
+from .storage import directory_stats, load_database, save_database
 from .topdown import TopDownEngine, query_topdown
 from .graph import DependencyGraph, Edge
 from .parser import parse_atom, parse_clause, parse_program
@@ -31,10 +33,10 @@ from .safety import check_clause, check_program, order_body
 from .sorts import check_database_sorts, format_signatures, infer_signatures
 from .seminaive import EvalStats, evaluate, evaluate_naive
 from .stratify import Stratification, is_stratified, stratify
-from .trace import (EVENT_KINDS, CallbackTracer, ClauseProfile, JsonTracer,
-                    NullTracer, Profile, StratumProfile, TeeTracer,
-                    TimingTracer, TraceEvent, Tracer, current_tracer,
-                    format_profile, use_tracer)
+from .trace import (EVENT_KINDS, SCHEMA_VERSION, CallbackTracer,
+                    ClauseProfile, JsonTracer, NullTracer, Profile,
+                    StratumProfile, TeeTracer, TimingTracer, TraceEvent,
+                    Tracer, current_tracer, format_profile, use_tracer)
 from .terms import (Const, RelationType, Sort, Term, Value, Var,
                     fresh_var_factory, parse_type, sort_of_value)
 
@@ -46,7 +48,9 @@ __all__ = [
     "COST", "GREEDY", "PLAN_MODES", "ClausePlan", "ClausePlanner",
     "LiteralEstimate", "check_plan_mode", "plan_body",
     "CountingEngine", "IncrementalEngine",
-    "load_database", "save_database",
+    "directory_stats", "load_database", "save_database",
+    "COUNT_BUCKETS", "TIME_BUCKETS", "MetricsRegistry", "MetricsTracer",
+    "ProgressTracer", "log_buckets",
     "TopDownEngine", "query_topdown",
     "Atom", "ChoiceAtom", "Clause", "Literal", "Program", "fact",
     "builtin_names", "builtin_spec", "is_builtin_name",
@@ -60,7 +64,8 @@ __all__ = [
     "check_database_sorts", "format_signatures", "infer_signatures",
     "EvalStats", "evaluate", "evaluate_naive",
     "Stratification", "is_stratified", "stratify",
-    "EVENT_KINDS", "CallbackTracer", "ClauseProfile", "JsonTracer",
+    "EVENT_KINDS", "SCHEMA_VERSION", "CallbackTracer", "ClauseProfile",
+    "JsonTracer",
     "NullTracer", "Profile", "StratumProfile", "TeeTracer", "TimingTracer",
     "TraceEvent", "Tracer", "current_tracer", "format_profile",
     "use_tracer",

@@ -15,10 +15,34 @@ from __future__ import annotations
 
 import csv
 import io
+import sys
 from typing import Iterable, Iterator, Mapping, Optional
 
 from ..errors import SchemaError
 from .terms import RelationType, Value, format_type, type_of_tuple
+
+
+def _fold_sizeof(obj, seen: set[int]) -> int:
+    """``sys.getsizeof`` folded over a container graph, each object once.
+
+    Deduplicates by ``id`` so tuples shared between the tuple set and the
+    hash-index buckets (they are the same objects) are charged once —
+    the approximation the memory reports below are built on.  Values are
+    shallow: a tuple's element costs count, but interned small ints and
+    strings shared across rows still count once.
+    """
+    if id(obj) in seen:
+        return 0
+    seen.add(id(obj))
+    total = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            total += _fold_sizeof(key, seen)
+            total += _fold_sizeof(value, seen)
+    elif isinstance(obj, (tuple, list, set, frozenset)):
+        for item in obj:
+            total += _fold_sizeof(item, seen)
+    return total
 
 
 class Relation:
@@ -215,6 +239,33 @@ class Relation:
                 self._column_stats = tuple(len(seen) for seen in columns)
         return self._column_stats
 
+    def memory_stats(self) -> dict:
+        """Resource introspection: rows, index shape, approximate bytes.
+
+        Returns a JSON-ready dict::
+
+            {"rows": ..., "arity": ..., "indexes": ..,
+             "index_buckets": .., "approx_bytes": ..}
+
+        ``approx_bytes`` folds :func:`sys.getsizeof` over the tuple set,
+        the tuples and their values, and every hash index (dict + key
+        tuples + bucket sets), counting each shared object once — an
+        estimate of the relation's resident footprint, not an exact
+        accounting (interpreter overhead and interning are invisible to
+        ``getsizeof``).  Surfaced by ``Database.stats()``, the
+        ``repro-idlog stats`` command and the shell's ``.stats``.
+        """
+        seen: set[int] = set()
+        approx = _fold_sizeof(self._tuples, seen)
+        approx += _fold_sizeof(self._indexes, seen)
+        return {
+            "rows": len(self._tuples),
+            "arity": self.arity,
+            "indexes": len(self._indexes),
+            "index_buckets": sum(len(ix) for ix in self._indexes.values()),
+            "approx_bytes": approx,
+        }
+
     def project(self, positions: tuple[int, ...]) -> "Relation":
         """Return the projection onto the given 0-based positions."""
         result = Relation(len(positions))
@@ -360,6 +411,25 @@ class Database:
     def snapshot(self) -> dict[str, frozenset]:
         """Hashable snapshot: name -> frozenset of tuples."""
         return {n: r.frozen() for n, r in self._relations.items()}
+
+    def stats(self) -> dict:
+        """Memory/cardinality introspection over every stored relation.
+
+        Returns ``{"relations": {name: Relation.memory_stats()},
+        "relation_count", "total_rows", "total_approx_bytes",
+        "udomain_size"}`` — the report behind ``repro-idlog stats`` and
+        the shell's ``.stats`` command.
+        """
+        per_relation = {name: relation.memory_stats()
+                        for name, relation in self._relations.items()}
+        return {
+            "relations": per_relation,
+            "relation_count": len(per_relation),
+            "total_rows": sum(s["rows"] for s in per_relation.values()),
+            "total_approx_bytes": sum(
+                s["approx_bytes"] for s in per_relation.values()),
+            "udomain_size": len(self.udomain),
+        }
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations

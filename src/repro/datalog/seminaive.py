@@ -164,6 +164,25 @@ class RelationStore:
         """Snapshot the store as a database."""
         return Database(dict(self._relations), udomain)
 
+    def memory_stats(self) -> dict:
+        """Totals over everything the evaluation holds in memory.
+
+        Covers the visible relations *and* the materialized ID-relation
+        cache (which lives only in the store — ``as_database`` does not
+        export it), so this is the evaluation's real resident footprint.
+        """
+        relation_stats = [r.memory_stats()
+                          for r in self._relations.values()]
+        id_stats = [r.memory_stats() for r in self._id_cache.values()]
+        return {
+            "relations": len(relation_stats),
+            "total_rows": sum(s["rows"] for s in relation_stats),
+            "id_relations": len(id_stats),
+            "id_rows": sum(s["rows"] for s in id_stats),
+            "total_approx_bytes": sum(
+                s["approx_bytes"] for s in relation_stats + id_stats),
+        }
+
 
 Substitution = dict[Var, Value]
 

@@ -51,6 +51,45 @@ def save_database(db: Database, directory: str) -> None:
         json.dump(schema, handle, indent=2, sort_keys=True)
 
 
+def directory_stats(directory: str) -> dict:
+    """On-disk introspection of a database saved by :func:`save_database`.
+
+    Returns ``{"relations": {name: {"arity", "rows", "csv_bytes"}},
+    "relation_count", "total_rows", "total_csv_bytes",
+    "udomain_size"}`` without loading any relation into memory — row
+    counts come from counting CSV lines.  The disk-side counterpart of
+    :meth:`~repro.datalog.database.Database.stats`, surfaced as
+    ``repro-idlog stats --dir``.
+
+    Raises:
+        SchemaError: on a missing schema file or relation CSV.
+    """
+    schema_path = os.path.join(directory, SCHEMA_FILE)
+    if not os.path.exists(schema_path):
+        raise SchemaError(f"{directory} has no {SCHEMA_FILE}")
+    with open(schema_path) as handle:
+        schema = json.load(handle)
+    relations: dict[str, dict] = {}
+    for name, info in schema["relations"].items():
+        path = os.path.join(directory, f"{name}.csv")
+        if not os.path.exists(path):
+            raise SchemaError(
+                f"relation {name} is recorded in {SCHEMA_FILE} but "
+                f"{name}.csv is missing")
+        with open(path) as handle:
+            rows = sum(1 for line in handle if line.strip())
+        relations[name] = {"arity": info["arity"], "rows": rows,
+                           "csv_bytes": os.path.getsize(path)}
+    return {
+        "relations": relations,
+        "relation_count": len(relations),
+        "total_rows": sum(s["rows"] for s in relations.values()),
+        "total_csv_bytes": sum(
+            s["csv_bytes"] for s in relations.values()),
+        "udomain_size": len(schema.get("udomain", ())),
+    }
+
+
 def load_database(directory: str) -> Database:
     """Read a database previously written by :func:`save_database`.
 

@@ -47,6 +47,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Protocol, TextIO, Union
 
+#: Format version stamped on every serialized observability artifact —
+#: each :class:`JsonTracer` event, :meth:`Profile.as_dict`, and the
+#: metrics snapshot (:mod:`repro.datalog.metrics`).  Consumers (the
+#: benchmark trajectory comparator, dashboards) check it to detect
+#: format drift; bump it on any backwards-incompatible field change.
+SCHEMA_VERSION = 1
+
 # -- event vocabulary --------------------------------------------------------
 
 EV_EVAL_START = "eval_start"
@@ -146,10 +153,12 @@ def _jsonable(value):
 class JsonTracer:
     """Tracer writing one JSON object per event (JSONL).
 
-    Every line is ``{"event": <kind>, "seq": <n>, ...fields}`` with
-    non-primitive field values stringified — the schema documented in
-    ``docs/OBSERVABILITY.md`` and consumed by the benchmark trajectory
-    tooling.
+    Every line is ``{"event": <kind>, "seq": <n>, "schema": 1,
+    ...fields}`` with non-primitive field values stringified — the schema
+    documented in ``docs/OBSERVABILITY.md`` and consumed by the benchmark
+    trajectory tooling.  ``schema`` is :data:`SCHEMA_VERSION`, stamped on
+    every event so a consumer can reject a stream mid-way, not just at
+    the head.
 
     Args:
         sink: A path to open (truncated) or an open text file object
@@ -169,9 +178,11 @@ class JsonTracer:
             self._file = sink
             self._owns = False
         self._seq = 0
+        self._closed = False
 
     def emit(self, kind: str, **fields) -> None:
-        record = {"event": kind, "seq": self._seq}
+        record = {"event": kind, "seq": self._seq,
+                  "schema": SCHEMA_VERSION}
         self._seq += 1
         for name, value in fields.items():
             record[name] = _jsonable(value)
@@ -183,7 +194,14 @@ class JsonTracer:
         return self._seq
 
     def close(self) -> None:
-        """Flush and (for path-opened sinks) close the underlying file."""
+        """Flush and (for path-opened sinks) close the underlying file.
+
+        Idempotent, so error-path cleanup (the CLI's ``finally:``) can
+        close unconditionally even when the success path already did.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._file.flush()
         if self._owns:
             self._file.close()
@@ -309,8 +327,13 @@ class Profile:
         return sum(c.wall_s for c in self.clauses.values())
 
     def as_dict(self) -> dict:
-        """JSON-ready form (what the benchmark trajectory records)."""
+        """JSON-ready form (what the benchmark trajectory records).
+
+        Stamped with :data:`SCHEMA_VERSION` so BENCH/trace consumers can
+        detect format drift.
+        """
         return {
+            "schema": SCHEMA_VERSION,
             "meta": _jsonable(self.meta),
             "strata": [
                 {"stratum": s.stratum, "heads": list(s.heads),

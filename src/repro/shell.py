@@ -41,6 +41,7 @@ commands:
   .open <dir>           load a database saved with .save
   .program              show the current program
   .db                   show the database summary
+  .stats                memory report: rows, index buckets, approx bytes
   .explain              show the evaluation plan
   .why <fact>.          show a derivation tree for a ground fact
   .lint                 report likely mistakes / optimization hints
@@ -123,6 +124,8 @@ class Shell:
                 relation = self.db.relation(rel_name)
                 self._print(f"{rel_name}/{relation.arity}: "
                             f"{len(relation)} tuple(s)")
+        elif name == ".stats":
+            self._stats()
         elif name == ".explain":
             program = self._program()
             if program.has_choice():
@@ -165,6 +168,22 @@ class Shell:
         else:
             self._print(f"unknown command {name} (try .help)")
         return True
+
+    def _stats(self) -> None:
+        report = self.db.stats()
+        if not report["relations"]:
+            self._print("(empty database)")
+            return
+        for rel_name in sorted(report["relations"]):
+            info = report["relations"][rel_name]
+            self._print(
+                f"{rel_name}/{info['arity']}: rows={info['rows']} "
+                f"indexes={info['indexes']} "
+                f"index_buckets={info['index_buckets']} "
+                f"approx_bytes={info['approx_bytes']}")
+        self._print(f"total: rows={report['total_rows']} "
+                    f"approx_bytes={report['total_approx_bytes']} "
+                    f"udomain={report['udomain_size']}")
 
     def _add_clause(self, line: str) -> None:
         clause = parse_clause(line)

@@ -238,3 +238,51 @@ class TestBulkPaths:
         r.index_on((0,))
         r.update([("b",), ("c",)])
         assert list(r.match(("b",))) == [("b",)]
+
+
+class TestMemoryStats:
+    def test_relation_shape(self):
+        r = Relation(2, tuples=[("a", "x"), ("b", "y")])
+        r.index_on((0,))
+        report = r.memory_stats()
+        assert report["rows"] == 2
+        assert report["arity"] == 2
+        assert report["indexes"] == 1
+        assert report["index_buckets"] == 2  # two distinct first columns
+        assert report["approx_bytes"] > 0
+
+    def test_bytes_grow_with_content(self):
+        small = Relation(1, tuples=[("a",)])
+        big = Relation(1, tuples=[(f"value{i}",) for i in range(100)])
+        assert big.memory_stats()["approx_bytes"] \
+            > small.memory_stats()["approx_bytes"]
+
+    def test_shared_objects_counted_once(self):
+        # Both relations hold the SAME tuple objects; an id-deduplicating
+        # fold must not double them when indexes alias the tuple set.
+        r = Relation(2, tuples=[("a", "x")])
+        no_index = r.memory_stats()["approx_bytes"]
+        r.index_on((0,))
+        with_index = r.memory_stats()["approx_bytes"]
+        # The index adds dict/set/key overhead but NOT a second copy of
+        # the tuples themselves (they are shared by identity).
+        assert with_index > no_index
+        assert with_index - no_index < no_index + 500
+
+    def test_database_stats_totals(self):
+        db = Database.from_facts({
+            "emp": [("ann", "toys"), ("bob", "it")],
+            "dept": [("toys",), ("it",)],
+        }, udomain=["ann", "bob", "toys", "it"])
+        report = db.stats()
+        assert report["relation_count"] == 2
+        assert report["total_rows"] == 4
+        assert report["udomain_size"] == 4
+        assert set(report["relations"]) == {"emp", "dept"}
+        assert report["total_approx_bytes"] == sum(
+            s["approx_bytes"] for s in report["relations"].values())
+
+    def test_stats_is_json_ready(self):
+        import json
+        db = Database.from_facts({"p": [("a",)]})
+        assert json.loads(json.dumps(db.stats()))["total_rows"] == 1

@@ -270,3 +270,30 @@ class TestIterationGuard:
         db = Database.from_facts({"seed": [(0,)]})
         with pytest.raises(EvaluationError):
             engine.run(db, max_iterations=10)
+
+
+class TestStoreMemoryStats:
+    def test_covers_relations_and_id_cache(self):
+        from repro.datalog.database import Relation
+        from repro.datalog.seminaive import EvalStats, RelationStore
+
+        class _Provider:
+            def materialize(self, pred, group, base, stats):
+                return Relation(base.arity + 1, tuples=[
+                    row + (i,) for i, row in enumerate(sorted(base))])
+
+        store = RelationStore(_Provider(), EvalStats())
+        store.install("p", Relation(1, tuples=[("a",), ("b",)]))
+        store.install("q", Relation(2, tuples=[("a", "x")]))
+        before = store.memory_stats()
+        assert before["relations"] == 2
+        assert before["total_rows"] == 3
+        assert before["id_relations"] == 0 and before["id_rows"] == 0
+
+        store.id_relation("p", frozenset())
+        after = store.memory_stats()
+        assert after["id_relations"] == 1
+        assert after["id_rows"] == 2
+        # The cached ID-relation lives only in the store, so it raises
+        # the store footprint above the visible-relation total.
+        assert after["total_approx_bytes"] > before["total_approx_bytes"]

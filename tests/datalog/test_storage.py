@@ -8,7 +8,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datalog.database import Database, Relation
-from repro.datalog.storage import SCHEMA_FILE, load_database, save_database
+from repro.datalog.storage import (SCHEMA_FILE, directory_stats,
+                                   load_database, save_database)
 from repro.datalog.terms import Sort
 from repro.errors import SchemaError
 
@@ -85,3 +86,44 @@ class TestErrors:
         assert set(schema["relations"]) == {"emp", "score"}
         assert schema["relations"]["score"]["type"] == "01"
         assert os.path.exists(directory / "emp.csv")
+
+
+class TestDirectoryStats:
+    def test_reports_rows_and_bytes(self, tmp_path):
+        directory = tmp_path / "snap"
+        save_database(sample_db(), str(directory))
+        report = directory_stats(str(directory))
+        assert report["relation_count"] == 2
+        assert report["relations"]["emp"] == {
+            "arity": 2, "rows": 2,
+            "csv_bytes": os.path.getsize(directory / "emp.csv")}
+        assert report["total_rows"] == 4
+        assert report["total_csv_bytes"] == sum(
+            s["csv_bytes"] for s in report["relations"].values())
+        assert report["udomain_size"] == 5
+
+    def test_counts_match_loaded_database(self, tmp_path):
+        directory = tmp_path / "snap"
+        save_database(sample_db(), str(directory))
+        report = directory_stats(str(directory))
+        loaded = load_database(str(directory))
+        for name, info in report["relations"].items():
+            assert info["rows"] == len(loaded.relation(name))
+            assert info["arity"] == loaded.relation(name).arity
+
+    def test_empty_relation_counts_zero_rows(self, tmp_path):
+        directory = tmp_path / "snap"
+        save_database(Database({"empty": Relation(2)}), str(directory))
+        report = directory_stats(str(directory))
+        assert report["relations"]["empty"]["rows"] == 0
+
+    def test_missing_schema_raises(self, tmp_path):
+        with pytest.raises(SchemaError):
+            directory_stats(str(tmp_path))
+
+    def test_missing_csv_raises(self, tmp_path):
+        directory = tmp_path / "snap"
+        save_database(sample_db(), str(directory))
+        os.remove(directory / "emp.csv")
+        with pytest.raises(SchemaError):
+            directory_stats(str(directory))

@@ -19,7 +19,7 @@ from repro.datalog import (
     CallbackTracer, Database, EvalStats, IncrementalEngine, JsonTracer,
     NullTracer, TeeTracer, TimingTracer, TopDownEngine, current_tracer,
     evaluate, format_profile, parse_program, use_tracer)
-from repro.datalog.trace import resolve_tracer
+from repro.datalog.trace import SCHEMA_VERSION, resolve_tracer
 
 STRATIFIED = """
     path(X, Y) :- edge(X, Y).
@@ -228,7 +228,25 @@ class TestJsonTracer:
         tracer.emit("round", stratum=0, deltas={"p": 1})
         tracer.close()
         assert json.loads(buf.getvalue()) == {
-            "event": "round", "seq": 0, "stratum": 0, "deltas": {"p": 1}}
+            "event": "round", "seq": 0, "schema": 1, "stratum": 0,
+            "deltas": {"p": 1}}
+
+    def test_every_event_carries_schema_version(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonTracer(str(path)) as tracer:
+            evaluate(parse_program(STRATIFIED), graph_db(), tracer=tracer)
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records and all(r["schema"] == SCHEMA_VERSION
+                               for r in records)
+
+    def test_close_is_idempotent(self):
+        buf = io.StringIO()
+        tracer = JsonTracer(buf)
+        tracer.emit("round", stratum=0)
+        tracer.close()
+        tracer.close()  # second close must not fail or re-flush
+        assert len(buf.getvalue().splitlines()) == 1
 
     def test_non_primitive_fields_are_stringified(self):
         buf = io.StringIO()
@@ -290,6 +308,7 @@ class TestProfile:
     def test_as_dict_is_json_ready(self):
         profile, _ = self.profile_of()
         data = json.loads(json.dumps(profile.as_dict()))
+        assert data["schema"] == SCHEMA_VERSION
         assert {c["clause"] for c in data["clauses"]} \
             == {c.clause for c in profile.clauses.values()}
         assert data["strata"][0]["cardinalities"] == {"path": 10}

@@ -1,0 +1,155 @@
+"""Tests for the benchmark trajectory comparator (benchmarks/compare.py).
+
+The comparator is a script, not a package module; it is loaded here via
+importlib so the regression rules (hard counter equality, digest
+exemptions, wall tolerance, coverage) are unit-testable.
+"""
+
+import copy
+import importlib.util
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_compare():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO_ROOT / "benchmarks" / "compare.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare_mod = _load_compare()
+
+
+def make_report(quick=False, wall=0.01, probes=100, digest="abc123"):
+    return {
+        "schema": 1, "quick": quick,
+        "benchmarks": {
+            "bench_x": {
+                "batch/greedy": {
+                    "wall_s": wall, "answer_digest": digest,
+                    "answer_size": 10, "probes": probes,
+                    "iterations": 5, "derived": 42, "firings": 50,
+                    "pipelines_compiled": 2, "pipelines_reused": 3,
+                },
+            },
+        },
+    }
+
+
+class TestCompareRules:
+    def test_identical_reports_are_clean(self):
+        base = make_report()
+        problems, notes = compare_mod.compare(base, copy.deepcopy(base))
+        assert problems == [] and notes == []
+
+    def test_counter_drift_is_a_regression(self):
+        cand = make_report(probes=101)
+        problems, _ = compare_mod.compare(make_report(), cand)
+        assert len(problems) == 1
+        assert "probes 100 -> 101" in problems[0]
+
+    def test_digest_change_is_a_regression(self):
+        cand = make_report(digest="fff000")
+        problems, _ = compare_mod.compare(make_report(), cand)
+        assert any("answer_digest" in p for p in problems)
+
+    def test_nondeterministic_kernel_digest_is_exempt(self):
+        base, cand = make_report(), make_report(digest="fff000")
+        for report in (base, cand):
+            report["benchmarks"]["bench_e4_sampling_one"] = \
+                report["benchmarks"].pop("bench_x")
+        problems, _ = compare_mod.compare(base, cand)
+        assert problems == []
+        # ... unless strict digests are requested.
+        problems, _ = compare_mod.compare(base, cand, strict_digests=True)
+        assert any("answer_digest" in p for p in problems)
+
+    def test_wall_time_within_tolerance_passes(self):
+        cand = make_report(wall=0.018)  # < 0.01 * 2.0 + 0.05
+        problems, _ = compare_mod.compare(make_report(), cand)
+        assert problems == []
+
+    def test_wall_time_regression_caught(self):
+        cand = make_report(wall=9.0)
+        problems, _ = compare_mod.compare(
+            make_report(), cand, wall_slack=0.0)
+        assert any("wall_s" in p for p in problems)
+
+    def test_missing_kernel_and_mode_are_regressions(self):
+        cand = copy.deepcopy(make_report())
+        del cand["benchmarks"]["bench_x"]["batch/greedy"]
+        problems, _ = compare_mod.compare(make_report(), cand)
+        assert any("mode batch/greedy missing" in p for p in problems)
+        cand["benchmarks"] = {}
+        problems, _ = compare_mod.compare(make_report(), cand)
+        assert any("missing from candidate" in p for p in problems)
+
+    def test_new_kernel_is_a_note_not_a_problem(self):
+        cand = make_report()
+        cand["benchmarks"]["bench_new"] = {"batch/greedy": {"wall_s": 1.0}}
+        problems, notes = compare_mod.compare(make_report(), cand)
+        assert problems == []
+        assert any("bench_new" in n for n in notes)
+
+
+class TestCompareMain:
+    def run_main(self, tmp_path, base, cand, *flags):
+        base_path = tmp_path / "base.json"
+        cand_path = tmp_path / "cand.json"
+        base_path.write_text(json.dumps(base))
+        cand_path.write_text(json.dumps(cand))
+        out = io.StringIO()
+        rc = compare_mod.main(
+            [str(base_path), str(cand_path), *flags], out=out)
+        return rc, out.getvalue()
+
+    def test_clean_pair_exits_zero(self, tmp_path):
+        rc, text = self.run_main(tmp_path, make_report(), make_report())
+        assert rc == 0
+        assert text.startswith("ok:")
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path):
+        rc, text = self.run_main(tmp_path, make_report(),
+                                 make_report(probes=999, digest="bad"))
+        assert rc == 1
+        assert "REGRESSION" in text
+        assert "probes 100 -> 999" in text
+
+    def test_quick_flag_mismatch_refused(self, tmp_path):
+        rc, _ = self.run_main(tmp_path, make_report(quick=True),
+                              make_report(quick=False))
+        assert rc == 2
+
+
+class TestCommittedTrajectories:
+    """The committed BENCH_*.json history must satisfy its own gate."""
+
+    @pytest.mark.parametrize("base,cand", [
+        ("BENCH_pr2.json", "BENCH_pr3.json"),
+        ("BENCH_pr3.json", "BENCH_pr4.json"),
+    ])
+    def test_history_compares_clean(self, base, cand):
+        base_path, cand_path = REPO_ROOT / base, REPO_ROOT / cand
+        if not (base_path.exists() and cand_path.exists()):
+            pytest.skip(f"{base} / {cand} not present")
+        out = io.StringIO()
+        # Committed files may come from different machines: counters are
+        # enforced exactly, wall times get the cross-machine tolerance.
+        rc = compare_mod.main([str(base_path), str(cand_path),
+                               "--wall-tolerance", "4.0",
+                               "--wall-slack", "0.1"], out=out)
+        assert rc == 0, out.getvalue()
+
+    def test_quick_baseline_is_quick(self):
+        path = REPO_ROOT / "benchmarks" / "BENCH_quick_baseline.json"
+        report = json.loads(path.read_text())
+        assert report["quick"] is True
+        assert report["schema"] == 1
+        assert len(report["benchmarks"]) >= 19

@@ -323,3 +323,189 @@ class TestRunObservabilityFlags:
         assert lines  # enumeration evaluations were traced
         kinds = {json.loads(line)["event"] for line in lines}
         assert "clause_fire" in kinds
+
+
+class TestMetricsFlags:
+    def test_prometheus_export_matches_stats_counters(self, tc_files,
+                                                      tmp_path):
+        prog, facts = tc_files
+        metrics = tmp_path / "metrics.prom"
+        code, output = run_cli("run", prog, "-f", facts, "--stats",
+                               "--metrics", str(metrics))
+        assert code == 0
+        assert f"written to {metrics}" in output
+        # Parse the counters out of both outputs: the Prometheus totals
+        # must equal the EvalStats the run printed, exactly.
+        stats_line = next(line for line in output.splitlines()
+                          if line.startswith("stats: "))
+        stats = dict(part.split("=") for part in stats_line[7:].split())
+        text = metrics.read_text()
+        exposed = {}
+        for line in text.splitlines():
+            if line.startswith("#") or "{" in line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            exposed[name] = float(value)
+        assert exposed["idlog_probes_total"] == float(stats["probes"])
+        assert exposed["idlog_firings_total"] == float(stats["firings"])
+        assert exposed["idlog_derived_tuples_total"] \
+            == float(stats["derived"])
+        assert "# TYPE idlog_probes_total counter" in text
+        assert 'idlog_relation_tuples{predicate="path"} 6' in text
+
+    def test_json_format(self, tc_files, tmp_path):
+        import json
+        prog, facts = tc_files
+        metrics = tmp_path / "metrics.json"
+        code, _ = run_cli("run", prog, "-f", facts,
+                          "--metrics", str(metrics),
+                          "--metrics-format", "json")
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == 1
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "idlog_probes_total" in names
+
+    def test_metrics_to_stdout(self, tc_files):
+        prog, facts = tc_files
+        code, output = run_cli("run", prog, "-f", facts, "--metrics", "-")
+        assert code == 0
+        assert "# TYPE idlog_evaluations_total counter" in output
+        assert 'idlog_evaluations_total{engine="batch",plan="greedy"} 1' \
+            in output
+
+    def test_results_unchanged_by_metrics(self, tc_files):
+        prog, facts = tc_files
+        _, plain = run_cli("run", prog, "-f", facts, "--stats")
+        _, with_metrics = run_cli("run", prog, "-f", facts, "--stats",
+                                  "--metrics", "-")
+        assert with_metrics.startswith(plain)
+
+
+class TestProgressFlag:
+    def test_heartbeats_go_to_stderr(self, tc_files, capsys):
+        prog, facts = tc_files
+        code, output = run_cli("run", prog, "-f", facts, "--progress")
+        assert code == 0
+        assert "[progress]" not in output  # stdout stays clean
+        err = capsys.readouterr().err
+        assert "[progress] eval start" in err
+        assert "[progress] eval done" in err
+
+
+class TestTraceClosedOnError:
+    @pytest.fixture
+    def failing_run(self, tmp_path):
+        # q(1). forces sort i into q while q(X) :- p(X). feeds it sort u:
+        # the conflict surfaces mid-evaluation, AFTER events are emitted.
+        prog = tmp_path / "conflict.dl"
+        prog.write_text("q(X) :- p(X).\nq(1).\n")
+        facts = tmp_path / "facts.dl"
+        facts.write_text("p(a).\n")
+        return str(prog), str(facts)
+
+    def test_partial_trace_survives_evaluation_error(self, failing_run,
+                                                     tmp_path):
+        import json
+        prog, facts = failing_run
+        trace = tmp_path / "partial.jsonl"
+        code, _ = run_cli("run", prog, "-f", facts, "--trace", str(trace))
+        assert code == 1  # the evaluation failed...
+        lines = trace.read_text().splitlines()
+        assert lines  # ...but the trace was flushed and closed
+        records = [json.loads(line) for line in lines]  # all valid JSON
+        assert records[0]["event"] == "eval_start"
+        assert all(r["schema"] == 1 for r in records)
+        # No eval_end: the file shows exactly how far the run got.
+        assert all(r["event"] != "eval_end" for r in records)
+
+
+class TestWhyCommand:
+    def test_derivation_tree(self, tc_files):
+        prog, facts = tc_files
+        code, output = run_cli("why", prog, "path(a, c).", "-f", facts)
+        assert code == 0
+        assert output.startswith("path(a, c)")
+        assert "path(X, Y) :- edge(X, Z), path(Z, Y)." in output
+        assert "edge(a, b)   [edb]" in output
+
+    def test_goal_without_period(self, tc_files):
+        prog, facts = tc_files
+        code, _ = run_cli("why", prog, "path(a, b)", "-f", facts)
+        assert code == 0
+
+    def test_underivable_fact_errors(self, tc_files):
+        prog, facts = tc_files
+        code, _ = run_cli("why", prog, "path(d, a).", "-f", facts)
+        assert code == 1
+
+    def test_non_ground_goal_rejected(self, tc_files):
+        prog, facts = tc_files
+        code, _ = run_cli("why", prog, "path(a, Y).", "-f", facts)
+        assert code == 1
+
+    def test_idlog_why_with_seed(self, program_file, facts_file):
+        # Find a sampled employee under seed 3, then explain it under the
+        # same seed: the ID-relations must reproduce the derivation.
+        _, output = run_cli("run", program_file, "-f", facts_file,
+                            "--mode", "one", "--seed", "3")
+        name = next(line.strip() for line in output.splitlines()
+                    if line.startswith("  "))
+        code, tree = run_cli("why", program_file,
+                             f"select_two_emp({name}).",
+                             "-f", facts_file, "--seed", "3")
+        assert code == 0
+        assert "emp[2]" in tree
+
+    def test_choice_program_rejected(self, tmp_path, facts_file):
+        path = tmp_path / "choice.dl"
+        path.write_text(CHOICE_PROGRAM)
+        code, _ = run_cli("why", str(path), "select_emp(ann).",
+                          "-f", facts_file)
+        assert code == 1
+
+
+class TestStatsCommand:
+    def test_facts_only_report(self, facts_file):
+        code, output = run_cli("stats", "-f", facts_file)
+        assert code == 0
+        assert "facts file" in output
+        assert "emp: " in output and "rows=3" in output
+        assert "total_rows=3" in output
+
+    def test_evaluated_program_report(self, tc_files):
+        prog, facts = tc_files
+        code, output = run_cli("stats", prog, "-f", facts)
+        assert code == 0
+        assert "path: " in output
+        assert "rows=6" in output  # transitive closure of the 3-chain
+        assert "counters: " in output and "probes=" in output
+
+    def test_json_output(self, tc_files):
+        import json
+        prog, facts = tc_files
+        code, output = run_cli("stats", prog, "-f", facts, "--json")
+        assert code == 0
+        report = json.loads(output)
+        assert report["relations"]["path"]["rows"] == 6
+        assert report["counters"]["derived"] > 0
+        assert report["total_approx_bytes"] > 0
+
+    def test_directory_report(self, tmp_path, facts_file):
+        from repro.cli import _load_facts
+        from repro.datalog.storage import save_database
+        directory = tmp_path / "snap"
+        save_database(_load_facts(facts_file), str(directory))
+        code, output = run_cli("stats", "--dir", str(directory))
+        assert code == 0
+        assert "csv_bytes=" in output
+        assert "total_rows=3" in output
+
+    def test_dir_conflicts_with_program(self, tc_files, tmp_path):
+        prog, _ = tc_files
+        code, _ = run_cli("stats", prog, "--dir", str(tmp_path))
+        assert code == 1
+
+    def test_no_source_errors(self):
+        code, _ = run_cli("stats")
+        assert code == 1

@@ -24,7 +24,8 @@ DOC_FILES = sorted(
 #: Paths the docs may cite: committed files/dirs, plus artifacts a
 #: documented command *generates* (they need not be committed).
 GENERATED_OK = {"BENCH_pr3.json", "BENCH_prN.json", "out.jsonl",
-                "prog.dl", "facts.dl", "trace.jsonl"}
+                "prog.dl", "facts.dl", "trace.jsonl",
+                "BENCH_candidate.json", "metrics.json"}
 
 PATH_PATTERN = re.compile(
     r"`([\w./-]+\.(?:py|md|dl|json|jsonl|txt|yml))`")

@@ -187,3 +187,21 @@ class TestWhy:
                              "p(X) :- edge(X, Y).",
                              ".why p(z).")
         assert "error:" in output
+
+
+class TestStats:
+    def test_empty_database(self):
+        _, output, _ = drive(".stats")
+        assert "(empty database)" in output
+
+    def test_memory_report(self):
+        _, output, _ = drive(
+            "emp(ann, toys).", "emp(bob, it).", "dept(toys).", ".stats")
+        assert "emp/2: rows=2" in output
+        assert "dept/1: rows=1" in output
+        assert "approx_bytes=" in output
+        assert "total: rows=3" in output
+
+    def test_listed_in_help(self):
+        _, output, _ = drive(".help")
+        assert ".stats" in output

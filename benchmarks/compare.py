@@ -10,10 +10,14 @@ For every kernel x mode present in the baseline it checks, against the
 candidate:
 
 * **answers** — ``answer_digest`` must match exactly.  Kernels in
-  ``NONDETERMINISTIC`` are exempt (their digest depends on the seeded
-  sampling order, which legitimately shifts between versions); their
+  ``NONDETERMINISTIC`` get hard equality too whenever the candidate
+  record is ``replay_pinned`` (the candidate run replayed the baseline's
+  ID-choice log via ``run_all.py --replay-from``, making its digest
+  deterministic).  Only when no choice log was replayed does the
+  documented fallback apply: the digest is exempt (seeded sampling
+  digests depend on set-iteration order) and a note flags the fallback;
   ``answer_size`` is still enforced.  ``--strict-digests`` removes the
-  exemption.
+  fallback entirely.
 * **counters** — ``probes``, ``iterations``, ``derived``, ``firings``,
   ``pipelines_compiled``, ``pipelines_reused`` and ``answer_size`` must
   be exactly equal.  These are set-iteration-order independent, so they
@@ -39,9 +43,12 @@ import sys
 HARD_KEYS = ("answer_size", "probes", "iterations", "derived", "firings",
              "pipelines_compiled", "pipelines_reused")
 
-#: Kernels whose answer_digest is allowed to differ between versions:
-#: seeded one() sampling digests depend on set-iteration order, which is
-#: not part of the compatibility contract (the *size* still is).
+#: Kernels whose answer_digest may legitimately differ between versions
+#: *when no choice log was replayed*: seeded one() sampling digests
+#: depend on set-iteration order, which is not part of the compatibility
+#: contract (the *size* still is).  A candidate produced with
+#: ``run_all.py --replay-from`` marks these records ``replay_pinned``,
+#: which upgrades them to hard digest equality.
 NONDETERMINISTIC = frozenset({"bench_e4_sampling_one"})
 
 
@@ -56,11 +63,15 @@ def compare_record(kernel: str, mode: str, base: dict, cand: dict,
     """Problems (possibly empty) for one kernel/mode record pair."""
     problems = []
     where = f"{kernel} [{mode}]"
+    digest_exempt = (kernel in NONDETERMINISTIC and not strict_digests
+                     and not cand.get("replay_pinned"))
     if base.get("answer_digest") != cand.get("answer_digest") \
-            and (strict_digests or kernel not in NONDETERMINISTIC):
+            and not digest_exempt:
+        pinned = " despite replaying the baseline's choice log" \
+            if cand.get("replay_pinned") else ""
         problems.append(
             f"{where}: answer_digest {base.get('answer_digest')} -> "
-            f"{cand.get('answer_digest')} (answers changed)")
+            f"{cand.get('answer_digest')} (answers changed{pinned})")
     for key in HARD_KEYS:
         if key in base and base[key] is not None:
             if cand.get(key) != base[key]:
@@ -103,6 +114,13 @@ def compare(baseline: dict, candidate: dict,
                 wall_tolerance, wall_slack, strict_digests))
         for mode in sorted(set(cand_modes) - set(base_modes)):
             notes.append(f"{kernel}: new mode {mode} in candidate")
+        if kernel in NONDETERMINISTIC and not strict_digests \
+                and not any(cand_modes[m].get("replay_pinned")
+                            for m in cand_modes):
+            notes.append(
+                f"{kernel}: digest exemption fallback in effect — "
+                "candidate did not replay a choice log (re-run with "
+                "run_all.py --replay-from to pin it)")
     for kernel in sorted(set(cand_benches) - set(base_benches)):
         notes.append(f"{kernel}: new kernel in candidate")
     return problems, notes

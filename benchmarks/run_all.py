@@ -11,17 +11,24 @@ plus a canonical digest of the answer.  After timing, one extra untimed
 pass per kernel runs under an ambient :class:`TimingTracer`, so the
 ``batch/greedy`` record also carries a per-clause/per-stratum ``profile``
 (see ``docs/OBSERVABILITY.md``).  Results are written to
-``BENCH_pr4.json`` at the repo root; two trajectory files are compared
+``BENCH_pr5.json`` at the repo root; two trajectory files are compared
 for regressions by ``benchmarks/compare.py``.
 
 The run FAILS (exit 1) when the batch and interp engines disagree on any
 kernel's answer under the same plan — this is the CI smoke check.
+
+Nondeterministic kernels (seeded ``one()`` sampling) embed their
+ID-choice log (see :mod:`repro.core.choicelog`) in the report under
+``choice_logs``; ``--replay-from PRIOR.json`` replays those logs so the
+candidate reproduces the baseline's ID choices exactly and ``compare.py``
+can enforce hard digest equality instead of exempting the kernel.
 
 Usage::
 
     python benchmarks/run_all.py            # full sizes, best of 3
     python benchmarks/run_all.py --quick    # CI: small sizes, 1 repeat
     python benchmarks/run_all.py --out /tmp/bench.json
+    python benchmarks/run_all.py --quick --replay-from BENCH_prev.json
 """
 
 from __future__ import annotations
@@ -197,10 +204,14 @@ def _e4(quick):
     from repro.core import IdlogEngine
     db = employees_db(4 if quick else 6, 3 if quick else 4)
 
-    def kernel(plan, engine):
+    def kernel(plan, engine, record=None, replay=None):
         eng = IdlogEngine(m.IDLOG, plan=plan, engine=engine)
-        result = eng.one(db, seed=0)
+        if replay is not None:
+            result = eng.replay(db, replay)
+        else:
+            result = eng.one(db, seed=0, record=record)
         return result.tuples("select_emp"), result.stats
+    kernel.answer_preds = ("select_emp",)
     return kernel
 
 
@@ -336,20 +347,47 @@ SCENARIOS = [
 ]
 
 
-def run_kernel(kernel, plan, engine, repeats):
+def run_kernel(kernel, plan, engine, repeats, replay=None):
     best = None
     answer = stats = None
+    kwargs = {"replay": replay} if replay is not None else {}
     for _ in range(repeats):
         start = time.perf_counter()
-        answer, stats = kernel(plan, engine)
+        answer, stats = kernel(plan, engine, **kwargs)
         elapsed = time.perf_counter() - start
         if best is None or elapsed < best:
             best = elapsed
     record = {"wall_s": round(best, 6), "answer_digest": digest(answer),
               "answer_size": len(answer) if hasattr(answer, "__len__")
               else None}
+    if replay is not None:
+        # The choice log pinned every ID-function decision, so this
+        # digest is machine- and hash-seed-independent; compare.py
+        # enforces it exactly instead of exempting the kernel.
+        record["replay_pinned"] = True
     record.update(stats_dict(stats))
     return record
+
+
+def capture_choice_log(kernel, name, quick):
+    """One untimed recording pass; the kernel's choice log as JSONL-able
+    data (None for kernels that materialize no ID-relations)."""
+    from repro.core.choicelog import ChoiceLog
+    engine, plan = PROFILED_MODE
+    log = ChoiceLog(meta={"benchmark": name, "quick": quick,
+                          "mode": f"{engine}/{plan}"})
+    answer, _ = kernel(plan, engine, record=log)
+    log.set_answers({pred: answer for pred in kernel.answer_preds})
+    return log.to_jsonable()
+
+
+def load_replays(path):
+    """The embedded choice logs of a prior trajectory file, by kernel."""
+    from repro.core.choicelog import ChoiceLog
+    with open(path) as handle:
+        report = json.load(handle)
+    return {name: ChoiceLog.from_jsonable(data)
+            for name, data in report.get("choice_logs", {}).items()}
 
 
 def profile_kernel(kernel, plan, engine):
@@ -371,35 +409,58 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per mode (default 3, 1 "
                              "with --quick)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr4.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr5.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--only", default=None,
                         help="run only scenarios whose name contains this "
                              "substring")
+    parser.add_argument("--replay-from", default=None, metavar="BENCH_JSON",
+                        help="replay the choice logs embedded in a prior "
+                             "trajectory file, pinning nondeterministic "
+                             "kernels to the recorded ID choices")
+    parser.add_argument("--choice-logs", default=None, metavar="DIR",
+                        help="also dump each kernel's choice log as "
+                             "DIR/<kernel>.choices.jsonl (CI artifact)")
     args = parser.parse_args(argv)
     repeats = args.repeats or (1 if args.quick else 3)
+    replays = load_replays(args.replay_from) if args.replay_from else {}
 
     report = {"schema": 1, "quick": args.quick, "repeats": repeats,
               "modes": [f"{e}/{p}" for e, p in MODES],
-              "benchmarks": {}, "speedup_batch_vs_interp": {}}
+              "benchmarks": {}, "speedup_batch_vs_interp": {},
+              "choice_logs": {}}
     disagreements = []
 
     for name, build in SCENARIOS:
         if args.only and args.only not in name:
             continue
         kernel = build(args.quick)
+        # Kernels with an answer_preds marker thread ID-choice logs
+        # through: timed passes replay a prior log when one was given,
+        # and one extra untimed pass records this run's log so the
+        # written trajectory can pin the next run in turn.
+        choice_capable = hasattr(kernel, "answer_preds")
+        replay = replays.get(name) if choice_capable else None
         records = {}
         for engine, plan in MODES:
             key = f"{engine}/{plan}"
-            records[key] = run_kernel(kernel, plan, engine, repeats)
+            records[key] = run_kernel(kernel, plan, engine, repeats,
+                                      replay=replay)
+            pinned = " (replayed)" if replay is not None else ""
             print(f"{name:28s} {key:14s} "
                   f"{records[key]['wall_s'] * 1000:9.2f} ms  "
-                  f"probes={records[key].get('probes', '-')}",
+                  f"probes={records[key].get('probes', '-')}{pinned}",
                   flush=True)
         engine, plan = PROFILED_MODE
         profile = profile_kernel(kernel, plan, engine)
         if profile is not None:
             records[f"{engine}/{plan}"]["profile"] = profile
+        if choice_capable:
+            if replay is not None:
+                report["choice_logs"][name] = replays[name].to_jsonable()
+            else:
+                report["choice_logs"][name] = capture_choice_log(
+                    kernel, name, args.quick)
         report["benchmarks"][name] = records
 
         for plan in ("greedy", "cost"):
@@ -414,6 +475,14 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {out}")
+    if args.choice_logs:
+        from repro.core.choicelog import ChoiceLog
+        log_dir = Path(args.choice_logs)
+        log_dir.mkdir(parents=True, exist_ok=True)
+        for name, data in report["choice_logs"].items():
+            log_path = log_dir / f"{name}.choices.jsonl"
+            ChoiceLog.from_jsonable(data).save(str(log_path))
+            print(f"wrote {log_path}")
     for name, ratio in sorted(report["speedup_batch_vs_interp"].items()):
         print(f"  speedup (batch vs interp, greedy) {name:30s} {ratio}x")
 

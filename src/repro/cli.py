@@ -9,6 +9,7 @@ The subcommands::
     repro-idlog profile PROGRAM [-f FACTS] ...   # EXPLAIN ANALYZE
     repro-idlog why PROGRAM 'fact.' [-f FACTS]   # derivation tree
     repro-idlog stats [PROGRAM] [-f FACTS | --dir DIR]  # memory report
+    repro-idlog diverge RUN_A RUN_B  # first differing ID choice of 2 runs
 
 ``PROGRAM`` is a file of clauses in the surface syntax; ``FACTS`` is a
 file of ground facts (``emp(ann, toys).``), whose ``udom(c)`` facts — if
@@ -26,9 +27,17 @@ Observability (see ``docs/OBSERVABILITY.md``): ``run --profile`` prints
 the per-clause EXPLAIN ANALYZE table after the results, ``run --trace
 FILE`` streams every span event as JSONL (closed in a ``finally:`` so a
 failed evaluation still leaves valid partial JSONL on disk), ``run
---metrics FILE`` exports aggregated metrics (Prometheus text or JSON),
+--metrics FILE`` exports aggregated metrics (Prometheus text or JSON;
+flushed in a ``finally:`` so a failed run still leaves a valid file),
 ``run --progress`` prints stratum/round heartbeats to stderr, and
-``profile`` evaluates just to print the table.  ``stats`` reports
+``profile`` evaluates just to print the table.
+
+Nondeterminism observability: ``run --record FILE`` captures every
+ID-function decision (plus the answers) as a JSONL choice log, ``run
+--replay FILE`` re-applies a recorded log — reproducing the recorded
+model exactly or failing with a drift diagnostic — and ``diverge``
+compares two recorded runs, naming the first differing ID choice and
+the answer delta it caused.  ``stats`` reports
 memory/cardinality introspection (rows, index buckets, approximate
 bytes) for a facts file, an evaluation result, or a saved database
 directory; ``why`` prints the derivation tree of one ground fact.
@@ -178,10 +187,68 @@ def _make_tracers(args):
     return tracer, timing, json_tracer, metrics
 
 
+def _check_record_replay(args, program) -> None:
+    """Validate the ``run --record/--replay`` flag combination early.
+
+    Runs before any tracer file is opened, so a usage error leaves no
+    half-written artifacts behind.
+    """
+    if not (getattr(args, "record", None) or getattr(args, "replay", None)):
+        return
+    if args.record and args.replay:
+        raise ReproError("--record and --replay are mutually exclusive")
+    if args.mode == "answers":
+        raise ReproError(
+            "--record/--replay capture a single run; --mode answers "
+            "enumerates every run")
+    if program.has_choice():
+        raise ReproError(
+            "record/replay applies to Datalog/IDLOG evaluation; translate "
+            "the choice program first (repro-idlog explain shows the "
+            "translation)")
+
+
+def _verify_replay(result, replay_log, out) -> None:
+    """Check a replayed result against the log's recorded answers."""
+    checked = 0
+    for pred in sorted(replay_log.answers):
+        found = frozenset(result.tuples(pred))
+        expected = replay_log.answer_tuples(pred)
+        if found != expected:
+            missing = sorted(map(str, expected - found))[:4]
+            extra = sorted(map(str, found - expected))[:4]
+            raise ReproError(
+                f"replayed answers for {pred} differ from the recorded "
+                f"run: {len(expected - found)} missing "
+                f"(e.g. {', '.join(missing) or '-'}), "
+                f"{len(found - expected)} extra "
+                f"(e.g. {', '.join(extra) or '-'}) — the program or "
+                "database changed since the log was recorded")
+        checked += 1
+    verdict = (f"answers match the recorded run "
+               f"({checked} predicate(s) verified)"
+               if checked else "log carries no answer snapshot to verify")
+    print(f"(replay: {len(replay_log)} ID choice(s) re-applied; "
+          f"{verdict})", file=out)
+
+
 def _cmd_run(args, out) -> int:
     program = _load_program(args.program)
     db = _load_facts(args.facts)
     queries = _pick_queries(program, args.query)
+    _check_record_replay(args, program)
+
+    record_log = None
+    replay_log = None
+    if args.record:
+        from .core.choicelog import ChoiceLog
+        record_log = ChoiceLog(meta={
+            "program": args.program, "facts": args.facts,
+            "mode": args.mode, "seed": args.seed})
+    elif args.replay:
+        from .core.choicelog import ChoiceLog
+        replay_log = ChoiceLog.load(args.replay)
+
     tracer, timing, json_tracer, metrics = _make_tracers(args)
 
     if program.has_choice():
@@ -195,9 +262,9 @@ def _cmd_run(args, out) -> int:
 
     scope = use_tracer(tracer) if tracer is not None \
         else contextlib.nullcontext()
-    # The finally: guarantees the JSONL trace is flushed/closed even when
-    # the evaluation dies mid-stratum — a partial trace of a failed run
-    # is exactly when you need the file to be valid.
+    # The finally: guarantees the JSONL trace and the metrics export are
+    # flushed even when the evaluation dies mid-stratum — a partial
+    # artifact of a failed run is exactly when you need the file valid.
     try:
         with scope:
             if args.mode == "answers":
@@ -212,17 +279,31 @@ def _cmd_run(args, out) -> int:
                               file=out)
                         _print_relation(answer, out)
                 _finish_tracing(timing, json_tracer, out)
-                _write_metrics(metrics, args, out)
                 return 0
 
-            if args.mode == "one":
-                result = engine.one(db, seed=args.seed)
+            # record_log is only ever set for IdlogEngine runs —
+            # _check_record_replay rejects choice programs up front, and
+            # ChoiceEngine takes no record keyword.
+            kwargs = {"record": record_log} if record_log is not None else {}
+            if replay_log is not None:
+                result = engine.replay(db, replay_log)
+            elif args.mode == "one":
+                result = engine.one(db, seed=args.seed, **kwargs)
             else:
-                result = engine.run(db)
+                result = engine.run(db, **kwargs)
         for pred in queries:
             rows = result.tuples(pred)
             print(f"{pred}: {len(rows)} tuple(s)", file=out)
             _print_relation(rows, out)
+        if record_log is not None:
+            record_log.set_answers(
+                {pred: result.tuples(pred) for pred in queries})
+            record_log.save(args.record)
+            print(f"(recorded {len(record_log)} ID choice(s) and "
+                  f"{len(queries)} answer predicate(s) to {args.record})",
+                  file=out)
+        if replay_log is not None:
+            _verify_replay(result, replay_log, out)
         if args.stats:
             stats = result.stats
             print(f"stats: derived={stats.total_derived} "
@@ -235,11 +316,14 @@ def _cmd_run(args, out) -> int:
                   f"pipelines_reused={stats.pipelines_reused}",
                   file=out)
         _finish_tracing(timing, json_tracer, out)
-        _write_metrics(metrics, args, out)
         return 0
     finally:
         if json_tracer is not None:
             json_tracer.close()  # idempotent; no-op on the success path
+        # Metrics flush in the finally: for the same reason the trace
+        # does — the partial counters of a failed run are still a valid
+        # (and useful) export.
+        _write_metrics(metrics, args, out)
 
 
 def _finish_tracing(timing, json_tracer, out) -> None:
@@ -399,6 +483,20 @@ def _cmd_why(args, out) -> int:
     return 0
 
 
+def _cmd_diverge(args, out) -> int:
+    """Diagnose where two recorded runs parted ways."""
+    import os
+    from .core.choicelog import ChoiceLog, diverge, format_divergence
+    log_a = ChoiceLog.load(args.run_a)
+    log_b = ChoiceLog.load(args.run_b)
+    report = diverge(log_a, log_b)
+    print(format_divergence(report,
+                            a_name=os.path.basename(args.run_a),
+                            b_name=os.path.basename(args.run_b)),
+          file=out)
+    return 0 if report.identical else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command-line parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -465,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--progress", action="store_true",
                      help="print stratum/round heartbeats to stderr while "
                           "evaluating")
+    run.add_argument("--record", metavar="FILE", default=None,
+                     help="record every ID-function choice (and the "
+                          "answers) as a JSONL choice log to FILE")
+    run.add_argument("--replay", metavar="FILE", default=None,
+                     help="replay a recorded choice log, reproducing the "
+                          "recorded run exactly or failing with a drift "
+                          "diagnostic")
 
     profile = sub.add_parser(
         "profile",
@@ -517,6 +622,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="batch", help="execution engine")
     stats.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
+
+    diverge_cmd = sub.add_parser(
+        "diverge",
+        help="compare two recorded choice logs: first differing ID "
+             "choice plus the answer delta it caused")
+    diverge_cmd.add_argument("run_a", help="choice log of run A "
+                                           "(from run --record)")
+    diverge_cmd.add_argument("run_b", help="choice log of run B")
     return parser
 
 
@@ -529,7 +642,7 @@ def main(argv: Optional[Sequence[str]] = None,
     handlers = {"check": _cmd_check, "explain": _cmd_explain,
                 "lint": _cmd_lint, "run": _cmd_run,
                 "profile": _cmd_profile, "why": _cmd_why,
-                "stats": _cmd_stats}
+                "stats": _cmd_stats, "diverge": _cmd_diverge}
     try:
         return handlers[args.command](args, out)
     except FileNotFoundError as exc:

@@ -14,13 +14,17 @@ Public surface:
 
 from .assignment import (AssignmentStrategy, CanonicalAssignment,
                          OracleAssignment, RandomAssignment)
+from .choicelog import (ChoiceDivergence, ChoiceLog, ChoiceRecord,
+                        DivergenceReport, block_digest, choice_records,
+                        diverge, format_divergence)
 from .dbp import UDOM_PREDICATE, database_program, strip_database_program
-from .engine import IdlogEngine
+from .engine import IdlogEngine, ReplayIdProvider
 from .idrelations import (Grouping, IdFunction, canonical_id_function,
                           count_id_functions, enumerate_id_functions,
-                          group_key, id_relations_of, make_id_relation,
-                          ordering_to_id_function, random_id_function,
-                          sub_relations, validate_id_function)
+                          group_key, id_function_orderings, id_relations_of,
+                          make_id_relation, ordering_to_id_function,
+                          random_id_function, sub_relations,
+                          validate_id_function)
 from .models import (IdlogInterpretation, check_interpretation, is_model,
                      is_perfect_model, perfect_models)
 from .program import IdlogProgram, compute_tid_limits
@@ -33,11 +37,13 @@ __all__ = [
     "is_perfect_model", "perfect_models",
     "AssignmentStrategy", "CanonicalAssignment", "OracleAssignment",
     "RandomAssignment",
-    "IdlogEngine",
+    "IdlogEngine", "ReplayIdProvider",
+    "ChoiceDivergence", "ChoiceLog", "ChoiceRecord", "DivergenceReport",
+    "block_digest", "choice_records", "diverge", "format_divergence",
     "Grouping", "IdFunction", "canonical_id_function", "count_id_functions",
-    "enumerate_id_functions", "group_key", "id_relations_of",
-    "make_id_relation", "ordering_to_id_function", "random_id_function",
-    "sub_relations", "validate_id_function",
+    "enumerate_id_functions", "group_key", "id_function_orderings",
+    "id_relations_of", "make_id_relation", "ordering_to_id_function",
+    "random_id_function", "sub_relations", "validate_id_function",
     "IdlogProgram", "compute_tid_limits",
     "Answer", "IdlogQuery", "answers_equal", "permute_answer",
     "permute_database",

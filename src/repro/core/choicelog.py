@@ -1,0 +1,521 @@
+"""Recording, replaying and diffing ID-function choices.
+
+The whole point of IDLOG is that the ID-function is an *arbitrary*
+bijection (Section 2.1), so a program denotes a **set** of answers — which
+makes any single run irreproducible unless the choices it made are
+captured.  This module is the nondeterminism audit trail:
+
+* :class:`ChoiceRecord` — one ID-function decision: which ordering one
+  block of one ``(predicate, grouping)`` pair received, together with a
+  content digest of the block so later replays can detect input drift.
+* :class:`ChoiceLog` — the ordered sequence of all decisions of one
+  evaluation, plus (optionally) the answer relations the run produced.
+  Serializes to JSONL whose ``id_choice`` lines are *exactly* the events
+  a :class:`~repro.datalog.trace.JsonTracer` writes, so a ``--trace``
+  file of an IDLOG run loads as a choice log too.
+* :func:`diverge` / :func:`format_divergence` — given two logs (plus
+  their answer snapshots), report the first differing ID choice per
+  ``(pred, grouping, block)`` and attribute the downstream answer-set
+  delta to it.
+
+Recording is wired into the engine's ID-providers
+(:class:`~repro.core.engine.IdlogEngine` ``run(record=...)`` /
+``one(record=...)``), replay into
+:meth:`~repro.core.engine.IdlogEngine.replay`; the CLI surfaces both as
+``repro-idlog run --record/--replay`` and the differ as
+``repro-idlog diverge``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, TextIO, Union
+
+from ..datalog.database import Relation
+from ..datalog.trace import EV_ID_CHOICE, SCHEMA_VERSION
+from ..errors import ReproError
+from .idrelations import (Grouping, IdFunction, id_function_orderings,
+                          sub_relations)
+
+
+def block_digest(rows: Iterable[tuple]) -> str:
+    """Content digest of one block: order-independent, repr-canonical.
+
+    Two blocks digest equally iff they contain the same tuples — the
+    drift detector replay relies on.  16 hex chars (64 bits) is plenty
+    for block-count scales while keeping log lines readable.
+    """
+    payload = "\n".join(sorted(repr(row) for row in rows))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ChoiceRecord:
+    """One ID-function decision: the ordering chosen for one block.
+
+    Attributes:
+        pred: Base predicate of the ID-relation.
+        group: Grouping positions, sorted ascending.
+        block: The grouping-key values identifying the block.
+        block_digest: :func:`block_digest` of the *full* block contents
+            (not just the recorded prefix) at recording time.
+        block_size: Number of tuples in the full block.
+        ordering: The block's tuples in tid order — a prefix of length
+            ``tid_limit`` when the Section 4 group-limit optimization
+            truncated the materialization.
+        tid_limit: The tid limit in force, or None for a full ordering.
+    """
+
+    pred: str
+    group: tuple[int, ...]
+    block: tuple
+    block_digest: str
+    block_size: int
+    ordering: tuple[tuple, ...]
+    tid_limit: Optional[int]
+
+    @property
+    def key(self) -> tuple[str, tuple[int, ...], tuple]:
+        """The identity ``(pred, group, block)`` of this decision."""
+        return (self.pred, self.group, self.block)
+
+    def describe(self) -> str:
+        """Human-readable site label, e.g. ``emp[2] block ('toys',)``."""
+        positions = ",".join(map(str, self.group))
+        return f"{self.pred}[{positions}] block {self.block!r}"
+
+    def as_event_fields(self) -> dict:
+        """The record as ``id_choice`` trace-event fields (JSON-ready)."""
+        return {
+            "pred": self.pred, "group": list(self.group),
+            "block": list(self.block), "block_digest": self.block_digest,
+            "block_size": self.block_size,
+            "ordering": [list(row) for row in self.ordering],
+            "tid_limit": self.tid_limit,
+        }
+
+
+def choice_records(pred: str, group: Grouping, base: Relation,
+                   id_function: IdFunction,
+                   limit: Optional[int] = None) -> list[ChoiceRecord]:
+    """The :class:`ChoiceRecord` per block of one ID-function application.
+
+    Blocks are emitted in deterministic (repr-sorted key) order, so two
+    logs of the same decisions are comparable line by line regardless of
+    relation iteration order.
+    """
+    blocks = sub_relations(base, group)
+    orderings = id_function_orderings(base, group, id_function, limit)
+    gtuple = tuple(sorted(group))
+    return [
+        ChoiceRecord(pred=pred, group=gtuple, block=key,
+                     block_digest=block_digest(blocks[key]),
+                     block_size=len(blocks[key]),
+                     ordering=orderings[key], tid_limit=limit)
+        for key in sorted(blocks, key=repr)]
+
+
+def _tupled(value):
+    """JSON arrays back to the tuples the engine compares against."""
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
+class ChoiceLog:
+    """The ordered ID-choice audit trail of one IDLOG evaluation.
+
+    Grows through :meth:`record_assignment` (called by the engine's
+    recording ID-provider, once per materialized ``(pred, grouping)``
+    pair) and optionally carries the run's answer relations
+    (:meth:`set_answers`) so a replay — or the :func:`diverge` differ —
+    can check end results, not just choices.
+
+    The log indexes decisions by ``(pred, group)`` and, within a pair, by
+    block key; a ``(pred, group)`` pair whose base relation was *empty*
+    is still registered (with zero blocks), so replay can distinguish
+    "recorded as empty" from "never materialized".
+    """
+
+    def __init__(self, meta: Optional[Mapping] = None) -> None:
+        self.meta: dict = dict(meta or {})
+        self.records: list[ChoiceRecord] = []
+        #: pred -> sorted tuples of the recorded answer relation.
+        self.answers: dict[str, tuple[tuple, ...]] = {}
+        self._groups: dict[tuple[str, tuple[int, ...]], dict] = {}
+
+    # -- building ----------------------------------------------------------
+
+    def record_assignment(self, pred: str, group: Grouping, base: Relation,
+                          id_function: IdFunction,
+                          limit: Optional[int] = None) -> list[ChoiceRecord]:
+        """Record one ID-function application; returns its new records."""
+        gtuple = tuple(sorted(group))
+        if (pred, gtuple) in self._groups:
+            raise ReproError(
+                f"choice log already holds a decision for "
+                f"{pred}[{','.join(map(str, gtuple))}]; one log records "
+                "one evaluation")
+        records = choice_records(pred, group, base, id_function, limit)
+        self._groups[(pred, gtuple)] = {
+            "tid_limit": limit,
+            "blocks": {rec.block: rec for rec in records}}
+        self.records.extend(records)
+        return records
+
+    def set_answers(self, answers: Mapping[str, Iterable[tuple]]) -> None:
+        """Attach the run's answer relations (sorted for determinism)."""
+        self.answers = {
+            pred: tuple(sorted(rows, key=lambda r: tuple(map(repr, r))))
+            for pred, rows in answers.items()}
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ChoiceRecord]:
+        return iter(self.records)
+
+    def groupings(self) -> list[tuple[str, tuple[int, ...]]]:
+        """The recorded ``(pred, group)`` pairs, in recording order."""
+        return list(self._groups)
+
+    def records_for(self, pred: str, group: Grouping,
+                    ) -> Optional[dict[tuple, ChoiceRecord]]:
+        """Block-keyed records of one ``(pred, group)`` pair.
+
+        Returns an empty dict when the pair was recorded over an empty
+        base relation, and ``None`` when it was never recorded at all —
+        replay treats the two very differently.
+        """
+        entry = self._groups.get((pred, tuple(sorted(group))))
+        if entry is None:
+            return None
+        return entry["blocks"]
+
+    def limit_for(self, pred: str, group: Grouping) -> Optional[int]:
+        """The tid limit recorded for one ``(pred, group)`` pair."""
+        entry = self._groups.get((pred, tuple(sorted(group))))
+        return entry["tid_limit"] if entry else None
+
+    def answer_tuples(self, pred: str) -> frozenset[tuple]:
+        """The recorded answer relation for ``pred`` as a frozenset."""
+        return frozenset(self.answers.get(pred, ()))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_jsonable(self) -> dict:
+        """JSON-ready form (embedded in ``BENCH_*.json`` trajectories)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "groupings": [
+                {"pred": pred, "group": list(gtuple),
+                 "tid_limit": entry["tid_limit"]}
+                for (pred, gtuple), entry in self._groups.items()],
+            "choices": [rec.as_event_fields() for rec in self.records],
+            "answers": {
+                pred: [list(row) for row in rows]
+                for pred, rows in sorted(self.answers.items())},
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping) -> "ChoiceLog":
+        """Inverse of :meth:`to_jsonable`."""
+        schema = data.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise ReproError(
+                f"choice log has schema {schema}; this build reads "
+                f"schema {SCHEMA_VERSION}")
+        log = cls(meta=data.get("meta"))
+        for entry in data.get("groupings", ()):
+            key = (entry["pred"], tuple(entry["group"]))
+            log._groups[key] = {"tid_limit": entry.get("tid_limit"),
+                                "blocks": {}}
+        for fields in data.get("choices", ()):
+            log._add_loaded(fields)
+        log.answers = {
+            pred: tuple(_tupled(row) for row in rows)
+            for pred, rows in data.get("answers", {}).items()}
+        return log
+
+    def _add_loaded(self, fields: Mapping) -> None:
+        record = ChoiceRecord(
+            pred=fields["pred"], group=tuple(fields["group"]),
+            block=_tupled(fields["block"]),
+            block_digest=fields["block_digest"],
+            block_size=fields["block_size"],
+            ordering=tuple(_tupled(row) for row in fields["ordering"]),
+            tid_limit=fields.get("tid_limit"))
+        entry = self._groups.setdefault(
+            (record.pred, record.group),
+            {"tid_limit": record.tid_limit, "blocks": {}})
+        entry["blocks"][record.block] = record
+        self.records.append(record)
+
+    def save(self, sink: Union[str, TextIO]) -> None:
+        """Write the log as JSONL (header, ``id_choice`` lines, answers).
+
+        The ``id_choice`` lines carry the same fields a
+        :class:`~repro.datalog.trace.JsonTracer` writes for the
+        ``id_choice`` trace event, each stamped with
+        :data:`~repro.datalog.trace.SCHEMA_VERSION`.
+        """
+        handle = open(sink, "w", encoding="utf-8") \
+            if isinstance(sink, str) else sink
+        try:
+            header = {"event": "choice_log", "schema": SCHEMA_VERSION,
+                      "meta": self.meta,
+                      "groupings": [
+                          {"pred": pred, "group": list(gtuple),
+                           "tid_limit": entry["tid_limit"]}
+                          for (pred, gtuple), entry
+                          in self._groups.items()]}
+            handle.write(json.dumps(header) + "\n")
+            for seq, record in enumerate(self.records):
+                line = {"event": EV_ID_CHOICE, "seq": seq,
+                        "schema": SCHEMA_VERSION}
+                line.update(record.as_event_fields())
+                handle.write(json.dumps(line) + "\n")
+            if self.answers:
+                handle.write(json.dumps(
+                    {"event": "answers", "schema": SCHEMA_VERSION,
+                     "answers": {pred: [list(row) for row in rows]
+                                 for pred, rows
+                                 in sorted(self.answers.items())}}) + "\n")
+        finally:
+            if isinstance(sink, str):
+                handle.close()
+
+    @classmethod
+    def load(cls, source: Union[str, TextIO]) -> "ChoiceLog":
+        """Read a log from JSONL — a saved log *or* any ``--trace`` file.
+
+        Only ``choice_log`` / ``id_choice`` / ``answers`` lines are
+        interpreted; everything else (clause firings, rounds, ...) is
+        skipped, which is what lets a full JSONL trace double as a
+        choice log.
+        """
+        handle = open(source, encoding="utf-8") \
+            if isinstance(source, str) else source
+        try:
+            log = cls()
+            seen_choice_lines = False
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    line = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise ReproError(
+                        f"choice log line is not valid JSON: {exc}")
+                kind = line.get("event")
+                if kind == "choice_log":
+                    if line.get("schema") != SCHEMA_VERSION:
+                        raise ReproError(
+                            f"choice log has schema {line.get('schema')}; "
+                            f"this build reads schema {SCHEMA_VERSION}")
+                    log.meta = dict(line.get("meta", {}))
+                    for entry in line.get("groupings", ()):
+                        key = (entry["pred"], tuple(entry["group"]))
+                        log._groups.setdefault(
+                            key, {"tid_limit": entry.get("tid_limit"),
+                                  "blocks": {}})
+                elif kind == EV_ID_CHOICE:
+                    log._add_loaded(line)
+                    seen_choice_lines = True
+                elif kind == "answers":
+                    log.answers = {
+                        pred: tuple(_tupled(row) for row in rows)
+                        for pred, rows in line.get("answers", {}).items()}
+            if not seen_choice_lines and not log._groups:
+                raise ReproError(
+                    "no id_choice lines found; not a choice log (or a "
+                    "trace of a run that materialized no ID-relations)")
+            return log
+        finally:
+            if isinstance(source, str):
+                handle.close()
+
+
+# -- the divergence differ ---------------------------------------------------
+
+#: Divergence kinds, from "the runs chose differently" to "the runs saw
+#: different inputs" to "one run never made this decision at all".
+DIV_ORDERING = "ordering"
+DIV_INPUT = "input"
+DIV_LIMIT = "limit"
+DIV_ONLY_A = "only-A"
+DIV_ONLY_B = "only-B"
+
+
+@dataclass(frozen=True)
+class ChoiceDivergence:
+    """One differing ID choice between two logs."""
+
+    pred: str
+    group: tuple[int, ...]
+    block: tuple
+    kind: str
+    detail: str
+    a: Optional[ChoiceRecord] = None
+    b: Optional[ChoiceRecord] = None
+
+    def site(self) -> str:
+        """``pred[group] block`` label for tables and messages."""
+        positions = ",".join(map(str, self.group))
+        return f"{self.pred}[{positions}] {self.block!r}"
+
+
+@dataclass
+class DivergenceReport:
+    """Outcome of :func:`diverge`: differing choices + answer deltas."""
+
+    divergences: list[ChoiceDivergence]
+    #: pred -> (tuples only in A, tuples only in B); only differing preds.
+    answer_deltas: dict[str, tuple[frozenset, frozenset]]
+    choices_compared: int
+
+    @property
+    def first(self) -> Optional[ChoiceDivergence]:
+        """The first differing choice in A's recording order, if any."""
+        return self.divergences[0] if self.divergences else None
+
+    @property
+    def identical(self) -> bool:
+        """True when choices AND recorded answers agree."""
+        return not self.divergences and not self.answer_deltas
+
+
+def diverge(a: ChoiceLog, b: ChoiceLog) -> DivergenceReport:
+    """Compare two choice logs (and their answer snapshots).
+
+    Walks A's decisions in recording order, so :attr:`~DivergenceReport.first`
+    is the *earliest* point the two runs parted ways — under stratified
+    evaluation every later difference is potentially downstream of it.
+    """
+    b_index = {rec.key: rec for rec in b.records}
+    a_keys = set()
+    divergences: list[ChoiceDivergence] = []
+    for rec in a.records:
+        a_keys.add(rec.key)
+        other = b_index.get(rec.key)
+        if other is None:
+            divergences.append(ChoiceDivergence(
+                rec.pred, rec.group, rec.block, DIV_ONLY_A,
+                "block only recorded in A (input drift or earlier "
+                "divergence reshaped the relation)", a=rec))
+        elif rec.block_digest != other.block_digest:
+            divergences.append(ChoiceDivergence(
+                rec.pred, rec.group, rec.block, DIV_INPUT,
+                f"block contents differ: digest {rec.block_digest} vs "
+                f"{other.block_digest} (sizes {rec.block_size} vs "
+                f"{other.block_size})", a=rec, b=other))
+        elif rec.tid_limit != other.tid_limit:
+            divergences.append(ChoiceDivergence(
+                rec.pred, rec.group, rec.block, DIV_LIMIT,
+                f"tid limit differs: {rec.tid_limit} vs "
+                f"{other.tid_limit}", a=rec, b=other))
+        elif rec.ordering != other.ordering:
+            divergences.append(ChoiceDivergence(
+                rec.pred, rec.group, rec.block, DIV_ORDERING,
+                "same block, different chosen ordering", a=rec, b=other))
+    for rec in b.records:
+        if rec.key not in a_keys:
+            divergences.append(ChoiceDivergence(
+                rec.pred, rec.group, rec.block, DIV_ONLY_B,
+                "block only recorded in B (input drift or earlier "
+                "divergence reshaped the relation)", b=rec))
+
+    answer_deltas: dict[str, tuple[frozenset, frozenset]] = {}
+    for pred in sorted(set(a.answers) | set(b.answers)):
+        only_a = a.answer_tuples(pred) - b.answer_tuples(pred)
+        only_b = b.answer_tuples(pred) - a.answer_tuples(pred)
+        if only_a or only_b:
+            answer_deltas[pred] = (only_a, only_b)
+    return DivergenceReport(divergences, answer_deltas,
+                            choices_compared=len(a_keys | set(b_index)))
+
+
+def _clip(text: str, width: int) -> str:
+    if len(text) <= width:
+        return text
+    return text[:width - 1] + "…"
+
+
+def _ordering_cell(record: Optional[ChoiceRecord]) -> str:
+    if record is None:
+        return "-"
+    rendered = " ".join(",".join(map(str, row)) for row in record.ordering)
+    return rendered or "(empty)"
+
+
+def format_divergence(report: DivergenceReport,
+                      a_name: str = "A", b_name: str = "B",
+                      site_width: int = 30,
+                      ordering_width: int = 24) -> str:
+    """Render a :class:`DivergenceReport` as a text table.
+
+    Same presentation family as
+    :func:`repro.datalog.trace.format_profile`: a header line, fixed-width
+    columns, one totals/verdict line — the ``repro-idlog diverge``
+    output.
+    """
+    lines = [f"CHOICE DIVERGENCE  (A={a_name}, B={b_name}, "
+             f"{report.choices_compared} choice site(s) compared)"]
+    if report.identical:
+        lines.append("  identical: every ID choice and every recorded "
+                     "answer agrees")
+        return "\n".join(lines)
+
+    if report.divergences:
+        head = ("  " + "site".ljust(site_width)
+                + "  " + "kind".rjust(8)
+                + "  " + f"{a_name} ordering".ljust(ordering_width)
+                + "  " + f"{b_name} ordering".ljust(ordering_width))
+        lines.append(head)
+        for div in report.divergences:
+            lines.append(
+                "  " + _clip(div.site(), site_width).ljust(site_width)
+                + "  " + div.kind.rjust(8)
+                + "  " + _clip(_ordering_cell(div.a),
+                               ordering_width).ljust(ordering_width)
+                + "  " + _clip(_ordering_cell(div.b),
+                               ordering_width).ljust(ordering_width))
+        first = report.first
+        lines.append(f"first divergent choice: {first.site()} "
+                     f"[{first.kind}] — {first.detail}")
+    else:
+        lines.append("  all ID choices agree")
+
+    if report.answer_deltas:
+        for pred, (only_a, only_b) in sorted(report.answer_deltas.items()):
+            bits = []
+            if only_a:
+                bits.append(f"{len(only_a)} tuple(s) only in {a_name}: "
+                            + ", ".join(sorted(map(str, only_a))[:4])
+                            + ("…" if len(only_a) > 4 else ""))
+            if only_b:
+                bits.append(f"{len(only_b)} tuple(s) only in {b_name}: "
+                            + ", ".join(sorted(map(str, only_b))[:4])
+                            + ("…" if len(only_b) > 4 else ""))
+            line = f"answer delta {pred}: " + "; ".join(bits)
+            if report.first is not None:
+                line += (f"  [attributed to first divergent choice "
+                         f"{report.first.site()}]")
+            lines.append(line)
+    elif report.divergences:
+        lines.append("recorded answers agree despite the divergent "
+                     "choices (different models, same projection)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "EV_ID_CHOICE", "ChoiceRecord", "ChoiceLog", "ChoiceDivergence",
+    "DivergenceReport", "block_digest", "choice_records", "diverge",
+    "format_divergence",
+]

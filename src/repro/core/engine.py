@@ -34,13 +34,15 @@ from ..datalog.executor import BATCH, BatchExecutor, check_engine_mode
 from ..datalog.planner import ClausePlanner, check_plan_mode
 from ..datalog.seminaive import (EvalStats, RelationStore, evaluate_stratum,
                                  prepare_store)
-from ..datalog.trace import (EV_EVAL_END, EV_EVAL_START, EV_ID_MATERIALIZED,
-                             Tracer, resolve_tracer)
-from ..errors import EvaluationError
+from ..datalog.trace import (EV_EVAL_END, EV_EVAL_START, EV_ID_CHOICE,
+                             EV_ID_MATERIALIZED, Tracer, resolve_tracer)
+from ..errors import EvaluationError, ReplayError
 from .assignment import (AssignmentStrategy, CanonicalAssignment,
                          RandomAssignment)
+from .choicelog import ChoiceLog, block_digest, choice_records
 from .idrelations import (Grouping, count_id_functions,
-                          enumerate_id_functions, make_id_relation)
+                          enumerate_id_functions, make_id_relation,
+                          sub_relations)
 from .program import IdlogProgram
 
 
@@ -50,11 +52,13 @@ class _StrategyIdProvider:
     def __init__(self, strategy: AssignmentStrategy,
                  limits: dict[tuple[str, Grouping], Optional[int]],
                  use_limits: bool,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 record: Optional[ChoiceLog] = None) -> None:
         self._strategy = strategy
         self._limits = limits
         self._use_limits = use_limits
         self._tracer = tracer
+        self._record = record
         #: Everything materialized so far (exposed on EvalResult).
         self.materialized: dict[tuple[str, Grouping], Relation] = {}
 
@@ -67,6 +71,19 @@ class _StrategyIdProvider:
         relation = make_id_relation(base, id_function, limit)
         stats.id_tuples += len(relation)
         self.materialized[(pred, group)] = relation
+        # The no-record, no-tracer hot path ends here: the audit records
+        # are only ever constructed when someone is listening.
+        if self._record is not None or self._tracer is not None:
+            if self._record is not None:
+                records = self._record.record_assignment(
+                    pred, group, base, id_function, limit)
+            else:
+                records = choice_records(pred, group, base, id_function,
+                                         limit)
+            if self._tracer is not None:
+                for rec in records:
+                    self._tracer.emit(EV_ID_CHOICE,
+                                      **rec.as_event_fields())
         if self._tracer is not None:
             self._tracer.emit(
                 EV_ID_MATERIALIZED, pred=pred, group=sorted(group),
@@ -89,6 +106,87 @@ class _FixedIdProvider:
                 f"enumeration branch is missing the ID-relation for "
                 f"{pred}[{sorted(group)}]")
         stats.id_tuples += len(relation)
+        return relation
+
+
+class ReplayIdProvider:
+    """IdProvider re-applying a recorded :class:`ChoiceLog`.
+
+    Deterministic replay with drift diagnosis: every block of every base
+    relation is checked against the digest the log recorded.  When the
+    database (or an earlier stratum's output) no longer matches, the
+    raised :class:`~repro.errors.ReplayError` names the exact
+    ``(pred, grouping, block)`` site and the expected vs. found digest —
+    a replay never silently produces a different model.
+    """
+
+    def __init__(self, log: ChoiceLog,
+                 tracer: Optional[Tracer] = None) -> None:
+        self._log = log
+        self._tracer = tracer
+        #: Everything materialized so far (exposed on EvalResult).
+        self.materialized: dict[tuple[str, Grouping], Relation] = {}
+
+    def materialize(self, pred: str, group: Grouping,
+                    base: Relation, stats: EvalStats) -> Relation:
+        if self._tracer is not None:
+            start = perf_counter()
+        label = f"{pred}[{','.join(map(str, sorted(group)))}]"
+        recorded = self._log.records_for(pred, group)
+        blocks = sub_relations(base, group)
+        if recorded is None:
+            if blocks:
+                raise ReplayError(
+                    f"choice log holds no decision for {label} but the "
+                    f"program needs one ({len(blocks)} block(s)); the "
+                    "program or database gained an ID-relation the "
+                    "recorded run never materialized")
+            recorded = {}
+        missing = sorted(set(recorded) - set(blocks), key=repr)
+        extra = sorted(set(blocks) - set(recorded), key=repr)
+        if missing or extra:
+            bits = []
+            if missing:
+                bits.append("recorded block(s) no longer present: "
+                            + ", ".join(map(repr, missing[:3]))
+                            + ("…" if len(missing) > 3 else ""))
+            if extra:
+                bits.append("new block(s) absent from the log: "
+                            + ", ".join(map(repr, extra[:3]))
+                            + ("…" if len(extra) > 3 else ""))
+            raise ReplayError(
+                f"database drifted under {label}: " + "; ".join(bits))
+        mapping: dict[tuple, int] = {}
+        limit = self._log.limit_for(pred, group)
+        for key in sorted(blocks, key=repr):
+            rec = recorded[key]
+            found = block_digest(blocks[key])
+            if found != rec.block_digest:
+                raise ReplayError(
+                    f"database drifted under {label}: block {key!r} "
+                    f"digests {found} but the log expected "
+                    f"{rec.block_digest} (found {len(blocks[key])} "
+                    f"tuple(s), recorded {rec.block_size})")
+            members = set(blocks[key])
+            for tid, row in enumerate(rec.ordering):
+                if row not in members:
+                    raise ReplayError(
+                        f"choice log is corrupt: {label} block {key!r} "
+                        f"ordering lists {row!r}, which is not in the "
+                        "block despite a matching digest")
+                mapping[row] = tid
+        relation = make_id_relation(base, mapping, limit)
+        stats.id_tuples += len(relation)
+        self.materialized[(pred, group)] = relation
+        if self._tracer is not None:
+            for rec in sorted(recorded.values(), key=lambda r: repr(r.block)):
+                self._tracer.emit(EV_ID_CHOICE, replayed=True,
+                                  **rec.as_event_fields())
+            self._tracer.emit(
+                EV_ID_MATERIALIZED, pred=pred, group=sorted(group),
+                base_size=len(base), id_tuples=len(relation),
+                tid_limit=limit, replayed=True,
+                wall_s=perf_counter() - start)
         return relation
 
 
@@ -150,17 +248,41 @@ class IdlogEngine:
     # -- single-model evaluation ------------------------------------------
 
     def run(self, db: Database,
-            assignment: Optional[AssignmentStrategy] = None) -> EvalResult:
+            assignment: Optional[AssignmentStrategy] = None,
+            record: Optional[ChoiceLog] = None) -> EvalResult:
         """Evaluate under one assignment (canonical by default).
 
         Returns one perfect model of the database program; with the default
         canonical strategy this is deterministic and repeatable.
+
+        Args:
+            db: Input database.
+            assignment: Tid-assignment strategy (canonical by default).
+            record: A :class:`~repro.core.choicelog.ChoiceLog` to fill
+                with every ID-function decision the evaluation makes —
+                the audit trail :meth:`replay` re-applies.
         """
         strategy = assignment or CanonicalAssignment()
         tracer = resolve_tracer(self.tracer)
         provider = _StrategyIdProvider(
             strategy, self.compiled.tid_limits, self.use_group_limits,
-            tracer=tracer)
+            tracer=tracer, record=record)
+        return self._evaluate(db, provider, tracer)
+
+    def replay(self, db: Database, log: ChoiceLog) -> EvalResult:
+        """Re-evaluate under the ID choices a recorded log captured.
+
+        Deterministic: the same database and program reproduce the
+        recorded run's model exactly.  When the database drifted since
+        recording, evaluation fails with a
+        :class:`~repro.errors.ReplayError` naming the first block whose
+        contents no longer match the recorded digest.
+        """
+        tracer = resolve_tracer(self.tracer)
+        provider = ReplayIdProvider(log, tracer=tracer)
+        return self._evaluate(db, provider, tracer)
+
+    def _evaluate(self, db: Database, provider, tracer) -> EvalResult:
         stats = EvalStats()
         store = prepare_store(self.program, db, provider, stats)
         if tracer is not None:
@@ -179,9 +301,15 @@ class IdlogEngine:
         database = store.as_database(db.udomain | self.program.u_constants())
         return EvalResult(database, stats, dict(provider.materialized))
 
-    def one(self, db: Database, seed: Optional[int] = None) -> EvalResult:
-        """Sample one answer: evaluate under a random assignment."""
-        return self.run(db, RandomAssignment(seed))
+    def one(self, db: Database, seed: Optional[int] = None,
+            record: Optional[ChoiceLog] = None) -> EvalResult:
+        """Sample one answer: evaluate under a random assignment.
+
+        Pass ``record`` to capture the drawn ID choices for later
+        :meth:`replay` — the seeded sample becomes exactly reproducible
+        even across interpreter versions and hash seeds.
+        """
+        return self.run(db, RandomAssignment(seed), record=record)
 
     def query(self, db: Database, pred: str,
               assignment: Optional[AssignmentStrategy] = None,

@@ -185,6 +185,31 @@ def id_relations_of(base: Relation, group: Grouping,
         yield make_id_relation(base, id_function, limit)
 
 
+def id_function_orderings(base: Relation, group: Grouping,
+                          id_function: IdFunction,
+                          limit: Optional[int] = None,
+                          ) -> dict[tuple, tuple[tuple, ...]]:
+    """Invert an ID-function into per-block tid orderings.
+
+    The inverse of :func:`ordering_to_id_function`: returns a mapping from
+    each block's grouping key to its tuples in tid order.  With ``limit``,
+    only the observable prefix (tids below the limit) is kept — exactly
+    the portion a tid-limited materialization realizes, and exactly what a
+    choice log needs to record for faithful replay.  Partial ID-functions
+    (enumeration prefixes) are handled: undefined tuples are simply absent
+    from the ordering.
+    """
+    out: dict[tuple, tuple[tuple, ...]] = {}
+    for key, rows in sub_relations(base, group).items():
+        assigned = sorted(
+            (tid, row) for row in rows
+            if (tid := id_function.get(row)) is not None)
+        if limit is not None:
+            assigned = [(tid, row) for tid, row in assigned if tid < limit]
+        out[key] = tuple(row for _, row in assigned)
+    return out
+
+
 def ordering_to_id_function(orderings: Sequence[Sequence[tuple]],
                             ) -> dict:
     """Build an ID-function from explicit per-block tuple orderings.

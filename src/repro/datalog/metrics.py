@@ -42,9 +42,10 @@ from time import perf_counter
 from typing import Optional, Sequence, TextIO
 
 from .trace import (EV_CLAUSE_FIRE, EV_EVAL_END, EV_EVAL_START,
-                    EV_ID_MATERIALIZED, EV_INCREMENTAL, EV_PIPELINE_COMPILED,
-                    EV_PLAN_BUILT, EV_ROUND, EV_STRATUM_END,
-                    EV_STRATUM_START, EV_TOPDOWN_QUERY, SCHEMA_VERSION)
+                    EV_ID_CHOICE, EV_ID_MATERIALIZED, EV_INCREMENTAL,
+                    EV_PIPELINE_COMPILED, EV_PLAN_BUILT, EV_ROUND,
+                    EV_STRATUM_END, EV_STRATUM_START, EV_TOPDOWN_QUERY,
+                    SCHEMA_VERSION)
 
 INF = float("inf")
 
@@ -473,6 +474,10 @@ class MetricsTracer:
             "ID-relation materializations", labels=("pred",))
         self._id_tuples = r.counter(
             f"{ns}_id_tuples_total", "Tuples materialized into ID-relations")
+        self._id_choices = r.counter(
+            f"{ns}_id_choices_total",
+            "ID-function block choices recorded or replayed "
+            "(one per block per materialization)", labels=("pred",))
         self._cardinality = r.gauge(
             f"{ns}_relation_tuples",
             "Final cardinality per derived relation (latest evaluation)",
@@ -502,6 +507,8 @@ class MetricsTracer:
         elif kind == EV_ID_MATERIALIZED:
             self._id_mats.labels(pred=fields.get("pred", "?")).inc()
             self._id_tuples.inc(fields.get("id_tuples", 0))
+        elif kind == EV_ID_CHOICE:
+            self._id_choices.labels(pred=fields.get("pred", "?")).inc()
         elif kind == EV_STRATUM_END:
             self._strata.inc()
             for pred, size in fields.get("cardinalities", {}).items():

@@ -65,6 +65,7 @@ EV_CLAUSE_FIRE = "clause_fire"
 EV_PLAN_BUILT = "plan_built"
 EV_PIPELINE_COMPILED = "pipeline_compiled"
 EV_ID_MATERIALIZED = "id_materialized"
+EV_ID_CHOICE = "id_choice"
 EV_INCREMENTAL = "incremental"
 EV_TOPDOWN_ROUND = "topdown_round"
 EV_TOPDOWN_QUERY = "topdown_query"
@@ -72,7 +73,8 @@ EV_TOPDOWN_QUERY = "topdown_query"
 EVENT_KINDS = (
     EV_EVAL_START, EV_EVAL_END, EV_STRATUM_START, EV_STRATUM_END,
     EV_ROUND, EV_CLAUSE_FIRE, EV_PLAN_BUILT, EV_PIPELINE_COMPILED,
-    EV_ID_MATERIALIZED, EV_INCREMENTAL, EV_TOPDOWN_ROUND, EV_TOPDOWN_QUERY,
+    EV_ID_MATERIALIZED, EV_ID_CHOICE, EV_INCREMENTAL, EV_TOPDOWN_ROUND,
+    EV_TOPDOWN_QUERY,
 )
 
 

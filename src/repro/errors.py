@@ -67,6 +67,17 @@ class UnsafeBuiltinError(EvaluationError):
     """
 
 
+class ReplayError(EvaluationError):
+    """Raised when replaying a recorded choice log cannot reproduce the run.
+
+    Either the database drifted since recording (a block's contents no
+    longer match the recorded digest, blocks appeared or vanished) or the
+    program now materializes an ID-relation the log never saw.  The
+    message names the exact ``(predicate, grouping, block)`` site and the
+    expected vs. found state.
+    """
+
+
 class NotDeterministicError(ReproError):
     """Raised when a single answer is requested from a query whose answer
     set on the given input contains more than one relation and the caller

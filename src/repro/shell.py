@@ -35,6 +35,8 @@ commands:
   ?- <atom>.            query: print matching tuples (canonical model)
   .answers <pred> [N]   the exact answer set (budget N, default 10000)
   .one <pred> [seed]    one arbitrary answer
+  .record <file> [seed] draw one answer, logging every ID choice to file
+  .replay <file>        re-apply a recorded choice log (detects drift)
   .load <file>          load clauses from a file
   .facts <file>         load ground facts from a file
   .save <dir>           save the database to a directory (CSV + schema)
@@ -165,6 +167,10 @@ class Shell:
             self._answers(args)
         elif name == ".one":
             self._one(args)
+        elif name == ".record":
+            self._record(args)
+        elif name == ".replay":
+            self._replay(args)
         else:
             self._print(f"unknown command {name} (try .help)")
         return True
@@ -273,6 +279,62 @@ class Shell:
         rows = result.tuples(pred)
         self._print(f"{pred}: {len(rows)} tuple(s)")
         self._rows(rows)
+
+    def _idlog_engine(self) -> Optional[IdlogEngine]:
+        """The IDLOG engine of the session, or None for choice programs
+        (record/replay needs the translated program, not the front end)."""
+        program = self._program()
+        if program.has_choice():
+            self._print("error: record/replay applies to Datalog/IDLOG "
+                        "sessions; translate the choice program first")
+            return None
+        return IdlogEngine(program)
+
+    def _record(self, args: list[str]) -> None:
+        if not args or len(args) > 2:
+            self._print("usage: .record <file> [seed]")
+            return
+        engine = self._idlog_engine()
+        if engine is None:
+            return
+        from .core.choicelog import ChoiceLog
+        seed = int(args[1]) if len(args) > 1 else None
+        log = ChoiceLog(meta={"program": "session", "seed": seed})
+        result = engine.one(self.db, seed=seed, record=log)
+        preds = sorted(engine.program.head_predicates)
+        log.set_answers({pred: result.tuples(pred) for pred in preds})
+        log.save(args[0])
+        self._print(f"recorded {len(log)} ID choice(s) and "
+                    f"{len(preds)} answer predicate(s) to {args[0]}")
+        for pred in preds:
+            rows = result.tuples(pred)
+            self._print(f"{pred}: {len(rows)} tuple(s)")
+            self._rows(rows)
+
+    def _replay(self, args: list[str]) -> None:
+        if len(args) != 1:
+            self._print("usage: .replay <file>")
+            return
+        engine = self._idlog_engine()
+        if engine is None:
+            return
+        from .core.choicelog import ChoiceLog
+        log = ChoiceLog.load(args[0])
+        result = engine.replay(self.db, log)
+        mismatched = [pred for pred in sorted(log.answers)
+                      if frozenset(result.tuples(pred))
+                      != log.answer_tuples(pred)]
+        for pred in sorted(engine.program.head_predicates):
+            rows = result.tuples(pred)
+            self._print(f"{pred}: {len(rows)} tuple(s)")
+            self._rows(rows)
+        if mismatched:
+            self._print(
+                f"warning: answers differ from the recorded run for "
+                f"{', '.join(mismatched)} — program or database changed")
+        else:
+            self._print(f"replayed {len(log)} ID choice(s); answers match "
+                        "the recorded run")
 
     # -- driver ------------------------------------------------------------
 

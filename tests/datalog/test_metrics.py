@@ -262,6 +262,31 @@ class TestMetricsTracer:
                                 labels=("pred",))
         assert mats.labels(pred="emp").value == 1.0
 
+    def test_id_choice_counter_counts_blocks(self):
+        db = Database.from_facts({"emp": [
+            ("ann", "toys"), ("bob", "toys"), ("cal", "it")]})
+        tracer = MetricsTracer()
+        with use_tracer(tracer):
+            IdlogEngine(SAMPLING).run(db)
+        choices = tracer.registry.counter("idlog_id_choices_total",
+                                          labels=("pred",))
+        # emp[1] groups on Name: one choice per singleton block.
+        assert choices.labels(pred="emp").value == 3.0
+
+    def test_id_choice_counter_increments_on_replay(self):
+        from repro.core.choicelog import ChoiceLog
+        db = Database.from_facts({"emp": [
+            ("ann", "toys"), ("bob", "toys"), ("cal", "it")]})
+        engine = IdlogEngine(SAMPLING)
+        log = ChoiceLog()
+        engine.one(db, seed=1, record=log)
+        tracer = MetricsTracer()
+        with use_tracer(tracer):
+            engine.replay(db, log)
+        choices = tracer.registry.counter("idlog_id_choices_total",
+                                          labels=("pred",))
+        assert choices.labels(pred="emp").value == 3.0
+
     def test_shared_registry_and_namespace(self):
         registry = MetricsRegistry()
         a = MetricsTracer(registry=registry)

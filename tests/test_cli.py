@@ -509,3 +509,145 @@ class TestStatsCommand:
     def test_no_source_errors(self):
         code, _ = run_cli("stats")
         assert code == 1
+
+
+class TestRecordReplay:
+    def record(self, program_file, facts_file, tmp_path, *extra):
+        log = tmp_path / "run.jsonl"
+        code, output = run_cli("run", program_file, "-f", facts_file,
+                               "--mode", "one", "--seed", "5",
+                               "--record", str(log), *extra)
+        return code, output, log
+
+    def test_record_then_replay_round_trip(self, program_file, facts_file,
+                                           tmp_path):
+        code, recorded_out, log = self.record(program_file, facts_file,
+                                              tmp_path)
+        assert code == 0
+        assert "recorded" in recorded_out and log.exists()
+        code, replayed_out = run_cli("run", program_file, "-f", facts_file,
+                                     "--replay", str(log))
+        assert code == 0
+        assert "answers match the recorded run" in replayed_out
+        # The answer block itself is byte-identical.
+        answers = lambda text: [l for l in text.splitlines()
+                                if l.startswith("  ")]
+        assert answers(replayed_out) == answers(recorded_out)
+
+    def test_replay_detects_drift(self, program_file, facts_file, tmp_path,
+                                  capsys):
+        code, _, log = self.record(program_file, facts_file, tmp_path)
+        assert code == 0
+        drifted = tmp_path / "drifted.dl"
+        drifted.write_text(FACTS + "emp(zoe, toys).\n")
+        code, _ = run_cli("run", program_file, "-f", str(drifted),
+                          "--replay", str(log))
+        assert code == 1
+        assert "database drifted under emp[2]" in capsys.readouterr().err
+
+    def test_canonical_mode_records_too(self, program_file, facts_file,
+                                        tmp_path):
+        log = tmp_path / "canonical.jsonl"
+        code, _ = run_cli("run", program_file, "-f", facts_file,
+                          "--record", str(log))
+        assert code == 0
+        code, output = run_cli("run", program_file, "-f", facts_file,
+                               "--replay", str(log))
+        assert code == 0
+        assert "answers match" in output
+
+    def test_record_and_replay_mutually_exclusive(self, program_file,
+                                                  facts_file, tmp_path,
+                                                  capsys):
+        log = tmp_path / "x.jsonl"
+        code, _ = run_cli("run", program_file, "-f", facts_file,
+                          "--record", str(log), "--replay", str(log))
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_record_refused_on_answers_mode(self, program_file, facts_file,
+                                            tmp_path, capsys):
+        code, _ = run_cli("run", program_file, "-f", facts_file,
+                          "--mode", "answers",
+                          "--record", str(tmp_path / "x.jsonl"))
+        assert code == 1
+        assert "enumerates every run" in capsys.readouterr().err
+
+    def test_record_refused_on_choice_program(self, tmp_path, facts_file,
+                                              capsys):
+        prog = tmp_path / "choice.dl"
+        prog.write_text(CHOICE_PROGRAM)
+        code, _ = run_cli("run", str(prog), "-f", facts_file,
+                          "--record", str(tmp_path / "x.jsonl"))
+        assert code == 1
+        assert "translate the choice program first" in capsys.readouterr().err
+
+    def test_failed_validation_leaves_no_artifacts(self, program_file,
+                                                   facts_file, tmp_path):
+        log = tmp_path / "x.jsonl"
+        trace = tmp_path / "t.jsonl"
+        code, _ = run_cli("run", program_file, "-f", facts_file,
+                          "--mode", "answers", "--record", str(log),
+                          "--trace", str(trace))
+        assert code == 1
+        assert not log.exists() and not trace.exists()
+
+
+class TestDivergeCommand:
+    def record_seeded(self, program_file, facts_file, tmp_path, seed, name):
+        log = tmp_path / name
+        code, _ = run_cli("run", program_file, "-f", facts_file,
+                          "--mode", "one", "--seed", str(seed),
+                          "--record", str(log))
+        assert code == 0
+        return str(log)
+
+    def test_identical_runs_exit_zero(self, program_file, facts_file,
+                                      tmp_path):
+        a = self.record_seeded(program_file, facts_file, tmp_path, 5, "a.jsonl")
+        b = self.record_seeded(program_file, facts_file, tmp_path, 5, "b.jsonl")
+        code, output = run_cli("diverge", a, b)
+        assert code == 0
+        assert "identical" in output
+
+    def test_diverging_runs_exit_one_and_name_the_site(self, program_file,
+                                                       facts_file, tmp_path):
+        a = self.record_seeded(program_file, facts_file, tmp_path, 5, "a.jsonl")
+        for seed in range(6, 30):
+            b = self.record_seeded(program_file, facts_file, tmp_path,
+                                   seed, "b.jsonl")
+            code, output = run_cli("diverge", a, b)
+            if code == 1:
+                break
+        else:  # pragma: no cover - would mean all seeds agree
+            pytest.fail("no diverging seed found")
+        assert "first divergent choice" in output
+        assert "emp[2]" in output
+        assert "a.jsonl" in output and "b.jsonl" in output
+
+    def test_unreadable_log_is_a_usage_error(self, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        code, _ = run_cli("diverge", missing, missing)
+        assert code == 2  # OSError, same as any missing input file
+
+
+class TestMetricsWrittenOnError:
+    @pytest.fixture
+    def failing_run(self, tmp_path):
+        # Same mid-evaluation sort conflict as TestTraceClosedOnError.
+        prog = tmp_path / "conflict.dl"
+        prog.write_text("q(X) :- p(X).\nq(1).\n")
+        facts = tmp_path / "facts.dl"
+        facts.write_text("p(a).\n")
+        return str(prog), str(facts)
+
+    def test_partial_metrics_survive_evaluation_error(self, failing_run,
+                                                      tmp_path):
+        prog, facts = failing_run
+        metrics = tmp_path / "partial.prom"
+        code, _ = run_cli("run", prog, "-f", facts,
+                          "--metrics", str(metrics))
+        assert code == 1  # the evaluation failed...
+        text = metrics.read_text()
+        assert text  # ...but the metrics were still flushed
+        assert "# HELP idlog_" in text and "# TYPE idlog_" in text

@@ -205,3 +205,47 @@ class TestStats:
     def test_listed_in_help(self):
         _, output, _ = drive(".help")
         assert ".stats" in output
+
+
+class TestRecordReplay:
+    SESSION = ("emp(ann, toys).", "emp(bob, toys).", "emp(joe, shoes).",
+               "pick(N) :- emp[2](N, D, T), T < 1.")
+
+    def test_record_then_replay_round_trip(self, tmp_path):
+        log = str(tmp_path / "run.jsonl")
+        _, recorded, _ = drive(*self.SESSION, f".record {log} 7")
+        assert "recorded" in recorded and "ID choice(s)" in recorded
+        _, replayed, _ = drive(*self.SESSION, f".replay {log}")
+        assert "answers match the recorded run" in replayed
+        # The same pick rows appear in both transcripts (two-space
+        # indent is the _rows tuple format).
+        pick_rows = lambda text: [l for l in text.splitlines()
+                                  if l.startswith("  ")]
+        assert pick_rows(replayed) == pick_rows(recorded) != []
+
+    def test_replay_reports_drift(self, tmp_path):
+        log = str(tmp_path / "run.jsonl")
+        drive(*self.SESSION, f".record {log} 7")
+        _, output, _ = drive(*self.SESSION, "emp(zoe, toys).",
+                             f".replay {log}")
+        assert "error:" in output and "drifted" in output
+
+    def test_record_usage(self):
+        _, output, _ = drive(".record")
+        assert "usage" in output
+
+    def test_replay_missing_file(self, tmp_path):
+        _, output, _ = drive(*self.SESSION,
+                             f".replay {tmp_path / 'nope.jsonl'}")
+        assert "error:" in output
+
+    def test_choice_program_refused(self, tmp_path):
+        _, output, _ = drive(
+            "emp(ann, toys).",
+            "pick(N) :- emp(N, D), choice((D), (N)).",
+            f".record {tmp_path / 'x.jsonl'}")
+        assert "error:" in output
+
+    def test_listed_in_help(self):
+        _, output, _ = drive(".help")
+        assert ".record" in output and ".replay" in output

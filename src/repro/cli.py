@@ -10,6 +10,7 @@ The subcommands::
     repro-idlog why PROGRAM 'fact.' [-f FACTS]   # derivation tree
     repro-idlog stats [PROGRAM] [-f FACTS | --dir DIR]  # memory report
     repro-idlog diverge RUN_A RUN_B  # first differing ID choice of 2 runs
+    repro-idlog eval [--quick] [--out FILE]  # scenario suite + stats checks
 
 ``PROGRAM`` is a file of clauses in the surface syntax; ``FACTS`` is a
 file of ground facts (``emp(ann, toys).``), whose ``udom(c)`` facts — if
@@ -41,6 +42,13 @@ the answer delta it caused.  ``stats`` reports
 memory/cardinality introspection (rows, index buckets, approximate
 bytes) for a facts file, an evaluation result, or a saved database
 directory; ``why`` prints the derivation tree of one ground fact.
+
+Scenario verification (see ``docs/SCENARIOS.md``): ``eval`` runs the
+built-in scenario suite — exact answer checks for deterministic queries,
+chi-square uniformity and choice-log stability for sampling ones —
+across the engine×plan matrix, and writes a schema-stamped JSON
+:class:`~repro.eval.EvalReport` (flushed in a ``finally:`` so a failed
+run still leaves a valid partial report).
 """
 
 from __future__ import annotations
@@ -483,6 +491,52 @@ def _cmd_why(args, out) -> int:
     return 0
 
 
+def _cmd_eval(args, out) -> int:
+    """Run the scenario suite (``repro-idlog eval``)."""
+    from .eval import ScenarioRunner, builtin_suite, format_report
+    scenarios = builtin_suite()
+    if args.only:
+        scenarios = [s for s in scenarios if args.only in s.name]
+        if not scenarios:
+            raise ReproError(
+                f"no scenario name contains {args.only!r}; "
+                "repro-idlog eval --list shows the suite")
+    if args.list:
+        for scenario in scenarios:
+            tags = f"  [{', '.join(sorted(scenario.tags))}]" \
+                if scenario.tags else ""
+            print(f"{scenario.name}: {scenario.description}{tags}",
+                  file=out)
+        return 0
+
+    engines = ("batch", "interp") if args.engine == "all" \
+        else (args.engine,)
+    plans = ("greedy", "cost") if args.plan == "all" else (args.plan,)
+    seeds = range(args.seeds) if args.seeds is not None else None
+    progress = (lambda msg: print(f"  {msg}", file=sys.stderr)) \
+        if args.progress else None
+    runner = ScenarioRunner(
+        scenarios, engines=engines, plans=plans, seeds=seeds,
+        differential=not args.no_differential, quick=args.quick,
+        meta={"command": "repro-idlog eval"}, progress=progress)
+
+    # The runner flushes the (possibly partial) report in its own
+    # finally:, so a scenario that dies mid-suite still leaves a valid
+    # JSON artifact at --out — same contract as run --trace/--metrics.
+    sink = None
+    if args.out == "-":
+        sink = out
+    elif args.out is not None:
+        sink = args.out
+    report = runner.run(out=sink)
+    if args.out != "-":
+        print(format_report(report), file=out)
+    if isinstance(sink, str):
+        print(f"(report: {len(report.cases)} case(s) written to {sink})",
+              file=out)
+    return 0 if report.passed else 1
+
+
 def _cmd_diverge(args, out) -> int:
     """Diagnose where two recorded runs parted ways."""
     import os
@@ -623,6 +677,42 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
 
+    eval_cmd = sub.add_parser(
+        "eval",
+        help="run the built-in scenario suite: exact + statistical "
+             "verification of sampling semantics across the engine×plan "
+             "matrix (see docs/SCENARIOS.md)")
+    eval_cmd.add_argument("--out", metavar="FILE", default=None,
+                          help="write the JSON eval report to FILE ('-' "
+                               "for stdout); flushed in a finally: so a "
+                               "failed run still leaves a valid partial "
+                               "report")
+    eval_cmd.add_argument("--quick", action="store_true",
+                          help="quick profile: skip scenarios tagged "
+                               "'slow' and trim statistical seeds (the "
+                               "CI scenarios job)")
+    eval_cmd.add_argument("--only", metavar="SUBSTR", default=None,
+                          help="run only scenarios whose name contains "
+                               "SUBSTR")
+    eval_cmd.add_argument("--list", action="store_true",
+                          help="list the suite (names, descriptions, "
+                               "tags) without running it")
+    eval_cmd.add_argument("--seeds", type=int, default=None,
+                          help="sampling seeds per statistical assertion "
+                               "(default: per-scenario, >= 20; the "
+                               "uniformity checks refuse fewer than 20)")
+    eval_cmd.add_argument("--engine", choices=("batch", "interp", "all"),
+                          default="all",
+                          help="restrict the engine axis of the matrix")
+    eval_cmd.add_argument("--plan", choices=("greedy", "cost", "all"),
+                          default="all",
+                          help="restrict the planner axis of the matrix")
+    eval_cmd.add_argument("--no-differential", action="store_true",
+                          help="skip the cross-combination differential "
+                               "case")
+    eval_cmd.add_argument("--progress", action="store_true",
+                          help="print per-case heartbeats to stderr")
+
     diverge_cmd = sub.add_parser(
         "diverge",
         help="compare two recorded choice logs: first differing ID "
@@ -642,7 +732,8 @@ def main(argv: Optional[Sequence[str]] = None,
     handlers = {"check": _cmd_check, "explain": _cmd_explain,
                 "lint": _cmd_lint, "run": _cmd_run,
                 "profile": _cmd_profile, "why": _cmd_why,
-                "stats": _cmd_stats, "diverge": _cmd_diverge}
+                "stats": _cmd_stats, "diverge": _cmd_diverge,
+                "eval": _cmd_eval}
     try:
         return handlers[args.command](args, out)
     except FileNotFoundError as exc:

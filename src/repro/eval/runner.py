@@ -1,0 +1,236 @@
+"""The scenario runner: suites × the engine×plan matrix → EvalReports.
+
+:class:`ScenarioRunner` executes every scenario of a suite under every
+requested (engine, plan) combination, partitioning the assertion work
+the way the assertions themselves declare it:
+
+* ``matrix=True`` assertions (exact answers, invariants, cardinality)
+  run on every combination — they are cheap and catch engine-specific
+  bugs;
+* ``matrix=False`` assertions (chi-square uniformity, choice stability,
+  perf envelopes) run once, on the primary combination, because their
+  cost scales with the seed count;
+* a synthetic **differential** case per scenario cross-checks the
+  combinations against each other: canonical answers must be identical
+  everywhere, and for non-deterministic programs one recorded
+  :class:`~repro.core.choicelog.ChoiceLog` must replay to identical
+  answers under every combination (digest-checked by the replay
+  machinery itself).
+
+Reports flush to disk inside a ``finally:`` — a suite that dies halfway
+still leaves a valid, schema-stamped partial report, matching the
+``run --trace`` / ``--metrics`` contract (PR 3/4).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable, Optional, Sequence, TextIO, Union
+
+from ..datalog.executor import check_engine_mode
+from ..datalog.planner import check_plan_mode
+from ..errors import ReproError
+from .report import AssertionResult, CaseResult, EvalReport
+from .scenario import (ENGINES, PLANS, Scenario, ScenarioContext,
+                       log_digest)
+
+#: Seeds used per statistical scenario in the quick profile.
+QUICK_SEEDS = 20
+
+
+class ScenarioRunner:
+    """Executes a scenario suite and accumulates an :class:`EvalReport`.
+
+    Args:
+        scenarios: The suite.
+        engines: Engine modes to exercise (default both).
+        plans: Planner modes to exercise (default both).
+        seeds: Override the per-scenario sampling seeds (e.g. trimmed
+            for a quick profile); None keeps each scenario's own.
+        differential: Emit the cross-combination differential case.
+        quick: Quick profile — skip scenarios tagged ``slow`` and trim
+            seeds to :data:`QUICK_SEEDS` (unless ``seeds`` overrides).
+        meta: Extra report metadata (suite name, CI job, ...).
+        progress: Optional callback ``(message: str) -> None`` invoked
+            as cases finish (the CLI points this at stderr).
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario],
+                 engines: Sequence[str] = ENGINES,
+                 plans: Sequence[str] = PLANS,
+                 seeds: Optional[Sequence[int]] = None,
+                 differential: bool = True,
+                 quick: bool = False,
+                 meta: Optional[dict] = None,
+                 progress: Optional[Callable[[str], None]] = None) -> None:
+        names = [s.name for s in scenarios]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ReproError(
+                f"duplicate scenario name(s): {sorted(duplicates)}")
+        self.scenarios = list(scenarios)
+        self.engines = tuple(check_engine_mode(e) for e in engines)
+        self.plans = tuple(check_plan_mode(p) for p in plans)
+        self.differential = differential
+        self.quick = quick
+        if seeds is not None:
+            self.seeds: Optional[tuple[int, ...]] = tuple(seeds)
+        elif quick:
+            self.seeds = tuple(range(QUICK_SEEDS))
+        else:
+            self.seeds = None
+        self.meta = dict(meta or {})
+        self._progress = progress
+
+    # -- suite execution ---------------------------------------------------
+
+    def run(self, out: Union[str, TextIO, None] = None) -> EvalReport:
+        """Run the suite; always flush a (possibly partial) report.
+
+        Args:
+            out: Report sink (path or file object).  Written in a
+                ``finally:`` so a crash mid-suite still leaves a valid
+                partial JSON report on disk.
+        """
+        report = EvalReport(meta={
+            **self.meta,
+            "engines": list(self.engines), "plans": list(self.plans),
+            "quick": self.quick,
+            "scenarios": [s.name for s in self._selected()],
+        })
+        try:
+            for scenario in self._selected():
+                self._run_scenario(scenario, report)
+            report.complete = True
+        finally:
+            if out is not None:
+                report.save(out)
+        return report
+
+    def _selected(self) -> list[Scenario]:
+        if not self.quick:
+            return self.scenarios
+        return [s for s in self.scenarios if "slow" not in s.tags]
+
+    def _note(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def _seeds_for(self, scenario: Scenario) -> tuple[int, ...]:
+        return self.seeds if self.seeds is not None else scenario.seeds
+
+    def _run_scenario(self, scenario: Scenario, report: EvalReport) -> None:
+        primary = (self.engines[0], self.plans[0])
+        contexts: dict[tuple[str, str], ScenarioContext] = {}
+        for engine in self.engines:
+            for plan in self.plans:
+                ctx = ScenarioContext(scenario, engine=engine, plan=plan,
+                                      seeds=self._seeds_for(scenario))
+                contexts[(engine, plan)] = ctx
+                is_primary = (engine, plan) == primary
+                assertions = [
+                    a for a in scenario.assertions
+                    if a.matrix or is_primary]
+                report.add(self._run_case(scenario, ctx, assertions))
+                self._note(f"{scenario.name} [{engine}/{plan}] done")
+        if self.differential and len(contexts) > 1:
+            report.add(self._differential_case(scenario, contexts))
+            self._note(f"{scenario.name} [differential] done")
+
+    def _run_case(self, scenario: Scenario, ctx: ScenarioContext,
+                  assertions: Sequence) -> CaseResult:
+        case = CaseResult(scenario=scenario.name, engine=ctx.engine_mode,
+                          plan=ctx.plan_mode)
+        start = perf_counter()
+        try:
+            for assertion in assertions:
+                case.assertions.append(assertion.check(ctx))
+        except Exception as exc:  # noqa: BLE001 — reported, not swallowed
+            case.error = f"{type(exc).__name__}: {exc}"
+        case.wall_s = perf_counter() - start
+        return case
+
+    # -- the cross-combination differential check --------------------------
+
+    def _differential_case(self, scenario: Scenario,
+                           contexts: dict) -> CaseResult:
+        case = CaseResult(scenario=scenario.name, engine="matrix",
+                          plan="differential")
+        start = perf_counter()
+        try:
+            case.assertions.append(
+                self._check_canonical_agreement(scenario, contexts))
+            program_has_ids = next(
+                iter(contexts.values())).engine.program.has_id_atoms()
+            if program_has_ids:
+                case.assertions.append(
+                    self._check_replay_agreement(scenario, contexts))
+        except Exception as exc:  # noqa: BLE001
+            case.error = f"{type(exc).__name__}: {exc}"
+        case.wall_s = perf_counter() - start
+        return case
+
+    def _check_canonical_agreement(self, scenario: Scenario,
+                                   contexts: dict) -> AssertionResult:
+        """Canonical answers must be identical across every combination."""
+        baseline_key = (self.engines[0], self.plans[0])
+        baseline = contexts[baseline_key].canonical()
+        for (engine, plan), ctx in contexts.items():
+            if (engine, plan) == baseline_key:
+                continue
+            result = ctx.canonical()
+            for pred in scenario.queries:
+                if result.tuples(pred) != baseline.tuples(pred):
+                    delta = len(result.tuples(pred)
+                                ^ baseline.tuples(pred))
+                    return AssertionResult(
+                        "differential-canonical", False,
+                        f"{engine}/{plan} disagrees with "
+                        f"{'/'.join(baseline_key)} on {pred} "
+                        f"({delta} differing tuple(s))",
+                        {"engine": engine, "plan": plan, "pred": pred})
+        return AssertionResult(
+            "differential-canonical", True,
+            f"{len(contexts)} combination(s) agree on "
+            f"{len(scenario.queries)} predicate(s)",
+            {"combinations": len(contexts)})
+
+    def _check_replay_agreement(self, scenario: Scenario,
+                                contexts: dict) -> AssertionResult:
+        """One recorded log must replay identically everywhere.
+
+        The replay provider digest-checks every block, so a combination
+        that reshapes an ID-relation's base fails loudly rather than
+        silently diverging.
+        """
+        seed = self._seeds_for(scenario)[0] if self._seeds_for(scenario) \
+            else 0
+        primary_ctx = contexts[(self.engines[0], self.plans[0])]
+        recorded, log = primary_ctx.record(seed)
+        digest = log_digest(log)
+        for (engine, plan), ctx in contexts.items():
+            replayed = ctx.engine.replay(ctx.db, log)
+            for pred in scenario.queries:
+                if replayed.tuples(pred) != recorded.tuples(pred):
+                    return AssertionResult(
+                        "differential-replay", False,
+                        f"{engine}/{plan} replayed the recorded choice "
+                        f"log to a different {pred} relation",
+                        {"engine": engine, "plan": plan, "pred": pred,
+                         "log_digest": digest})
+        return AssertionResult(
+            "differential-replay", True,
+            f"choice log {digest} replays identically under "
+            f"{len(contexts)} combination(s)",
+            {"combinations": len(contexts), "log_digest": digest,
+             "seed": seed})
+
+
+def run_suite(scenarios: Sequence[Scenario],
+              out: Union[str, TextIO, None] = None,
+              **kwargs) -> EvalReport:
+    """One-call convenience: build a runner and run it."""
+    return ScenarioRunner(scenarios, **kwargs).run(out)
+
+
+__all__ = ["QUICK_SEEDS", "ScenarioRunner", "run_suite"]

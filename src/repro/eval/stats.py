@@ -1,0 +1,198 @@
+"""Statistical verification primitives for the scenario harness.
+
+The signature queries of the paper — ``emp[{2}](N, D, I), I < k`` — are
+*non-deterministic*: no exact answer comparison can verify that the
+engine samples them correctly.  What CAN be verified is the shape of the
+distribution over many seeded runs: under :class:`RandomAssignment`
+every ID-function is drawn uniformly, so the selection counts of the
+tuples of one block follow the uniform k-of-b sampling-without-
+replacement law.  This module provides the chi-square machinery the
+:class:`~repro.eval.scenario.UniformSelection` assertion folds those
+counts through — pure stdlib, no scipy.
+
+Pearson's statistic for k-of-b sampling needs a finite-population
+correction: within one trial the k selections are exclusive, so the
+count vector is negatively correlated and the raw statistic
+under-disperses by ``(b - k) / (b - 1)``.  :func:`selection_chi_square`
+applies the correction per block, after which the summed statistic is
+asymptotically chi-square with ``sum(b - 1)`` degrees of freedom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import ReproError
+
+#: Series/continued-fraction iteration cap (converges in far fewer).
+_MAX_ITER = 500
+_EPS = 3e-12
+
+
+def _gamma_p_series(s: float, x: float) -> float:
+    """Regularized lower incomplete gamma P(s, x) by power series."""
+    term = 1.0 / s
+    total = term
+    a = s
+    for _ in range(_MAX_ITER):
+        a += 1.0
+        term *= x / a
+        total += term
+        if abs(term) < abs(total) * _EPS:
+            break
+    return total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def _gamma_q_contfrac(s: float, x: float) -> float:
+    """Regularized upper incomplete gamma Q(s, x) by continued fraction."""
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITER + 1):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPS:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def chi_square_sf(stat: float, df: int) -> float:
+    """Survival function of the chi-square distribution.
+
+    ``P(X >= stat)`` for ``X ~ chi2(df)`` — the p-value of an observed
+    Pearson statistic.  Uses the regularized incomplete gamma function
+    (series below the ``s + 1`` knee, continued fraction above), accurate
+    to ~1e-10 over the ranges the harness exercises.
+    """
+    if df <= 0:
+        raise ReproError(f"chi-square needs positive df, got {df}")
+    if stat < 0:
+        raise ReproError(f"chi-square statistic must be >= 0, got {stat}")
+    if stat == 0:
+        return 1.0
+    s, x = df / 2.0, stat / 2.0
+    if x < s + 1.0:
+        return max(0.0, min(1.0, 1.0 - _gamma_p_series(s, x)))
+    return max(0.0, min(1.0, _gamma_q_contfrac(s, x)))
+
+
+def chi_square_statistic(observed: Sequence[float],
+                         expected: Sequence[float]) -> float:
+    """Plain Pearson ``sum((O - E)^2 / E)`` over matched categories."""
+    if len(observed) != len(expected):
+        raise ReproError(
+            f"observed/expected length mismatch: "
+            f"{len(observed)} vs {len(expected)}")
+    stat = 0.0
+    for obs, exp in zip(observed, expected):
+        if exp <= 0:
+            raise ReproError(f"expected count must be positive, got {exp}")
+        stat += (obs - exp) ** 2 / exp
+    return stat
+
+
+@dataclass(frozen=True)
+class ChiSquareResult:
+    """Outcome of a chi-square tolerance check.
+
+    Attributes:
+        statistic: The (correction-adjusted) Pearson statistic.
+        df: Degrees of freedom.
+        p_value: ``P(chi2(df) >= statistic)``.
+        trials: Number of seeded runs folded in.
+        categories: Number of counted items (over all blocks).
+    """
+
+    statistic: float
+    df: int
+    p_value: float
+    trials: int
+    categories: int
+
+    def uniform_at(self, alpha: float) -> bool:
+        """True when uniformity is NOT rejected at significance alpha."""
+        return self.p_value >= alpha
+
+    def as_dict(self) -> dict:
+        """JSON-ready measurement payload for reports."""
+        return {"statistic": round(self.statistic, 6), "df": self.df,
+                "p_value": self.p_value, "trials": self.trials,
+                "categories": self.categories}
+
+
+def selection_chi_square(counts: Mapping, blocks: Mapping[object, Iterable],
+                         k: int, trials: int) -> ChiSquareResult:
+    """Chi-square test that per-block k-of-b selection counts are uniform.
+
+    Args:
+        counts: item -> number of trials that selected it.  Items absent
+            from the mapping count zero.
+        blocks: block key -> the items of that block (the full population
+            the sampler chose from).
+        k: Selections per block per trial (blocks with ``b <= k`` are
+            always selected entirely — zero variance — and are verified
+            exactly instead of statistically).
+        trials: Number of seeded runs the counts were accumulated over.
+
+    Returns:
+        A :class:`ChiSquareResult`; blocks smaller than ``k + 1`` items
+        contribute no degrees of freedom.
+
+    Raises:
+        ReproError: when a saturated block's counts are not exactly
+            ``trials`` (the sampler violated the exactly-k invariant —
+            not a statistical failure, a hard bug), or when no block
+            leaves any degrees of freedom to test.
+    """
+    if trials <= 0:
+        raise ReproError(f"need at least one trial, got {trials}")
+    stat = 0.0
+    df = 0
+    categories = 0
+    for key, members in sorted(blocks.items(), key=lambda kv: repr(kv[0])):
+        items = list(members)
+        b = len(items)
+        if b == 0:
+            continue
+        categories += b
+        if b <= k:
+            for item in items:
+                got = counts.get(item, 0)
+                if got != trials:
+                    raise ReproError(
+                        f"block {key!r} has {b} item(s) <= k={k}, so "
+                        f"{item!r} must be selected every trial; counted "
+                        f"{got}/{trials}")
+            continue
+        expected = trials * k / b
+        block_stat = sum(
+            (counts.get(item, 0) - expected) ** 2 / expected
+            for item in items)
+        # Finite-population correction: the k selections within a trial
+        # are exclusive, shrinking the count variance by (b-k)/(b-1).
+        stat += block_stat * (b - 1) / (b - k)
+        df += b - 1
+    if df == 0:
+        raise ReproError(
+            "no block is larger than k; every selection is forced and "
+            "there is nothing to test statistically")
+    return ChiSquareResult(statistic=stat, df=df,
+                           p_value=chi_square_sf(stat, df),
+                           trials=trials, categories=categories)
+
+
+__all__ = ["ChiSquareResult", "chi_square_sf", "chi_square_statistic",
+           "selection_chi_square"]

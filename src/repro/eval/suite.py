@@ -1,0 +1,349 @@
+"""The built-in scenario suite: the paper's workloads, verified.
+
+Ten scenarios spanning the semantics the paper showcases — stratified
+per-group sampling over skewed (Zipf / mixture) group sizes, man-woman
+A/B assignment, top-k-per-group, negation and aggregate interactions
+with ID-relations, whole-relation sampling, exact answer-set
+enumeration, and a pure-Datalog control — each pinned by the typed
+assertions of :mod:`repro.eval.scenario`.  ``repro-idlog eval`` runs
+this suite; the ``scenarios`` CI job runs its quick profile.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .. import workloads
+from ..datalog.database import Database
+from ..datalog.engine import EvalResult
+from .scenario import (AnswerInvariant, AnswerSetEquals, ChoiceStability,
+                       ExactAnswer, GroupCardinality, PerfEnvelope,
+                       Scenario, SelectionSpec, UniformSelection)
+
+# -- shared extractors -------------------------------------------------------
+
+
+def _emp_blocks(db: Database) -> dict:
+    """Department blocks of ``emp`` as (name, dept) items."""
+    blocks: dict = {}
+    for row in db.relation("emp"):
+        blocks.setdefault((row[1],), []).append((row[0], row[1]))
+    return {key: tuple(sorted(items)) for key, items in blocks.items()}
+
+
+def _emp_selected(pred: str):
+    def selected(result: EvalResult, db: Database):
+        return [(name, dept) for name, dept in result.tuples(pred)]
+    return selected
+
+
+def _subset_of(pred: str, base: str, position: int = 0):
+    """Invariant: every value in ``pred`` appears in ``base``."""
+    def predicate(result: EvalResult, db: Database):
+        names = {row[position] for row in db.relation(base)}
+        stray = {row[position] for row in result.tuples(pred)} - names
+        if stray:
+            return (f"{pred} contains value(s) outside {base}: "
+                    f"{sorted(stray)[:4]}")
+        return None
+    return predicate
+
+
+# -- scenario builders -------------------------------------------------------
+
+
+def zipf_stratified_k2() -> Scenario:
+    """Two samples per department over a Zipf-skewed ``emp``."""
+    spec = SelectionSpec(blocks=_emp_blocks,
+                         selected=_emp_selected("sample"), k=2)
+    return Scenario(
+        name="zipf-stratified-k2",
+        description="exactly-2-per-dept sampling over Zipf group sizes",
+        program="sample(N, D) :- emp[2](N, D, T), T < 2.",
+        workload=lambda: workloads.zipf_employees(6, 48, seed=7),
+        queries=("sample",),
+        assertions=(
+            AnswerInvariant("sample-subset-of-emp",
+                            _subset_of("sample", "emp")),
+            GroupCardinality(spec),
+            UniformSelection(spec),
+            ChoiceStability(),
+        ))
+
+
+def mixture_one_rep() -> Scenario:
+    """One representative per department over bimodal group sizes."""
+    spec = SelectionSpec(blocks=_emp_blocks,
+                         selected=_emp_selected("rep"), k=1)
+    return Scenario(
+        name="mixture-one-rep",
+        description="one-per-group sampling over mixture-model sizes "
+                    "(Example 4 shape)",
+        program="rep(N, D) :- emp[2](N, D, 0).",
+        workload=lambda: workloads.mixture_employees(2, 6, 12, 3, seed=11),
+        queries=("rep",),
+        assertions=(
+            GroupCardinality(spec),
+            UniformSelection(spec),
+            ChoiceStability(),
+        ))
+
+
+def man_woman_ab() -> Scenario:
+    """The paper's Example 2: a two-way A/B partition of a population."""
+    def blocks(db: Database) -> dict:
+        return {(x,): ((x, "male"), (x, "female"))
+                for (x,) in db.relation("person")}
+
+    def selected(result: EvalResult, db: Database):
+        return [(x, "male") for (x,) in result.tuples("man")] \
+            + [(x, "female") for (x,) in result.tuples("woman")]
+
+    def partition(result: EvalResult, db: Database):
+        men = result.tuples("man")
+        women = result.tuples("woman")
+        persons = {row for row in db.relation("person")}
+        if men & women:
+            return f"{len(men & women)} person(s) are both man and woman"
+        if (men | women) != persons:
+            return (f"partition incomplete: {len(men | women)} of "
+                    f"{len(persons)} person(s) assigned")
+        return None
+
+    spec = SelectionSpec(blocks=blocks, selected=selected, k=1)
+    return Scenario(
+        name="man-woman-ab",
+        description="A/B assignment via two-way guess blocks (Example 2)",
+        program="""
+            sex_guess(X, male) :- person(X).
+            sex_guess(X, female) :- person(X).
+            man(X) :- sex_guess[1](X, male, 1).
+            woman(X) :- sex_guess[1](X, female, 1).
+        """,
+        workload=lambda: workloads.people(40),
+        queries=("man", "woman"),
+        assertions=(
+            AnswerInvariant("man-woman-partition", partition),
+            GroupCardinality(spec),
+            UniformSelection(spec),
+            ChoiceStability(),
+        ))
+
+
+def top2_salary_per_dept() -> Scenario:
+    """Deterministic top-2-by-salary per department via negation."""
+    def expected(db: Database):
+        rows = list(db.relation("emp"))
+        out = []
+        for name, dept, salary in rows:
+            higher = {m for m, d, s in rows if d == dept and salary < s}
+            if len(higher) < 2:
+                out.append((name, dept))
+        return out
+
+    return Scenario(
+        name="top2-salary-per-dept",
+        description="top-k-per-group as negation over salary comparisons",
+        program="""
+            beats(M, N) :- emp(N, D, S), emp(M, D, T), S < T.
+            beaten_twice(N) :- beats(M1, N), beats(M2, N), M1 != M2.
+            top2(N, D) :- emp(N, D, S), not beaten_twice(N).
+        """,
+        workload=lambda: workloads.employees(5, 4, salary_range=(50, 150),
+                                             seed=3),
+        queries=("top2",),
+        assertions=(
+            ExactAnswer(expected),
+            PerfEnvelope(max_wall_s=10.0),
+        ))
+
+
+def sample_after_negation() -> Scenario:
+    """Sampling over a negation-derived IDB relation."""
+    def juniors(db: Database) -> dict:
+        blocks: dict = {}
+        for name, dept, salary in db.relation("emp"):
+            if salary <= 80:
+                blocks.setdefault((dept,), []).append((name, dept))
+        return {key: tuple(sorted(items)) for key, items in blocks.items()}
+
+    def junior_subset(result: EvalResult, db: Database):
+        allowed = {item for items in juniors(db).values()
+                   for item in items}
+        stray = set(result.tuples("pick")) - allowed
+        if stray:
+            return f"picked non-junior(s): {sorted(stray)[:4]}"
+        return None
+
+    spec = SelectionSpec(blocks=juniors,
+                         selected=_emp_selected("pick"), k=1)
+    return Scenario(
+        name="sample-after-negation",
+        description="one junior per dept, juniors defined by negation",
+        program="""
+            senior(N, D) :- emp(N, D, S), 80 < S.
+            junior(N, D) :- emp(N, D, S), not senior(N, D).
+            pick(N, D) :- junior[2](N, D, 0).
+        """,
+        workload=lambda: workloads.employees(4, 3, salary_range=(40, 120),
+                                             seed=5),
+        queries=("pick",),
+        assertions=(
+            AnswerInvariant("pick-is-junior", junior_subset),
+            GroupCardinality(spec),
+            UniformSelection(spec),
+            ChoiceStability(),
+        ))
+
+
+def dept_size_via_tids() -> Scenario:
+    """The §5 counting construction: group sizes from max tid + 1."""
+    def expected(db: Database):
+        sizes: dict = {}
+        for _, dept in db.relation("emp"):
+            sizes[dept] = sizes.get(dept, 0) + 1
+        return [(dept, count) for dept, count in sizes.items()]
+
+    def assignment_independent(result: EvalResult, db: Database):
+        want = frozenset(expected(db))
+        got = result.tuples("dept_size")
+        if got != want:
+            return (f"dept_size depends on the drawn assignment: "
+                    f"{len(got ^ want)} differing tuple(s)")
+        return None
+
+    return Scenario(
+        name="dept-size-via-tids",
+        description="deterministic aggregate built from the "
+                    "non-deterministic tid primitive",
+        program="""
+            has_tid(D, T) :- emp[2](N, D, T).
+            smaller(D, T) :- has_tid(D, T), has_tid(D, T2), T < T2.
+            max_tid(D, T) :- has_tid(D, T), not smaller(D, T).
+            dept_size(D, C) :- max_tid(D, T), C = T + 1.
+        """,
+        workload=lambda: workloads.zipf_employees(5, 25, seed=2),
+        queries=("dept_size",),
+        assertions=(
+            ExactAnswer(expected),
+            AnswerInvariant("assignment-independent",
+                            assignment_independent),
+            ChoiceStability(),
+        ))
+
+
+def global_sample_3() -> Scenario:
+    """Three samples from the whole relation (the ungrouped ``p[∅]``)."""
+    def blocks(db: Database) -> dict:
+        return {(): tuple(sorted(name for name, _ in db.relation("emp")))}
+
+    def selected(result: EvalResult, db: Database):
+        return [name for (name,) in result.tuples("pick")]
+
+    spec = SelectionSpec(blocks=blocks, selected=selected, k=3)
+    return Scenario(
+        name="global-sample-3",
+        description="k-of-n sampling with the empty grouping",
+        program="pick(N) :- emp[](N, D, T), T < 3.",
+        workload=lambda: workloads.employees(4, 3, seed=9),
+        queries=("pick",),
+        assertions=(
+            AnswerInvariant("pick-subset-of-emp",
+                            _subset_of("pick", "emp")),
+            GroupCardinality(spec),
+            UniformSelection(spec),
+            ChoiceStability(),
+        ))
+
+
+def subset_exact_answers() -> Scenario:
+    """Example 2's guess-and-select subset: the answer set is 2^n."""
+    def expected(db: Database):
+        names = sorted(x for (x,) in db.relation("person"))
+        return [
+            [(x,) for x in combo]
+            for size in range(len(names) + 1)
+            for combo in combinations(names, size)]
+
+    return Scenario(
+        name="subset-exact-answers",
+        description="exact answer-set enumeration of the arbitrary-subset "
+                    "query",
+        program="""
+            guess(X, yes) :- person(X).
+            guess(X, no) :- person(X).
+            subset(X) :- guess[1](X, yes, 1).
+        """,
+        workload=lambda: workloads.people(4),
+        queries=("subset",),
+        assertions=(
+            AnswerSetEquals(expected),
+            AnswerInvariant("subset-of-person",
+                            _subset_of("subset", "person")),
+        ))
+
+
+def chain_reach() -> Scenario:
+    """Pure-Datalog control: recursive reachability, exact and bounded."""
+    def expected(db: Database):
+        n = len(db.relation("edge"))
+        return [(f"n{i}", f"n{j}")
+                for i in range(n + 1) for j in range(i + 1, n + 1)]
+
+    return Scenario(
+        name="chain-reach",
+        description="deterministic recursion control (no ID-atoms)",
+        program="""
+            reach(X, Y) :- edge(X, Y).
+            reach(X, Y) :- edge(X, Z), reach(Z, Y).
+        """,
+        workload=lambda: workloads.chain_graph(40),
+        queries=("reach",),
+        assertions=(
+            ExactAnswer(expected),
+            PerfEnvelope(max_wall_s=10.0, max_derived=5000),
+        ))
+
+
+def zipf_large_k3() -> Scenario:
+    """Scale probe: 1200 rows, 30 Zipf departments, k=3 (slow profile)."""
+    spec = SelectionSpec(blocks=_emp_blocks,
+                         selected=_emp_selected("sample"), k=3)
+    return Scenario(
+        name="zipf-large-k3",
+        description="stratified sampling at scale over heavy Zipf skew",
+        program="sample(N, D) :- emp[2](N, D, T), T < 3.",
+        workload=lambda: workloads.zipf_employees(30, 1200, seed=13),
+        queries=("sample",),
+        seeds=tuple(range(25)),
+        tags=frozenset({"slow"}),
+        assertions=(
+            GroupCardinality(spec),
+            UniformSelection(spec),
+            ChoiceStability(),
+            PerfEnvelope(max_wall_s=60.0),
+        ))
+
+
+def builtin_suite() -> list[Scenario]:
+    """The full built-in suite, in documentation order."""
+    return [
+        zipf_stratified_k2(),
+        mixture_one_rep(),
+        man_woman_ab(),
+        top2_salary_per_dept(),
+        sample_after_negation(),
+        dept_size_via_tids(),
+        global_sample_3(),
+        subset_exact_answers(),
+        chain_reach(),
+        zipf_large_k3(),
+    ]
+
+
+__all__ = ["builtin_suite"] + [
+    "zipf_stratified_k2", "mixture_one_rep", "man_woman_ab",
+    "top2_salary_per_dept", "sample_after_negation", "dept_size_via_tids",
+    "global_sample_3", "subset_exact_answers", "chain_reach",
+    "zipf_large_k3",
+]

@@ -1,0 +1,137 @@
+"""Tests for the chi-square machinery (repro.eval.stats)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.stats import (chi_square_sf, chi_square_statistic,
+                              selection_chi_square)
+
+
+class TestChiSquareSf:
+    def test_known_quantiles(self):
+        """Textbook 5%-critical values land at p ~ 0.05."""
+        for stat, df in [(3.841, 1), (5.991, 2), (11.070, 5),
+                         (18.307, 10), (31.410, 20)]:
+            assert math.isclose(chi_square_sf(stat, df), 0.05,
+                                abs_tol=5e-4), (stat, df)
+
+    def test_extremes(self):
+        assert chi_square_sf(0.0, 4) == 1.0
+        assert chi_square_sf(1e4, 4) < 1e-12
+        assert 0.99 < chi_square_sf(0.5, 5) < 1.0
+
+    def test_monotone_in_stat(self):
+        values = [chi_square_sf(x, 7) for x in (1.0, 5.0, 10.0, 20.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            chi_square_sf(1.0, 0)
+        with pytest.raises(ReproError):
+            chi_square_sf(-1.0, 3)
+
+
+class TestChiSquareStatistic:
+    def test_zero_on_perfect_fit(self):
+        assert chi_square_statistic([10, 10], [10, 10]) == 0.0
+
+    def test_hand_computed(self):
+        # (12-10)^2/10 + (8-10)^2/10 = 0.8
+        assert math.isclose(chi_square_statistic([12, 8], [10, 10]), 0.8)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            chi_square_statistic([1, 2], [1])
+
+    def test_nonpositive_expected(self):
+        with pytest.raises(ReproError):
+            chi_square_statistic([1], [0])
+
+
+class TestSelectionChiSquare:
+    BLOCKS = {("g",): ("a", "b", "c", "d", "e", "f")}
+
+    def test_uniform_counts_accepted(self):
+        """A genuinely uniform k-of-b sampler lands at a sane p-value."""
+        rng = random.Random(42)
+        counts = {}
+        trials = 300
+        for _ in range(trials):
+            for item in rng.sample(self.BLOCKS[("g",)], 2):
+                counts[item] = counts.get(item, 0) + 1
+        result = selection_chi_square(counts, self.BLOCKS, k=2,
+                                      trials=trials)
+        assert result.df == 5
+        assert result.p_value > 1e-3
+        assert result.uniform_at(1e-3)
+
+    def test_constant_sampler_rejected(self):
+        """The negative control: a sampler that always picks the same
+        two items must be rejected overwhelmingly."""
+        trials = 40
+        counts = {"a": trials, "b": trials}
+        result = selection_chi_square(counts, self.BLOCKS, k=2,
+                                      trials=trials)
+        assert result.p_value < 1e-20
+        assert not result.uniform_at(1e-3)
+
+    def test_mildly_biased_sampler_rejected(self):
+        """A 2:1 preference for one item is detected at scale."""
+        rng = random.Random(7)
+        weights = {"a": 2.0, "b": 1.0, "c": 1.0, "d": 1.0,
+                   "e": 1.0, "f": 1.0}
+        items = list(self.BLOCKS[("g",)])
+        counts = {}
+        trials = 2000
+        for _ in range(trials):
+            chosen = set()
+            while len(chosen) < 2:
+                (pick,) = rng.choices(
+                    items, weights=[weights[i] for i in items])
+                chosen.add(pick)
+            for item in chosen:
+                counts[item] = counts.get(item, 0) + 1
+        result = selection_chi_square(counts, self.BLOCKS, k=2,
+                                      trials=trials)
+        assert not result.uniform_at(1e-3)
+
+    def test_saturated_block_checked_exactly(self):
+        """Blocks with b <= k are forced; wrong counts are a hard error,
+        not a statistical one."""
+        blocks = {("small",): ("x", "y"), ("big",): ("a", "b", "c", "d")}
+        counts = {"x": 10, "y": 10, "a": 5, "b": 5, "c": 5, "d": 5}
+        result = selection_chi_square(counts, blocks, k=2, trials=10)
+        assert result.df == 3  # only the big block contributes
+        with pytest.raises(ReproError, match="selected every trial"):
+            selection_chi_square({**counts, "x": 9}, blocks, k=2,
+                                 trials=10)
+
+    def test_all_forced_is_an_error(self):
+        with pytest.raises(ReproError, match="nothing to test"):
+            selection_chi_square({"x": 5, "y": 5},
+                                 {("g",): ("x", "y")}, k=2, trials=5)
+
+    def test_finite_population_correction_applied(self):
+        """The corrected statistic's expectation matches df: simulate and
+        check the mean lands near df (raw Pearson would sit at
+        df * (b-k)/(b-1), clearly lower)."""
+        rng = random.Random(3)
+        b, k, trials = 6, 3, 120
+        items = tuple("abcdef")
+        stats = []
+        for _ in range(200):
+            counts = {}
+            for _ in range(trials):
+                for item in rng.sample(items, k):
+                    counts[item] = counts.get(item, 0) + 1
+            result = selection_chi_square(counts, {("g",): items}, k=k,
+                                          trials=trials)
+            stats.append(result.statistic)
+        mean = sum(stats) / len(stats)
+        df = b - 1
+        raw_mean = df * (b - k) / (b - 1)  # what no correction gives
+        assert abs(mean - df) < abs(mean - raw_mean)
+        assert 0.7 * df < mean < 1.3 * df

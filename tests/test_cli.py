@@ -1,6 +1,7 @@
 """Tests for the command-line interface and the EXPLAIN renderer."""
 
 import io
+import json
 
 import pytest
 
@@ -651,3 +652,110 @@ class TestMetricsWrittenOnError:
         text = metrics.read_text()
         assert text  # ...but the metrics were still flushed
         assert "# HELP idlog_" in text and "# TYPE idlog_" in text
+
+
+class TestEvalCommand:
+    def test_list_names_the_suite(self):
+        code, output = run_cli("eval", "--list")
+        assert code == 0
+        assert "zipf-stratified-k2" in output
+        assert "man-woman-ab" in output
+        assert "[slow]" in output  # slow tag surfaced
+
+    def test_only_filter(self):
+        code, output = run_cli("eval", "--list", "--only", "zipf")
+        assert code == 0
+        assert "zipf-stratified-k2" in output
+        assert "man-woman-ab" not in output
+
+    def test_only_without_match_is_an_error(self):
+        code, _ = run_cli("eval", "--only", "no-such-scenario")
+        assert code == 1
+
+    def test_single_scenario_runs_and_passes(self):
+        code, output = run_cli("eval", "--only", "chain-reach")
+        assert code == 0
+        assert "EVAL REPORT" in output
+        assert "PASS" in output
+        assert "differential" in output
+
+    def test_quick_suite_writes_schema_stamped_report(self, tmp_path):
+        out_path = tmp_path / "report.json"
+        code, output = run_cli("eval", "--quick", "--out", str(out_path))
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == 1
+        assert data["kind"] == "eval_report"
+        assert data["complete"] is True
+        assert data["summary"]["failed"] == 0
+        assert data["meta"]["quick"] is True
+        # slow-tagged scenarios are excluded from the quick profile
+        assert "zipf-large-k3" not in {c["scenario"] for c in data["cases"]}
+        assert str(out_path) in output
+
+    def test_report_to_stdout(self):
+        code, output = run_cli("eval", "--only", "subset", "--out", "-",
+                               "--no-differential")
+        assert code == 0
+        data = json.loads(output)
+        assert data["kind"] == "eval_report"
+
+    def test_engine_plan_restriction(self, tmp_path):
+        out_path = tmp_path / "r.json"
+        code, _ = run_cli("eval", "--only", "chain-reach",
+                          "--engine", "interp", "--plan", "cost",
+                          "--out", str(out_path))
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        combos = {(c["engine"], c["plan"]) for c in data["cases"]}
+        assert combos == {("interp", "cost")}  # single combo, no diff case
+
+    def test_failing_suite_exits_nonzero(self, tmp_path, monkeypatch):
+        from repro.eval.scenario import ExactAnswer, Scenario
+        from repro.workloads import chain_graph
+        broken = Scenario(
+            name="broken", description="always fails",
+            program="reach(X, Y) :- edge(X, Y).",
+            workload=lambda: chain_graph(2),
+            queries=("reach",),
+            assertions=(ExactAnswer([("ghost", "ghost")]),))
+        monkeypatch.setattr("repro.eval.builtin_suite", lambda: [broken])
+        out_path = tmp_path / "fail.json"
+        code, output = run_cli("eval", "--out", str(out_path))
+        assert code == 1
+        assert "FAIL" in output
+        data = json.loads(out_path.read_text())
+        assert data["summary"]["failed"] > 0
+
+    def test_partial_report_flushed_on_crash(self, tmp_path, monkeypatch):
+        """The regression: a crash mid-suite (not a mere assertion
+        failure) still leaves a valid schema-stamped partial report at
+        --out, matching the run --trace/--metrics contract."""
+        from repro.eval.scenario import Assertion, Scenario
+        from repro.workloads import chain_graph
+
+        class Die(Assertion):
+            name = "die"
+
+            def check(self, ctx):
+                raise KeyboardInterrupt  # escapes case isolation
+
+        def scenario(name, assertions=()):
+            return Scenario(
+                name=name, description="", queries=("reach",),
+                program="reach(X, Y) :- edge(X, Y).",
+                workload=lambda: chain_graph(2),
+                assertions=tuple(assertions))
+
+        monkeypatch.setattr(
+            "repro.eval.builtin_suite",
+            lambda: [scenario("first"), scenario("dies", [Die()])])
+        out_path = tmp_path / "partial.json"
+        with pytest.raises(KeyboardInterrupt):
+            run_cli("eval", "--no-differential",
+                    "--engine", "batch", "--plan", "greedy",
+                    "--out", str(out_path))
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == 1
+        assert data["complete"] is False
+        assert {c["scenario"] for c in data["cases"]} == {"first"}

@@ -25,7 +25,8 @@ DOC_FILES = sorted(
 #: documented command *generates* (they need not be committed).
 GENERATED_OK = {"BENCH_pr3.json", "BENCH_prN.json", "out.jsonl",
                 "prog.dl", "facts.dl", "trace.jsonl",
-                "BENCH_candidate.json", "metrics.json"}
+                "BENCH_candidate.json", "metrics.json",
+                "eval-report.json"}
 
 PATH_PATTERN = re.compile(
     r"`([\w./-]+\.(?:py|md|dl|json|jsonl|txt|yml))`")

@@ -53,7 +53,7 @@ class TestPublicApiImportable:
         for module in ("repro.datalog", "repro.core", "repro.choice",
                        "repro.optimizer", "repro.sampling",
                        "repro.inflationary", "repro.disjunctive",
-                       "repro.stable", "repro.ndtm"):
+                       "repro.stable", "repro.ndtm", "repro.eval"):
             mod = importlib.import_module(module)
             for name in getattr(mod, "__all__", ()):
                 assert getattr(mod, name, None) is not None, \

@@ -1,8 +1,13 @@
 """Tests for the synthetic workload generators."""
 
+import pytest
+
 from repro.datalog.engine import DatalogEngine
+from repro.errors import ReproError
 from repro.workloads import (chain_graph, employees, forest_graph,
-                             org_hierarchy, random_graph)
+                             mixture_employees, org_hierarchy, people,
+                             random_graph, zipf_employees,
+                             zipf_group_sizes)
 
 
 class TestEmployees:
@@ -21,6 +26,121 @@ class TestEmployees:
         a = employees(2, 2, salary_range=(0, 99), seed=5).snapshot()
         b = employees(2, 2, salary_range=(0, 99), seed=5).snapshot()
         assert a == b
+
+
+def dept_sizes(db):
+    sizes = {}
+    for row in db.relation("emp"):
+        sizes[row[1]] = sizes.get(row[1], 0) + 1
+    return sizes
+
+
+class TestZipfGroupSizes:
+    def test_exact_total_and_min_one(self):
+        for groups, total in [(1, 1), (3, 3), (6, 48), (30, 1200),
+                              (10, 11)]:
+            sizes = zipf_group_sizes(groups, total)
+            assert sum(sizes) == total, (groups, total)
+            assert len(sizes) == groups
+            assert all(s >= 1 for s in sizes)
+
+    def test_non_increasing_in_rank(self):
+        sizes = zipf_group_sizes(8, 200)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_skew_controls_head_weight(self):
+        flat = zipf_group_sizes(6, 600, skew=0.1)
+        steep = zipf_group_sizes(6, 600, skew=2.5)
+        assert steep[0] > flat[0]
+        assert steep[-1] < flat[-1]
+
+    def test_deterministic(self):
+        assert zipf_group_sizes(7, 100) == zipf_group_sizes(7, 100)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            zipf_group_sizes(0, 5)
+        with pytest.raises(ReproError):
+            zipf_group_sizes(5, 4)  # fewer rows than groups
+
+
+class TestZipfEmployees:
+    def test_row_count_and_shape(self):
+        db = zipf_employees(6, 48, seed=7)
+        emp = db.relation("emp")
+        assert len(emp) == 48
+        assert emp.arity == 2
+        sizes = dept_sizes(db)
+        assert len(sizes) == 6
+        assert sizes["dept0"] == max(sizes.values())
+
+    def test_sizes_match_zipf_law(self):
+        db = zipf_employees(5, 100, skew=2.0, seed=1)
+        sizes = dept_sizes(db)
+        assert [sizes[f"dept{d}"] for d in range(5)] \
+            == zipf_group_sizes(5, 100, skew=2.0)
+
+    def test_same_seed_deterministic(self):
+        a = zipf_employees(4, 30, salary_range=(10, 90), seed=6).snapshot()
+        b = zipf_employees(4, 30, salary_range=(10, 90), seed=6).snapshot()
+        assert a == b
+
+    def test_salary_column(self):
+        db = zipf_employees(3, 12, salary_range=(70, 75), seed=2)
+        assert db.relation("emp").arity == 3
+        for _, _, salary in db.relation("emp"):
+            assert 70 <= salary <= 75
+
+    def test_names_unique(self):
+        db = zipf_employees(6, 48, seed=7)
+        names = [row[0] for row in db.relation("emp")]
+        assert len(names) == len(set(names))
+
+
+class TestMixtureEmployees:
+    def test_bimodal_shape(self):
+        db = mixture_employees(2, 6, 40, 3, seed=11)
+        sizes = dept_sizes(db)
+        assert len(sizes) == 8
+        head = [sizes[f"dept{d}"] for d in range(2)]
+        tail = [sizes[f"dept{d}"] for d in range(2, 8)]
+        assert min(head) > max(tail)  # the modes are separated
+        assert all(s >= 1 for s in sizes.values())
+
+    def test_same_seed_deterministic(self):
+        a = mixture_employees(2, 4, 10, 2, seed=3).snapshot()
+        b = mixture_employees(2, 4, 10, 2, seed=3).snapshot()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = mixture_employees(2, 4, 20, 3, seed=1).snapshot()
+        b = mixture_employees(2, 4, 20, 3, seed=2).snapshot()
+        assert a != b
+
+    def test_tiny_means_floored_at_one(self):
+        db = mixture_employees(1, 5, 1, 1, spread=3.0, seed=4)
+        assert all(s >= 1 for s in dept_sizes(db).values())
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            mixture_employees(0, 0, 5, 5)
+        with pytest.raises(ReproError):
+            mixture_employees(1, 1, 0, 5)
+
+
+class TestPeople:
+    def test_shape_and_prefix(self):
+        db = people(4)
+        assert set(db.relation("person")) == {(f"p{i}",) for i in range(4)}
+        custom = people(2, prefix="x")
+        assert ("x0",) in custom.relation("person")
+
+    def test_empty_population(self):
+        assert len(people(0).relation("person")) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            people(-1)
 
 
 class TestGraphs:

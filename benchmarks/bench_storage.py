@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Micro-benchmark: legacy tuple-store vs columnar relation storage.
+
+Measures, at each row count (10^3..10^6 full, 10^3..10^4 quick):
+
+* **insert** — rows/second building the store from scratch;
+* **index build** — seconds to hash-index the second column;
+* **probe** — seconds for 10k index lookups of existing keys;
+* **resident bytes/tuple** — deep ``sys.getsizeof`` accounting.
+
+The *tuple store* is a faithful, self-contained reduction of the
+pre-columnar ``Relation``: a ``set`` of Python value tuples plus
+dict-of-value buckets — what every tuple and index entry cost before the
+``array('q')`` code columns landed.  The columnar side is the real
+:class:`repro.datalog.database.Relation`.
+
+``run_all.py`` embeds this report in the BENCH trajectory under
+``"storage"``; standalone use::
+
+    python benchmarks/bench_storage.py [--quick] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+FULL_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+QUICK_SIZES = (1_000, 10_000)
+PROBES = 10_000
+
+
+def make_rows(n: int) -> list[tuple[str, str]]:
+    """Deterministic ``emp``-shaped rows: ~40 employees per department."""
+    depts = max(1, n // 40)
+    return [(f"e{i}", f"dept{i % depts}") for i in range(n)]
+
+
+class TupleStore:
+    """The pre-PR7 storage model, reduced to what the timings need."""
+
+    def __init__(self) -> None:
+        self.rows: set[tuple] = set()
+
+    def insert_all(self, rows) -> None:
+        self.rows.update(rows)
+
+    def index_on(self, position: int) -> dict:
+        index: dict = {}
+        for row in self.rows:
+            index.setdefault(row[position], []).append(row)
+        return index
+
+    def approx_bytes(self) -> int:
+        total = sys.getsizeof(self.rows)
+        for row in self.rows:
+            total += sys.getsizeof(row)
+            # Strings are resident per-tuple-slot references; count the
+            # objects once each (they are shared with the interner, the
+            # same concession Relation.memory_stats makes for the pool).
+        return total
+
+
+def bench_tuple_store(rows: list) -> dict:
+    store = TupleStore()
+    start = perf_counter()
+    store.insert_all(rows)
+    insert_s = perf_counter() - start
+    start = perf_counter()
+    index = store.index_on(1)
+    index_build_s = perf_counter() - start
+    keys = [rows[(i * 37) % len(rows)][1] for i in range(PROBES)]
+    get = index.get
+    start = perf_counter()
+    hits = sum(1 for key in keys if get(key) is not None)
+    probe_s = perf_counter() - start
+    assert hits == PROBES
+    index_bytes = sys.getsizeof(index)
+    for key, bucket in index.items():
+        index_bytes += sys.getsizeof(key) + sys.getsizeof(bucket)
+    return {"insert_s": round(insert_s, 6),
+            "rows_per_s": round(len(rows) / insert_s) if insert_s else None,
+            "index_build_s": round(index_build_s, 6),
+            "probe_s": round(probe_s, 6),
+            "approx_bytes": store.approx_bytes(),
+            "bytes_per_tuple": round(store.approx_bytes() / len(rows), 1),
+            "index_bytes": index_bytes}
+
+
+def bench_columnar(rows: list) -> dict:
+    from repro.datalog.database import Relation
+    relation = Relation(2)
+    start = perf_counter()
+    relation.update(rows)
+    insert_s = perf_counter() - start
+    relation.drop_indexes()
+    start = perf_counter()
+    index = relation.index_on_coded((1,))
+    index_build_s = perf_counter() - start
+    from repro.datalog.pool import GLOBAL_POOL
+    keys = [GLOBAL_POOL.encode(rows[(i * 37) % len(rows)][1])
+            for i in range(PROBES)]
+    get = index.get
+    start = perf_counter()
+    hits = sum(1 for key in keys if get(key) is not None)
+    probe_s = perf_counter() - start
+    assert hits == PROBES
+    stats = relation.memory_stats()
+    return {"insert_s": round(insert_s, 6),
+            "rows_per_s": round(len(rows) / insert_s) if insert_s else None,
+            "index_build_s": round(index_build_s, 6),
+            "probe_s": round(probe_s, 6),
+            "approx_bytes": stats["approx_bytes"],
+            "bytes_per_tuple": stats["bytes_per_tuple"],
+            "logical_bytes": stats["logical_bytes"]}
+
+
+def run(quick: bool = False) -> dict:
+    """The full micro-benchmark report (embedded by ``run_all.py``)."""
+    report: dict = {"probes": PROBES, "sizes": {}}
+    for n in (QUICK_SIZES if quick else FULL_SIZES):
+        rows = make_rows(n)
+        tuple_side = bench_tuple_store(rows)
+        columnar_side = bench_columnar(rows)
+        report["sizes"][str(n)] = {
+            "tuple_store": tuple_side,
+            "columnar": columnar_side,
+            "bytes_ratio": round(
+                tuple_side["approx_bytes"] / columnar_side["approx_bytes"],
+                2),
+        }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes only (CI smoke)")
+    parser.add_argument("--out", default=None,
+                        help="write JSON here instead of stdout")
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick)
+    text = json.dumps(report, indent=2)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    for n, sizes in report["sizes"].items():
+        t, c = sizes["tuple_store"], sizes["columnar"]
+        print(f"  n={n:>8s}  insert {t['insert_s']:.4f}s -> "
+              f"{c['insert_s']:.4f}s   probe {t['probe_s']:.4f}s -> "
+              f"{c['probe_s']:.4f}s   bytes/tuple "
+              f"{t['bytes_per_tuple']} -> {c['bytes_per_tuple']} "
+              f"({sizes['bytes_ratio']}x smaller)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,12 +22,19 @@ candidate:
   ``pipelines_compiled``, ``pipelines_reused`` and ``answer_size`` must
   be exactly equal.  These are set-iteration-order independent, so they
   are stable across machines and hash seeds; any drift is a real
-  behavior change.
+  behavior change.  An *intended* change (e.g. a PR that makes a kernel
+  start compiling pipelines it previously could not) is accepted
+  explicitly with ``--accept KERNEL:COUNTER``, which downgrades that
+  counter's drift to a note.
 * **wall time** — ``candidate <= baseline * tolerance + slack``.
   Tolerance defaults to 2.0 on the theory that same-machine noise stays
   well under that; CI (cross-machine) passes a larger ``--wall-tolerance``.
 * **coverage** — a kernel or mode present in the baseline but missing
   from the candidate is a regression; extras in the candidate are noted.
+* **memory** — when both reports carry a ``memory`` section for the same
+  scenario, the candidate's resident ``bytes_per_tuple`` may exceed the
+  baseline's by at most ``--memory-tolerance`` (default 10%).  Unlike
+  wall time this is machine-independent, so the ceiling is tight.
 
 Comparing a ``--quick`` file against a full-size one is refused (exit 2):
 the counters measure different inputs.  Exit 0 = clean, 1 = regression.
@@ -59,7 +66,9 @@ def load(path: str) -> dict:
 
 def compare_record(kernel: str, mode: str, base: dict, cand: dict,
                    wall_tolerance: float, wall_slack: float,
-                   strict_digests: bool) -> list[str]:
+                   strict_digests: bool,
+                   accepted: frozenset = frozenset(),
+                   notes: list | None = None) -> list[str]:
     """Problems (possibly empty) for one kernel/mode record pair."""
     problems = []
     where = f"{kernel} [{mode}]"
@@ -75,6 +84,12 @@ def compare_record(kernel: str, mode: str, base: dict, cand: dict,
     for key in HARD_KEYS:
         if key in base and base[key] is not None:
             if cand.get(key) != base[key]:
+                if (kernel, key) in accepted:
+                    if notes is not None:
+                        notes.append(
+                            f"{where}: {key} {base[key]} -> "
+                            f"{cand.get(key)} (accepted via --accept)")
+                    continue
                 problems.append(
                     f"{where}: {key} {base[key]} -> {cand.get(key)} "
                     f"(must be exactly equal)")
@@ -89,12 +104,47 @@ def compare_record(kernel: str, mode: str, base: dict, cand: dict,
     return problems
 
 
-def compare(baseline: dict, candidate: dict,
-            wall_tolerance: float = 2.0, wall_slack: float = 0.05,
-            strict_digests: bool = False) -> tuple[list[str], list[str]]:
-    """Returns ``(problems, notes)`` for two loaded trajectory reports."""
+def compare_memory(baseline: dict, candidate: dict,
+                   memory_tolerance: float) -> tuple[list[str], list[str]]:
+    """Bytes-per-tuple ceiling for the ``memory`` report sections.
+
+    Older trajectory files (pre-PR 7) have no ``memory`` section; the
+    gate only engages when both sides measured the same scenario.
+    """
     problems: list[str] = []
     notes: list[str] = []
+    base, cand = baseline.get("memory"), candidate.get("memory")
+    if not base or not cand:
+        if base and not cand:
+            problems.append("memory: baseline has a memory section but "
+                            "candidate does not")
+        return problems, notes
+    if base.get("scenario") != cand.get("scenario"):
+        notes.append(f"memory: scenario changed {base.get('scenario')} -> "
+                     f"{cand.get('scenario')}; ceiling not applied")
+        return problems, notes
+    base_bpt, cand_bpt = base.get("bytes_per_tuple"), \
+        cand.get("bytes_per_tuple")
+    if base_bpt and cand_bpt:
+        limit = base_bpt * (1.0 + memory_tolerance)
+        if cand_bpt > limit:
+            problems.append(
+                f"memory: bytes_per_tuple {base_bpt} -> {cand_bpt} "
+                f"(limit {limit:.2f} = +{memory_tolerance:.0%})")
+        else:
+            notes.append(f"memory: bytes_per_tuple {base_bpt} -> "
+                         f"{cand_bpt} (limit {limit:.2f})")
+    return problems, notes
+
+
+def compare(baseline: dict, candidate: dict,
+            wall_tolerance: float = 2.0, wall_slack: float = 0.05,
+            strict_digests: bool = False,
+            memory_tolerance: float = 0.10,
+            accepted: frozenset = frozenset()
+            ) -> tuple[list[str], list[str]]:
+    """Returns ``(problems, notes)`` for two loaded trajectory reports."""
+    problems, notes = compare_memory(baseline, candidate, memory_tolerance)
     base_benches = baseline.get("benchmarks", {})
     cand_benches = candidate.get("benchmarks", {})
     for kernel in sorted(base_benches):
@@ -111,7 +161,8 @@ def compare(baseline: dict, candidate: dict,
                 continue
             problems.extend(compare_record(
                 kernel, mode, base_modes[mode], cand_modes[mode],
-                wall_tolerance, wall_slack, strict_digests))
+                wall_tolerance, wall_slack, strict_digests,
+                accepted=accepted, notes=notes))
         for mode in sorted(set(cand_modes) - set(base_modes)):
             notes.append(f"{kernel}: new mode {mode} in candidate")
         if kernel in NONDETERMINISTIC and not strict_digests \
@@ -142,7 +193,22 @@ def main(argv=None, out=None) -> int:
     parser.add_argument("--strict-digests", action="store_true",
                         help="enforce answer_digest equality even for the "
                              "NONDETERMINISTIC kernels")
+    parser.add_argument("--memory-tolerance", type=float, default=0.10,
+                        help="allowed relative bytes_per_tuple growth in "
+                             "the memory section (default 0.10 = 10%%)")
+    parser.add_argument("--accept", action="append", default=[],
+                        metavar="KERNEL:COUNTER",
+                        help="accept an intended counter change for one "
+                             "kernel (all modes), e.g. "
+                             "'bench_a4_incremental:pipelines_compiled'; "
+                             "reported as a note instead of a problem. "
+                             "Repeatable.")
     args = parser.parse_args(argv)
+    accepted = frozenset(
+        tuple(item.split(":", 1)) for item in args.accept)
+    if any(len(pair) != 2 for pair in accepted):
+        print("error: --accept takes KERNEL:COUNTER", file=sys.stderr)
+        return 2
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
@@ -155,7 +221,9 @@ def main(argv=None, out=None) -> int:
     problems, notes = compare(baseline, candidate,
                               wall_tolerance=args.wall_tolerance,
                               wall_slack=args.wall_slack,
-                              strict_digests=args.strict_digests)
+                              strict_digests=args.strict_digests,
+                              memory_tolerance=args.memory_tolerance,
+                              accepted=accepted)
     kernels = len(baseline.get("benchmarks", {}))
     for note in notes:
         print(f"note: {note}", file=out)

@@ -11,8 +11,13 @@ plus a canonical digest of the answer.  After timing, one extra untimed
 pass per kernel runs under an ambient :class:`TimingTracer`, so the
 ``batch/greedy`` record also carries a per-clause/per-stratum ``profile``
 (see ``docs/OBSERVABILITY.md``).  Results are written to
-``BENCH_pr5.json`` at the repo root; two trajectory files are compared
+``BENCH_pr7.json`` at the repo root; two trajectory files are compared
 for regressions by ``benchmarks/compare.py``.
+
+The report also carries a ``memory`` section — resident/logical
+bytes-per-tuple of the 1200-row Zipf workload under the columnar store,
+plus the pool interning ratio — which ``compare.py`` gates alongside the
+wall-time series (bytes/tuple must not regress more than 10%).
 
 The run FAILS (exit 1) when the batch and interp engines disagree on any
 kernel's answer under the same plan — this is the CI smoke check.
@@ -123,7 +128,7 @@ def _a4(quick):
     inserts = 3 if quick else 8
 
     def kernel(plan, engine):
-        eng = IncrementalEngine(m.TC)
+        eng = IncrementalEngine(m.TC, engine=engine)
         eng.start(m.chain(n))
         for k in range(inserts):
             eng.add_fact("edge", (f"n{n + k}", f"n{n + k + 1}"))
@@ -402,6 +407,32 @@ def profile_kernel(kernel, plan, engine):
     return tracer.profile.as_dict()
 
 
+def memory_series(quick: bool) -> dict:
+    """Bytes-per-tuple of the reference memory scenario (1200-row Zipf).
+
+    Reports the ``emp`` relation's resident ``memory_stats`` plus the
+    database-level interning figures.  The scenario matches the PR-7
+    acceptance baseline: PR 5's tuple-store ``approx_bytes`` on the same
+    1200-row database was 230417.
+    """
+    from repro.workloads import zipf_employees
+    rows = 300 if quick else 1200
+    db = zipf_employees(30, rows)
+    emp = db.relation("emp").memory_stats()
+    stats = db.stats()
+    return {
+        "scenario": f"zipf_employees(30, {rows})",
+        "rows": emp["rows"],
+        "approx_bytes": emp["approx_bytes"],
+        "logical_bytes": emp["logical_bytes"],
+        "bytes_per_tuple": emp["bytes_per_tuple"],
+        "distinct_constants": emp["distinct_constants"],
+        "interning_ratio": stats["interning_ratio"],
+        "pool_constants": stats["pool_constants"],
+        "pool_approx_bytes": stats["pool_approx_bytes"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -409,7 +440,7 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per mode (default 3, 1 "
                              "with --quick)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr5.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr7.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--only", default=None,
                         help="run only scenarios whose name contains this "
@@ -428,7 +459,7 @@ def main(argv=None) -> int:
     report = {"schema": 1, "quick": args.quick, "repeats": repeats,
               "modes": [f"{e}/{p}" for e, p in MODES],
               "benchmarks": {}, "speedup_batch_vs_interp": {},
-              "choice_logs": {}}
+              "choice_logs": {}, "memory": memory_series(args.quick)}
     disagreements = []
 
     for name, build in SCENARIOS:
@@ -471,6 +502,13 @@ def main(argv=None) -> int:
         batch_t = records["batch/greedy"]["wall_s"]
         report["speedup_batch_vs_interp"][name] = round(
             interp_t / batch_t, 2) if batch_t > 0 else None
+
+    if not args.only:
+        # The storage micro-benchmark (tuple-store vs columnar) rides in
+        # the same trajectory file; skipped under --only since it is not
+        # an engine kernel.
+        import bench_storage
+        report["storage"] = bench_storage.run(quick=args.quick)
 
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")

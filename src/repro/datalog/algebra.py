@@ -5,15 +5,20 @@ exposes the underlying operators directly — handy for loading/massaging
 data around programs, for tests, and as a secondary oracle (the algebra
 tests re-derive small clause evaluations with explicit operators).
 
-All operators are functional: inputs are never mutated.
+All operators are functional: inputs are never mutated.  Internally they
+run on the columnar representation: rows move between relations as
+tagged constant codes (see :mod:`repro.datalog.pool`) and only
+:func:`select`, whose predicate is an arbitrary value-level callable,
+decodes anything.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..errors import SchemaError
 from .database import Relation
+from .pool import GLOBAL_POOL
 from .terms import Value
 
 Row = tuple[Value, ...]
@@ -25,20 +30,45 @@ def _require_same_arity(left: Relation, right: Relation, op: str) -> None:
             f"{op}: arities differ ({left.arity} vs {right.arity})")
 
 
+def _from_coded(arity: int, schema, rows: list) -> Relation:
+    """A fresh relation from coded rows that are mutually distinct."""
+    result = Relation(arity, schema=schema)
+    if rows:
+        result.extend_coded(rows)
+    return result
+
+
+def _combined_schema(left: Relation, right: Relation,
+                     keep_right: Sequence[int]) -> Optional[tuple]:
+    if left.schema is None or right.schema is None:
+        return None
+    return left.schema + tuple(right.schema[j] for j in keep_right)
+
+
 def select(relation: Relation,
            predicate: Callable[[Row], bool]) -> Relation:
-    """σ: keep rows satisfying an arbitrary predicate."""
-    return Relation(relation.arity,
-                    tuples=(row for row in relation if predicate(row)))
+    """σ: keep rows satisfying an arbitrary predicate.
+
+    The predicate sees decoded values; kept rows are re-emitted as their
+    original codes (iteration and ``coded_rows`` share scan order).
+    """
+    keep = [coded for coded, row in zip(relation.coded_rows(), relation)
+            if predicate(row)]
+    return _from_coded(relation.arity, relation.schema, keep)
 
 
 def select_eq(relation: Relation, position: int, value: Value) -> Relation:
     """σ with an equality condition on one 0-based column (index-backed)."""
     if not 0 <= position < relation.arity:
         raise SchemaError(f"column {position} outside 0..{relation.arity - 1}")
-    pattern: list = [None] * relation.arity
-    pattern[position] = value
-    return Relation(relation.arity, tuples=relation.match(tuple(pattern)))
+    code = GLOBAL_POOL.try_encode(value)
+    rows: list = []
+    if code is not None:
+        bucket = relation.index_on_coded((position,)).get(code)
+        if bucket:
+            columns = relation.coded_columns()
+            rows = [tuple(col[r] for col in columns) for r in bucket]
+    return _from_coded(relation.arity, relation.schema, rows)
 
 
 def project(relation: Relation, positions: Sequence[int]) -> Relation:
@@ -46,53 +76,54 @@ def project(relation: Relation, positions: Sequence[int]) -> Relation:
     bad = [i for i in positions if not 0 <= i < relation.arity]
     if bad:
         raise SchemaError(f"columns {bad} outside 0..{relation.arity - 1}")
-    return Relation(len(positions), tuples=(
-        tuple(row[i] for i in positions) for row in relation))
+    schema = None if relation.schema is None else \
+        tuple(relation.schema[i] for i in positions)
+    # dict.fromkeys deduplicates at C speed while keeping scan order.
+    rows = list(dict.fromkeys(
+        tuple(row[i] for i in positions) for row in relation.coded_rows()))
+    return _from_coded(len(positions), schema, rows)
 
 
 def union(left: Relation, right: Relation) -> Relation:
     """∪ (set union; arities must match)."""
     _require_same_arity(left, right, "union")
     result = left.copy()
-    result.update(right)
+    rows = right.coded_rows()
+    if rows:
+        seen = set(left.coded_rows())
+        result.extend_coded([row for row in rows if row not in seen])
     return result
 
 
 def difference(left: Relation, right: Relation) -> Relation:
     """− (set difference; arities must match)."""
     _require_same_arity(left, right, "difference")
-    return Relation(left.arity,
-                    tuples=(row for row in left if row not in right))
+    drop = set(right.coded_rows())
+    keep = [row for row in left.coded_rows() if row not in drop]
+    return _from_coded(left.arity, left.schema, keep)
 
 
 def intersection(left: Relation, right: Relation) -> Relation:
     """∩ (set intersection; arities must match)."""
     _require_same_arity(left, right, "intersection")
     small, large = (left, right) if len(left) <= len(right) else (right, left)
-    return Relation(left.arity,
-                    tuples=(row for row in small if row in large))
+    have = set(large.coded_rows())
+    keep = [row for row in small.coded_rows() if row in have]
+    return _from_coded(left.arity, left.schema, keep)
 
 
 def product(left: Relation, right: Relation) -> Relation:
     """× (cartesian product; result arity is the sum)."""
-    result = Relation(left.arity + right.arity)
-    for lrow in left:
-        for rrow in right:
-            result.add(lrow + rrow)
-    return result
+    rrows = right.coded_rows()
+    rows = [lrow + rrow for lrow in left.coded_rows() for rrow in rrows]
+    return _from_coded(left.arity + right.arity,
+                       _combined_schema(left, right, range(right.arity)),
+                       rows)
 
 
-def join(left: Relation, right: Relation,
-         on: Iterable[tuple[int, int]]) -> Relation:
-    """⋈: equi-join on (left column, right column) pairs.
-
-    The result holds all left columns followed by the right columns that
-    are *not* join columns, in order — the natural-join convention.
-    Uses the right relation's hash index on its join columns.
-    """
+def _join_cols(left: Relation, right: Relation,
+               on: Iterable[tuple[int, int]]) -> tuple[tuple, tuple]:
     pairs = list(on)
-    if not pairs:
-        return product(left, right)
     left_cols = tuple(i for i, _ in pairs)
     right_cols = tuple(j for _, j in pairs)
     for i in left_cols:
@@ -101,36 +132,62 @@ def join(left: Relation, right: Relation,
     for j in right_cols:
         if not 0 <= j < right.arity:
             raise SchemaError(f"right join column {j} out of range")
+    return left_cols, right_cols
+
+
+def join(left: Relation, right: Relation,
+         on: Iterable[tuple[int, int]]) -> Relation:
+    """⋈: equi-join on (left column, right column) pairs.
+
+    The result holds all left columns followed by the right columns that
+    are *not* join columns, in order — the natural-join convention.
+    Probes the right relation's coded hash index; codes flow straight
+    from input columns to output columns without decoding.
+    """
+    left_cols, right_cols = _join_cols(left, right, on)
+    if not left_cols:
+        return product(left, right)
     keep_right = [j for j in range(right.arity) if j not in set(right_cols)]
-    index = right.index_on(right_cols)
-    result = Relation(left.arity + len(keep_right))
-    for lrow in left:
-        key = tuple(lrow[i] for i in left_cols)
-        for rrow in index.get(key, ()):
-            result.add(lrow + tuple(rrow[j] for j in keep_right))
-    return result
+    index = right.index_on_coded(right_cols)
+    get = index.get
+    columns = right.coded_columns()
+    keep_cols = [columns[j] for j in keep_right]
+    out: list = []
+    append = out.append
+    single = left_cols[0] if len(left_cols) == 1 else None
+    for lrow in left.coded_rows():
+        key = lrow[single] if single is not None else \
+            tuple(lrow[i] for i in left_cols)
+        bucket = get(key)
+        if bucket:
+            for r in bucket:
+                append(lrow + tuple(col[r] for col in keep_cols))
+    # Distinct rows join to distinct rows: same left row + same key means
+    # the partners differ in a kept column, so no dedup pass is needed.
+    return _from_coded(left.arity + len(keep_right),
+                       _combined_schema(left, right, keep_right), out)
 
 
 def semijoin(left: Relation, right: Relation,
              on: Iterable[tuple[int, int]]) -> Relation:
     """⋉: left rows with at least one join partner on the right."""
-    pairs = list(on)
-    left_cols = tuple(i for i, _ in pairs)
-    right_cols = tuple(j for _, j in pairs)
-    index = right.index_on(right_cols)
-    return Relation(left.arity, tuples=(
-        lrow for lrow in left
-        if tuple(lrow[i] for i in left_cols) in index))
+    left_cols, right_cols = _join_cols(left, right, on)
+    index = right.index_on_coded(right_cols)
+    single = left_cols[0] if len(left_cols) == 1 else None
+    keep = [lrow for lrow in left.coded_rows()
+            if (lrow[single] if single is not None else
+                tuple(lrow[i] for i in left_cols)) in index]
+    return _from_coded(left.arity, left.schema, keep)
 
 
 def antijoin(left: Relation, right: Relation,
              on: Iterable[tuple[int, int]]) -> Relation:
     """▷: left rows with NO join partner on the right (the negation
     operator the stratified engine realizes as bound anti-joins)."""
-    pairs = list(on)
-    left_cols = tuple(i for i, _ in pairs)
-    right_cols = tuple(j for _, j in pairs)
-    index = right.index_on(right_cols)
-    return Relation(left.arity, tuples=(
-        lrow for lrow in left
-        if tuple(lrow[i] for i in left_cols) not in index))
+    left_cols, right_cols = _join_cols(left, right, on)
+    index = right.index_on_coded(right_cols)
+    single = left_cols[0] if len(left_cols) == 1 else None
+    keep = [lrow for lrow in left.coded_rows()
+            if (lrow[single] if single is not None else
+                tuple(lrow[i] for i in left_cols)) not in index]
+    return _from_coded(left.arity, left.schema, keep)

@@ -10,14 +10,27 @@ separate concerns) into a pipeline of set-oriented operators over *binding
 batches*:
 
 * a **batch** is a fixed variable layout ``tuple[Var, ...]`` plus a list of
-  positional binding rows ``tuple[Value, ...]`` — no per-row dicts;
-* each positive relation literal becomes one **hash join**: the index on
-  the literal's bound positions is built (or reused, via
-  :meth:`Relation.index_on`) once, then probed for the whole incoming
+  positional binding rows — no per-row dicts;
+* each positive relation literal becomes one **hash join**: the coded index
+  on the literal's bound positions is built (or reused, via
+  :meth:`Relation.index_on_coded`) once, then probed for the whole incoming
   batch;
 * negated literals and builtins become **batch filters** (anti-join /
   solver calls per row);
 * the head becomes a single **projection** producing the derived tuples.
+
+Since the columnar-storage rewrite the pipelines run over **constant
+codes** end-to-end (see :mod:`repro.datalog.pool`): batch rows are tuples
+of int codes, clause constants are encoded once at compile time (the pool
+is append-only, so baking codes into closures is safe), joins probe
+int-keyed indexes and extend rows straight out of the ``array('q')``
+columns, and anti-joins test coded membership — no Python-object hashing
+or equality anywhere on the hot path.  Only builtins decode: solvers
+compute over real values (arithmetic, comparisons), so their inputs are
+decoded per row and their outputs re-encoded.  :meth:`BatchExecutor
+.execute` decodes the derived head tuples for value-level callers; the
+semi-naive loop uses :meth:`BatchExecutor.execute_coded` and keeps codes
+all the way into relation storage.
 
 Semi-naive deltas need no special machinery: the delta override at the
 forced-first position is just a different build side for the first join.
@@ -40,6 +53,7 @@ from ..errors import EvaluationError, SchemaError
 from .ast import Atom, Clause, Literal
 from .builtins import builtin_spec
 from .database import Relation
+from .pool import GLOBAL_POOL
 from .pretty import format_clause, format_literal
 from .safety import order_body
 from .terms import Const, Value, Var
@@ -49,13 +63,16 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports (avoids a cycle)
     from .planner import ClausePlanner
     from .seminaive import EvalStats, RelationStore
 
+_POOL = GLOBAL_POOL
+
 INTERP = "interp"
 BATCH = "batch"
 ENGINE_MODES = (INTERP, BATCH)
 
 #: A batch of binding rows.  The variable layout is implicit in the
-#: compiled pipeline; rows are plain value tuples, one slot per variable.
-Batch = list[tuple[Value, ...]]
+#: compiled pipeline; rows are tuples of constant codes, one slot per
+#: variable.
+Batch = list[tuple[int, ...]]
 
 
 def check_engine_mode(engine: str) -> str:
@@ -75,14 +92,15 @@ def check_engine_mode(engine: str) -> str:
 def _arg_parts(args: tuple, layout: dict[Var, int]):
     """Classify an atom's arguments against the current batch layout.
 
-    Returns ``(bound_positions, key_parts, new_positions, eq_pairs)``:
+    Returns ``(bound_positions, key_parts, new_positions, eq_pairs,
+    first_seen)``:
 
     * ``bound_positions`` — atom positions whose value is known per input
       row (constants and layout variables), in increasing order — exactly
       the positions ``Relation.match`` would select an index on;
     * ``key_parts`` — parallel ``(is_var, payload)`` pairs building the
-      probe key (payload = layout slot for variables, the value itself for
-      constants);
+      probe key (payload = layout slot for variables, the constant's
+      *code* for constants);
     * ``new_positions`` — atom positions holding the *first* occurrence of
       each unbound variable (the values a join appends to the row);
     * ``eq_pairs`` — ``(first, dup)`` atom-position pairs for repeated
@@ -96,7 +114,7 @@ def _arg_parts(args: tuple, layout: dict[Var, int]):
     for i, term in enumerate(args):
         if isinstance(term, Const):
             bound_positions.append(i)
-            key_parts.append((False, term.value))
+            key_parts.append((False, _POOL.encode(term.value)))
         elif term in layout:
             bound_positions.append(i)
             key_parts.append((True, layout[term]))
@@ -130,6 +148,36 @@ def _tuple_fn(parts: list[tuple[bool, object]]) -> Callable[[tuple], tuple]:
         row[payload] if is_var else payload for is_var, payload in frozen)
 
 
+def _key_fn(parts: list[tuple[bool, object]]) -> Callable[[tuple], object]:
+    """A row -> probe-key builder matching ``Relation.index_on_coded``.
+
+    Single-position indexes are keyed by the bare scalar code (no per-probe
+    tuple allocation); multi-position indexes by the code tuple.
+    """
+    if len(parts) == 1:
+        is_var, payload = parts[0]
+        if is_var:
+            slot = payload
+            return lambda row: row[slot]
+        return lambda row: payload
+    return _tuple_fn(parts)
+
+
+def _decoded_tuple_fn(parts: list[tuple[bool, object]]) -> Callable:
+    """A coded-row -> *value* tuple builder (the builtin boundary).
+
+    Variable payloads are decoded per row; constant payloads are already
+    values (``None`` marks an unbound solver position).
+    """
+    decode = _POOL.decode
+    frozen = tuple(parts)
+    if not frozen:
+        return lambda row: ()
+    return lambda row: tuple(
+        decode(row[payload]) if is_var else payload
+        for is_var, payload in frozen)
+
+
 def _extract_fn(positions: list[int]) -> Callable[[tuple, tuple], tuple]:
     """A (row, match) -> extended-row builder appending matched values."""
     if not positions:
@@ -151,13 +199,18 @@ class _Op:
         atom: The source atom (used to resolve the relation at run time;
             ``None`` for builtins, which need no relation).
         run: ``run(batch, relation, stats) -> batch``.
+        fuse: Shape metadata ``(positions, key_slot, out_pos, new_slot)``
+            when this op is a head-fusable hash join (bound on one
+            variable, no equality checks, exactly one new position);
+            ``None`` otherwise.
     """
 
-    __slots__ = ("atom", "run")
+    __slots__ = ("atom", "run", "fuse")
 
-    def __init__(self, atom: Optional[Atom], run) -> None:
+    def __init__(self, atom: Optional[Atom], run, fuse=None) -> None:
         self.atom = atom
         self.run = run
+        self.fuse = fuse
 
 
 def _compile_join(literal: Literal, layout: dict[Var, int]) -> _Op:
@@ -168,33 +221,125 @@ def _compile_join(literal: Literal, layout: dict[Var, int]) -> _Op:
         _arg_parts(atom.args, layout)
     for var in first_seen:
         layout[var] = len(layout)
-    extend = _extract_fn(new_positions)
     eq = tuple(eq_pairs)
     arity = len(atom.args)
     whole_row = not bound and not eq and new_positions == list(range(arity))
+    fuse = None
 
     if bound:
         positions = tuple(bound)
-        key_of = _tuple_fn(key_parts)
+        key_of = _key_fn(key_parts)
+        # The overwhelmingly common probe key is one already-bound
+        # variable; reading the slot inline saves a call per input row.
+        single_slot: Optional[int] = None
+        if len(key_parts) == 1 and key_parts[0][0]:
+            single_slot = key_parts[0][1]
 
-        def run(batch: Batch, relation: Relation, stats) -> Batch:
-            out: Batch = []
-            append = out.append
-            get = relation.index_on(positions).get
-            probes = 0
-            for row in batch:
-                bucket = get(key_of(row))
-                if not bucket:
-                    probes += 1
-                    continue
-                probes += len(bucket)
-                for match in bucket:
-                    if eq and any(match[i] != match[j] for i, j in eq):
+        if not eq and len(new_positions) == 1 and single_slot is not None:
+            out_pos = new_positions[0]
+            slot = single_slot
+            fuse = (positions, slot, out_pos, len(layout) - 1)
+
+            def run(batch: Batch, relation: Relation, stats) -> Batch:
+                out: Batch = []
+                append = out.append
+                get = relation.index_on_coded(positions).get
+                col = relation.coded_columns()[out_pos]
+                # Every bucket element emits exactly one row here, so the
+                # hit count IS len(out); only misses need a counter.
+                misses = 0
+                for row in batch:
+                    bucket = get(row[slot])
+                    if bucket is None:
+                        misses += 1
+                    elif len(bucket) == 1:
+                        append(row + (col[bucket[0]],))
+                    else:
+                        for r in bucket:
+                            append(row + (col[r],))
+                stats.probes += len(out) + misses
+                return out
+        elif not eq and not new_positions:
+            # Semijoin shape: every bucket row re-emits the input row.
+            def run(batch: Batch, relation: Relation, stats) -> Batch:
+                out: Batch = []
+                extend_out = out.extend
+                get = relation.index_on_coded(positions).get
+                probes = 0
+                for row in batch:
+                    bucket = get(key_of(row))
+                    if bucket:
+                        n = len(bucket)
+                        probes += n
+                        extend_out([row] * n)
+                    else:
+                        probes += 1
+                stats.probes += probes
+                return out
+        elif not eq and len(new_positions) == 1:
+            out_pos = new_positions[0]
+
+            def run(batch: Batch, relation: Relation, stats) -> Batch:
+                out: Batch = []
+                append = out.append
+                get = relation.index_on_coded(positions).get
+                col = relation.coded_columns()[out_pos]
+                probes = 0
+                for row in batch:
+                    bucket = get(key_of(row))
+                    if bucket:
+                        probes += len(bucket)
+                        for r in bucket:
+                            append(row + (col[r],))
+                    else:
+                        probes += 1
+                stats.probes += probes
+                return out
+        elif not eq and len(new_positions) == 2:
+            out0, out1 = new_positions
+
+            def run(batch: Batch, relation: Relation, stats) -> Batch:
+                out: Batch = []
+                append = out.append
+                get = relation.index_on_coded(positions).get
+                columns = relation.coded_columns()
+                col0 = columns[out0]
+                col1 = columns[out1]
+                probes = 0
+                for row in batch:
+                    bucket = get(key_of(row))
+                    if bucket:
+                        probes += len(bucket)
+                        for r in bucket:
+                            append(row + (col0[r], col1[r]))
+                    else:
+                        probes += 1
+                stats.probes += probes
+                return out
+        else:
+            new_pos = tuple(new_positions)
+
+            def run(batch: Batch, relation: Relation, stats) -> Batch:
+                out: Batch = []
+                append = out.append
+                get = relation.index_on_coded(positions).get
+                columns = relation.coded_columns()
+                probes = 0
+                for row in batch:
+                    bucket = get(key_of(row))
+                    if not bucket:
+                        probes += 1
                         continue
-                    append(extend(row, match))
-            stats.probes += probes
-            return out
+                    probes += len(bucket)
+                    for r in bucket:
+                        if eq and any(columns[i][r] != columns[j][r]
+                                      for i, j in eq):
+                            continue
+                        append(row + tuple(columns[p][r] for p in new_pos))
+                stats.probes += probes
+                return out
     else:
+        extend = _extract_fn(new_positions)
 
         def run(batch: Batch, relation: Relation, stats) -> Batch:
             # A scan charges every scanned row per input row, floor one.
@@ -202,14 +347,14 @@ def _compile_join(literal: Literal, layout: dict[Var, int]) -> _Op:
             stats.probes += max(1, size) * len(batch)
             if not size:
                 return []
+            matches = relation.coded_rows()
             if whole_row:
                 # Common case: all arguments are fresh distinct variables.
                 if len(batch) == 1 and not batch[0]:
-                    return list(relation)
-                return [row + match for row in batch for match in relation]
+                    return matches
+                return [row + match for row in batch for match in matches]
             out: Batch = []
             append = out.append
-            matches = list(relation)
             for row in batch:
                 for match in matches:
                     if eq and any(match[i] != match[j] for i, j in eq):
@@ -217,7 +362,7 @@ def _compile_join(literal: Literal, layout: dict[Var, int]) -> _Op:
                     append(extend(row, match))
             return out
 
-    return _Op(atom, run)
+    return _Op(atom, run, fuse)
 
 
 def _compile_antijoin(literal: Literal, layout: dict[Var, int]) -> _Op:
@@ -227,7 +372,7 @@ def _compile_antijoin(literal: Literal, layout: dict[Var, int]) -> _Op:
     parts: list[tuple[bool, object]] = []
     for term in atom.args:
         if isinstance(term, Const):
-            parts.append((False, term.value))
+            parts.append((False, _POOL.encode(term.value)))
         elif term in layout:
             parts.append((True, layout[term]))
         else:
@@ -238,13 +383,19 @@ def _compile_antijoin(literal: Literal, layout: dict[Var, int]) -> _Op:
     def run(batch: Batch, relation: Relation, stats) -> Batch:
         # Each membership test is one probe, exactly like the interpreter.
         stats.probes += len(batch)
-        return [row for row in batch if row_of(row) not in relation]
+        contains = relation.contains_coded
+        return [row for row in batch if not contains(row_of(row))]
 
     return _Op(atom, run)
 
 
 def _compile_builtin(literal: Literal, layout: dict[Var, int]) -> _Op:
-    """A builtin literal as a per-row solver call (filter or generator)."""
+    """A builtin literal as a per-row solver call (filter or generator).
+
+    Builtins are the decode boundary: solvers compute over real values,
+    so bound arguments are decoded per row and generated solutions are
+    re-encoded into the batch.
+    """
     atom = literal.atom
     assert isinstance(atom, Atom)
     spec = builtin_spec(atom.pred)
@@ -260,7 +411,7 @@ def _compile_builtin(literal: Literal, layout: dict[Var, int]) -> _Op:
                 raise EvaluationError(
                     f"negated builtin {atom} evaluated with unbound "
                     "arguments")
-        row_of = _tuple_fn(parts)
+        row_of = _decoded_tuple_fn(parts)
         solve = spec.solve
 
         def run(batch: Batch, relation, stats) -> Batch:
@@ -295,15 +446,17 @@ def _compile_builtin(literal: Literal, layout: dict[Var, int]) -> _Op:
             new_positions.append(i)
     for var in first_seen:
         layout[var] = len(layout)
-    partial_of = _tuple_fn(partial_parts)
-    extend = _extract_fn(new_positions)
+    partial_of = _decoded_tuple_fn(partial_parts)
     eq = tuple(eq_pairs)
+    new_pos = tuple(new_positions)
     frozen_checks = tuple(checks)
     solve = spec.solve
 
     def run(batch: Batch, relation, stats) -> Batch:
         out: Batch = []
         append = out.append
+        decode = _POOL.decode
+        encode = _POOL.encode
         probes = 0
         for row in batch:
             solved = False
@@ -312,14 +465,15 @@ def _compile_builtin(literal: Literal, layout: dict[Var, int]) -> _Op:
                 probes += 1
                 ok = True
                 for is_var, pos, payload in frozen_checks:
-                    expected = row[payload] if is_var else payload
+                    expected = decode(row[payload]) if is_var else payload
                     if solution[pos] != expected:
                         ok = False
                         break
                 if ok and eq:
                     ok = all(solution[i] == solution[j] for i, j in eq)
                 if ok:
-                    append(extend(row, solution))
+                    append(row + tuple(
+                        encode(solution[p]) for p in new_pos))
             if not solved:
                 probes += 1
         stats.probes += probes
@@ -329,14 +483,110 @@ def _compile_builtin(literal: Literal, layout: dict[Var, int]) -> _Op:
 
 
 def _compile_head(head: Atom, layout: dict[Var, int]) -> Callable:
-    """The final projection: batch row -> derived head tuple."""
+    """The final projection: batch row -> derived (coded) head tuple."""
     parts: list[tuple[bool, object]] = []
     for term in head.args:
         if isinstance(term, Const):
-            parts.append((False, term.value))
+            parts.append((False, _POOL.encode(term.value)))
         else:
             parts.append((True, layout[term]))
     return _tuple_fn(parts)
+
+
+def _fused_join(op: _Op, head: Atom, layout: dict[Var, int]) -> Optional[_Op]:
+    """Fuse the head projection into a final hash join, when possible.
+
+    The last operator of most recursive pipelines is a single-new-variable
+    hash join whose output rows immediately get projected to head tuples;
+    run separately that materializes one intermediate tuple per derived
+    row just to pick slots out of it.  The fused operator emits head
+    tuples straight from the probe loop instead.  Returns ``None`` when
+    the head shape does not qualify.
+    """
+    if op.fuse is None:
+        return None
+    positions, slot, out_pos, new_slot = op.fuse
+    # Classify head arguments: row slot, the joined-in value, or constant.
+    parts: list[tuple[str, object]] = []
+    for term in head.args:
+        if isinstance(term, Const):
+            parts.append(("const", _POOL.encode(term.value)))
+        elif layout[term] == new_slot:
+            parts.append(("new", None))
+        else:
+            parts.append(("row", layout[term]))
+    kinds = tuple(kind for kind, _ in parts)
+
+    if kinds == ("row", "new"):
+        a = parts[0][1]
+
+        def run(batch: Batch, relation: Relation, stats) -> Batch:
+            out: Batch = []
+            append = out.append
+            get = relation.index_on_coded(positions).get
+            col = relation.coded_columns()[out_pos]
+            misses = 0
+            for row in batch:
+                bucket = get(row[slot])
+                if bucket is None:
+                    misses += 1
+                elif len(bucket) == 1:
+                    append((row[a], col[bucket[0]]))
+                else:
+                    ra = row[a]
+                    for r in bucket:
+                        append((ra, col[r]))
+            stats.probes += len(out) + misses
+            return out
+    elif kinds == ("new", "row"):
+        b = parts[1][1]
+
+        def run(batch: Batch, relation: Relation, stats) -> Batch:
+            out: Batch = []
+            append = out.append
+            get = relation.index_on_coded(positions).get
+            col = relation.coded_columns()[out_pos]
+            misses = 0
+            for row in batch:
+                bucket = get(row[slot])
+                if bucket is None:
+                    misses += 1
+                elif len(bucket) == 1:
+                    append((col[bucket[0]], row[b]))
+                else:
+                    rb = row[b]
+                    for r in bucket:
+                        append((col[r], rb))
+            stats.probes += len(out) + misses
+            return out
+    else:
+        frozen = tuple(parts)
+
+        def head_row(row: tuple, value: int) -> tuple:
+            return tuple(
+                value if kind == "new"
+                else (row[payload] if kind == "row" else payload)
+                for kind, payload in frozen)
+
+        def run(batch: Batch, relation: Relation, stats) -> Batch:
+            out: Batch = []
+            append = out.append
+            get = relation.index_on_coded(positions).get
+            col = relation.coded_columns()[out_pos]
+            misses = 0
+            for row in batch:
+                bucket = get(row[slot])
+                if bucket is None:
+                    misses += 1
+                elif len(bucket) == 1:
+                    append(head_row(row, col[bucket[0]]))
+                else:
+                    for r in bucket:
+                        append(head_row(row, col[r]))
+            stats.probes += len(out) + misses
+            return out
+
+    return _Op(op.atom, run)
 
 
 class _Pipeline:
@@ -345,9 +595,13 @@ class _Pipeline:
     Cached per (clause, delta position) by :class:`BatchExecutor`; the
     recorded ``order`` detects plan changes (the cost planner may re-order
     a clause when cardinalities drift), which force recompilation.
+
+    When the final operator is a fusable hash join (see
+    :func:`_fused_join`), :attr:`fused` replaces both that operator and
+    the head projection: its output rows *are* the head tuples.
     """
 
-    __slots__ = ("order", "ops", "head_of")
+    __slots__ = ("order", "ops", "head_of", "fused")
 
     def __init__(self, clause: Clause, order: tuple[Literal, ...]) -> None:
         self.order = order
@@ -362,6 +616,13 @@ class _Pipeline:
                 self.ops.append(_compile_join(literal, layout))
             else:
                 self.ops.append(_compile_antijoin(literal, layout))
+        self.fused = None
+        # Never fuse ops[0]: the delta override must target a live op.
+        if len(self.ops) >= 2:
+            fused = _fused_join(self.ops[-1], clause.head, layout)
+            if fused is not None:
+                self.fused = fused
+                self.ops.pop()
         self.head_of = _compile_head(clause.head, layout)
 
 
@@ -386,18 +647,17 @@ class BatchExecutor:
         self.stratum = 0
         self._pipelines: dict[tuple[int, Optional[int]], _Pipeline] = {}
 
-    def execute(self, clause: Clause, store: "RelationStore",
-                stats: "EvalStats",
-                delta_index: Optional[int] = None,
-                delta: Optional[Relation] = None,
-                planner: Optional["ClausePlanner"] = None,
-                ) -> list[tuple[Value, ...]]:
-        """All head tuples derivable from one clause, as a list.
+    def execute_coded(self, clause: Clause, store: "RelationStore",
+                      stats: "EvalStats",
+                      delta_index: Optional[int] = None,
+                      delta: Optional[Relation] = None,
+                      planner: Optional["ClausePlanner"] = None,
+                      ) -> list[tuple[int, ...]]:
+        """All head tuples derivable from one clause, as coded rows.
 
-        The contract matches ``list(seminaive.evaluate_clause(...))``:
-        same tuples, same ``probes``/``firings`` accounting, with
-        ``delta``/``delta_index`` substituting the delta relation for the
-        body literal at that source position (scheduled first).
+        The semi-naive hot path: derived rows stay in code space and flow
+        straight into :meth:`Relation.merge_coded`.  Accounting matches
+        :meth:`execute` exactly (it is the same computation).
         """
         if planner is not None:
             order = planner.order(clause, store.base_relation,
@@ -436,6 +696,29 @@ class BatchExecutor:
                 batch = op.run(batch, store.resolve(op.atom), stats)
             if not batch:
                 return []
+        fused = pipeline.fused
+        if fused is not None:
+            batch = fused.run(batch, store.resolve(fused.atom), stats)
+            stats.firings += len(batch)
+            return batch
         stats.firings += len(batch)
         head_of = pipeline.head_of
-        return [head_of(row) for row in batch]
+        return list(map(head_of, batch))
+
+    def execute(self, clause: Clause, store: "RelationStore",
+                stats: "EvalStats",
+                delta_index: Optional[int] = None,
+                delta: Optional[Relation] = None,
+                planner: Optional["ClausePlanner"] = None,
+                ) -> list[tuple[Value, ...]]:
+        """All head tuples derivable from one clause, as value tuples.
+
+        The contract matches ``list(seminaive.evaluate_clause(...))``:
+        same tuples, same ``probes``/``firings`` accounting, with
+        ``delta``/``delta_index`` substituting the delta relation for the
+        body literal at that source position (scheduled first).
+        """
+        decode_row = _POOL.decode_row
+        return [decode_row(coded) for coded in self.execute_coded(
+            clause, store, stats, delta_index=delta_index, delta=delta,
+            planner=planner)]

@@ -25,6 +25,8 @@ from ..errors import EvaluationError, SchemaError
 from .ast import Atom, Program
 from .database import Database, Relation
 from .parser import parse_program
+from .executor import BATCH, BatchExecutor, check_engine_mode
+from .planner import ClausePlanner
 from .safety import check_program
 from .seminaive import (EvalStats, RelationStore, evaluate_clause,
                         evaluate_stratum, prepare_store)
@@ -55,14 +57,20 @@ class IncrementalEngine:
     """
 
     def __init__(self, program: Union[str, Program],
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 engine: str = BATCH) -> None:
         if isinstance(program, str):
             program = parse_program(program)
         if program.has_choice():
             raise SchemaError("incremental maintenance is for Datalog/"
                               "IDLOG programs, not DATALOG^C")
         check_program(program)
+        check_engine_mode(engine)
         self.program = program
+        #: Engine for (re-)materialization passes.  Delta propagation and
+        #: DRed re-derivation stay tuple-at-a-time regardless — they probe
+        #: alternative derivations one tuple at a time by construction.
+        self.engine = engine
         self.stratification = stratify(program)
         #: True when insertions take the delta fast path.
         self.incremental = not _has_negation(program) \
@@ -98,6 +106,9 @@ class IncrementalEngine:
         # prepare_store shares EDB relations; since we own self._base
         # (copied in start), mutating them via add_fact is fine.
         store = prepare_store(self.program, self._base, None, stats)
+        planner = ClausePlanner("greedy", tracer=tracer)
+        executor = BatchExecutor(tracer=tracer) \
+            if self.engine == BATCH else None
         heads = self.program.head_predicates
         for level, stratum in enumerate(self.stratification.strata):
             stratum_heads = frozenset(stratum & heads)
@@ -105,6 +116,7 @@ class IncrementalEngine:
                             if c.head.pred in stratum_heads)
             if clauses:
                 evaluate_stratum(clauses, stratum_heads, store, stats,
+                                 planner=planner, executor=executor,
                                  tracer=tracer, stratum=level)
         self._store = store
         self.stats.merge(stats)

@@ -19,9 +19,13 @@ cardinality-aware rule compilation:
 * **Cost model.**  Positive relation literals are chosen to minimize the
   estimated number of join probes, using relation cardinalities and
   per-position distinct-value counts (:meth:`Relation.column_stats`) under
-  the textbook uniform-distribution independence assumptions.  The estimate
-  mirrors the engine's actual counter: one probe per tuple an index lookup
-  (or full scan) yields, with a floor of one probe per lookup.
+  the textbook uniform-distribution independence assumptions.  Under the
+  columnar store those counts are one C-level ``set()`` pass per
+  ``array('q')`` code vector (code equality is value equality, so distinct
+  codes = distinct constants), which keeps re-costing cheap enough to run
+  inside the fixpoint.  The estimate mirrors the engine's actual counter:
+  one probe per tuple an index lookup (or full scan) yields, with a floor
+  of one probe per lookup.
 * **Plan caching.**  :class:`ClausePlanner` compiles one plan per
   (clause, delta-position) pair and reuses it across fixpoint rounds; a
   cost plan is re-costed only when some body relation's cardinality has

@@ -1,0 +1,138 @@
+"""Global dictionary encoding of constants (the columnar-storage substrate).
+
+Every constant a :class:`~repro.datalog.database.Relation` stores is
+represented internally as one machine-word *code*; the process-wide
+:data:`GLOBAL_POOL` owns the bijection.  The encoding is **tagged** so that
+code equality is value equality across both of the paper's sorts without
+consulting the pool:
+
+* sort-i naturals (and any int that fits a signed 62-bit word) are encoded
+  *inline* as ``(value << 1) | 1`` — odd codes, no dictionary entry, no
+  lookup on either encode or decode;
+* everything else (sort-u strings, plus the rare oversized int an
+  arithmetic builtin may produce) is *interned*: the first encode appends
+  the object to the pool and hands out ``index << 1`` — an even code.
+
+Two values are equal iff their codes are equal: distinct strings get
+distinct pool slots, ints embed their value, and an odd (int) code can
+never collide with an even (interned) code.  That invariant is what lets
+the batch executor join, anti-join and project over raw ``array('q')``
+columns end-to-end and decode only at answer-materialization boundaries.
+
+The pool is append-only and process-global, like CPython's own string
+intern table: codes handed out once stay valid for the life of the
+process, so compiled pipelines may bake constant codes into closures and
+snapshots may be taken at any time.  :meth:`ConstantPool.clear` exists for
+tests that simulate a fresh process (the storage round-trip does it for
+real, in a subprocess) and must never run while encoded relations are
+alive.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional
+
+from .terms import Sort, Value
+
+#: Ints in [INLINE_MIN, INLINE_MAX] encode inline in a signed 64-bit slot
+#: (one bit spent on the tag).  Anything outside is interned like a string.
+INLINE_MIN = -(1 << 61)
+INLINE_MAX = (1 << 61) - 1
+
+
+class ConstantPool:
+    """An append-only intern table mapping constants to tagged int codes."""
+
+    __slots__ = ("_codes", "_objects")
+
+    def __init__(self) -> None:
+        self._codes: dict[Value, int] = {}
+        self._objects: list[Value] = []
+
+    def encode(self, value: Value) -> int:
+        """The code of ``value``, interning it on first sight."""
+        if type(value) is int and INLINE_MIN <= value <= INLINE_MAX:
+            return (value << 1) | 1
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._objects) << 1
+            self._codes[value] = code
+            self._objects.append(value)
+        return code
+
+    def try_encode(self, value: Value) -> Optional[int]:
+        """The code of ``value`` if it already has one, else None.
+
+        Probe paths (``match`` patterns, ``__contains__``) use this so
+        membership tests against values the database has never seen do
+        not grow the pool.
+        """
+        if type(value) is int and INLINE_MIN <= value <= INLINE_MAX:
+            return (value << 1) | 1
+        return self._codes.get(value)
+
+    def decode(self, code: int) -> Value:
+        """The value of a code previously handed out by :meth:`encode`."""
+        if code & 1:
+            return code >> 1
+        return self._objects[code >> 1]
+
+    def encode_row(self, row: tuple[Value, ...]) -> tuple[int, ...]:
+        """Encode every component of a tuple."""
+        return tuple(map(self.encode, row))
+
+    def decode_row(self, codes: Iterable[int]) -> tuple[Value, ...]:
+        """Decode a tuple of codes back to values."""
+        return tuple(map(self.decode, codes))
+
+    def decode_column(self, codes: Iterable[int]) -> list[Value]:
+        """Decode a whole code column in one pass.
+
+        The answer-materialization boundary decodes column-wise (one list
+        comprehension per column, then a C-level ``zip`` into row tuples)
+        instead of calling :meth:`decode` per cell.
+        """
+        objects = self._objects
+        return [code >> 1 if code & 1 else objects[code >> 1]
+                for code in codes]
+
+    def sort_of_code(self, code: int) -> Sort:
+        """The paper's sort of an encoded constant (without full decode)."""
+        if code & 1:
+            return Sort.I
+        return Sort.I if isinstance(self._objects[code >> 1], int) else Sort.U
+
+    def __len__(self) -> int:
+        """Number of *interned* constants (inline ints are free)."""
+        return len(self._objects)
+
+    def __contains__(self, value: Value) -> bool:
+        return self.try_encode(value) is not None
+
+    def stats(self) -> dict:
+        """Size report: interned constants and their approximate bytes.
+
+        The pool is shared global state (one copy per process however many
+        relations reference a constant), so :meth:`Database.stats` reports
+        it separately from per-relation resident bytes — the same way one
+        would account for the interpreter's own intern table.
+        """
+        approx = sys.getsizeof(self._codes) + sys.getsizeof(self._objects)
+        approx += sum(sys.getsizeof(obj) for obj in self._objects)
+        return {"constants": len(self._objects), "approx_bytes": approx}
+
+    def clear(self) -> None:
+        """Forget every interned constant (testing only).
+
+        Any relation encoded against the old contents becomes garbage;
+        callers own that hazard.  The storage round-trip test proves the
+        honest version of this — reloading a snapshot in a subprocess
+        whose pool really is empty.
+        """
+        self._codes.clear()
+        self._objects.clear()
+
+
+#: The process-wide pool every :class:`Relation` encodes against.
+GLOBAL_POOL = ConstantPool()

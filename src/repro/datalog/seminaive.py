@@ -21,7 +21,7 @@ from typing import Iterator, Optional, Protocol
 from ..errors import EvaluationError
 from .ast import Atom, Clause, Literal, Program
 from .builtins import builtin_spec
-from .database import Database, Relation
+from .database import CodedDelta, Database, Relation
 from .executor import BATCH, BatchExecutor, check_engine_mode
 from .planner import ClausePlanner
 from .pretty import format_clause
@@ -381,12 +381,25 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
         tracer.emit(EV_STRATUM_START, stratum=stratum,
                     heads=tuple(sorted(heads)))
 
+    # With a batch executor the whole derive->merge->delta loop stays in
+    # code space: pipelines emit coded head rows, an evaluation-scoped
+    # `seen` set per head predicate dedups them at C speed, and both the
+    # relation and the delta take the fresh rows as plain column appends
+    # (no membership structure, no per-row probe).  The seen sets are the
+    # classic space-for-time working state of a bulk load: they live only
+    # for this stratum's fixpoint, so the *resident* footprint after
+    # evaluation is the columnar one.  The interpreter path below it is
+    # untouched value-level storage — that is what makes it the
+    # differential oracle.
+    coded = executor is not None
+    seen_sets: dict[str, set] = {}
+
     def derive(clause: Clause, delta_index: Optional[int] = None,
                delta: Optional[Relation] = None) -> list[tuple]:
-        if executor is not None:
-            return executor.execute(clause, store, stats,
-                                    delta_index=delta_index, delta=delta,
-                                    planner=planner)
+        if coded:
+            return executor.execute_coded(clause, store, stats,
+                                          delta_index=delta_index,
+                                          delta=delta, planner=planner)
         return list(evaluate_clause(clause, store, stats,
                                     delta_index=delta_index, delta=delta,
                                     planner=planner))
@@ -395,6 +408,27 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
         if not rows:
             return 0
         relation = store.relation(pred)
+        if coded:
+            seen = seen_sets.get(pred)
+            if seen is None:
+                seen = seen_sets[pred] = set(relation.coded_rows())
+            # seen.add returns None, so the `is None` arm both records the
+            # row and keeps it — a single C-speed pass that preserves
+            # first-derivation order (ordering must stay deterministic:
+            # downstream ID choices consume rows in derivation order).
+            add = seen.add
+            fresh = [row for row in rows
+                     if row not in seen and add(row) is None]
+            if not fresh:
+                return 0
+            relation.extend_coded(fresh)
+            stats.count_derived(pred, len(fresh))
+            delta = deltas.get(pred)
+            if delta is None:
+                deltas[pred] = fresh
+            else:
+                delta.extend(fresh)
+            return len(fresh)
         fresh = relation.merge_rows(rows)
         if not fresh:
             return 0
@@ -440,6 +474,14 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
     recursive = [(c, _recursive_positions(c, heads)) for c in clauses]
     recursive = [(c, ps) for c, ps in recursive if ps]
 
+    if coded and recursive:
+        # Indexes built on head relations during the naive pass would be
+        # maintained on every delta-round append; drop them once — a
+        # delta round that actually probes a head relation rebuilds its
+        # index and extend_coded maintains it from then on.
+        for pred in heads:
+            store.relation(pred).drop_indexes()
+
     rounds = 0
     if recursive:
         while deltas:
@@ -451,6 +493,11 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
                     "unboundedly many facts through arithmetic")
             stats.iterations += 1
             previous, deltas = deltas, {}
+            if coded:
+                # Wrap each pred's fresh-row list once per round so every
+                # clause consuming it shares lazily-built columns/indexes.
+                previous = {pred: CodedDelta(rows)
+                            for pred, rows in previous.items()}
             if tracer is not None:
                 tracer.emit(EV_ROUND, stratum=stratum, round=rounds,
                             deltas={p: len(r) for p, r in previous.items()})

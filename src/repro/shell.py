@@ -43,7 +43,7 @@ commands:
   .open <dir>           load a database saved with .save
   .program              show the current program
   .db                   show the database summary
-  .stats                memory report: rows, index buckets, approx bytes
+  .stats                memory report: rows, bytes/tuple, interning ratio
   .explain              show the evaluation plan
   .why <fact>.          show a derivation tree for a ground fact
   .lint                 report likely mistakes / optimization hints
@@ -186,10 +186,15 @@ class Shell:
                 f"{rel_name}/{info['arity']}: rows={info['rows']} "
                 f"indexes={info['indexes']} "
                 f"index_buckets={info['index_buckets']} "
-                f"approx_bytes={info['approx_bytes']}")
+                f"approx_bytes={info['approx_bytes']} "
+                f"bytes_per_tuple={info['bytes_per_tuple']}")
         self._print(f"total: rows={report['total_rows']} "
                     f"approx_bytes={report['total_approx_bytes']} "
+                    f"logical_bytes={report['total_logical_bytes']} "
                     f"udomain={report['udomain_size']}")
+        self._print(f"pool: constants={report['pool_constants']} "
+                    f"approx_bytes={report['pool_approx_bytes']} "
+                    f"interning_ratio={report['interning_ratio']}")
 
     def _add_clause(self, line: str) -> None:
         clause = parse_clause(line)

@@ -286,3 +286,115 @@ class TestMemoryStats:
         import json
         db = Database.from_facts({"p": [("a",)]})
         assert json.loads(json.dumps(db.stats()))["total_rows"] == 1
+
+
+class TestCodedApi:
+    """The executor-facing coded surface of the columnar Relation."""
+
+    def test_coded_rows_decode_back(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(2, tuples=[("ann", 10), ("bob", 7)])
+        decoded = {GLOBAL_POOL.decode_row(row) for row in r.coded_rows()}
+        assert decoded == {("ann", 10), ("bob", 7)}
+
+    def test_coded_columns_are_int_arrays(self):
+        from array import array
+        r = Relation(2, tuples=[("ann", 10)])
+        cols = r.coded_columns()
+        assert len(cols) == 2
+        assert all(isinstance(col, array) and col.typecode == "q"
+                   for col in cols)
+
+    def test_index_on_coded_uses_bare_scalar_keys(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(2, tuples=[("ann", "toys"), ("bob", "toys"),
+                                ("cat", "it")])
+        index = r.index_on_coded((1,))
+        toys = GLOBAL_POOL.encode("toys")
+        assert len(index[toys]) == 2
+        assert set(index) == {toys, GLOBAL_POOL.encode("it")}
+
+    def test_contains_coded(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(1, tuples=[("x",)])
+        assert r.contains_coded((GLOBAL_POOL.encode("x"),))
+        assert not r.contains_coded((GLOBAL_POOL.encode("unseen-xyz"),))
+
+    def test_extend_coded_appends_known_new_rows(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(2, tuples=[("a", 1)])
+        fresh = [GLOBAL_POOL.encode_row(("b", 2)),
+                 GLOBAL_POOL.encode_row(("c", 3))]
+        r.extend_coded(fresh)
+        assert len(r) == 3
+        assert ("b", 2) in r and ("c", 3) in r
+
+    def test_extend_coded_maintains_live_indexes(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(2, tuples=[("a", "g"), ("b", "g")])
+        index = r.index_on_coded((1,))
+        g = GLOBAL_POOL.encode("g")
+        assert len(index[g]) == 2
+        r.extend_coded([GLOBAL_POOL.encode_row(("c", "g"))])
+        assert len(r.index_on_coded((1,))[g]) == 3
+
+    def test_extend_coded_validates_first_row_sorts(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(2, tuples=[("a", 1)])  # schema inferred as u, i
+        with pytest.raises(SchemaError):
+            r.extend_coded([GLOBAL_POOL.encode_row((5, "oops"))])
+
+    def test_drop_indexes_rebuilds_lazily(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(2, tuples=[("a", "g")])
+        r.index_on_coded((0,))
+        assert r.memory_stats()["indexes"] == 1
+        r.drop_indexes()
+        assert r.memory_stats()["indexes"] == 0
+        a = GLOBAL_POOL.encode("a")
+        assert r.index_on_coded((0,))[a] == [0]
+
+    def test_match_after_extend(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(2, tuples=[("a", "g")])
+        assert set(r.match(("a", None))) == {("a", "g")}
+        r.extend_coded([GLOBAL_POOL.encode_row(("a", "h"))])
+        assert set(r.match(("a", None))) == {("a", "g"), ("a", "h")}
+
+    def test_discard_then_extend_roundtrip(self):
+        from repro.datalog.pool import GLOBAL_POOL
+        r = Relation(1, tuples=[("a",), ("b",), ("c",)])
+        assert r.discard(("b",))
+        r.extend_coded([GLOBAL_POOL.encode_row(("d",))])
+        assert r.frozen() == frozenset({("a",), ("c",), ("d",)})
+
+
+class TestCodedDelta:
+    def test_wraps_rows_without_copying(self):
+        from repro.datalog.database import CodedDelta
+        from repro.datalog.pool import GLOBAL_POOL
+        rows = [GLOBAL_POOL.encode_row(("a", "b")),
+                GLOBAL_POOL.encode_row(("c", "d"))]
+        delta = CodedDelta(rows)
+        assert len(delta) == 2
+        assert delta.coded_rows() is rows
+
+    def test_lazy_coded_columns(self):
+        from repro.datalog.database import CodedDelta
+        from repro.datalog.pool import GLOBAL_POOL
+        rows = [GLOBAL_POOL.encode_row(("a", "b"))]
+        delta = CodedDelta(rows)
+        cols = delta.coded_columns()
+        assert [GLOBAL_POOL.decode(col[0]) for col in cols] == ["a", "b"]
+        assert delta.coded_columns() is cols
+
+    def test_index_on_coded_matches_relation_semantics(self):
+        from repro.datalog.database import CodedDelta
+        from repro.datalog.pool import GLOBAL_POOL
+        rows = [GLOBAL_POOL.encode_row(("a", "g")),
+                GLOBAL_POOL.encode_row(("b", "g"))]
+        delta = CodedDelta(rows)
+        g = GLOBAL_POOL.encode("g")
+        assert delta.index_on_coded((1,))[g] == [0, 1]
+        key = (GLOBAL_POOL.encode("a"), g)
+        assert delta.index_on_coded((0, 1))[key] == [0]

@@ -1,0 +1,121 @@
+"""Tests for the global constant pool (tagged dictionary encoding)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.database import Database, Relation
+from repro.datalog.pool import (GLOBAL_POOL, INLINE_MAX, INLINE_MIN,
+                                ConstantPool)
+from repro.datalog.terms import Sort
+
+
+class TestInlineInts:
+    def test_small_ints_encode_odd(self):
+        pool = ConstantPool()
+        for value in (0, 1, 7, -1, -99, 10**9):
+            code = pool.encode(value)
+            assert code & 1 == 1
+            assert pool.decode(code) == value
+        assert len(pool) == 0, "inline ints never intern"
+
+    def test_inline_bounds(self):
+        pool = ConstantPool()
+        assert pool.encode(INLINE_MIN) & 1 == 1
+        assert pool.encode(INLINE_MAX) & 1 == 1
+        assert len(pool) == 0
+        assert pool.encode(INLINE_MAX + 1) & 1 == 0
+        assert pool.encode(INLINE_MIN - 1) & 1 == 0
+        assert len(pool) == 2
+
+    def test_oversized_int_roundtrip(self):
+        pool = ConstantPool()
+        big = 1 << 100
+        assert pool.decode(pool.encode(big)) == big
+        assert pool.sort_of_code(pool.encode(big)) is Sort.I
+
+    @given(st.integers(min_value=INLINE_MIN, max_value=INLINE_MAX))
+    @settings(max_examples=100, deadline=None)
+    def test_inline_roundtrip(self, value):
+        pool = ConstantPool()
+        assert pool.decode(pool.encode(value)) == value
+
+
+class TestInternedStrings:
+    def test_strings_encode_even_and_stable(self):
+        pool = ConstantPool()
+        a1 = pool.encode("ann")
+        b = pool.encode("bob")
+        a2 = pool.encode("ann")
+        assert a1 & 1 == 0 and b & 1 == 0
+        assert a1 == a2
+        assert a1 != b
+        assert len(pool) == 2
+
+    def test_code_equality_is_value_equality(self):
+        pool = ConstantPool()
+        values = ["ann", "bob", 0, 1, -1, "0", "1", 1 << 99, "x", ""]
+        codes = [pool.encode(v) for v in values]
+        for i, vi in enumerate(values):
+            for j, vj in enumerate(values):
+                assert (codes[i] == codes[j]) == (vi == vj), (vi, vj)
+
+    def test_decode_column_matches_per_cell_decode(self):
+        pool = ConstantPool()
+        codes = [pool.encode(v) for v in ("a", 3, "b", -2, 1 << 80)]
+        assert pool.decode_column(codes) == \
+            [pool.decode(c) for c in codes]
+
+    def test_sort_of_code(self):
+        pool = ConstantPool()
+        assert pool.sort_of_code(pool.encode(5)) is Sort.I
+        assert pool.sort_of_code(pool.encode("dept")) is Sort.U
+
+
+class TestProbeSemantics:
+    def test_try_encode_never_grows_the_pool(self):
+        pool = ConstantPool()
+        assert pool.try_encode("never-seen") is None
+        assert len(pool) == 0
+        assert pool.try_encode(42) == pool.encode(42)
+
+    def test_contains(self):
+        pool = ConstantPool()
+        pool.encode("here")
+        assert "here" in pool
+        assert "gone" not in pool
+        assert 123 in pool, "inline ints are always encodable"
+
+    def test_rows(self):
+        pool = ConstantPool()
+        row = ("ann", 10)
+        assert pool.decode_row(pool.encode_row(row)) == row
+
+    def test_stats_and_clear(self):
+        pool = ConstantPool()
+        pool.encode("x")
+        stats = pool.stats()
+        assert stats["constants"] == 1
+        assert stats["approx_bytes"] > 0
+        pool.clear()
+        assert len(pool) == 0
+
+
+class TestGlobalPoolIntegration:
+    def test_relations_share_the_global_pool(self):
+        r1 = Relation(1, tuples=[("shared-constant-xyz",)])
+        r2 = Relation(1, tuples=[("shared-constant-xyz",)])
+        assert r1.coded_columns()[0][0] == r2.coded_columns()[0][0]
+        assert GLOBAL_POOL.decode(r1.coded_columns()[0][0]) == \
+            "shared-constant-xyz"
+
+    def test_database_stats_report_interning(self):
+        db = Database.from_facts({
+            "emp": [("ann", "toys"), ("bob", "toys"), ("cat", "toys")]})
+        stats = db.stats()
+        # 4 distinct constants over 6 cells.
+        assert stats["interning_ratio"] == pytest.approx(4 / 6, abs=1e-3)
+        assert stats["distinct_constants"] == 4
+        assert stats["total_cells"] == 6
+        assert stats["pool_constants"] >= 4
+        assert stats["total_logical_bytes"] == 8 * 2 * 3

@@ -26,7 +26,7 @@ DOC_FILES = sorted(
 GENERATED_OK = {"BENCH_pr3.json", "BENCH_prN.json", "out.jsonl",
                 "prog.dl", "facts.dl", "trace.jsonl",
                 "BENCH_candidate.json", "metrics.json",
-                "eval-report.json"}
+                "eval-report.json", "_pool.json", "_schema.json"}
 
 PATH_PATTERN = re.compile(
     r"`([\w./-]+\.(?:py|md|dl|json|jsonl|txt|yml))`")

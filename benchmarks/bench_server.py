@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Load generator for the long-lived IDLOG server.
+
+Starts an in-process server (:class:`repro.server.ServerThread`), opens
+``N`` concurrent clients — each on its own TCP connection, session, and
+thread — and drives every client through the same request script:
+
+1. ``open_session`` + ``assert_facts`` (a department table sized to the
+   profile),
+2. ``prepare`` of a two-clause sampling program (so later runs hit the
+   prepared-program pipeline cache),
+3. ``M`` timed ``run`` requests (``mode: one``, distinct seeds), each a
+   full round trip measured client-side.
+
+Reported: p50/p90/p99/mean/max round-trip latency in milliseconds,
+aggregate throughput in requests/second, error count (must be zero),
+and — as proof the prepared path really reuses compiled pipelines — the
+``pipelines_compiled``/``pipelines_reused`` counters of each client's
+final run (compiled must be 0).  The concurrency answer to the
+acceptance criterion "sustains >= 8 concurrent clients" is the quick
+profile's default.
+
+``run_all.py`` embeds this report in the BENCH trajectory under
+``"server"`` (gated by ``compare.py``); standalone use::
+
+    python benchmarks/bench_server.py [--quick] [--clients N]
+                                      [--requests M] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.server import ServerConfig, ServerThread  # noqa: E402
+
+QUICK_CLIENTS, QUICK_REQUESTS = 8, 12
+FULL_CLIENTS, FULL_REQUESTS = 12, 50
+
+PROGRAM = """
+  pick(Name, Dept) :- emp[2](Name, Dept, N), N < 1.
+  paired(A, B) :- pick(A, D), pick(B, D), A != B.
+"""
+
+
+def make_facts(quick: bool) -> dict:
+    """``emp`` rows: ``depts`` departments of ``per`` employees each."""
+    depts, per = (6, 10) if quick else (12, 25)
+    rows = [[f"e{d}_{i}", f"dept{d}"]
+            for d in range(depts) for i in range(per)]
+    return {"emp": rows}
+
+
+def counter_value(snapshot: dict, name: str):
+    """One unlabelled counter's value out of a registry snapshot."""
+    for family in snapshot.get("metrics", []):
+        if family.get("name") == name and family.get("series"):
+            return family["series"][0].get("value")
+    return None
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def drive_client(handle: ServerThread, index: int, requests: int,
+                 facts: dict, latencies: list[float],
+                 errors: list[str], final_stats: list[dict]) -> None:
+    """One client's whole script (run on its own thread)."""
+    try:
+        with handle.client() as client:
+            session = client.call("open_session")["session"]
+            client.call("assert_facts", session=session, facts=facts)
+            client.call("prepare", session=session, name="pick",
+                        program=PROGRAM)
+            last = {}
+            for i in range(requests):
+                start = perf_counter()
+                last = client.call("run", session=session, prepared="pick",
+                                   mode="one", seed=index * 1000 + i)
+                latencies.append(perf_counter() - start)
+            final_stats.append(last.get("stats", {}))
+            client.call("close_session", session=session)
+    except Exception as exc:  # collected, not raised: the report gates
+        errors.append(f"client {index}: {type(exc).__name__}: {exc}")
+
+
+def run(quick: bool = False, clients: int | None = None,
+        requests: int | None = None) -> dict:
+    """The ``server`` section of the BENCH trajectory."""
+    clients = clients or (QUICK_CLIENTS if quick else FULL_CLIENTS)
+    requests = requests or (QUICK_REQUESTS if quick else FULL_REQUESTS)
+    facts = make_facts(quick)
+    latencies: list[float] = []
+    errors: list[str] = []
+    final_stats: list[dict] = []
+    config = ServerConfig(workers=min(clients, 8))
+    with ServerThread(config) as handle:
+        threads = [threading.Thread(
+            target=drive_client,
+            args=(handle, i, requests, facts, latencies, errors,
+                  final_stats))
+            for i in range(clients)]
+        wall_start = perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = perf_counter() - wall_start
+        registry = handle.service.registry.snapshot()
+    ordered = sorted(latencies)
+    total = clients * requests
+    reuse_ok = bool(final_stats) and all(
+        s.get("pipelines_compiled") == 0 and s.get("pipelines_reused", 0) > 0
+        for s in final_stats)
+    return {
+        "scenario": "concurrent prepared sampling over TCP",
+        "quick": quick,
+        "clients": clients,
+        "requests_per_client": requests,
+        "total_requests": total,
+        "completed_requests": len(latencies),
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(len(latencies) / wall, 1) if wall else None,
+        "latency_ms": {
+            "p50": round(percentile(ordered, 0.50) * 1000, 3),
+            "p90": round(percentile(ordered, 0.90) * 1000, 3),
+            "p99": round(percentile(ordered, 0.99) * 1000, 3),
+            "mean": round(sum(ordered) / len(ordered) * 1000, 3)
+            if ordered else 0.0,
+            "max": round(ordered[-1] * 1000, 3) if ordered else 0.0,
+        },
+        "prepared_reuse_verified": reuse_ok,
+        "metrics_sample": {
+            key: counter_value(registry, key)
+            for key in ("idlog_server_sessions_total",
+                        "idlog_server_connections_total")
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="8 clients x 12 requests (CI smoke)")
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--out", default=None,
+                        help="also write the report as JSON to FILE")
+    args = parser.parse_args(argv)
+    report = run(quick=args.quick, clients=args.clients,
+                 requests=args.requests)
+    lat = report["latency_ms"]
+    print(f"{report['clients']} client(s) x "
+          f"{report['requests_per_client']} request(s): "
+          f"p50={lat['p50']}ms p90={lat['p90']}ms p99={lat['p99']}ms "
+          f"throughput={report['throughput_rps']} req/s "
+          f"errors={report['errors']} "
+          f"prepared_reuse={report['prepared_reuse_verified']}")
+    for sample in report["error_samples"]:
+        print(f"  error: {sample}", file=sys.stderr)
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 1 if report["errors"] or not report["prepared_reuse_verified"] \
+        else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,13 +11,16 @@ plus a canonical digest of the answer.  After timing, one extra untimed
 pass per kernel runs under an ambient :class:`TimingTracer`, so the
 ``batch/greedy`` record also carries a per-clause/per-stratum ``profile``
 (see ``docs/OBSERVABILITY.md``).  Results are written to
-``BENCH_pr7.json`` at the repo root; two trajectory files are compared
+``BENCH_pr8.json`` at the repo root; two trajectory files are compared
 for regressions by ``benchmarks/compare.py``.
 
 The report also carries a ``memory`` section — resident/logical
 bytes-per-tuple of the 1200-row Zipf workload under the columnar store,
 plus the pool interning ratio — which ``compare.py`` gates alongside the
-wall-time series (bytes/tuple must not regress more than 10%).
+wall-time series (bytes/tuple must not regress more than 10%) — and a
+``server`` section from ``bench_server.py`` (concurrent-client p50/p99
+latency and throughput against the long-lived server; zero errors
+required).
 
 The run FAILS (exit 1) when the batch and interp engines disagree on any
 kernel's answer under the same plan — this is the CI smoke check.
@@ -440,7 +443,7 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per mode (default 3, 1 "
                              "with --quick)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr7.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr8.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--only", default=None,
                         help="run only scenarios whose name contains this "
@@ -509,6 +512,16 @@ def main(argv=None) -> int:
         # an engine kernel.
         import bench_storage
         report["storage"] = bench_storage.run(quick=args.quick)
+        # The server load benchmark (concurrent clients over TCP, see
+        # bench_server.py) records p50/p99 latency and throughput into
+        # the same trajectory; compare.py gates its latencies and
+        # requires zero errors.
+        import bench_server
+        report["server"] = bench_server.run(quick=args.quick)
+        lat = report["server"]["latency_ms"]
+        print(f"{'server load':28s} {report['server']['clients']} clients  "
+              f"p50={lat['p50']}ms p99={lat['p99']}ms "
+              f"errors={report['server']['errors']}", flush=True)
 
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")

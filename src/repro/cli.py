@@ -11,6 +11,8 @@ The subcommands::
     repro-idlog stats [PROGRAM] [-f FACTS | --dir DIR]  # memory report
     repro-idlog diverge RUN_A RUN_B  # first differing ID choice of 2 runs
     repro-idlog eval [--quick] [--out FILE]  # scenario suite + stats checks
+    repro-idlog serve [--port P] [--unix PATH] ...   # long-lived server
+    repro-idlog connect [PROGRAM] [-f FACTS] ...     # query a server
 
 ``PROGRAM`` is a file of clauses in the surface syntax; ``FACTS`` is a
 file of ground facts (``emp(ann, toys).``), whose ``udom(c)`` facts — if
@@ -42,6 +44,14 @@ the answer delta it caused.  ``stats`` reports
 memory/cardinality introspection (rows, index buckets, approximate
 bytes) for a facts file, an evaluation result, or a saved database
 directory; ``why`` prints the derivation tree of one ground fact.
+
+Server mode (see ``docs/SERVER.md``): ``serve`` starts the long-lived
+IDLOG server — persistent sessions, prepared programs, concurrent
+clients over newline-delimited JSON, ``GET /metrics`` + ``/healthz`` on
+the same listener — and ``connect`` is the matching client: with no
+PROGRAM it pings the server and prints its stats; with a PROGRAM it
+opens a session, asserts the ``-f`` facts, runs the program remotely,
+and prints the answers exactly like ``run``.
 
 Scenario verification (see ``docs/SCENARIOS.md``): ``eval`` runs the
 built-in scenario suite — exact answer checks for deterministic queries,
@@ -537,6 +547,94 @@ def _cmd_eval(args, out) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_serve(args, out) -> int:
+    """Run the long-lived IDLOG server (``repro-idlog serve``)."""
+    from .server import ServerConfig, serve
+    if args.no_tcp and not args.unix:
+        raise ReproError("--no-tcp needs a --unix socket to listen on")
+    config = ServerConfig(
+        plan=args.plan, engine=args.engine, workers=args.workers,
+        timeout_s=args.timeout, drain_s=args.drain,
+        metrics_path=args.metrics, metrics_format=args.metrics_format,
+        choice_log_dir=args.choice_log_dir,
+        max_sessions=args.max_sessions)
+
+    def ready(server) -> None:
+        # The ready line is the supervision contract: once printed (and
+        # flushed), the listeners are bound and accepting.
+        if server.tcp_address is not None:
+            host, port = server.tcp_address
+            print(f"serving on {host}:{port} "
+                  "(NDJSON; GET /metrics and /healthz)", file=out)
+        if args.unix:
+            print(f"serving on unix socket {args.unix}", file=out)
+        out.flush()
+
+    reason = serve(config, host=None if args.no_tcp else args.host,
+                   port=args.port, unix_path=args.unix, ready=ready)
+    print(f"shutdown: {reason} (sessions closed, in-flight drained)",
+          file=out)
+    if config.metrics_path:
+        print(f"(metrics flushed to {config.metrics_path})", file=out)
+    return 0
+
+
+def _cmd_connect(args, out) -> int:
+    """Query a running server (``repro-idlog connect``)."""
+    from .server import ServerClient
+    timeout = args.timeout if args.timeout is not None else 30.0
+    if args.unix:
+        client = ServerClient.connect_unix(args.unix, timeout=timeout)
+    else:
+        client = ServerClient.connect_tcp(args.host, args.port,
+                                          timeout=timeout)
+    with client:
+        if args.program is None:
+            pong = client.call("ping")
+            report = client.call("server_stats")
+            print(f"server ok: protocol {pong['protocol']}, "
+                  f"schema {pong['schema']}", file=out)
+            print("server: " + " ".join(
+                f"{key}={report[key]}" for key in sorted(report)),
+                file=out)
+            return 0
+        with open(args.program) as handle:
+            source = handle.read()
+        db = _load_facts(args.facts)
+        session = client.call("open_session", plan=args.plan,
+                              engine=args.engine)["session"]
+        try:
+            if db.relation_names():
+                facts = {name: [list(row) for row in
+                                sorted(db.relation(name).frozen(),
+                                       key=lambda r: tuple(map(repr, r)))]
+                         for name in sorted(db.relation_names())}
+                client.call("assert_facts", session=session, facts=facts,
+                            udom=sorted(db.udomain))
+            request = {"session": session, "program": source,
+                       "mode": args.mode}
+            if args.seed is not None:
+                request["seed"] = args.seed
+            if args.query:
+                request["query"] = [args.query]
+            if args.timeout is not None:
+                request["timeout"] = args.timeout
+            result = client.call("run", **request)
+            for pred in sorted(result["answers"]):
+                rows = [tuple(row) for row in result["answers"][pred]]
+                print(f"{pred}: {len(rows)} tuple(s)", file=out)
+                _print_relation(rows, out)
+            if args.stats:
+                stats = result["stats"]
+                print("stats: " + " ".join(
+                    f"{key}={stats[key]}" for key in sorted(stats)),
+                    file=out)
+        finally:
+            with contextlib.suppress(Exception):
+                client.call("close_session", session=session)
+    return 0
+
+
 def _cmd_diverge(args, out) -> int:
     """Diagnose where two recorded runs parted ways."""
     import os
@@ -713,6 +811,87 @@ def build_parser() -> argparse.ArgumentParser:
     eval_cmd.add_argument("--progress", action="store_true",
                           help="print per-case heartbeats to stderr")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived IDLOG server: persistent sessions, "
+             "prepared programs, concurrent NDJSON clients, GET /metrics "
+             "and /healthz (see docs/SERVER.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7421,
+                       help="TCP port (default 7421; 0 picks an "
+                            "ephemeral port, printed on the ready line)")
+    serve.add_argument("--unix", metavar="PATH", default=None,
+                       help="also listen on a unix socket at PATH")
+    serve.add_argument("--no-tcp", action="store_true",
+                       help="listen on the --unix socket only")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads = max concurrently executing "
+                            "requests (default 4)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-request timeout in seconds "
+                            "(requests may pass a smaller one; default: "
+                            "unlimited)")
+    serve.add_argument("--drain", type=float, default=5.0,
+                       help="graceful-shutdown drain budget in seconds "
+                            "for in-flight requests (default 5)")
+    serve.add_argument("--plan", choices=("greedy", "cost"),
+                       default="greedy",
+                       help="default planning mode for new sessions")
+    serve.add_argument("--engine", choices=("batch", "interp"),
+                       default="batch",
+                       help="default execution engine for new sessions")
+    serve.add_argument("--metrics", metavar="FILE", default=None,
+                       help="flush the metrics registry to FILE on "
+                            "shutdown (in a finally:, so a killed server "
+                            "still leaves a valid export)")
+    serve.add_argument("--metrics-format", choices=("prom", "json"),
+                       default="prom",
+                       help="format for --metrics (default Prometheus "
+                            "text)")
+    serve.add_argument("--choice-log-dir", metavar="DIR", default=None,
+                       help="save every recorded run's choice log under "
+                            "DIR (one JSONL file per completed request)")
+    serve.add_argument("--max-sessions", type=int, default=256,
+                       help="open-session cap (default 256)")
+
+    connect = sub.add_parser(
+        "connect",
+        help="query a running IDLOG server: ping it, or run a program "
+             "file in a fresh session (see docs/SERVER.md)")
+    connect.add_argument("program", nargs="?", default=None,
+                         help="program file to run remotely (omit to "
+                              "ping the server and print its stats)")
+    connect.add_argument("-f", "--facts",
+                         help="facts file asserted into the session "
+                              "before the run")
+    connect.add_argument("-q", "--query",
+                         help="output predicate (default: all)")
+    connect.add_argument("--host", default="127.0.0.1",
+                         help="server address (default 127.0.0.1)")
+    connect.add_argument("--port", type=int, default=7421,
+                         help="server TCP port (default 7421)")
+    connect.add_argument("--unix", metavar="PATH", default=None,
+                         help="connect over a unix socket instead of TCP")
+    connect.add_argument("--mode", choices=("run", "one"), default="run",
+                         help="canonical model or one sampled answer "
+                              "(answers enumeration stays local — see "
+                              "docs/SERVER.md)")
+    connect.add_argument("--seed", type=int, default=None,
+                         help="random seed for --mode one")
+    connect.add_argument("--plan", choices=("greedy", "cost"),
+                         default="greedy",
+                         help="planning mode for the session")
+    connect.add_argument("--engine", choices=("batch", "interp"),
+                         default="batch",
+                         help="execution engine for the session")
+    connect.add_argument("--timeout", type=float, default=None,
+                         help="per-request timeout in seconds (also the "
+                              "socket timeout)")
+    connect.add_argument("--stats", action="store_true",
+                         help="print the server-reported evaluation "
+                              "counters")
+
     diverge_cmd = sub.add_parser(
         "diverge",
         help="compare two recorded choice logs: first differing ID "
@@ -733,7 +912,8 @@ def main(argv: Optional[Sequence[str]] = None,
                 "lint": _cmd_lint, "run": _cmd_run,
                 "profile": _cmd_profile, "why": _cmd_why,
                 "stats": _cmd_stats, "diverge": _cmd_diverge,
-                "eval": _cmd_eval}
+                "eval": _cmd_eval, "serve": _cmd_serve,
+                "connect": _cmd_connect}
     try:
         return handlers[args.command](args, out)
     except FileNotFoundError as exc:

@@ -220,13 +220,24 @@ class IdlogEngine:
             eval/stratum/clause/ID-materialization spans to it.  Defaults
             to the ambient tracer installed by
             :func:`repro.datalog.trace.use_tracer`.
+        persistent_caches: Keep one :class:`ClausePlanner` and one
+            :class:`BatchExecutor` alive *across* :meth:`run` /
+            :meth:`one` / :meth:`replay` calls, so compiled plans and
+            batch pipelines (keyed per clause) are reused from one
+            evaluation to the next — the "prepared program" mode the
+            long-lived server (:mod:`repro.server`) runs every session
+            under.  Off by default: a persistent engine must not be used
+            from several threads at once, and cost plans are re-costed
+            (not discarded) when relation cardinalities drift between
+            calls.
     """
 
     def __init__(self, program: Union[str, Program, IdlogProgram],
                  use_group_limits: bool = True,
                  plan: str = "greedy",
                  engine: str = BATCH,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 persistent_caches: bool = False) -> None:
         if isinstance(program, IdlogProgram):
             self.compiled = program
         else:
@@ -235,10 +246,32 @@ class IdlogEngine:
         self.plan = check_plan_mode(plan)
         self.engine = check_engine_mode(engine)
         self.tracer = tracer
+        self.persistent_caches = persistent_caches
+        self._planner: Optional[ClausePlanner] = None
+        self._executor: Optional[BatchExecutor] = None
 
     def _make_executor(self, tracer: Optional[Tracer] = None,
                        ) -> Optional[BatchExecutor]:
         return BatchExecutor(tracer=tracer) if self.engine == BATCH else None
+
+    def _pipeline_state(self, tracer: Optional[Tracer]
+                        ) -> tuple[ClausePlanner, Optional[BatchExecutor]]:
+        """The planner/executor pair for one evaluation.
+
+        Fresh per call by default; with ``persistent_caches`` the same
+        pair is handed out every time (tracer re-pointed per call), so
+        plan and pipeline caches survive between evaluations.
+        """
+        if not self.persistent_caches:
+            return (ClausePlanner(self.plan, tracer=tracer),
+                    self._make_executor(tracer))
+        if self._planner is None:
+            self._planner = ClausePlanner(self.plan, tracer=tracer)
+            self._executor = self._make_executor(tracer)
+        self._planner.tracer = tracer
+        if self._executor is not None:
+            self._executor.tracer = tracer
+        return self._planner, self._executor
 
     @property
     def program(self) -> Program:
@@ -319,8 +352,7 @@ class IdlogEngine:
 
     def _run_strata(self, store: RelationStore, stats: EvalStats,
                     tracer: Optional[Tracer] = None) -> None:
-        planner = ClausePlanner(self.plan, tracer=tracer)
-        executor = self._make_executor(tracer)
+        planner, executor = self._pipeline_state(tracer)
         heads = self.program.head_predicates
         for level, stratum in enumerate(self.compiled.stratification.strata):
             stratum_heads = frozenset(stratum & heads)

@@ -1,0 +1,151 @@
+"""Blocking client for the IDLOG server protocol.
+
+:class:`ServerClient` speaks the NDJSON protocol over TCP or a unix
+socket with plain synchronous sockets — it has no asyncio dependency, so
+the CLI (``repro-idlog connect``), the benchmark load generator, and
+tests all share it.  One client is one connection; it is not
+thread-safe (each benchmark worker opens its own).
+
+>>> from repro.server import ServerThread, ServerClient
+>>> with ServerThread() as handle:
+...     with handle.client() as client:
+...         session = client.call("open_session")["session"]
+...         _ = client.call("assert_facts", session=session,
+...                         facts={"edge": [["a", "b"], ["b", "c"]]})
+...         result = client.call("run", session=session, program='''
+...             path(X, Y) :- edge(X, Y).
+...             path(X, Y) :- edge(X, Z), path(Z, Y).
+...         ''')
+...         result["answers"]["path"]
+[['a', 'b'], ['a', 'c'], ['b', 'c']]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from .protocol import ServerError, decode, encode
+
+#: Must match the server's line limit (see
+#: :data:`repro.server.server.LINE_LIMIT`).
+_CHUNK = 1 << 16
+
+
+class ServerClient:
+    """One NDJSON connection to an IDLOG server.
+
+    Build one with :meth:`connect_tcp` or :meth:`connect_unix`; use as a
+    context manager to guarantee the socket closes.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = b""
+        self._next_id = 0
+
+    @classmethod
+    def connect_tcp(cls, host: str, port: int,
+                    timeout: float = 30.0) -> "ServerClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock)
+
+    @classmethod
+    def connect_unix(cls, path: str,
+                     timeout: float = 30.0) -> "ServerClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    # -- wire ---------------------------------------------------------------
+
+    def send(self, request: dict):
+        """Send one request, auto-assigning an ``id``; returns the id."""
+        if "id" not in request:
+            self._next_id += 1
+            request = {"id": self._next_id, **request}
+        self._sock.sendall(encode(request))
+        return request["id"]
+
+    def recv(self) -> dict:
+        """Read the next response line (whatever request it answers)."""
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(_CHUNK)
+            if not chunk:
+                raise ConnectionError(
+                    "server closed the connection mid-response")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode(line)
+
+    def recv_for(self, request_id) -> dict:
+        """Read responses until the one answering ``request_id``.
+
+        Responses for other ids are discarded — callers that pipeline
+        several requests should use :meth:`send` + :meth:`recv` and
+        match ids themselves; :meth:`call` is strictly one-at-a-time, so
+        nothing is ever skipped there.
+        """
+        while True:
+            response = self.recv()
+            if response.get("id") == request_id:
+                return response
+
+    # -- convenience --------------------------------------------------------
+
+    def call(self, rtype: str, **fields) -> dict:
+        """One request, one response; the ``result`` payload.
+
+        Raises:
+            ServerError: for an ``ok: false`` response, carrying the
+                typed protocol error.
+        """
+        rid = self.send({"type": rtype, **fields})
+        response = self.recv_for(rid)
+        return self.unwrap(response)
+
+    @staticmethod
+    def unwrap(response: dict) -> dict:
+        """The ``result`` of a response, raising on protocol errors."""
+        if response.get("ok"):
+            return response.get("result", {})
+        error = response.get("error") or {}
+        raise ServerError(error.get("type", "internal"),
+                          error.get("message", "malformed error response"))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def http_get(host: str, port: int, path: str,
+             timeout: float = 10.0) -> tuple[int, str]:
+    """One HTTP GET against the server's NDJSON listener.
+
+    Returns:
+        ``(status_code, body)`` — how ``/metrics`` and ``/healthz`` are
+        scraped without an HTTP library.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n"
+                     .encode("latin-1"))
+        blob = b""
+        while True:
+            chunk = sock.recv(_CHUNK)
+            if not chunk:
+                break
+            blob += chunk
+    head, _, body = blob.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].split()
+    code = int(status_line[1]) if len(status_line) > 1 else 0
+    return code, body.decode("utf-8", errors="replace")

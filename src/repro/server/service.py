@@ -1,0 +1,612 @@
+"""The server's synchronous core: sessions, prepared programs, handlers.
+
+:class:`IdlogService` is everything the IDLOG server does *minus* the
+transport: it owns the per-session :class:`~repro.datalog.database.Database`
+objects, the prepared-program cache, the metrics registry, and one
+handler per request type.  The asyncio layer
+(:mod:`repro.server.server`) is a thin shell that frames NDJSON lines,
+schedules :meth:`IdlogService.handle` onto a bounded worker pool, and
+adds the two transport-level request types (``cancel``, ``shutdown``).
+
+Keeping the core synchronous buys two things:
+
+* **In-process use** — tests (and the serve-vs-in-process differential)
+  drive the exact handler code without sockets:
+  ``IdlogService().handle({"type": "ping"})``.
+* **Honest concurrency** — evaluation is CPU-bound Python; the service
+  documents its locking (one :class:`threading.Lock` per session, one
+  registry lock) instead of pretending the event loop parallelizes it.
+
+Session isolation: every session owns its database, its prepared
+programs, and its ID-choice sequence numbers; two sessions never share
+mutable state, so requests of *different* sessions run concurrently on
+the worker pool while requests of one session serialize on its lock.
+
+Prepared programs: ``prepare`` compiles (parse + safety + stratify +
+plan scaffolding) once and keeps an :class:`~repro.core.IdlogEngine`
+with ``persistent_caches=True`` alive, so later ``run`` calls reuse the
+compiled clause pipelines and plans (their caches are keyed per clause).
+Inline ``run {"program": ...}`` requests get the same treatment through
+a source-hash cache — the second identical inline program is a cache
+hit, visible in ``stats.pipelines_reused`` and the
+``idlog_server_prepared_cache_total`` metric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import IdlogEngine
+from ..core.choicelog import ChoiceLog
+from ..datalog.database import Database
+from ..datalog.executor import check_engine_mode
+from ..datalog.metrics import MetricsRegistry, MetricsTracer
+from ..datalog.parser import parse_program
+from ..datalog.planner import check_plan_mode
+from ..datalog.storage import STORAGE_FORMAT, load_database, save_database
+from ..datalog.trace import SCHEMA_VERSION
+from .protocol import (PROTOCOL_VERSION, REQUEST_TYPES, RequestError,
+                       field, positive_number)
+
+#: Request-latency histogram buckets: 100µs .. 100s by decades — server
+#: round trips sit well above the engine's clause-level buckets.
+_REQUEST_BUCKETS = (1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for :class:`IdlogService` and the asyncio transport.
+
+    Attributes:
+        plan: Default planning mode for new sessions (``greedy``/``cost``).
+        engine: Default execution engine (``batch``/``interp``).
+        workers: Worker-pool threads; also the bound on concurrently
+            *executing* requests (excess requests queue).
+        timeout_s: Default per-request timeout (None = unlimited);
+            individual requests may pass a smaller ``timeout``.
+        drain_s: Graceful-shutdown drain budget for in-flight requests.
+        metrics_path: When set, the transport flushes the metrics
+            registry here in a ``finally:`` on shutdown — a killed
+            server still leaves a valid export (the PR-4/PR-5 contract).
+        metrics_format: ``prom`` or ``json`` for ``metrics_path``.
+        choice_log_dir: When set, every ``run {"record": true}`` also
+            saves its choice log as
+            ``<dir>/<session>-<seq>.choices.jsonl`` at request
+            completion, so a mid-request kill leaves all *completed*
+            requests' logs valid on disk.
+        max_sessions: Open-session cap (a garbage client cannot OOM the
+            server by opening sessions in a loop).
+    """
+
+    plan: str = "greedy"
+    engine: str = "batch"
+    workers: int = 4
+    timeout_s: Optional[float] = None
+    drain_s: float = 5.0
+    metrics_path: Optional[str] = None
+    metrics_format: str = "prom"
+    choice_log_dir: Optional[str] = None
+    max_sessions: int = 256
+
+    def __post_init__(self) -> None:
+        self.plan = check_plan_mode(self.plan)
+        self.engine = check_engine_mode(self.engine)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.metrics_format not in ("prom", "json"):
+            raise ValueError(
+                f"metrics_format must be prom or json, "
+                f"got {self.metrics_format!r}")
+
+
+class PreparedProgram:
+    """One compiled program held resident for a session.
+
+    The engine is constructed with ``persistent_caches=True`` so its
+    clause pipelines and plans survive between ``run`` calls — that
+    reuse (not the parse) is what makes preparing worth a round trip.
+    """
+
+    def __init__(self, name: str, source: str, plan: str,
+                 engine_mode: str, tracer) -> None:
+        program = parse_program(source, name=name)
+        if program.has_choice():
+            raise RequestError(
+                "bad_request",
+                "choice programs are not served over the wire; translate "
+                "to IDLOG first (repro-idlog explain shows the "
+                "translation)")
+        self.name = name
+        self.source = source
+        self.plan = plan
+        self.engine_mode = engine_mode
+        self.engine = IdlogEngine(program, plan=plan, engine=engine_mode,
+                                  tracer=tracer, persistent_caches=True)
+        self.uses = 0
+
+    def describe(self) -> dict:
+        program = self.engine.program
+        return {
+            "name": self.name,
+            "clauses": len(program.clauses),
+            "strata": self.engine.compiled.stratification.depth,
+            "outputs": sorted(program.head_predicates),
+            "inputs": sorted(program.input_predicates),
+            "plan": self.plan,
+            "engine": self.engine_mode,
+            "uses": self.uses,
+        }
+
+
+class Session:
+    """One client session: a private database plus prepared programs."""
+
+    def __init__(self, session_id: str, plan: str, engine_mode: str) -> None:
+        self.id = session_id
+        self.plan = plan
+        self.engine_mode = engine_mode
+        self.db = Database()
+        self.udom: set[str] = set()
+        self.programs: dict[str, PreparedProgram] = {}
+        self.seq = 0
+        #: Serializes evaluation within the session — prepared engines
+        #: (persistent caches) are not safe for concurrent use.
+        self.lock = threading.Lock()
+
+
+class IdlogService:
+    """Session registry + request handlers (everything but the sockets).
+
+    >>> service = IdlogService()
+    >>> service.handle({"type": "ping"})["pong"]
+    True
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.config = config or ServerConfig()
+        self.registry = registry or MetricsRegistry()
+        #: Folds engine span events (idlog_* families) into the registry.
+        self.tracer = MetricsTracer(self.registry)
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._next_session = 0
+        r = self.registry
+        self.m_requests = r.counter(
+            "idlog_server_requests_total",
+            "Requests served, by type and outcome ('ok' or an error type)",
+            labels=("type", "status"))
+        self.m_request_seconds = r.histogram(
+            "idlog_server_request_seconds",
+            "Wall time per served request", buckets=_REQUEST_BUCKETS)
+        self.m_sessions = r.gauge(
+            "idlog_server_sessions", "Sessions currently open")
+        self.m_sessions_total = r.counter(
+            "idlog_server_sessions_total", "Sessions ever opened")
+        self.m_prepared = r.gauge(
+            "idlog_server_prepared_programs",
+            "Prepared programs resident across all sessions")
+        self.m_prepared_cache = r.counter(
+            "idlog_server_prepared_cache_total",
+            "Prepared-program cache lookups", labels=("result",))
+        self.m_connections = r.gauge(
+            "idlog_server_connections", "Connections currently open")
+        self.m_connections_total = r.counter(
+            "idlog_server_connections_total", "Connections ever accepted")
+        self.m_inflight = r.gauge(
+            "idlog_server_inflight_requests",
+            "Requests currently executing or awaiting a worker")
+        self.m_timeouts = r.counter(
+            "idlog_server_timeouts_total",
+            "Requests that exceeded their per-request timeout")
+        self.m_cancelled = r.counter(
+            "idlog_server_cancelled_total",
+            "Requests cancelled by a cancel request or shutdown")
+        self.m_http = r.counter(
+            "idlog_server_http_requests_total",
+            "HTTP GETs answered on the NDJSON listener", labels=("path",))
+        self._requests_served = 0
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        """Serve one parsed request; the ``result`` payload of a response.
+
+        Raises:
+            RequestError: for every anticipated failure; the caller maps
+                it to an ``ok: false`` response.  ``cancel`` and
+                ``shutdown`` are transport-level types — in-process
+                callers have nothing to cancel, so they fail here with
+                ``bad_request``.
+        """
+        rtype = field(request, "type", str)
+        if rtype not in REQUEST_TYPES:
+            raise RequestError(
+                "bad_request",
+                f"unknown request type {rtype!r}; known: "
+                + ", ".join(REQUEST_TYPES))
+        if rtype in ("cancel", "shutdown"):
+            raise RequestError(
+                "bad_request",
+                f"{rtype} is a transport-level request; it is only "
+                "served over a live server connection")
+        handler = getattr(self, f"_handle_{rtype}")
+        result = handler(request)
+        with self._lock:
+            self._requests_served += 1
+        return result
+
+    def observe(self, rtype: str, status: str, seconds: float) -> None:
+        """Record one transport-level request outcome in the metrics."""
+        self.m_requests.labels(type=rtype, status=status).inc()
+        self.m_request_seconds.observe(seconds)
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, request: dict) -> Session:
+        """The session a request addresses.
+
+        Raises:
+            RequestError: (``unknown_session``) when the id is unknown —
+                including sessions already closed.
+        """
+        sid = field(request, "session", str)
+        with self._lock:
+            session = self._sessions.get(sid)
+        if session is None:
+            raise RequestError(
+                "unknown_session",
+                f"no open session {sid!r} (open_session creates one; "
+                "sessions die with close_session, not with the "
+                "connection)")
+        return session
+
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def _handle_ping(self, request: dict) -> dict:
+        return {"pong": True, "server": "repro-idlog",
+                "protocol": PROTOCOL_VERSION, "schema": SCHEMA_VERSION}
+
+    def _handle_open_session(self, request: dict) -> dict:
+        plan = field(request, "plan", str, required=False,
+                     default=self.config.plan)
+        engine_mode = field(request, "engine", str, required=False,
+                            default=self.config.engine)
+        try:
+            plan = check_plan_mode(plan)
+            engine_mode = check_engine_mode(engine_mode)
+        except Exception as exc:
+            raise RequestError("bad_request", str(exc))
+        with self._lock:
+            if len(self._sessions) >= self.config.max_sessions:
+                raise RequestError(
+                    "bad_request",
+                    f"session cap reached ({self.config.max_sessions}); "
+                    "close sessions before opening more")
+            self._next_session += 1
+            sid = f"s{self._next_session}"
+            self._sessions[sid] = Session(sid, plan, engine_mode)
+        self.m_sessions.inc()
+        self.m_sessions_total.inc()
+        return {"session": sid, "plan": plan, "engine": engine_mode}
+
+    def _handle_close_session(self, request: dict) -> dict:
+        session = self.session(request)
+        with session.lock:  # drain: no close mid-evaluation
+            with self._lock:
+                self._sessions.pop(session.id, None)
+        self.m_sessions.dec()
+        self.m_prepared.dec(len(session.programs))
+        return {"closed": session.id,
+                "prepared_dropped": len(session.programs)}
+
+    def close_all_sessions(self) -> int:
+        """Drop every session (graceful-shutdown cleanup)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            self.m_sessions.dec()
+            self.m_prepared.dec(len(session.programs))
+        return len(sessions)
+
+    # -- data ---------------------------------------------------------------
+
+    def _handle_assert_facts(self, request: dict) -> dict:
+        session = self.session(request)
+        facts = field(request, "facts", dict, required=False, default={})
+        udom = field(request, "udom", list, required=False, default=[])
+        for item in udom:
+            if not isinstance(item, str):
+                raise RequestError(
+                    "bad_request", "udom entries must be strings")
+        with session.lock:
+            added = 0
+            for pred, rows in facts.items():
+                if not isinstance(pred, str) or not isinstance(rows, list):
+                    raise RequestError(
+                        "bad_request",
+                        "facts must map predicate names to row lists")
+                for row in rows:
+                    if not isinstance(row, list) or not all(
+                            isinstance(v, (str, int))
+                            and not isinstance(v, bool) for v in row):
+                        raise RequestError(
+                            "bad_request",
+                            f"rows of {pred} must be lists of "
+                            "strings/integers")
+                    added += bool(session.db.add_fact(pred, tuple(row)))
+            if udom:
+                session.udom.update(udom)
+                session.db = Database(
+                    {name: session.db.relation(name)
+                     for name in session.db.relation_names()},
+                    udomain=session.udom)
+            sizes = {name: len(session.db.relation(name))
+                     for name in sorted(session.db.relation_names())}
+        return {"added": added, "relations": sizes,
+                "udomain_size": len(session.db.udomain)}
+
+    # -- programs -----------------------------------------------------------
+
+    def _compile(self, session: Session, key: str, source: str,
+                 display_name: str) -> PreparedProgram:
+        """Cache-or-compile one program under ``key`` (caller holds the
+        session lock).  Counts the ``prepared_cache`` hit/miss."""
+        existing = session.programs.get(key)
+        if existing is not None and existing.source == source:
+            self.m_prepared_cache.labels(result="hit").inc()
+            return existing
+        self.m_prepared_cache.labels(result="miss").inc()
+        prepared = PreparedProgram(display_name, source, session.plan,
+                                   session.engine_mode, self.tracer)
+        if existing is None:
+            self.m_prepared.inc()
+        session.programs[key] = prepared
+        return prepared
+
+    def _resolve_program(self, session: Session,
+                         request: dict) -> PreparedProgram:
+        """The prepared program a run/answers request names — either
+        ``prepared`` (a name from an earlier ``prepare``) or ``program``
+        (inline source, cached by content hash)."""
+        name = field(request, "prepared", str, required=False)
+        source = field(request, "program", str, required=False)
+        if (name is None) == (source is None):
+            raise RequestError(
+                "bad_request",
+                "exactly one of 'prepared' (a prepared name) or "
+                "'program' (inline source) is required")
+        if name is not None:
+            prepared = session.programs.get(name)
+            if prepared is None:
+                raise RequestError(
+                    "unknown_prepared",
+                    f"session {session.id} has no prepared program "
+                    f"{name!r} (prepare installs one)")
+            self.m_prepared_cache.labels(result="hit").inc()
+            return prepared
+        digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+        return self._compile(session, f"\x00inline:{digest}", source,
+                             f"inline:{digest}")
+
+    def _handle_prepare(self, request: dict) -> dict:
+        session = self.session(request)
+        name = field(request, "name", str)
+        source = field(request, "program", str)
+        if name.startswith("\x00"):
+            raise RequestError("bad_request",
+                               "prepared names must be printable")
+        with session.lock:
+            before = session.programs.get(name)
+            prepared = self._compile(session, name, source, name)
+            result = prepared.describe()
+            result["cached"] = prepared is before
+        return result
+
+    # -- evaluation ---------------------------------------------------------
+
+    @staticmethod
+    def _rows_out(rows) -> list[list]:
+        """Answer tuples as JSON rows, deterministically ordered."""
+        return [list(row)
+                for row in sorted(rows, key=lambda r: tuple(map(repr, r)))]
+
+    @staticmethod
+    def _tuples(result, pred: str) -> frozenset:
+        """Answer tuples for ``pred`` — empty when nothing was derived
+        (the fixpoint materializes no relation for an empty head)."""
+        try:
+            return result.tuples(pred)
+        except KeyError:
+            return frozenset()
+
+    @staticmethod
+    def _stats_out(stats) -> dict:
+        return {"derived": stats.total_derived, "firings": stats.firings,
+                "probes": stats.probes, "iterations": stats.iterations,
+                "id_tuples": stats.id_tuples,
+                "plans_built": stats.plans_built,
+                "plans_reused": stats.plans_reused,
+                "pipelines_compiled": stats.pipelines_compiled,
+                "pipelines_reused": stats.pipelines_reused}
+
+    def _pick_queries(self, prepared: PreparedProgram,
+                      request: dict) -> list[str]:
+        heads = prepared.engine.program.head_predicates
+        query = field(request, "query", list, required=False)
+        if query is None:
+            return sorted(heads)
+        for pred in query:
+            if not isinstance(pred, str):
+                raise RequestError("bad_request",
+                                   "query must be a list of predicate "
+                                   "names")
+            if pred not in heads:
+                raise RequestError(
+                    "bad_request",
+                    f"{pred} is not an output predicate of the program "
+                    f"(outputs: {', '.join(sorted(heads)) or '-'})")
+        return list(query)
+
+    def _handle_run(self, request: dict) -> dict:
+        session = self.session(request)
+        mode = field(request, "mode", str, required=False, default="run")
+        if mode not in ("run", "one"):
+            raise RequestError("bad_request",
+                               "mode must be 'run' or 'one' (answers has "
+                               "its own request type)")
+        seed = field(request, "seed", int, required=False)
+        record = field(request, "record", bool, required=False,
+                       default=False)
+        replay_data = field(request, "replay", dict, required=False)
+        if record and replay_data is not None:
+            raise RequestError("bad_request",
+                               "record and replay are mutually exclusive")
+        with session.lock:
+            prepared = self._resolve_program(session, request)
+            queries = self._pick_queries(prepared, request)
+            record_log = ChoiceLog(meta={
+                "session": session.id, "program": prepared.name,
+                "mode": mode, "seed": seed}) if record else None
+            engine = prepared.engine
+            prepared.uses += 1
+            if replay_data is not None:
+                result = engine.replay(session.db,
+                                       ChoiceLog.from_jsonable(replay_data))
+            elif mode == "one":
+                result = engine.one(session.db, seed=seed,
+                                    record=record_log)
+            else:
+                result = engine.run(session.db, record=record_log)
+            out = {
+                "mode": mode,
+                "prepared": prepared.name,
+                "answers": {pred: self._rows_out(self._tuples(result, pred))
+                            for pred in queries},
+                "stats": self._stats_out(result.stats),
+            }
+            if record_log is not None:
+                record_log.set_answers(
+                    {pred: self._tuples(result, pred) for pred in queries})
+                out["choice_log"] = record_log.to_jsonable()
+                out["id_choices"] = len(record_log)
+                if self.config.choice_log_dir:
+                    session.seq += 1
+                    os.makedirs(self.config.choice_log_dir, exist_ok=True)
+                    path = os.path.join(
+                        self.config.choice_log_dir,
+                        f"{session.id}-{session.seq:04d}.choices.jsonl")
+                    record_log.save(path)
+                    out["choice_log_path"] = path
+        return out
+
+    def _handle_answers(self, request: dict) -> dict:
+        session = self.session(request)
+        pred = field(request, "pred", str)
+        max_branches = field(request, "max_branches", int, required=False,
+                             default=200_000)
+        with session.lock:
+            prepared = self._resolve_program(session, request)
+            if pred not in prepared.engine.program.head_predicates:
+                raise RequestError(
+                    "bad_request",
+                    f"{pred} is not an output predicate of the program")
+            prepared.uses += 1
+            answers = prepared.engine.answers(session.db, pred,
+                                              max_branches)
+        rendered = sorted((self._rows_out(answer) for answer in answers),
+                          key=repr)
+        return {"pred": pred, "count": len(answers), "answers": rendered}
+
+    # -- persistence --------------------------------------------------------
+
+    def _handle_snapshot(self, request: dict) -> dict:
+        session = self.session(request)
+        directory = field(request, "dir", str)
+        with session.lock:
+            save_database(session.db, directory, format=STORAGE_FORMAT)
+            rows = sum(len(session.db.relation(name))
+                       for name in session.db.relation_names())
+            count = len(session.db.relation_names())
+        return {"dir": directory, "relations": count, "rows": rows,
+                "format": STORAGE_FORMAT}
+
+    def _handle_restore(self, request: dict) -> dict:
+        session = self.session(request)
+        directory = field(request, "dir", str)
+        with session.lock:
+            db = load_database(directory)
+            session.db = db
+            session.udom = set(db.udomain)
+            rows = sum(len(db.relation(name))
+                       for name in db.relation_names())
+        return {"dir": directory,
+                "relations": len(db.relation_names()), "rows": rows}
+
+    # -- introspection ------------------------------------------------------
+
+    def _handle_stats(self, request: dict) -> dict:
+        session = self.session(request)
+        with session.lock:
+            report = session.db.stats()
+            report["session"] = session.id
+            report["prepared"] = [p.describe()
+                                  for p in session.programs.values()]
+        return report
+
+    def _handle_server_stats(self, request: dict) -> dict:
+        with self._lock:
+            sessions = len(self._sessions)
+            prepared = sum(len(s.programs)
+                           for s in self._sessions.values())
+            served = self._requests_served
+        return {"sessions": sessions, "prepared_programs": prepared,
+                "requests_served": served,
+                "inflight": int(self.m_inflight.value),
+                "workers": self.config.workers,
+                "protocol": PROTOCOL_VERSION, "schema": SCHEMA_VERSION,
+                "timeout_s": self.config.timeout_s}
+
+    # -- timeouts -----------------------------------------------------------
+
+    def request_timeout(self, request: dict) -> Optional[float]:
+        """The effective timeout for one request (request field, else the
+        configured default, else None = unlimited)."""
+        return positive_number(request, "timeout",
+                               default=self.config.timeout_s)
+
+    # -- export -------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the whole registry (the ``/metrics``
+        body)."""
+        return self.registry.to_prometheus()
+
+    def flush_metrics(self) -> Optional[str]:
+        """Write the registry to ``config.metrics_path`` (if set).
+
+        Called by the transport in a ``finally:`` — runs on clean
+        shutdown, on drain timeout, and on a fatal error alike, so the
+        file on disk is always a valid exposition of everything counted
+        so far.
+        """
+        path = self.config.metrics_path
+        if not path:
+            return None
+        if self.config.metrics_format == "json":
+            import json
+            text = json.dumps(self.registry.snapshot(), indent=2) + "\n"
+        else:
+            text = self.registry.to_prometheus()
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,428 @@
+"""Live-server tests: every protocol request type over real sockets.
+
+One module-scoped server hosts most tests (sessions are isolated, so
+tests cannot see each other); lifecycle-sensitive cases (shutdown,
+SIGTERM, unix sockets) spin up their own servers in
+``test_lifecycle.py``.  ``docs/SERVER.md`` documents every request type
+in :data:`repro.server.protocol.REQUEST_TYPES`; ``tests/test_docs.py``
+cross-checks that each of those types appears in THIS file, so a new
+request type cannot ship untested.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import IdlogEngine
+from repro.core.choicelog import ChoiceLog
+from repro.datalog import Database
+from repro.server import ServerConfig, ServerError, ServerThread, http_get
+
+TC_PROGRAM = """
+  path(X, Y) :- edge(X, Y).
+  path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+SAMPLE_PROGRAM = """
+  pick(Name, Dept) :- emp[2](Name, Dept, N), N < 1.
+"""
+
+EMP_ROWS = [["ann", "toys"], ["bob", "toys"], ["cal", "toys"],
+            ["dee", "it"], ["eli", "it"]]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(workers=4, drain_s=2.0)) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with server.client() as handle:
+        yield handle
+
+
+@pytest.fixture
+def session(client):
+    sid = client.call("open_session")["session"]
+    yield sid
+    try:
+        client.call("close_session", session=sid)
+    except (ServerError, ConnectionError):
+        pass
+
+
+def slow_edges(n: int = 600) -> list[list[str]]:
+    """A chain whose transitive closure takes a few hundred ms."""
+    return [[f"n{i}", f"n{i + 1}"] for i in range(n)]
+
+
+class TestBasics:
+    def test_ping(self, client):
+        result = client.call("ping")
+        assert result["pong"] is True
+        assert result["protocol"] == 1
+
+    def test_open_session(self, client):
+        result = client.call("open_session")
+        assert result["session"].startswith("s")
+        assert result == {"session": result["session"], "plan": "greedy",
+                          "engine": "batch"}
+        client.call("close_session", session=result["session"])
+
+    def test_close_session_then_use_fails(self, client):
+        sid = client.call("open_session")["session"]
+        assert client.call("close_session", session=sid)["closed"] == sid
+        with pytest.raises(ServerError) as err:
+            client.call("stats", session=sid)
+        assert err.value.error_type == "unknown_session"
+
+    def test_assert_facts(self, client, session):
+        result = client.call("assert_facts", session=session,
+                             facts={"emp": EMP_ROWS},
+                             udom=["extra"])
+        assert result["added"] == 5
+        assert result["relations"] == {"emp": 5}
+        # 5 names + 2 departments + the declared extra
+        assert result["udomain_size"] == 8
+
+    def test_assert_facts_rejects_bad_rows(self, client, session):
+        with pytest.raises(ServerError) as err:
+            client.call("assert_facts", session=session,
+                        facts={"emp": [[["nested"]]]})
+        assert err.value.error_type == "bad_request"
+
+    def test_stats(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": [["a", "b"]]})
+        report = client.call("stats", session=session)
+        assert report["session"] == session
+        assert report["relations"]["edge"]["rows"] == 1
+
+    def test_server_stats(self, client, session):
+        report = client.call("server_stats")
+        assert report["sessions"] >= 1
+        assert report["protocol"] == 1
+        assert report["workers"] == 4
+
+
+class TestEvaluation:
+    def test_run_canonical(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": [["a", "b"], ["b", "c"]]})
+        result = client.call("run", session=session, program=TC_PROGRAM)
+        assert result["answers"]["path"] == \
+            [["a", "b"], ["a", "c"], ["b", "c"]]
+        assert result["mode"] == "run"
+        again = client.call("run", session=session, program=TC_PROGRAM)
+        assert again["answers"] == result["answers"]
+
+    def test_run_query_restriction(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": [["a", "b"]]})
+        result = client.call("run", session=session, program=TC_PROGRAM,
+                             query=["path"])
+        assert list(result["answers"]) == ["path"]
+        with pytest.raises(ServerError) as err:
+            client.call("run", session=session, program=TC_PROGRAM,
+                        query=["nope"])
+        assert err.value.error_type == "bad_request"
+
+    def test_run_one_seeded_and_recorded(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"emp": EMP_ROWS})
+        result = client.call("run", session=session,
+                             program=SAMPLE_PROGRAM, mode="one", seed=3,
+                             record=True)
+        assert result["id_choices"] == 2  # one per department block
+        picks = result["answers"]["pick"]
+        assert len(picks) == 2
+        log = ChoiceLog.from_jsonable(result["choice_log"])
+        assert len(log) == 2
+
+    def test_replay_reproduces_recorded_run(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"emp": EMP_ROWS})
+        recorded = client.call("run", session=session,
+                               program=SAMPLE_PROGRAM, mode="one",
+                               seed=11, record=True)
+        replayed = client.call("run", session=session,
+                               program=SAMPLE_PROGRAM,
+                               replay=recorded["choice_log"])
+        assert replayed["answers"] == recorded["answers"]
+
+    def test_replay_drift_is_typed(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"emp": EMP_ROWS})
+        recorded = client.call("run", session=session,
+                               program=SAMPLE_PROGRAM, mode="one",
+                               seed=1, record=True)
+        client.call("assert_facts", session=session,
+                    facts={"emp": [["new", "toys"]]})
+        with pytest.raises(ServerError) as err:
+            client.call("run", session=session, program=SAMPLE_PROGRAM,
+                        replay=recorded["choice_log"])
+        assert err.value.error_type == "replay_error"
+
+    def test_record_and_replay_are_exclusive(self, client, session):
+        with pytest.raises(ServerError) as err:
+            client.call("run", session=session, program=SAMPLE_PROGRAM,
+                        record=True, replay={"records": []})
+        assert err.value.error_type == "bad_request"
+
+    def test_answers(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"emp": EMP_ROWS})
+        result = client.call("answers", session=session,
+                             program=SAMPLE_PROGRAM, pred="pick")
+        # 3 toys choices x 2 it choices
+        assert result["count"] == 6
+        assert all(len(answer) == 2 for answer in result["answers"])
+
+
+class TestPreparedPrograms:
+    def test_prepare_describes_program(self, client, session):
+        result = client.call("prepare", session=session, name="tc",
+                             program=TC_PROGRAM)
+        assert result["name"] == "tc"
+        assert result["outputs"] == ["path"]
+        assert result["inputs"] == ["edge"]
+        assert result["cached"] is False
+
+    def test_prepare_again_is_cached(self, client, session):
+        client.call("prepare", session=session, name="tc",
+                    program=TC_PROGRAM)
+        assert client.call("prepare", session=session, name="tc",
+                           program=TC_PROGRAM)["cached"] is True
+        # same name, new source: recompiled
+        assert client.call("prepare", session=session, name="tc",
+                           program="p(X) :- edge(X, _).")["cached"] is False
+
+    def test_prepared_run_reuses_pipelines(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": [["a", "b"], ["b", "c"]]})
+        client.call("prepare", session=session, name="tc",
+                    program=TC_PROGRAM)
+        first = client.call("run", session=session, prepared="tc")
+        assert first["stats"]["pipelines_compiled"] > 0
+        second = client.call("run", session=session, prepared="tc")
+        assert second["stats"]["pipelines_compiled"] == 0
+        assert second["stats"]["pipelines_reused"] > 0
+        assert second["answers"] == first["answers"]
+
+    def test_inline_program_cache_hits(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": [["a", "b"]]})
+        first = client.call("run", session=session, program=TC_PROGRAM)
+        second = client.call("run", session=session, program=TC_PROGRAM)
+        assert second["stats"]["pipelines_compiled"] == 0
+        assert second["stats"]["pipelines_reused"] > 0
+        assert first["prepared"] == second["prepared"]  # same cache entry
+
+    def test_unknown_prepared(self, client, session):
+        with pytest.raises(ServerError) as err:
+            client.call("run", session=session, prepared="ghost")
+        assert err.value.error_type == "unknown_prepared"
+
+    def test_prepare_parse_error_is_typed(self, client, session):
+        with pytest.raises(ServerError) as err:
+            client.call("prepare", session=session, name="bad",
+                        program="p(X :- q(X).")
+        assert err.value.error_type == "parse_error"
+
+    def test_prepare_rejects_choice_programs(self, client, session):
+        with pytest.raises(ServerError) as err:
+            client.call("prepare", session=session, name="ch",
+                        program="s(N) :- emp(N, D), choice((D), (N)).")
+        assert err.value.error_type == "bad_request"
+
+
+class TestSnapshotRestore:
+    def test_round_trip(self, client, session, tmp_path):
+        target = str(tmp_path / "db")
+        client.call("assert_facts", session=session,
+                    facts={"edge": [["a", "b"], ["b", "c"]]})
+        saved = client.call("snapshot", session=session, dir=target)
+        assert saved == {"dir": target, "relations": 1, "rows": 2,
+                         "format": 2}
+        fresh = client.call("open_session")["session"]
+        restored = client.call("restore", session=fresh, dir=target)
+        assert restored["rows"] == 2
+        result = client.call("run", session=fresh, program=TC_PROGRAM)
+        assert len(result["answers"]["path"]) == 3
+        client.call("close_session", session=fresh)
+
+    def test_restore_missing_dir_is_typed(self, client, session,
+                                          tmp_path):
+        with pytest.raises(ServerError) as err:
+            client.call("restore", session=session,
+                        dir=str(tmp_path / "nope"))
+        assert err.value.error_type == "schema_error"
+
+
+class TestRobustness:
+    def test_garbage_line_keeps_connection(self, client):
+        client._sock.sendall(b"this is not json\n")
+        response = client.recv()
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad_request"
+        assert client.call("ping")["pong"] is True
+
+    def test_unknown_type_keeps_connection(self, client):
+        with pytest.raises(ServerError) as err:
+            client.call("frobnicate")
+        assert err.value.error_type == "bad_request"
+        assert client.call("ping")["pong"] is True
+
+    def test_unknown_session(self, client):
+        with pytest.raises(ServerError) as err:
+            client.call("run", session="s999999", program=TC_PROGRAM)
+        assert err.value.error_type == "unknown_session"
+
+    def test_request_timeout(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": slow_edges()})
+        with pytest.raises(ServerError) as err:
+            client.call("run", session=session, program=TC_PROGRAM,
+                        timeout=0.01)
+        assert err.value.error_type == "timeout"
+        # the connection and session both survive the timeout
+        assert client.call("ping")["pong"] is True
+
+    def test_cancel_inflight_request(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": slow_edges()})
+        run_id = client.send({"type": "run", "session": session,
+                              "program": TC_PROGRAM})
+        cancel_id = client.send({"type": "cancel", "target": run_id})
+        by_id = {}
+        while len(by_id) < 2:
+            response = client.recv()
+            by_id[response["id"]] = response
+        assert by_id[cancel_id]["result"]["cancelled"] is True
+        assert by_id[run_id]["ok"] is False
+        assert by_id[run_id]["error"]["type"] == "cancelled"
+        assert client.call("ping")["pong"] is True
+
+    def test_cancel_unknown_target(self, client):
+        result = client.call("cancel", target=424242)
+        assert result["cancelled"] is False
+
+    def test_pipelined_requests_one_connection(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": [["a", "b"], ["b", "c"]]})
+        ids = [client.send({"type": "run", "session": session,
+                            "program": TC_PROGRAM}) for _ in range(5)]
+        responses = {}
+        while len(responses) < len(ids):
+            response = client.recv()
+            responses[response["id"]] = response
+        assert all(responses[i]["ok"] for i in ids)
+        answers = {tuple(map(tuple, responses[i]["result"]["answers"]
+                             ["path"])) for i in ids}
+        assert len(answers) == 1  # all five identical
+
+
+class TestConcurrentClients:
+    def test_eight_parallel_clients(self, server):
+        errors: list[str] = []
+        answers: list[list] = []
+
+        def one_client(index: int) -> None:
+            try:
+                with server.client() as handle:
+                    sid = handle.call("open_session")["session"]
+                    handle.call("assert_facts", session=sid,
+                                facts={"edge": [["a", "b"], ["b", "c"]]})
+                    for _ in range(3):
+                        result = handle.call("run", session=sid,
+                                             program=TC_PROGRAM)
+                        answers.append(result["answers"]["path"])
+                    handle.call("close_session", session=sid)
+            except Exception as exc:
+                errors.append(f"client {index}: {exc!r}")
+
+        threads = [threading.Thread(target=one_client, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(answers) == 24
+        assert all(a == [["a", "b"], ["a", "c"], ["b", "c"]]
+                   for a in answers)
+
+    def test_sessions_are_isolated(self, server):
+        with server.client() as a, server.client() as b:
+            sid_a = a.call("open_session")["session"]
+            sid_b = b.call("open_session")["session"]
+            a.call("assert_facts", session=sid_a,
+                   facts={"edge": [["a", "b"]]})
+            b.call("assert_facts", session=sid_b,
+                   facts={"edge": [["x", "y"]]})
+            paths_a = a.call("run", session=sid_a,
+                             program=TC_PROGRAM)["answers"]["path"]
+            paths_b = b.call("run", session=sid_b,
+                             program=TC_PROGRAM)["answers"]["path"]
+            assert paths_a == [["a", "b"]]
+            assert paths_b == [["x", "y"]]
+            a.call("close_session", session=sid_a)
+            b.call("close_session", session=sid_b)
+
+
+class TestHttp:
+    def test_healthz(self, server):
+        host, port = server.address
+        code, body = http_get(host, port, "/healthz")
+        assert code == 200
+        assert '"status": "ok"' in body
+
+    def test_metrics_exposition(self, server, client, session):
+        client.call("run", session=session, program="p(X) :- udom(X).")
+        host, port = server.address
+        code, body = http_get(host, port, "/metrics")
+        assert code == 200
+        assert "# TYPE idlog_server_requests_total counter" in body
+        assert 'idlog_server_requests_total{type="run",status="ok"}' \
+            in body
+        assert "idlog_server_request_seconds_bucket" in body
+        # engine metrics share the registry
+        assert "idlog_evaluation_seconds" in body
+
+    def test_http_404(self, server):
+        host, port = server.address
+        code, body = http_get(host, port, "/nope")
+        assert code == 404
+
+
+class TestServeVsInProcessDifferential:
+    """Same program + facts + seed through the wire and in process must
+    produce identical answers AND identical choice-log digests — the
+    server adds transport, not semantics (acceptance criterion 3)."""
+
+    def test_differential(self, client, session):
+        facts = {"emp": [(r[0], r[1]) for r in EMP_ROWS]}
+        for seed in (0, 7, 123):
+            local_log = ChoiceLog()
+            local = IdlogEngine(SAMPLE_PROGRAM).one(
+                Database.from_facts(facts), seed=seed, record=local_log)
+            client.call("assert_facts", session=session,
+                        facts={"emp": EMP_ROWS})
+            remote = client.call("run", session=session,
+                                 program=SAMPLE_PROGRAM, mode="one",
+                                 seed=seed, record=True)
+            local_answers = sorted(
+                [list(row) for row in local.tuples("pick")])
+            assert remote["answers"]["pick"] == local_answers, seed
+            remote_log = ChoiceLog.from_jsonable(remote["choice_log"])
+            local_records = sorted(
+                ((r.pred, tuple(r.group), r.block_digest,
+                  tuple(r.ordering)) for r in local_log.records),
+                key=repr)
+            remote_records = sorted(
+                ((r.pred, tuple(r.group), r.block_digest,
+                  tuple(r.ordering)) for r in remote_log.records),
+                key=repr)
+            assert remote_records == local_records, seed

@@ -26,7 +26,8 @@ DOC_FILES = sorted(
 GENERATED_OK = {"BENCH_pr3.json", "BENCH_prN.json", "out.jsonl",
                 "prog.dl", "facts.dl", "trace.jsonl",
                 "BENCH_candidate.json", "metrics.json",
-                "eval-report.json", "_pool.json", "_schema.json"}
+                "eval-report.json", "_pool.json", "_schema.json",
+                "server-latency.json"}
 
 PATH_PATTERN = re.compile(
     r"`([\w./-]+\.(?:py|md|dl|json|jsonl|txt|yml))`")
@@ -114,6 +115,58 @@ class TestCliSnippets:
             unknown = flags - known
             assert not unknown, \
                 f"{doc}: 'repro-idlog {sub}' has no flags {sorted(unknown)}"
+
+
+class TestServerManual:
+    """`docs/SERVER.md` is the wire-protocol reference: its request
+    sections, the protocol vocabulary, and the server test suite must
+    stay in lockstep."""
+
+    def _manual(self):
+        return (ROOT / "docs" / "SERVER.md").read_text()
+
+    def test_every_request_type_has_a_manual_section(self):
+        from repro.server.protocol import REQUEST_TYPES
+        headings = set(re.findall(r"^### `(\w+)`$", self._manual(),
+                                  flags=re.M))
+        assert headings == set(REQUEST_TYPES), (
+            f"undocumented types: {sorted(set(REQUEST_TYPES) - headings)}; "
+            f"sections without a type: "
+            f"{sorted(headings - set(REQUEST_TYPES))}")
+
+    def test_every_request_type_has_a_server_test(self):
+        from repro.server.protocol import REQUEST_TYPES
+        suite = "".join(p.read_text() for p in
+                        sorted((ROOT / "tests" / "server").glob("*.py")))
+        untested = [t for t in REQUEST_TYPES
+                    if f'"{t}"' not in suite and f"'{t}'" not in suite]
+        assert not untested, \
+            f"request types never exercised by tests/server: {untested}"
+
+    def test_every_error_type_is_documented(self):
+        from repro.server.protocol import ERROR_TYPES
+        text = self._manual()
+        missing = [t for t in ERROR_TYPES if f"`{t}`" not in text]
+        assert not missing, \
+            f"error types missing from docs/SERVER.md: {missing}"
+
+    def test_server_metric_families_are_documented(self):
+        """Every idlog_server_* family the service registers appears in
+        the manual's metric table."""
+        from repro.server.service import IdlogService
+        text = self._manual() + (ROOT / "docs" / "OBSERVABILITY.md"
+                                 ).read_text()
+        service = IdlogService()
+        families = [m["name"]
+                    for m in service.registry.snapshot()["metrics"]
+                    if m["name"].startswith("idlog_server_")]
+        assert families, "service registered no idlog_server_* families"
+        # gauge/counter pairs are documented as one `x / _total` row
+        missing = [name for name in families
+                   if name not in text
+                   and name.replace("idlog_server_", "_") not in text]
+        assert not missing, \
+            f"server metrics undocumented in docs/SERVER.md: {missing}"
 
 
 def test_readme_profile_example_runs():

@@ -76,7 +76,8 @@ def percentile(sorted_values: list[float], q: float) -> float:
 
 def drive_client(handle: ServerThread, index: int, requests: int,
                  facts: dict, latencies: list[float],
-                 errors: list[str], final_stats: list[dict]) -> None:
+                 errors: list[str], final_stats: list[dict],
+                 digests: dict) -> None:
     """One client's whole script (run on its own thread)."""
     try:
         with handle.client() as client:
@@ -90,6 +91,11 @@ def drive_client(handle: ServerThread, index: int, requests: int,
                 last = client.call("run", session=session, prepared="pick",
                                    mode="one", seed=index * 1000 + i)
                 latencies.append(perf_counter() - start)
+                # With slow capture on, every run response carries the
+                # choice digest; keyed by request id so the slow-log
+                # file can be cross-checked after the load.
+                if "choice_digest" in last:
+                    digests[last.get("request_id")] = last["choice_digest"]
             final_stats.append(last.get("stats", {}))
             client.call("close_session", session=session)
     except Exception as exc:  # collected, not raised: the report gates
@@ -97,20 +103,37 @@ def drive_client(handle: ServerThread, index: int, requests: int,
 
 
 def run(quick: bool = False, clients: int | None = None,
-        requests: int | None = None) -> dict:
-    """The ``server`` section of the BENCH trajectory."""
+        requests: int | None = None, slow_ms: float | None = None,
+        slow_log_path: str | None = None,
+        trace_sample: str | None = None) -> dict:
+    """The ``server`` section of the BENCH trajectory.
+
+    The observability knobs default to off so the latency numbers gated
+    by ``compare.py`` measure the same zero-overhead path as PR 8;
+    ``slow_ms``/``slow_log_path``/``trace_sample`` drive a separate
+    (ungated) run that proves slow-query capture and tracing work under
+    concurrent load.
+    """
     clients = clients or (QUICK_CLIENTS if quick else FULL_CLIENTS)
     requests = requests or (QUICK_REQUESTS if quick else FULL_REQUESTS)
     facts = make_facts(quick)
     latencies: list[float] = []
     errors: list[str] = []
     final_stats: list[dict] = []
-    config = ServerConfig(workers=min(clients, 8))
+    digests: dict = {}
+    config_kwargs: dict = {"workers": min(clients, 8)}
+    if slow_ms is not None:
+        # log_level="error" keeps the per-request slow_request warnings
+        # out of the benchmark's stderr; the JSONL file has them all.
+        config_kwargs.update(slow_ms=slow_ms, slow_log_path=slow_log_path,
+                             log_level="error")
+    config = ServerConfig(**config_kwargs)
+    trace_events: list[dict] | None = None
     with ServerThread(config) as handle:
         threads = [threading.Thread(
             target=drive_client,
             args=(handle, i, requests, facts, latencies, errors,
-                  final_stats))
+                  final_stats, digests))
             for i in range(clients)]
         wall_start = perf_counter()
         for thread in threads:
@@ -118,13 +141,25 @@ def run(quick: bool = False, clients: int | None = None,
         for thread in threads:
             thread.join()
         wall = perf_counter() - wall_start
+        if trace_sample:
+            with handle.client() as probe:
+                session = probe.call("open_session")["session"]
+                probe.call("assert_facts", session=session, facts=facts)
+                sample = probe.call("run", session=session,
+                                    program=PROGRAM, mode="one", seed=7,
+                                    trace=True, profile=True)
+                probe.call("close_session", session=session)
+            trace_events = sample.get("trace", [])
+            Path(trace_sample).write_text("".join(
+                json.dumps(event, sort_keys=True) + "\n"
+                for event in trace_events))
         registry = handle.service.registry.snapshot()
     ordered = sorted(latencies)
     total = clients * requests
     reuse_ok = bool(final_stats) and all(
         s.get("pipelines_compiled") == 0 and s.get("pipelines_reused", 0) > 0
         for s in final_stats)
-    return {
+    report = {
         "scenario": "concurrent prepared sampling over TCP",
         "quick": quick,
         "clients": clients,
@@ -150,6 +185,34 @@ def run(quick: bool = False, clients: int | None = None,
                         "idlog_server_connections_total")
         },
     }
+    if slow_log_path:
+        entries = [json.loads(line) for line in
+                   Path(slow_log_path).read_text().splitlines()]
+        # Every captured run entry must agree with the wire response it
+        # summarises: same choice digest (keyed by request id), and a
+        # session + per-clause profile attached.
+        checked = [e for e in entries
+                   if e.get("type") == "run" and e["request_id"] in digests]
+        verified = bool(checked) and all(
+            e["choice_digest"] == digests[e["request_id"]]
+            and e.get("session") and e.get("profile")
+            for e in checked)
+        report["slow_log"] = {
+            "path": slow_log_path,
+            "slow_ms": slow_ms,
+            "entries": len(entries),
+            "run_entries_checked": len(checked),
+            "digest_verified": verified,
+        }
+    if trace_sample:
+        report["trace_sample"] = {
+            "path": trace_sample,
+            "events": len(trace_events or []),
+            "context_stamped": bool(trace_events) and all(
+                "request_id" in event and "session_id" in event
+                for event in trace_events),
+        }
+    return report
 
 
 def main(argv=None) -> int:
@@ -160,9 +223,21 @@ def main(argv=None) -> int:
     parser.add_argument("--requests", type=int, default=None)
     parser.add_argument("--out", default=None,
                         help="also write the report as JSON to FILE")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        help="enable slow-query capture at this "
+                             "threshold (0 captures every request)")
+    parser.add_argument("--slow-log", default=None,
+                        help="slow-query JSONL file (with --slow-ms; "
+                             "entries are cross-checked against the "
+                             "wire responses)")
+    parser.add_argument("--trace-sample", default=None,
+                        help="write one traced request's span events "
+                             "to FILE as JSONL")
     args = parser.parse_args(argv)
     report = run(quick=args.quick, clients=args.clients,
-                 requests=args.requests)
+                 requests=args.requests, slow_ms=args.slow_ms,
+                 slow_log_path=args.slow_log,
+                 trace_sample=args.trace_sample)
     lat = report["latency_ms"]
     print(f"{report['clients']} client(s) x "
           f"{report['requests_per_client']} request(s): "
@@ -172,11 +247,22 @@ def main(argv=None) -> int:
           f"prepared_reuse={report['prepared_reuse_verified']}")
     for sample in report["error_samples"]:
         print(f"  error: {sample}", file=sys.stderr)
+    failed = bool(report["errors"]) or not report["prepared_reuse_verified"]
+    if "slow_log" in report:
+        slow = report["slow_log"]
+        print(f"slow log: {slow['entries']} entries at >= "
+              f"{slow['slow_ms']}ms, {slow['run_entries_checked']} run "
+              f"entries checked, digest_verified={slow['digest_verified']}")
+        failed = failed or not slow["digest_verified"]
+    if "trace_sample" in report:
+        trace = report["trace_sample"]
+        print(f"trace sample: {trace['events']} events, "
+              f"context_stamped={trace['context_stamped']}")
+        failed = failed or not trace["context_stamped"]
     if args.out:
         Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}")
-    return 1 if report["errors"] or not report["prepared_reuse_verified"] \
-        else 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

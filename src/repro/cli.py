@@ -557,7 +557,9 @@ def _cmd_serve(args, out) -> int:
         timeout_s=args.timeout, drain_s=args.drain,
         metrics_path=args.metrics, metrics_format=args.metrics_format,
         choice_log_dir=args.choice_log_dir,
-        max_sessions=args.max_sessions)
+        max_sessions=args.max_sessions,
+        slow_ms=args.slow_ms, slow_log_path=args.slow_log,
+        log_path=args.log_file, log_level=args.log_level)
 
     def ready(server) -> None:
         # The ready line is the supervision contract: once printed (and
@@ -633,6 +635,67 @@ def _cmd_connect(args, out) -> int:
             with contextlib.suppress(Exception):
                 client.call("close_session", session=session)
     return 0
+
+
+def _fmt_ms(value) -> str:
+    """A millisecond column cell; pending requests have no timing yet."""
+    if isinstance(value, (int, float)):
+        return f"{value:.2f}"
+    return "-"
+
+
+def _cmd_top(args, out) -> int:
+    """Live view of a running server (``repro-idlog top``)."""
+    import time
+    from .server import ServerClient
+
+    def open_client():
+        if args.unix:
+            return ServerClient.connect_unix(args.unix,
+                                             timeout=args.timeout)
+        host, _, port = args.target.rpartition(":")
+        if not host or not port.isdigit():
+            raise ReproError("top target must look like HOST:PORT, got "
+                             f"{args.target!r}")
+        return ServerClient.connect_tcp(host, int(port),
+                                        timeout=args.timeout)
+
+    refreshed = 0
+    while True:
+        # One connection per refresh: a restarted server shows up again
+        # on the next tick instead of wedging the loop.
+        with open_client() as client:
+            stats = client.call("server_stats")
+            recent = client.call("recent", limit=args.rows)
+            slow = client.call("slowlog")
+        print(f"-- repro-idlog top @ {args.unix or args.target} --",
+              file=out)
+        print("server: " + " ".join(
+            f"{key}={stats[key]}" for key in sorted(stats)), file=out)
+        print(f"  {'request':<9} {'type':<13} {'session':<8} "
+              f"{'status':<10} {'wall ms':>9} {'queue ms':>9} digest",
+              file=out)
+        for item in recent["requests"]:
+            print(f"  {item.get('request_id') or '-':<9} "
+                  f"{item.get('type') or '-':<13} "
+                  f"{item.get('session') or '-':<8} "
+                  f"{item.get('status') or '-':<10} "
+                  f"{_fmt_ms(item.get('wall_ms')):>9} "
+                  f"{_fmt_ms(item.get('queue_ms')):>9} "
+                  f"{item.get('choice_digest') or '-'}", file=out)
+        if not recent["requests"]:
+            print("  (no requests yet)", file=out)
+        if slow.get("slow_ms") is None:
+            print("slow log: off (serve --slow-ms to enable)", file=out)
+        else:
+            noun = "entry" if slow["count"] == 1 else "entries"
+            print(f"slow log: {slow['count']} {noun} at or over "
+                  f"{slow['slow_ms']} ms", file=out)
+        out.flush()
+        refreshed += 1
+        if args.count is not None and refreshed >= args.count:
+            return 0
+        time.sleep(args.interval)
 
 
 def _cmd_diverge(args, out) -> int:
@@ -854,6 +917,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "DIR (one JSONL file per completed request)")
     serve.add_argument("--max-sessions", type=int, default=256,
                        help="open-session cap (default 256)")
+    serve.add_argument("--log-file", metavar="FILE", default=None,
+                       help="append structured JSON log lines to FILE "
+                            "(default: stderr)")
+    serve.add_argument("--log-level",
+                       choices=("debug", "info", "warning", "error"),
+                       default="info",
+                       help="minimum log level (default info; debug "
+                            "logs every request summary)")
+    serve.add_argument("--slow-ms", type=float, default=None,
+                       help="slow-query threshold in milliseconds: "
+                            "requests at or over it are logged with "
+                            "their plan profile and choice digest "
+                            "(default: off; 0 captures everything)")
+    serve.add_argument("--slow-log", metavar="FILE", default=None,
+                       help="also append slow-query entries to FILE as "
+                            "JSONL (they are always kept in memory for "
+                            "the slowlog request)")
 
     connect = sub.add_parser(
         "connect",
@@ -892,6 +972,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the server-reported evaluation "
                               "counters")
 
+    top = sub.add_parser(
+        "top",
+        help="live view of a running server: recent requests, wall and "
+             "queue times, slow-query log (see docs/SERVER.md)")
+    top.add_argument("target", nargs="?", default="127.0.0.1:7421",
+                     metavar="HOST:PORT",
+                     help="server TCP address (default 127.0.0.1:7421)")
+    top.add_argument("--unix", metavar="PATH", default=None,
+                     help="connect over a unix socket instead of TCP")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument("--count", type=int, default=None,
+                     help="stop after N refreshes (default: run until "
+                          "interrupted)")
+    top.add_argument("--rows", type=int, default=15,
+                     help="recent requests shown per refresh "
+                          "(default 15)")
+    top.add_argument("--timeout", type=float, default=30.0,
+                     help="socket timeout in seconds (default 30, "
+                          "matching connect)")
+
     diverge_cmd = sub.add_parser(
         "diverge",
         help="compare two recorded choice logs: first differing ID "
@@ -913,14 +1014,19 @@ def main(argv: Optional[Sequence[str]] = None,
                 "profile": _cmd_profile, "why": _cmd_why,
                 "stats": _cmd_stats, "diverge": _cmd_diverge,
                 "eval": _cmd_eval, "serve": _cmd_serve,
-                "connect": _cmd_connect}
+                "connect": _cmd_connect, "top": _cmd_top}
+    # Text-format structured log on a dynamic stderr sink: renders the
+    # historical ``error: <message>`` lines byte-for-byte, but through
+    # the same repro.obs layer the server uses.
+    from .obs.log import StructuredLogger
+    log = StructuredLogger(level="error", fmt="text")
     try:
         return handlers[args.command](args, out)
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("error", message=str(exc))
         return 2
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error("error", message=str(exc))
         return 1
 
 

@@ -205,6 +205,25 @@ class ChoiceLog:
         """The recorded answer relation for ``pred`` as a frozenset."""
         return frozenset(self.answers.get(pred, ()))
 
+    def digest(self) -> str:
+        """Run-level digest of the ordered choice sequence.
+
+        Folds every decision's identity *and* outcome — ``(pred, group,
+        block, block digest, tid limit, chosen ordering)`` in recording
+        order — so two evaluations digest equally iff they made the
+        same ID choices on the same inputs.  This is the per-request
+        attribution handle the server returns in ``run`` responses and
+        persists in its slow-query log; a round-tripped log
+        (:meth:`to_jsonable` → :meth:`from_jsonable`) digests
+        identically.  16 hex chars, like :func:`block_digest`.
+        """
+        fold = hashlib.sha256()
+        for rec in self.records:
+            fold.update(repr((rec.pred, rec.group, rec.block,
+                              rec.block_digest, rec.tid_limit,
+                              rec.ordering)).encode())
+        return fold.hexdigest()[:16]
+
     # -- serialization -----------------------------------------------------
 
     def to_jsonable(self) -> dict:

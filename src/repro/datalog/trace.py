@@ -226,6 +226,45 @@ class TeeTracer:
             tracer.emit(kind, **fields)
 
 
+#: Context fields a :class:`ContextTracer` stamps onto every event it
+#: forwards.  The server's request-scoped tracing uses exactly these —
+#: ``docs/OBSERVABILITY.md`` documents them and ``tests/test_docs.py``
+#: keeps the two in sync.
+CONTEXT_FIELDS = ("request_id", "session_id")
+
+
+class ContextTracer:
+    """Stamp fixed context fields onto every event, then forward.
+
+    The server composes one per request around its shared tracer stack
+    (metrics fold + timing + optional JSONL), so every span event an
+    evaluation emits carries ``request_id``/``session_id`` —
+    attribution that a process-global tracer cannot provide when
+    sessions run concurrently.
+
+    Same zero-cost-when-off discipline as the rest of the module: a
+    :class:`ContextTracer` only exists while a request asked for (or
+    the server configured) per-request observability; with nothing
+    enabled the engines still see ``tracer=None`` and pay nothing.
+
+    Args:
+        inner: The tracer (often a :class:`TeeTracer`) receiving the
+            stamped events.
+        **context: The fields to stamp (``None`` values are dropped).
+            Event payloads win on a field-name collision, so a kind
+            that legitimately carries e.g. ``request_id`` itself is
+            never clobbered.
+    """
+
+    def __init__(self, inner: Tracer, **context) -> None:
+        self.inner = inner
+        self.context = {name: value for name, value in context.items()
+                        if value is not None}
+
+    def emit(self, kind: str, **fields) -> None:
+        self.inner.emit(kind, **{**self.context, **fields})
+
+
 # -- the ambient tracer ------------------------------------------------------
 
 _ambient: Optional[Tracer] = None

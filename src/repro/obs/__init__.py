@@ -1,0 +1,19 @@
+"""Operational observability shared by the server and the CLI.
+
+:mod:`repro.datalog.trace` and :mod:`repro.datalog.metrics` observe the
+*engine* (span events, counters); this package observes the *process*
+around it.  :mod:`repro.obs.log` is the structured JSON logging layer —
+one JSON object per line, level-filtered, bindable context fields —
+that the server (``repro-idlog serve --log-file/--log-level``) and the
+CLI error paths write through instead of ad-hoc ``print(...,
+file=sys.stderr)`` calls.
+"""
+
+from .log import LOG_LEVELS, NullLogger, StructuredLogger, check_log_level
+
+__all__ = [
+    "LOG_LEVELS",
+    "NullLogger",
+    "StructuredLogger",
+    "check_log_level",
+]

@@ -1,0 +1,187 @@
+"""Structured JSON logging: one event per line, levels, bound context.
+
+The stdlib ``logging`` module is deliberately not used: its global
+registry and handler mutation are exactly the kind of process-wide
+state the server avoids (several :class:`~repro.server.service.IdlogService`
+instances — tests, benchmarks — must not share a logger).  A
+:class:`StructuredLogger` is a plain object: construct one per service,
+pass it around, close it.
+
+Format: each line is a JSON object ``{"ts": <unix seconds>, "level":
+..., "event": ..., **bound, **fields}`` with non-primitive values
+stringified the same way :class:`~repro.datalog.trace.JsonTracer` does,
+so a log file and a trace file can share tooling.  ``fmt="text"``
+renders ``event: message key=value ...`` instead — what the CLI error
+path uses so ``repro-idlog`` keeps printing ``error: <message>``.
+
+>>> import io
+>>> sink = io.StringIO()
+>>> log = StructuredLogger(sink=sink, level="info")
+>>> log.debug("ignored", detail=1)   # below the threshold: no line
+>>> log.info("request", request_id="r1", wall_ms=3.2)
+>>> import json; line = json.loads(sink.getvalue())
+>>> line["event"], line["request_id"]
+('request', 'r1')
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Optional, TextIO, Union
+
+from ..datalog.trace import _jsonable
+
+#: Level names in increasing severity; a logger emits events at or
+#: above its threshold.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LOG_LEVELS)}
+
+
+def check_log_level(level: str) -> str:
+    """Validate a level name (the ``--log-level`` choices)."""
+    if level not in _LEVEL_RANK:
+        raise ValueError(
+            f"log level must be one of {', '.join(LOG_LEVELS)}; "
+            f"got {level!r}")
+    return level
+
+
+class StructuredLogger:
+    """Thread-safe leveled logger writing one JSON (or text) line per event.
+
+    Args:
+        sink: ``None`` (resolve ``sys.stderr`` at emit time — so pytest
+            capture and redirection work), a path (opened for append;
+            the logger owns and closes it), or an open text file.
+        level: Threshold name from :data:`LOG_LEVELS`.
+        fmt: ``json`` (the default) or ``text``.
+        bound: Context fields stamped on every line (see :meth:`bind`).
+    """
+
+    def __init__(self, sink: Union[str, TextIO, None] = None,
+                 level: str = "info", fmt: str = "json",
+                 bound: Optional[dict] = None) -> None:
+        if fmt not in ("json", "text"):
+            raise ValueError(f"fmt must be json or text, got {fmt!r}")
+        self._rank = _LEVEL_RANK[check_log_level(level)]
+        self.level = level
+        self.fmt = fmt
+        self.bound = dict(bound or {})
+        if isinstance(sink, str):
+            self._file: Optional[TextIO] = open(sink, "a", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = sink  # None = dynamic sys.stderr
+            self._owns = False
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- emission -----------------------------------------------------------
+
+    def enabled(self, level: str) -> bool:
+        """Whether events at ``level`` pass the threshold (guard for
+        callers assembling expensive payloads)."""
+        return _LEVEL_RANK.get(level, -1) >= self._rank
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one event (dropped when below the threshold)."""
+        if not self.enabled(level) or self._closed:
+            return
+        merged = {**self.bound, **fields}
+        if self.fmt == "text":
+            line = self._render_text(event, merged)
+        else:
+            record = {"ts": round(time.time(), 3), "level": level,
+                      "event": event}
+            for name, value in merged.items():
+                record[name] = _jsonable(value)
+            line = json.dumps(record)
+        target = self._file if self._file is not None else sys.stderr
+        with self._lock:
+            target.write(line + "\n")
+            target.flush()
+
+    @staticmethod
+    def _render_text(event: str, fields: dict) -> str:
+        head = event
+        message = fields.pop("message", None)
+        if message is not None:
+            head = f"{event}: {message}"
+        rest = " ".join(f"{k}={v}" for k, v in fields.items())
+        return f"{head} {rest}" if rest else head
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+    # -- context ------------------------------------------------------------
+
+    def bind(self, **fields) -> "StructuredLogger":
+        """A child logger stamping ``fields`` on every line.
+
+        Shares the parent's sink, lock, and threshold — binding is how
+        per-connection or per-request context (``request_id``, ...)
+        reaches every line without threading kwargs everywhere.
+        """
+        child = StructuredLogger.__new__(StructuredLogger)
+        child._rank = self._rank
+        child.level = self.level
+        child.fmt = self.fmt
+        child.bound = {**self.bound, **fields}
+        child._file = self._file
+        child._owns = False
+        child._lock = self._lock
+        child._closed = self._closed
+        return child
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop emitting; close the file when path-opened.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns and self._file is not None:
+            with self._lock:
+                self._file.close()
+
+    def __enter__(self) -> "StructuredLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullLogger:
+    """The no-op logger: every event is discarded (a valid sink for
+    code that logs unconditionally)."""
+
+    level = "error"
+    fmt = "json"
+
+    def enabled(self, level: str) -> bool:
+        return False
+
+    def log(self, level: str, event: str, **fields) -> None:
+        pass
+
+    debug = info = warning = error = \
+        lambda self, event, **fields: None
+
+    def bind(self, **fields) -> "NullLogger":
+        return self
+
+    def close(self) -> None:
+        pass

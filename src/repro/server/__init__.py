@@ -18,7 +18,7 @@ from .client import ServerClient, http_get
 from .protocol import (ERROR_TYPES, PROTOCOL_VERSION, REQUEST_TYPES,
                        RequestError, ServerError)
 from .server import IdlogServer, ServerThread, serve
-from .service import IdlogService, ServerConfig
+from .service import IdlogService, RequestContext, ServerConfig
 
 __all__ = [
     "ERROR_TYPES",
@@ -32,5 +32,6 @@ __all__ = [
     "ServerThread",
     "serve",
     "IdlogService",
+    "RequestContext",
     "ServerConfig",
 ]

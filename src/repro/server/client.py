@@ -129,8 +129,12 @@ class ServerClient:
 
 
 def http_get(host: str, port: int, path: str,
-             timeout: float = 10.0) -> tuple[int, str]:
+             timeout: float = 30.0) -> tuple[int, str]:
     """One HTTP GET against the server's NDJSON listener.
+
+    The default timeout matches :meth:`ServerClient.connect_tcp` (30 s),
+    so the two halves of ``repro-idlog connect``/``top`` degrade
+    identically on a wedged server.
 
     Returns:
         ``(status_code, body)`` — how ``/metrics`` and ``/healthz`` are

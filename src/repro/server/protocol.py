@@ -52,6 +52,8 @@ REQUEST_TYPES = (
     "restore",
     "stats",
     "server_stats",
+    "recent",
+    "slowlog",
     "cancel",
     "shutdown",
 )

@@ -165,6 +165,11 @@ class IdlogServer:
             server = await asyncio.start_unix_server(
                 self._handle_connection, self.unix_path, limit=LINE_LIMIT)
             self._servers.append(server)
+        self.service.log.info(
+            "listening",
+            tcp=(f"{self.tcp_address[0]}:{self.tcp_address[1]}"
+                 if self.tcp_address else None),
+            unix=self.unix_path, workers=self.service.config.workers)
 
     def request_shutdown(self, reason: str = "requested") -> None:
         """Begin graceful shutdown (idempotent; safe from signal
@@ -192,8 +197,16 @@ class IdlogServer:
                     signal.Signals(signum).name)
         try:
             await self._stopping.wait()
-            for server in self._servers:
-                server.close()
+            self.service.log.info(
+                "draining", reason=self._stop_reason,
+                inflight=int(self.service.m_inflight.value),
+                drain_s=self.service.config.drain_s)
+            # Listeners stay bound through the drain: balancer health
+            # checks see an explicit 503 "draining" from /healthz
+            # (instead of connection refused), and new NDJSON requests
+            # get a typed `shutting_down` error per request.  The
+            # listeners close in the finally below, once the drain is
+            # over.
             await self._drain()
         finally:
             await self._close_connections()
@@ -207,6 +220,8 @@ class IdlogServer:
             self.service.close_all_sessions()
             self.service.flush_metrics()
             self.pool.shutdown(wait=False)
+            self.service.log.info("stopped", reason=self._stop_reason)
+            self.service.log.close()
             if install_signals:
                 for signum in (signal.SIGINT, signal.SIGTERM):
                     with contextlib.suppress(Exception):
@@ -260,6 +275,7 @@ class IdlogServer:
         except ValueError:
             # Line over LINE_LIMIT: answer, then give up on the stream
             # (we cannot find the next line boundary reliably).
+            service.log.warning("oversized_line", limit=LINE_LIMIT)
             await conn.send(error_response(
                 None, "bad_request",
                 f"request line exceeds the {LINE_LIMIT} byte limit"))
@@ -293,12 +309,18 @@ class IdlogServer:
             return
         if rtype == "shutdown":
             self.service.observe("shutdown", "ok", 0.0)
-            await conn.send(ok_response(rid, {"stopping": True}))
+            # Flip the stopping state BEFORE acknowledging: a client
+            # that has read "stopping": true must never observe a
+            # healthy /healthz afterwards.
             self.request_shutdown("shutdown request")
+            await conn.send(ok_response(rid, {"stopping": True}))
             return
         loop = asyncio.get_running_loop()
+        # The request-scoped identity is minted here, at dispatch, so
+        # the queue wait (dispatch -> worker pickup) is part of it.
+        context = self.service.new_context(request, rtype)
         task = loop.create_task(self._serve_request(conn, request, rid,
-                                                    rtype))
+                                                    rtype, context))
         conn.inflight[_key(rid)] = task
         # A cancel can land before the task's first step — the coroutine
         # body then never runs, so ITS response guarantee never engages.
@@ -306,14 +328,15 @@ class IdlogServer:
         # cancelled state (vs. handling cancellation itself and ending
         # normally) still gets its typed response.
         task.add_done_callback(
-            lambda t: self._respond_if_killed(conn, rid, rtype, t))
+            lambda t: self._respond_if_killed(conn, rid, rtype, t,
+                                              context))
 
     def _respond_if_killed(self, conn: _Connection, rid, rtype: str,
-                           task: asyncio.Task) -> None:
+                           task: asyncio.Task, context=None) -> None:
         if not task.cancelled():
             return
         self.service.m_cancelled.inc()
-        self.service.observe(rtype, "cancelled", 0.0)
+        self.service.observe(rtype, "cancelled", 0.0, context)
         conn.inflight.pop(_key(rid), None)
         with contextlib.suppress(RuntimeError):  # loop already closing
             asyncio.get_running_loop().create_task(conn.send(
@@ -332,7 +355,7 @@ class IdlogServer:
             rid, {"target": target, "cancelled": bool(cancelled)}))
 
     async def _serve_request(self, conn: _Connection, request: dict,
-                             rid, rtype: str) -> None:
+                             rid, rtype: str, context=None) -> None:
         """Run one request on the worker pool and send its response."""
         service = self.service
         service.m_inflight.inc()
@@ -342,7 +365,7 @@ class IdlogServer:
             try:
                 timeout = service.request_timeout(request)
                 future = asyncio.get_running_loop().run_in_executor(
-                    self.pool, service.handle, request)
+                    self.pool, service.handle, request, context)
                 result = await asyncio.wait_for(future, timeout)
             except asyncio.TimeoutError:
                 status = "timeout"
@@ -366,7 +389,8 @@ class IdlogServer:
         finally:
             service.m_inflight.dec()
             conn.inflight.pop(_key(rid), None)
-            service.observe(rtype, status, perf_counter() - start)
+            service.observe(rtype, status, perf_counter() - start,
+                            context)
         await conn.send(response)
 
     # -- HTTP ---------------------------------------------------------------
@@ -385,20 +409,31 @@ class IdlogServer:
             ctype = "text/plain; version=0.0.4; charset=utf-8"
             body = self.service.metrics_text()
         elif path == "/healthz":
-            code, reason = 200, "OK"
+            # Liveness vs readiness: while draining the process is alive
+            # but must not receive new traffic, so balancers get an
+            # explicit 503 + "draining" instead of a green 200.
+            draining = self._stopping.is_set()
+            code, reason = (503, "Service Unavailable") if draining \
+                else (200, "OK")
             ctype = "application/json"
             body = json.dumps({
-                "status": "ok",
+                "status": "draining" if draining else "ok",
                 "sessions": self.service.session_count(),
                 "inflight": int(self.service.m_inflight.value),
-                "stopping": self._stopping.is_set(),
+                "stopping": draining,
             }) + "\n"
         else:
             code, reason = 404, "Not Found"
             ctype = "text/plain; charset=utf-8"
             body = f"no such path {path} (try /metrics or /healthz)\n"
+        # Known paths keep their own label whatever the status code (a
+        # draining /healthz is still a /healthz probe); everything else
+        # collapses into "other" so garbage paths cannot explode the
+        # label space.
         self.service.m_http.labels(
-            path=path if code == 200 else "other").inc()
+            path=path if path in ("/metrics", "/healthz") else "other"
+        ).inc()
+        self.service.log.debug("http", path=path, code=code)
         payload = body.encode("utf-8")
         head = (f"HTTP/1.0 {code} {reason}\r\n"
                 f"Content-Type: {ctype}\r\n"

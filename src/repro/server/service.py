@@ -34,10 +34,15 @@ hit, visible in ``stats.pipelines_reused`` and the
 
 from __future__ import annotations
 
+import collections
 import hashlib
+import io
+import json
 import os
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field as dataclass_field
+from time import perf_counter
 from typing import Optional
 
 from ..core import IdlogEngine
@@ -48,7 +53,9 @@ from ..datalog.metrics import MetricsRegistry, MetricsTracer
 from ..datalog.parser import parse_program
 from ..datalog.planner import check_plan_mode
 from ..datalog.storage import STORAGE_FORMAT, load_database, save_database
-from ..datalog.trace import SCHEMA_VERSION
+from ..datalog.trace import (SCHEMA_VERSION, ContextTracer, JsonTracer,
+                             TeeTracer, TimingTracer)
+from ..obs.log import StructuredLogger, check_log_level
 from .protocol import (PROTOCOL_VERSION, REQUEST_TYPES, RequestError,
                        field, positive_number)
 
@@ -80,6 +87,22 @@ class ServerConfig:
             requests' logs valid on disk.
         max_sessions: Open-session cap (a garbage client cannot OOM the
             server by opening sessions in a loop).
+        slow_ms: Slow-query threshold in milliseconds (None disables
+            slow capture).  A ``run``/``answers``-class request at or
+            over the threshold lands in the in-memory slow log (the
+            ``slowlog`` request type) and, when ``slow_log_path`` is
+            set, is appended to that JSONL file with its per-clause
+            profile and choice-log digest.  Setting it also turns on
+            per-request tracing (profile + digest) for every ``run``,
+            which costs a few percent of evaluation wall time.
+        slow_log_path: JSONL file slow-request entries append to.
+        recent_requests: Ring-buffer capacity for the ``recent``
+            introspection request.
+        log_path: Structured-log sink (JSONL); None logs to stderr.
+        log_level: Threshold for the structured log
+            (``debug``/``info``/``warning``/``error``).  The quiet
+            default keeps in-process/test servers silent; ``repro-idlog
+            serve`` defaults to ``info``.
     """
 
     plan: str = "greedy"
@@ -91,6 +114,11 @@ class ServerConfig:
     metrics_format: str = "prom"
     choice_log_dir: Optional[str] = None
     max_sessions: int = 256
+    slow_ms: Optional[float] = None
+    slow_log_path: Optional[str] = None
+    recent_requests: int = 128
+    log_path: Optional[str] = None
+    log_level: str = "warning"
 
     def __post_init__(self) -> None:
         self.plan = check_plan_mode(self.plan)
@@ -101,6 +129,68 @@ class ServerConfig:
             raise ValueError(
                 f"metrics_format must be prom or json, "
                 f"got {self.metrics_format!r}")
+        if self.slow_ms is not None and self.slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0 (or None to disable)")
+        if self.recent_requests < 1:
+            raise ValueError("recent_requests must be >= 1")
+        self.log_level = check_log_level(self.log_level)
+
+
+@dataclass
+class RequestContext:
+    """Identity and timings of one request, threaded transport → engine.
+
+    The transport (:mod:`repro.server.server`) mints one per dispatched
+    request via :meth:`IdlogService.new_context`; :meth:`IdlogService.handle`
+    stamps queue/handler timings and the evaluation handlers fill in
+    attribution (session, prepared program, counters, per-clause
+    profile, choice-log digest).  :meth:`IdlogService.observe` folds the
+    finished context into the recent-request ring buffer and — past the
+    ``slow_ms`` threshold — the slow-query log.  In-process callers may
+    omit it; :meth:`~IdlogService.handle` then mints a local one.
+
+    Attributes:
+        request_id: Server-assigned id (``r<n>``), unique per service;
+            also returned in ``run`` responses and stamped (with the
+            session id) on every span event via
+            :class:`~repro.datalog.trace.ContextTracer`.
+        wire_id: The client-chosen ``id`` field, echoed for correlation.
+        enqueued_s/started_s: ``perf_counter`` at transport dispatch /
+            handler start; their difference is the worker-queue wait.
+    """
+
+    request_id: str
+    rtype: str
+    wire_id: object = None
+    ts: float = 0.0
+    enqueued_s: float = 0.0
+    started_s: float = 0.0
+    queue_s: float = 0.0
+    wall_s: float = 0.0
+    status: str = "pending"
+    session: Optional[str] = None
+    prepared: Optional[str] = None
+    counters: Optional[dict] = None
+    answers: Optional[dict] = None
+    profile: Optional[dict] = dataclass_field(default=None, repr=False)
+    choice_digest: Optional[str] = None
+
+    def summary(self) -> dict:
+        """The JSON-ready ring-buffer row (profile excluded: bulky)."""
+        return {
+            "request_id": self.request_id,
+            "id": self.wire_id,
+            "type": self.rtype,
+            "session": self.session,
+            "prepared": self.prepared,
+            "status": self.status,
+            "ts": round(self.ts, 3),
+            "wall_ms": round(self.wall_s * 1000.0, 3),
+            "queue_ms": round(self.queue_s * 1000.0, 3),
+            "counters": self.counters,
+            "answers": self.answers,
+            "choice_digest": self.choice_digest,
+        }
 
 
 class PreparedProgram:
@@ -209,12 +299,47 @@ class IdlogService:
         self.m_http = r.counter(
             "idlog_server_http_requests_total",
             "HTTP GETs answered on the NDJSON listener", labels=("path",))
+        self.m_request_duration = r.histogram(
+            "idlog_server_request_duration",
+            "Wall time per served request, by request type",
+            labels=("type",), buckets=_REQUEST_BUCKETS)
+        self.m_slow = r.counter(
+            "idlog_server_slow_requests_total",
+            "Requests at or over the slow_ms threshold")
         self._requests_served = 0
+        self._next_request = 0
+        #: Structured log (stderr or ``config.log_path``); the transport
+        #: and the CLI write through this, never raw stderr.
+        self.log = StructuredLogger(sink=self.config.log_path,
+                                    level=self.config.log_level)
+        #: Ring buffer of finished-request summaries (``recent``).
+        self._recent: collections.deque = collections.deque(
+            maxlen=self.config.recent_requests)
+        #: In-memory tail of slow-request entries (``slowlog``).
+        self._slow: collections.deque = collections.deque(maxlen=64)
+        self._slow_lock = threading.Lock()
 
     # -- dispatch -----------------------------------------------------------
 
-    def handle(self, request: dict) -> dict:
+    def new_context(self, request: dict, rtype: str) -> RequestContext:
+        """Mint the request-scoped identity the transport threads
+        through :meth:`handle` and :meth:`observe`."""
+        with self._lock:
+            self._next_request += 1
+            number = self._next_request
+        return RequestContext(
+            request_id=f"r{number}", rtype=rtype,
+            wire_id=request.get("id"),
+            ts=time.time(), enqueued_s=perf_counter())
+
+    def handle(self, request: dict,
+               context: Optional[RequestContext] = None) -> dict:
         """Serve one parsed request; the ``result`` payload of a response.
+
+        Args:
+            context: The :class:`RequestContext` the transport minted at
+                dispatch; in-process callers may omit it (a local one is
+                minted, so handlers can rely on it existing).
 
         Raises:
             RequestError: for every anticipated failure; the caller maps
@@ -234,21 +359,63 @@ class IdlogService:
                 "bad_request",
                 f"{rtype} is a transport-level request; it is only "
                 "served over a live server connection")
+        if context is None:
+            context = self.new_context(request, rtype)
+        context.started_s = perf_counter()
+        if context.enqueued_s:
+            context.queue_s = max(0.0,
+                                  context.started_s - context.enqueued_s)
         handler = getattr(self, f"_handle_{rtype}")
-        result = handler(request)
+        result = handler(request, context)
         with self._lock:
             self._requests_served += 1
         return result
 
-    def observe(self, rtype: str, status: str, seconds: float) -> None:
-        """Record one transport-level request outcome in the metrics."""
+    def observe(self, rtype: str, status: str, seconds: float,
+                context: Optional[RequestContext] = None) -> None:
+        """Record one transport-level request outcome.
+
+        Besides the metric families, a finished :class:`RequestContext`
+        lands in the recent-request ring buffer and — at or over the
+        ``slow_ms`` threshold — in the slow-query log.  A timed-out
+        request's context may still be mutating on its abandoned worker
+        thread; the summary snapshot simply reflects whatever the worker
+        had filled in by now.
+        """
         self.m_requests.labels(type=rtype, status=status).inc()
         self.m_request_seconds.observe(seconds)
+        self.m_request_duration.labels(type=rtype).observe(seconds)
+        if context is None:
+            return
+        context.status = status
+        context.wall_s = seconds
+        summary = context.summary()
+        with self._lock:
+            self._recent.append(summary)
+        slow_ms = self.config.slow_ms
+        if slow_ms is not None and seconds * 1000.0 >= slow_ms:
+            self.m_slow.inc()
+            entry = {"event": "slow_request", "schema": SCHEMA_VERSION,
+                     **summary}
+            if context.profile is not None:
+                entry["profile"] = context.profile
+            with self._slow_lock:
+                self._slow.append(entry)
+                path = self.config.slow_log_path
+                if path:
+                    with open(path, "a", encoding="utf-8") as handle:
+                        handle.write(json.dumps(entry, sort_keys=True)
+                                     + "\n")
+            self.log.warning("slow_request", **summary)
+        elif self.log.enabled("debug"):
+            self.log.debug("request", **summary)
 
     # -- sessions -----------------------------------------------------------
 
-    def session(self, request: dict) -> Session:
-        """The session a request addresses.
+    def session(self, request: dict,
+                context: Optional[RequestContext] = None) -> Session:
+        """The session a request addresses (stamped on ``context`` for
+        the recent/slow-log attribution).
 
         Raises:
             RequestError: (``unknown_session``) when the id is unknown —
@@ -263,17 +430,21 @@ class IdlogService:
                 f"no open session {sid!r} (open_session creates one; "
                 "sessions die with close_session, not with the "
                 "connection)")
+        if context is not None:
+            context.session = session.id
         return session
 
     def session_count(self) -> int:
         with self._lock:
             return len(self._sessions)
 
-    def _handle_ping(self, request: dict) -> dict:
+    def _handle_ping(self, request: dict,
+                     context: RequestContext) -> dict:
         return {"pong": True, "server": "repro-idlog",
                 "protocol": PROTOCOL_VERSION, "schema": SCHEMA_VERSION}
 
-    def _handle_open_session(self, request: dict) -> dict:
+    def _handle_open_session(self, request: dict,
+                             context: RequestContext) -> dict:
         plan = field(request, "plan", str, required=False,
                      default=self.config.plan)
         engine_mode = field(request, "engine", str, required=False,
@@ -296,8 +467,9 @@ class IdlogService:
         self.m_sessions_total.inc()
         return {"session": sid, "plan": plan, "engine": engine_mode}
 
-    def _handle_close_session(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_close_session(self, request: dict,
+                              context: RequestContext) -> dict:
+        session = self.session(request, context)
         with session.lock:  # drain: no close mid-evaluation
             with self._lock:
                 self._sessions.pop(session.id, None)
@@ -318,8 +490,9 @@ class IdlogService:
 
     # -- data ---------------------------------------------------------------
 
-    def _handle_assert_facts(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_assert_facts(self, request: dict,
+                             context: RequestContext) -> dict:
+        session = self.session(request, context)
         facts = field(request, "facts", dict, required=False, default={})
         udom = field(request, "udom", list, required=False, default=[])
         for item in udom:
@@ -396,8 +569,9 @@ class IdlogService:
         return self._compile(session, f"\x00inline:{digest}", source,
                              f"inline:{digest}")
 
-    def _handle_prepare(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_prepare(self, request: dict,
+                        context: RequestContext) -> dict:
+        session = self.session(request, context)
         name = field(request, "name", str)
         source = field(request, "program", str)
         if name.startswith("\x00"):
@@ -455,8 +629,9 @@ class IdlogService:
                     f"(outputs: {', '.join(sorted(heads)) or '-'})")
         return list(query)
 
-    def _handle_run(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_run(self, request: dict,
+                    context: RequestContext) -> dict:
+        session = self.session(request, context)
         mode = field(request, "mode", str, required=False, default="run")
         if mode not in ("run", "one"):
             raise RequestError("bad_request",
@@ -466,32 +641,81 @@ class IdlogService:
         record = field(request, "record", bool, required=False,
                        default=False)
         replay_data = field(request, "replay", dict, required=False)
+        want_trace = field(request, "trace", bool, required=False,
+                           default=False)
+        want_profile = field(request, "profile", bool, required=False,
+                             default=False)
         if record and replay_data is not None:
             raise RequestError("bad_request",
                                "record and replay are mutually exclusive")
+        # Per-request observability engages when the request asked for
+        # it (trace/profile) or the server captures slow queries; with
+        # all three off the engine keeps the shared metrics fold and the
+        # uninstrumented hot path — zero added cost.
+        observing = (want_trace or want_profile
+                     or self.config.slow_ms is not None)
         with session.lock:
             prepared = self._resolve_program(session, request)
+            context.prepared = prepared.name
             queries = self._pick_queries(prepared, request)
             record_log = ChoiceLog(meta={
                 "session": session.id, "program": prepared.name,
                 "mode": mode, "seed": seed}) if record else None
+            # The digest log feeds the per-request choice-log digest;
+            # it is the client's record log when one was asked for, and
+            # a service-internal one otherwise.
+            digest_log = record_log
+            if observing and digest_log is None and replay_data is None:
+                digest_log = ChoiceLog(meta={
+                    "session": session.id, "request": context.request_id})
+            tracer, timing, trace_buf = self.tracer, None, None
+            if observing:
+                timing = TimingTracer()
+                parts = [self.tracer, timing]
+                if want_trace:
+                    trace_buf = io.StringIO()
+                    parts.append(JsonTracer(trace_buf))
+                tracer = ContextTracer(TeeTracer(parts),
+                                       request_id=context.request_id,
+                                       session_id=session.id)
             engine = prepared.engine
             prepared.uses += 1
-            if replay_data is not None:
-                result = engine.replay(session.db,
-                                       ChoiceLog.from_jsonable(replay_data))
-            elif mode == "one":
-                result = engine.one(session.db, seed=seed,
-                                    record=record_log)
-            else:
-                result = engine.run(session.db, record=record_log)
+            replay_log = None
+            try:
+                # The session lock serializes engine use, so re-pointing
+                # the prepared engine's tracer for one call is safe;
+                # restore the shared fold either way.
+                engine.tracer = tracer
+                if replay_data is not None:
+                    replay_log = ChoiceLog.from_jsonable(replay_data)
+                    result = engine.replay(session.db, replay_log)
+                elif mode == "one":
+                    result = engine.one(session.db, seed=seed,
+                                        record=digest_log)
+                else:
+                    result = engine.run(session.db, record=digest_log)
+            finally:
+                engine.tracer = self.tracer
             out = {
                 "mode": mode,
                 "prepared": prepared.name,
+                "request_id": context.request_id,
                 "answers": {pred: self._rows_out(self._tuples(result, pred))
                             for pred in queries},
                 "stats": self._stats_out(result.stats),
             }
+            source_log = replay_log if replay_data is not None \
+                else digest_log
+            if source_log is not None:
+                context.choice_digest = source_log.digest()
+                out["choice_digest"] = context.choice_digest
+            if timing is not None:
+                context.profile = timing.profile.as_dict()
+                if want_profile:
+                    out["profile"] = context.profile
+            if trace_buf is not None:
+                out["trace"] = [json.loads(line) for line
+                                in trace_buf.getvalue().splitlines()]
             if record_log is not None:
                 record_log.set_answers(
                     {pred: self._tuples(result, pred) for pred in queries})
@@ -505,15 +729,20 @@ class IdlogService:
                         f"{session.id}-{session.seq:04d}.choices.jsonl")
                     record_log.save(path)
                     out["choice_log_path"] = path
+            context.counters = out["stats"]
+            context.answers = {pred: len(rows)
+                               for pred, rows in out["answers"].items()}
         return out
 
-    def _handle_answers(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_answers(self, request: dict,
+                        context: RequestContext) -> dict:
+        session = self.session(request, context)
         pred = field(request, "pred", str)
         max_branches = field(request, "max_branches", int, required=False,
                              default=200_000)
         with session.lock:
             prepared = self._resolve_program(session, request)
+            context.prepared = prepared.name
             if pred not in prepared.engine.program.head_predicates:
                 raise RequestError(
                     "bad_request",
@@ -527,8 +756,9 @@ class IdlogService:
 
     # -- persistence --------------------------------------------------------
 
-    def _handle_snapshot(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_snapshot(self, request: dict,
+                         context: RequestContext) -> dict:
+        session = self.session(request, context)
         directory = field(request, "dir", str)
         with session.lock:
             save_database(session.db, directory, format=STORAGE_FORMAT)
@@ -538,8 +768,9 @@ class IdlogService:
         return {"dir": directory, "relations": count, "rows": rows,
                 "format": STORAGE_FORMAT}
 
-    def _handle_restore(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_restore(self, request: dict,
+                        context: RequestContext) -> dict:
+        session = self.session(request, context)
         directory = field(request, "dir", str)
         with session.lock:
             db = load_database(directory)
@@ -552,8 +783,9 @@ class IdlogService:
 
     # -- introspection ------------------------------------------------------
 
-    def _handle_stats(self, request: dict) -> dict:
-        session = self.session(request)
+    def _handle_stats(self, request: dict,
+                      context: RequestContext) -> dict:
+        session = self.session(request, context)
         with session.lock:
             report = session.db.stats()
             report["session"] = session.id
@@ -561,7 +793,8 @@ class IdlogService:
                                   for p in session.programs.values()]
         return report
 
-    def _handle_server_stats(self, request: dict) -> dict:
+    def _handle_server_stats(self, request: dict,
+                             context: RequestContext) -> dict:
         with self._lock:
             sessions = len(self._sessions)
             prepared = sum(len(s.programs)
@@ -572,7 +805,33 @@ class IdlogService:
                 "inflight": int(self.m_inflight.value),
                 "workers": self.config.workers,
                 "protocol": PROTOCOL_VERSION, "schema": SCHEMA_VERSION,
-                "timeout_s": self.config.timeout_s}
+                "timeout_s": self.config.timeout_s,
+                "slow_ms": self.config.slow_ms}
+
+    def _handle_recent(self, request: dict,
+                       context: RequestContext) -> dict:
+        limit = field(request, "limit", int, required=False, default=50)
+        if limit < 1:
+            raise RequestError("bad_request", "limit must be >= 1")
+        with self._lock:
+            items = list(self._recent)[-limit:]
+            served = self._requests_served
+        return {"requests": items[::-1],  # newest first
+                "count": len(items),
+                "capacity": self.config.recent_requests,
+                "requests_served": served}
+
+    def _handle_slowlog(self, request: dict,
+                        context: RequestContext) -> dict:
+        limit = field(request, "limit", int, required=False, default=50)
+        if limit < 1:
+            raise RequestError("bad_request", "limit must be >= 1")
+        with self._slow_lock:
+            entries = list(self._slow)[-limit:]
+        return {"slow_ms": self.config.slow_ms,
+                "path": self.config.slow_log_path,
+                "count": len(entries),
+                "entries": entries[::-1]}  # newest first
 
     # -- timeouts -----------------------------------------------------------
 

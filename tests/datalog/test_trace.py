@@ -19,7 +19,8 @@ from repro.datalog import (
     CallbackTracer, Database, EvalStats, IncrementalEngine, JsonTracer,
     NullTracer, TeeTracer, TimingTracer, TopDownEngine, current_tracer,
     evaluate, format_profile, parse_program, use_tracer)
-from repro.datalog.trace import SCHEMA_VERSION, resolve_tracer
+from repro.datalog.trace import (CONTEXT_FIELDS, SCHEMA_VERSION,
+                                 ContextTracer, resolve_tracer)
 
 STRATIFIED = """
     path(X, Y) :- edge(X, Y).
@@ -263,6 +264,43 @@ class TestTeeTracer:
         TeeTracer([a, b]).emit("round", stratum=1)
         assert a.kinds() == b.kinds() == ["round"]
         assert a.events[0].get("stratum") == 1
+
+
+class TestContextTracer:
+    def test_stamps_context_on_every_event(self):
+        inner = CallbackTracer()
+        tracer = ContextTracer(inner, request_id="r7", session_id="s1")
+        tracer.emit("eval_start", strata=2)
+        tracer.emit("eval_end")
+        assert all(e.get("request_id") == "r7" and e.get("session_id") == "s1"
+                   for e in inner.events)
+        assert inner.events[0].get("strata") == 2
+
+    def test_none_context_values_are_dropped(self):
+        inner = CallbackTracer()
+        ContextTracer(inner, request_id="r1", session_id=None).emit("round")
+        assert "session_id" not in inner.events[0].fields
+        assert inner.events[0].get("request_id") == "r1"
+
+    def test_event_fields_win_on_collision(self):
+        inner = CallbackTracer()
+        ContextTracer(inner, request_id="outer").emit(
+            "round", request_id="inner")
+        assert inner.events[0].get("request_id") == "inner"
+
+    def test_context_fields_constant_names_the_stamps(self):
+        inner = CallbackTracer()
+        context = {name: f"v_{name}" for name in CONTEXT_FIELDS}
+        ContextTracer(inner, **context).emit("round")
+        for name in CONTEXT_FIELDS:
+            assert inner.events[0].get(name) == f"v_{name}"
+
+    def test_whole_engine_stream_is_stamped(self):
+        inner = CallbackTracer()
+        evaluate(parse_program(STRATIFIED), graph_db(),
+                 tracer=ContextTracer(inner, request_id="r9"))
+        assert inner.events  # a real stream, not a stub
+        assert all(e.get("request_id") == "r9" for e in inner.events)
 
 
 class TestProfile:

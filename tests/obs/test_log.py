@@ -1,0 +1,156 @@
+"""Tests for the structured logging layer (repro.obs.log).
+
+The properties that matter: leveled filtering, one valid JSON object
+per line, bound context on every line, the text format the CLI error
+path depends on, file-sink ownership, and idempotent close.
+"""
+
+import io
+import json
+import sys
+import threading
+
+import pytest
+
+from repro.obs import LOG_LEVELS, NullLogger, StructuredLogger, check_log_level
+
+
+def lines_of(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestLevels:
+    def test_levels_are_ordered_and_validated(self):
+        assert LOG_LEVELS == ("debug", "info", "warning", "error")
+        assert check_log_level("info") == "info"
+        with pytest.raises(ValueError, match="log level"):
+            check_log_level("verbose")
+
+    def test_threshold_filters(self):
+        sink = io.StringIO()
+        log = StructuredLogger(sink=sink, level="warning")
+        log.debug("a")
+        log.info("b")
+        log.warning("c")
+        log.error("d")
+        assert [line["event"] for line in lines_of(sink)] == ["c", "d"]
+
+    def test_enabled_guard(self):
+        log = StructuredLogger(sink=io.StringIO(), level="info")
+        assert not log.enabled("debug")
+        assert log.enabled("info") and log.enabled("error")
+        assert not log.enabled("nonsense")
+
+
+class TestJsonLines:
+    def test_record_shape(self):
+        sink = io.StringIO()
+        StructuredLogger(sink=sink).info("request", request_id="r1",
+                                         wall_ms=3.25)
+        (line,) = lines_of(sink)
+        assert line["event"] == "request"
+        assert line["level"] == "info"
+        assert line["request_id"] == "r1"
+        assert line["wall_ms"] == 3.25
+        assert isinstance(line["ts"], float)
+
+    def test_non_primitive_values_stringified(self):
+        sink = io.StringIO()
+        StructuredLogger(sink=sink).info("x", where={1, 2})
+        (line,) = lines_of(sink)
+        assert isinstance(line["where"], (str, list))  # JSON-clean
+
+    def test_default_sink_is_dynamic_stderr(self, capsys):
+        StructuredLogger().info("hello", n=1)
+        err = capsys.readouterr().err
+        assert json.loads(err)["event"] == "hello"
+
+
+class TestBind:
+    def test_bound_fields_on_every_line(self):
+        sink = io.StringIO()
+        log = StructuredLogger(sink=sink).bind(conn="c7")
+        log.info("open")
+        log.info("close", code=0)
+        opened, closed = lines_of(sink)
+        assert opened["conn"] == closed["conn"] == "c7"
+        assert closed["code"] == 0
+
+    def test_child_shares_sink_and_threshold(self):
+        sink = io.StringIO()
+        parent = StructuredLogger(sink=sink, level="warning")
+        child = parent.bind(request_id="r1")
+        child.info("dropped")
+        child.warning("kept")
+        (line,) = lines_of(sink)
+        assert line["event"] == "kept" and line["request_id"] == "r1"
+
+    def test_event_fields_win_over_bound(self):
+        sink = io.StringIO()
+        StructuredLogger(sink=sink).bind(k="bound").info("e", k="local")
+        assert lines_of(sink)[0]["k"] == "local"
+
+
+class TestTextFormat:
+    def test_cli_error_shape(self, capsys):
+        # The exact contract of repro-idlog's error path.
+        log = StructuredLogger(level="error", fmt="text")
+        log.error("error", message="no such file: prog.dl")
+        assert capsys.readouterr().err == "error: no such file: prog.dl\n"
+
+    def test_extra_fields_render_as_pairs(self):
+        sink = io.StringIO()
+        StructuredLogger(sink=sink, fmt="text").info("slow", wall_ms=12)
+        assert sink.getvalue() == "slow wall_ms=12\n"
+
+    def test_bad_fmt_rejected(self):
+        with pytest.raises(ValueError, match="fmt"):
+            StructuredLogger(fmt="yaml")
+
+
+class TestFileSink:
+    def test_path_sink_appends_and_closes(self, tmp_path):
+        path = tmp_path / "server.log"
+        with StructuredLogger(sink=str(path)) as log:
+            log.info("first")
+        with StructuredLogger(sink=str(path)) as log:
+            log.info("second")
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["first", "second"]
+
+    def test_close_is_idempotent_and_silences(self, tmp_path):
+        path = tmp_path / "x.log"
+        log = StructuredLogger(sink=str(path))
+        log.close()
+        log.close()
+        log.info("after-close")  # must not raise on a closed file
+        assert path.read_text() == ""
+
+    def test_concurrent_writers_produce_whole_lines(self, tmp_path):
+        path = tmp_path / "c.log"
+        log = StructuredLogger(sink=str(path))
+        threads = [threading.Thread(
+            target=lambda i=i: [log.info("tick", worker=i, n=n)
+                                for n in range(50)])
+            for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        log.close()
+        parsed = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        assert len(parsed) == 200
+        assert {line["worker"] for line in parsed} == {0, 1, 2, 3}
+
+
+class TestNullLogger:
+    def test_everything_is_a_no_op(self, capsys):
+        log = NullLogger()
+        assert not log.enabled("error")
+        log.error("boom", detail=1)
+        log.bind(conn="c1").warning("also dropped")
+        log.close()
+        captured = capsys.readouterr()
+        assert captured.err == "" and captured.out == ""

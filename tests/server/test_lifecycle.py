@@ -22,7 +22,7 @@ import pytest
 from repro.cli import main
 from repro.core.choicelog import ChoiceLog
 from repro.server import (ServerClient, ServerConfig, ServerThread,
-                          ServerError)
+                          ServerError, http_get)
 
 TC_PROGRAM = """
   path(X, Y) :- edge(X, Y).
@@ -85,6 +85,33 @@ class TestShutdown:
                 # the in-flight request still completes during the drain
                 response = client.recv_for(slow_id)
                 assert response["ok"] is True
+        finally:
+            handle.stop()
+
+    def test_healthz_reports_draining(self):
+        """While in-flight work drains, the listener stays bound and
+        ``/healthz`` flips to an explicit 503 "draining" — balancers
+        see not-ready, not connection-refused."""
+        handle = ServerThread(ServerConfig(drain_s=5.0)).start()
+        try:
+            host, port = handle.address
+            code, body = http_get(host, port, "/healthz")
+            assert code == 200 and json.loads(body)["status"] == "ok"
+            with handle.client() as client:
+                sid = client.call("open_session")["session"]
+                client.call("assert_facts", session=sid,
+                            facts={"edge": [[f"n{i}", f"n{i + 1}"]
+                                            for i in range(900)]})
+                slow_id = client.send({"type": "run", "session": sid,
+                                       "program": TC_PROGRAM})
+                client.call("shutdown")
+                code, body = http_get(host, port, "/healthz")
+                assert code == 503
+                payload = json.loads(body)
+                assert payload["status"] == "draining"
+                assert payload["stopping"] is True
+                # the drain still completes the in-flight request
+                assert client.recv_for(slow_id)["ok"] is True
         finally:
             handle.stop()
 
@@ -249,7 +276,31 @@ class TestCliServeConnect:
         out, err = proc.communicate(timeout=30)
         assert proc.returncode == 0, err
         assert "shutdown: SIGINT" in out
-        assert err.strip() == ""
+        # stderr carries only the structured lifecycle log (one JSON
+        # object per line), nothing ad hoc
+        events = [json.loads(line)["event"] for line in err.splitlines()]
+        assert events[0] == "listening"
+        assert events[-1] == "stopped"
+        assert "draining" in events
+
+    def test_serve_log_file_and_level(self, tmp_path):
+        proc, host, port = start_serve(
+            tmp_path, "--log-file", "server.log", "--log-level", "debug")
+        with ServerClient.connect_tcp(host, port) as client:
+            assert client.call("ping")["pong"] is True
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=30)
+        assert proc.returncode == 0, err
+        assert err.strip() == ""  # the log went to the file instead
+        lines = [json.loads(line) for line in
+                 (tmp_path / "server.log").read_text().splitlines()]
+        events = [line["event"] for line in lines]
+        assert events[0] == "listening"
+        assert "stopped" in events
+        # debug level records every request summary
+        ping = next(line for line in lines if line["event"] == "request")
+        assert ping["type"] == "ping" and ping["status"] == "ok"
+        assert ping["request_id"].startswith("r")
 
 
 class TestConcurrentLoadSmoke:

@@ -9,6 +9,8 @@ cross-checks that each of those types appears in THIS file, so a new
 request type cannot ship untested.
 """
 
+import json
+import socket
 import threading
 
 import pytest
@@ -395,6 +397,185 @@ class TestHttp:
         host, port = server.address
         code, body = http_get(host, port, "/nope")
         assert code == 404
+
+
+class TestRequestObservability:
+    EDGES = [["a", "b"], ["b", "c"], ["c", "d"]]
+
+    def test_every_run_returns_its_request_id(self, client, session):
+        result = client.call("run", session=session,
+                             program="p(X) :- udom(X).")
+        assert result["request_id"].startswith("r")
+
+    def test_plain_run_carries_no_observability_payload(self, client,
+                                                        session):
+        result = client.call("run", session=session,
+                             program="p(X) :- udom(X).")
+        assert "trace" not in result
+        assert "profile" not in result
+        assert "choice_digest" not in result  # no slow capture here
+
+    def test_trace_events_are_context_stamped(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": self.EDGES})
+        result = client.call("run", session=session, program=TC_PROGRAM,
+                             trace=True)
+        events = result["trace"]
+        assert events[0]["event"] == "eval_start"
+        assert events[-1]["event"] == "eval_end"
+        assert all(e["schema"] == 1 for e in events)
+        assert all(e["request_id"] == result["request_id"]
+                   for e in events)
+        assert all(e["session_id"] == session for e in events)
+
+    def test_profile_is_the_per_clause_fold(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": self.EDGES})
+        result = client.call("run", session=session, program=TC_PROGRAM,
+                             profile=True)
+        profile = result["profile"]
+        assert profile["schema"] == 1
+        assert profile["clauses"], "per-clause rows expected"
+        for row in profile["clauses"]:
+            assert {"clause", "wall_s", "probes", "firings"} <= set(row)
+        assert "trace" not in result  # profile alone buffers no events
+
+    def test_choice_digest_matches_the_recorded_log(self, client,
+                                                    session):
+        client.call("assert_facts", session=session,
+                    facts={"emp": EMP_ROWS})
+        result = client.call("run", session=session,
+                             program=SAMPLE_PROGRAM, mode="one", seed=5,
+                             record=True, trace=True)
+        log = ChoiceLog.from_jsonable(result["choice_log"])
+        assert result["choice_digest"] == log.digest()
+
+    def test_replay_digest_matches_the_recording(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"emp": EMP_ROWS})
+        recorded = client.call("run", session=session,
+                               program=SAMPLE_PROGRAM, mode="one",
+                               seed=9, record=True, trace=True)
+        replayed = client.call("run", session=session,
+                               program=SAMPLE_PROGRAM,
+                               replay=recorded["choice_log"],
+                               trace=True)
+        assert replayed["choice_digest"] == recorded["choice_digest"]
+        assert replayed["answers"] == recorded["answers"]
+
+    def test_recent_ring_summarises_requests(self, client, session):
+        result = client.call("run", session=session,
+                             program="p(X) :- udom(X).")
+        recent = client.call("recent", limit=20)
+        assert recent["capacity"] >= recent["count"] >= 1
+        assert recent["requests_served"] >= recent["count"]
+        entry = next(e for e in recent["requests"]
+                     if e["request_id"] == result["request_id"])
+        assert entry["type"] == "run"
+        assert entry["status"] == "ok"
+        assert entry["session"] == session
+        assert isinstance(entry["wall_ms"], (int, float))
+        assert isinstance(entry["queue_ms"], (int, float))
+        # newest first: the run is nearer the head than its session open
+        ids = [e["request_id"] for e in recent["requests"]]
+        assert ids == sorted(ids, key=lambda r: -int(r[1:]))
+
+    def test_recent_rejects_bad_limit(self, client):
+        with pytest.raises(ServerError) as err:
+            client.call("recent", limit=0)
+        assert err.value.error_type == "bad_request"
+
+    def test_slowlog_off_by_default(self, client):
+        result = client.call("slowlog")
+        assert result == {"slow_ms": None, "path": None, "count": 0,
+                          "entries": []}
+        assert client.call("server_stats")["slow_ms"] is None
+
+
+class TestSlowQueryCapture:
+    @pytest.fixture
+    def slow_server(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        config = ServerConfig(workers=2, slow_ms=0.0,
+                              slow_log_path=str(path),
+                              log_level="error")
+        with ServerThread(config) as handle:
+            yield handle, path
+
+    def test_entries_match_wire_responses(self, slow_server):
+        handle, path = slow_server
+        with handle.client() as client:
+            sid = client.call("open_session")["session"]
+            client.call("assert_facts", session=sid,
+                        facts={"emp": EMP_ROWS})
+            result = client.call("run", session=sid,
+                                 program=SAMPLE_PROGRAM, mode="one",
+                                 seed=3)
+            assert client.call("server_stats")["slow_ms"] == 0.0
+            wire = client.call("slowlog")
+        entries = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        entry = next(e for e in entries
+                     if e["request_id"] == result["request_id"])
+        assert entry["event"] == "slow_request"
+        assert entry["schema"] == 1
+        assert entry["type"] == "run"
+        assert entry["session"] == sid
+        # at threshold 0 the run was captured WITH profile and digest,
+        # both agreeing with the response the client saw
+        assert entry["choice_digest"] == result["choice_digest"]
+        assert entry["profile"]["clauses"]
+        # the in-memory view (the slowlog request) agrees with the file
+        assert wire["slow_ms"] == 0.0
+        assert wire["path"] == str(path)
+        assert any(e["request_id"] == result["request_id"]
+                   for e in wire["entries"])
+
+    def test_slow_counter_in_metrics(self, slow_server):
+        handle, _ = slow_server
+        with handle.client() as client:
+            client.call("ping")
+        text = handle.service.metrics_text()
+        assert "idlog_server_slow_requests_total" in text
+        assert "idlog_server_request_duration_bucket" in text
+
+
+class TestHttpEdgeCases:
+    def test_404_body_names_the_real_paths(self, server):
+        host, port = server.address
+        code, body = http_get(host, port, "/bogus")
+        assert code == 404
+        assert "/metrics" in body and "/healthz" in body
+
+    def test_http_counter_labels_per_path(self, server):
+        host, port = server.address
+        http_get(host, port, "/healthz")
+        http_get(host, port, "/nope")
+        _, text = http_get(host, port, "/metrics")
+        assert 'idlog_server_http_requests_total{path="/healthz"}' \
+            in text
+        assert 'idlog_server_http_requests_total{path="other"}' in text
+        # the /metrics scrape itself is labelled too
+        _, text = http_get(host, port, "/metrics")
+        assert 'idlog_server_http_requests_total{path="/metrics"}' \
+            in text
+
+    def test_oversized_request_line_is_typed(self, server):
+        from repro.server.server import LINE_LIMIT
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(b"x" * (LINE_LIMIT + 2))
+            sock.shutdown(socket.SHUT_WR)
+            blob = b""
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                blob += chunk
+        response = json.loads(blob.splitlines()[0])
+        assert response["ok"] is False
+        assert response["error"]["type"] == "bad_request"
+        assert "byte limit" in response["error"]["message"]
 
 
 class TestServeVsInProcessDifferential:

@@ -27,7 +27,8 @@ GENERATED_OK = {"BENCH_pr3.json", "BENCH_prN.json", "out.jsonl",
                 "prog.dl", "facts.dl", "trace.jsonl",
                 "BENCH_candidate.json", "metrics.json",
                 "eval-report.json", "_pool.json", "_schema.json",
-                "server-latency.json"}
+                "server-latency.json", "server-slowlog.jsonl",
+                "server-trace.jsonl", "server-latency-slowlog.json"}
 
 PATH_PATTERN = re.compile(
     r"`([\w./-]+\.(?:py|md|dl|json|jsonl|txt|yml))`")
@@ -167,6 +168,39 @@ class TestServerManual:
                    and name.replace("idlog_server_", "_") not in text]
         assert not missing, \
             f"server metrics undocumented in docs/SERVER.md: {missing}"
+
+
+class TestObservabilityManual:
+    """`docs/OBSERVABILITY.md` is the tracing reference: its event
+    vocabulary and the context-stamp fields must stay in sync with
+    `repro.datalog.trace` (a new event kind or context field cannot
+    ship undocumented)."""
+
+    def _manual(self):
+        return (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+
+    def test_event_kinds_table_matches_trace_module(self):
+        from repro.datalog.trace import EVENT_KINDS
+        section = self._manual().split("### Event kinds")[1]
+        section = section.split("\n## ")[0]
+        rows = re.findall(r"^\| `(\w+)` \|", section, flags=re.M)
+        assert rows and rows[0] != "kind", "event-kinds table not found"
+        assert set(rows) == set(EVENT_KINDS), (
+            f"undocumented kinds: {sorted(set(EVENT_KINDS) - set(rows))}; "
+            f"stale rows: {sorted(set(rows) - set(EVENT_KINDS))}")
+
+    def test_context_fields_are_documented(self):
+        from repro.datalog.trace import CONTEXT_FIELDS
+        text = self._manual()
+        assert "CONTEXT_FIELDS" in text, \
+            "docs/OBSERVABILITY.md must name the stamp vocabulary"
+        missing = [f for f in CONTEXT_FIELDS if f"`{f}`" not in text]
+        assert not missing, \
+            f"context fields missing from docs/OBSERVABILITY.md: {missing}"
+        server = (ROOT / "docs" / "SERVER.md").read_text()
+        missing = [f for f in CONTEXT_FIELDS if f"`{f}`" not in server]
+        assert not missing, \
+            f"context fields missing from docs/SERVER.md: {missing}"
 
 
 def test_readme_profile_example_runs():

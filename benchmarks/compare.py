@@ -35,6 +35,13 @@ candidate:
   scenario, the candidate's resident ``bytes_per_tuple`` may exceed the
   baseline's by at most ``--memory-tolerance`` (default 10%).  Unlike
   wall time this is machine-independent, so the ceiling is tight.
+* **plan quality** — for every kernel/mode record where both sides
+  carry a ``plan_quality`` block (the profiled ``batch/greedy`` pass),
+  the candidate's median q-error may exceed the baseline's by at most
+  ``--q-error-tolerance`` (default 2.0x).  The q-error compares the
+  planner's cardinality estimates against the executor's actuals, so a
+  worsened median means the cost model drifted from reality — a planner
+  or statistics regression even when wall time hides it.
 * **server** — when the candidate carries a ``server`` section (PR 8's
   concurrent-client load benchmark), its error count must be zero, its
   prepared-program pipeline reuse must be verified, and at least 8
@@ -143,6 +150,52 @@ def compare_memory(baseline: dict, candidate: dict,
     return problems, notes
 
 
+def compare_plan_quality(baseline: dict, candidate: dict,
+                         q_error_tolerance: float
+                         ) -> tuple[list[str], list[str]]:
+    """Median q-error ceiling for the per-kernel ``plan_quality`` blocks.
+
+    Trajectory files before PR 10 carry no ``plan_quality`` blocks; the
+    gate engages per kernel/mode only when the baseline measured one.
+    A baseline block with no candidate counterpart is a coverage
+    regression (estimate capture silently lost), not a tolerated gap.
+    """
+    problems: list[str] = []
+    notes: list[str] = []
+    gated = 0
+    base_benches = baseline.get("benchmarks", {})
+    cand_benches = candidate.get("benchmarks", {})
+    for kernel in sorted(base_benches):
+        cand_modes = cand_benches.get(kernel, {})
+        for mode, base_rec in sorted(base_benches[kernel].items()):
+            base_q = (base_rec or {}).get("plan_quality")
+            if not base_q:
+                continue
+            where = f"{kernel} [{mode}]"
+            cand_q = (cand_modes.get(mode) or {}).get("plan_quality")
+            if not cand_q:
+                if kernel in cand_benches and mode in cand_modes:
+                    problems.append(
+                        f"{where}: baseline has a plan_quality block but "
+                        "candidate does not (estimate capture lost)")
+                continue  # missing kernel/mode already reported elsewhere
+            base_med = base_q.get("median_q_error")
+            cand_med = cand_q.get("median_q_error")
+            if base_med is None or cand_med is None:
+                continue
+            gated += 1
+            limit = base_med * q_error_tolerance
+            if cand_med > limit:
+                problems.append(
+                    f"{where}: median q-error {base_med} -> {cand_med} "
+                    f"(limit {limit:.3f} = {q_error_tolerance}x) — "
+                    "cardinality estimates drifted from executed actuals")
+    if gated:
+        notes.append(f"plan quality: median q-error gated on {gated} "
+                     f"record(s) at {q_error_tolerance}x")
+    return problems, notes
+
+
 def compare_server(baseline: dict, candidate: dict,
                    wall_tolerance: float,
                    wall_slack: float) -> tuple[list[str], list[str]]:
@@ -209,6 +262,7 @@ def compare(baseline: dict, candidate: dict,
             wall_tolerance: float = 2.0, wall_slack: float = 0.05,
             strict_digests: bool = False,
             memory_tolerance: float = 0.10,
+            q_error_tolerance: float = 2.0,
             accepted: frozenset = frozenset()
             ) -> tuple[list[str], list[str]]:
     """Returns ``(problems, notes)`` for two loaded trajectory reports."""
@@ -217,6 +271,10 @@ def compare(baseline: dict, candidate: dict,
         baseline, candidate, wall_tolerance, wall_slack)
     problems.extend(server_problems)
     notes.extend(server_notes)
+    quality_problems, quality_notes = compare_plan_quality(
+        baseline, candidate, q_error_tolerance)
+    problems.extend(quality_problems)
+    notes.extend(quality_notes)
     base_benches = baseline.get("benchmarks", {})
     cand_benches = candidate.get("benchmarks", {})
     for kernel in sorted(base_benches):
@@ -268,6 +326,10 @@ def main(argv=None, out=None) -> int:
     parser.add_argument("--memory-tolerance", type=float, default=0.10,
                         help="allowed relative bytes_per_tuple growth in "
                              "the memory section (default 0.10 = 10%%)")
+    parser.add_argument("--q-error-tolerance", type=float, default=2.0,
+                        help="candidate median q-error may be at most "
+                             "this multiple of the baseline's per "
+                             "plan_quality block (default 2.0)")
     parser.add_argument("--accept", action="append", default=[],
                         metavar="KERNEL:COUNTER",
                         help="accept an intended counter change for one "
@@ -295,6 +357,7 @@ def main(argv=None, out=None) -> int:
                               wall_slack=args.wall_slack,
                               strict_digests=args.strict_digests,
                               memory_tolerance=args.memory_tolerance,
+                              q_error_tolerance=args.q_error_tolerance,
                               accepted=accepted)
     kernels = len(baseline.get("benchmarks", {}))
     for note in notes:

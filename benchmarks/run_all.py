@@ -10,9 +10,13 @@ wall time, join probes, fixpoint iterations and derived-tuple counts
 plus a canonical digest of the answer.  After timing, one extra untimed
 pass per kernel runs under an ambient :class:`TimingTracer`, so the
 ``batch/greedy`` record also carries a per-clause/per-stratum ``profile``
-(see ``docs/OBSERVABILITY.md``).  Results are written to
-``BENCH_pr8.json`` at the repo root; two trajectory files are compared
-for regressions by ``benchmarks/compare.py``.
+and — where the batch executor captured per-stage estimates — a
+``plan_quality`` block (per-clause q-errors, median/max roll-up; see
+``docs/OBSERVABILITY.md``), which ``compare.py`` gates against the
+baseline's so planner estimate drift fails CI even when wall time hides
+it.  Results are written to ``BENCH_pr10.json`` at the repo root; two
+trajectory files are compared for regressions by
+``benchmarks/compare.py``.
 
 The report also carries a ``memory`` section — resident/logical
 bytes-per-tuple of the 1200-row Zipf workload under the columnar store,
@@ -399,15 +403,20 @@ def load_replays(path):
 
 
 def profile_kernel(kernel, plan, engine):
-    """One untimed pass under an ambient tracer; the per-clause profile,
-    or None for kernels whose code path never reaches the evaluator."""
+    """One untimed pass under an ambient tracer; the per-clause profile
+    and the plan-quality block, or ``(None, None)`` for kernels whose
+    code path never reaches the evaluator.  ``plan_quality`` is None
+    when no clause ran with estimate capture (e.g. the kernel bypasses
+    the batch executor)."""
     from repro.datalog.trace import TimingTracer, use_tracer
     tracer = TimingTracer()
     with use_tracer(tracer):
         kernel(plan, engine)
     if not tracer.profile.clauses:
-        return None
-    return tracer.profile.as_dict()
+        return None, None
+    quality = tracer.profile.plan_quality()
+    return (tracer.profile.as_dict(),
+            quality if quality["clauses"] else None)
 
 
 def memory_series(quick: bool) -> dict:
@@ -443,7 +452,7 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="timing repeats per mode (default 3, 1 "
                              "with --quick)")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr8.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_pr10.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--only", default=None,
                         help="run only scenarios whose name contains this "
@@ -486,9 +495,11 @@ def main(argv=None) -> int:
                   f"probes={records[key].get('probes', '-')}{pinned}",
                   flush=True)
         engine, plan = PROFILED_MODE
-        profile = profile_kernel(kernel, plan, engine)
+        profile, plan_quality = profile_kernel(kernel, plan, engine)
         if profile is not None:
             records[f"{engine}/{plan}"]["profile"] = profile
+        if plan_quality is not None:
+            records[f"{engine}/{plan}"]["plan_quality"] = plan_quality
         if choice_capable:
             if replay is not None:
                 report["choice_logs"][name] = replays[name].to_jsonable()

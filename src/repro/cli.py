@@ -13,6 +13,7 @@ The subcommands::
     repro-idlog eval [--quick] [--out FILE]  # scenario suite + stats checks
     repro-idlog serve [--port P] [--unix PATH] ...   # long-lived server
     repro-idlog connect [PROGRAM] [-f FACTS] ...     # query a server
+    repro-idlog plans [TRACE]        # worst-estimated clauses by q-error
 
 ``PROGRAM`` is a file of clauses in the surface syntax; ``FACTS`` is a
 file of ground facts (``emp(ann, toys).``), whose ``udom(c)`` facts — if
@@ -33,7 +34,10 @@ failed evaluation still leaves valid partial JSONL on disk), ``run
 --metrics FILE`` exports aggregated metrics (Prometheus text or JSON;
 flushed in a ``finally:`` so a failed run still leaves a valid file),
 ``run --progress`` prints stratum/round heartbeats to stderr, and
-``profile`` evaluates just to print the table.
+``profile`` evaluates just to print the table.  ``plans`` reads a
+recorded trace (or queries a running server) and ranks clauses by
+q-error — how far the planner's cardinality estimates missed the
+executed actuals.
 
 Nondeterminism observability: ``run --record FILE`` captures every
 ID-function decision (plus the answers) as a JSONL choice log, ``run
@@ -644,6 +648,22 @@ def _fmt_ms(value) -> str:
     return "-"
 
 
+def _fmt_q_err(plan_quality) -> str:
+    """A ``q-err`` column cell from a ring-buffer plan-quality roll-up.
+
+    Renders the request's worst q-error, ``!``-flagged when any clause
+    crossed the misestimate threshold; ``-`` when the request recorded
+    no estimates (non-run requests, tracing off).
+    """
+    if not isinstance(plan_quality, dict):
+        return "-"
+    worst = plan_quality.get("max_q_error")
+    if not isinstance(worst, (int, float)):
+        return "-"
+    flag = "!" if plan_quality.get("misestimates") else ""
+    return f"{worst:.1f}{flag}"
+
+
 def _cmd_top(args, out) -> int:
     """Live view of a running server (``repro-idlog top``)."""
     import time
@@ -673,7 +693,8 @@ def _cmd_top(args, out) -> int:
         print("server: " + " ".join(
             f"{key}={stats[key]}" for key in sorted(stats)), file=out)
         print(f"  {'request':<9} {'type':<13} {'session':<8} "
-              f"{'status':<10} {'wall ms':>9} {'queue ms':>9} digest",
+              f"{'status':<10} {'wall ms':>9} {'queue ms':>9} "
+              f"{'q-err':>7} digest",
               file=out)
         for item in recent["requests"]:
             print(f"  {item.get('request_id') or '-':<9} "
@@ -682,6 +703,7 @@ def _cmd_top(args, out) -> int:
                   f"{item.get('status') or '-':<10} "
                   f"{_fmt_ms(item.get('wall_ms')):>9} "
                   f"{_fmt_ms(item.get('queue_ms')):>9} "
+                  f"{_fmt_q_err(item.get('plan_quality')):>7} "
                   f"{item.get('choice_digest') or '-'}", file=out)
         if not recent["requests"]:
             print("  (no requests yet)", file=out)
@@ -696,6 +718,114 @@ def _cmd_top(args, out) -> int:
         if args.count is not None and refreshed >= args.count:
             return 0
         time.sleep(args.interval)
+
+
+def _plans_from_trace(args, out) -> int:
+    """Fold a recorded JSONL trace back into a plan-quality report."""
+    import json
+    from .datalog.trace import MISESTIMATE_THRESHOLD
+    tracer = TimingTracer()
+    with open(args.trace) as handle:
+        for line_no, raw in enumerate(handle, 1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{args.trace}:{line_no}: not valid JSONL: {exc}")
+            if not isinstance(record, dict) or "event" not in record:
+                raise ReproError(
+                    f"{args.trace}:{line_no}: not a span event "
+                    "(no 'event' field)")
+            kind = record.pop("event")
+            record.pop("seq", None)
+            record.pop("schema", None)
+            tracer.emit(kind, **record)
+    quality = tracer.profile.plan_quality()
+    print(f"plan quality: {args.trace} "
+          f"({tracer.profile.events} span event(s))", file=out)
+    rows = quality["clauses"]
+    if not rows:
+        print("  (no estimate-bearing clause executions in the trace — "
+              "the batch engine records them when tracing is on)",
+              file=out)
+        return 0
+    median = quality["median_q_error"]
+    print(f"  median q-err {median:.2f}  max q-err "
+          f"{quality['max_q_error']:.2f}  "
+          f"{quality['misestimates']} misestimate(s) at threshold "
+          f"{MISESTIMATE_THRESHOLD:g}  "
+          f"{quality['plan_drifts']} plan drift(s)", file=out)
+    print(f"  {'q-err':>8} {'calls':>6} {'est probes':>11} "
+          f"{'probes':>9} {'drifts':>7}  clause", file=out)
+    shown = rows[:args.limit]
+    for row in shown:
+        worst = max(row["q_error"], row["worst_stage_q_error"])
+        cell = f"{worst:.1f}" + ("!" if row["misestimated"] else "")
+        print(f"  {cell:>8} {row['calls']:>6} "
+              f"{row['est_probes']:>11.0f} {row['probes']:>9} "
+              f"{row['plan_drifts']:>7}  {row['clause']}", file=out)
+    if len(rows) > len(shown):
+        print(f"  ... {len(rows) - len(shown)} more clause(s); "
+              "--limit raises the cut", file=out)
+    return 0
+
+
+def _plans_from_server(args, out) -> int:
+    """Query a running server's cross-request plan-quality aggregate."""
+    from .server import ServerClient
+    if args.unix:
+        client = ServerClient.connect_unix(args.unix, timeout=args.timeout)
+    else:
+        host, _, port = args.server.rpartition(":")
+        if not host or not port.isdigit():
+            raise ReproError("--server must look like HOST:PORT, got "
+                             f"{args.server!r}")
+        client = ServerClient.connect_tcp(host, int(port),
+                                          timeout=args.timeout)
+    with client:
+        report = client.call("plans", limit=args.limit)
+    target = args.unix or args.server
+    print(f"plan quality @ {target}: "
+          f"{report['requests_observed']} request(s) observed", file=out)
+    rows = report["clauses"]
+    if not rows:
+        if report.get("observing"):
+            print("  (no estimate-bearing runs observed yet)", file=out)
+        else:
+            print("  (server is not profiling requests — serve "
+                  "--slow-ms enables estimate capture)", file=out)
+        return 0
+    print(f"  {'q-err':>8} {'requests':>8} {'calls':>6} "
+          f"{'est probes':>11} {'probes':>9} {'drifts':>7}  clause",
+          file=out)
+    threshold = report["misestimate_threshold"]
+    for row in rows:
+        cell = f"{row['worst_q_error']:.1f}" \
+            + ("!" if row["worst_q_error"] >= threshold else "")
+        print(f"  {cell:>8} {row['requests']:>8} {row['calls']:>6} "
+              f"{row['est_probes']:>11.0f} {row['probes']:>9} "
+              f"{row['plan_drifts']:>7}  {row['clause']}", file=out)
+    if report["dropped"]:
+        print(f"  ... {report['dropped']} more clause(s) tracked; "
+              "--limit raises the cut", file=out)
+    return 0
+
+
+def _cmd_plans(args, out) -> int:
+    """Plan-quality report (``repro-idlog plans``): clauses ranked by
+    how far the planner's estimates missed the executed actuals."""
+    if args.limit < 1:
+        raise ReproError("--limit must be >= 1")
+    if args.trace is not None:
+        return _plans_from_trace(args, out)
+    if args.unix or args.server:
+        return _plans_from_server(args, out)
+    raise ReproError("plans needs a TRACE file (from run --trace or "
+                     "profile --trace), or a server via --server "
+                     "HOST:PORT / --unix PATH")
 
 
 def _cmd_diverge(args, out) -> int:
@@ -993,6 +1123,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="socket timeout in seconds (default 30, "
                           "matching connect)")
 
+    plans_cmd = sub.add_parser(
+        "plans",
+        help="plan-quality report: clauses ranked by q-error "
+             "(estimated vs actual cardinality), from a recorded JSONL "
+             "trace or a running server (see docs/OBSERVABILITY.md)")
+    plans_cmd.add_argument("trace", nargs="?", default=None,
+                           metavar="TRACE",
+                           help="JSONL span-event trace (from run --trace "
+                                "or profile --trace); omit to query a "
+                                "server instead")
+    plans_cmd.add_argument("--server", metavar="HOST:PORT", default=None,
+                           help="query a running server's cross-request "
+                                "plans aggregate over TCP")
+    plans_cmd.add_argument("--unix", metavar="PATH", default=None,
+                           help="query a running server over a unix "
+                                "socket")
+    plans_cmd.add_argument("--limit", type=int, default=20,
+                           help="clauses shown, worst q-error first "
+                                "(default 20)")
+    plans_cmd.add_argument("--timeout", type=float, default=30.0,
+                           help="socket timeout in seconds for server "
+                                "queries (default 30)")
+
     diverge_cmd = sub.add_parser(
         "diverge",
         help="compare two recorded choice logs: first differing ID "
@@ -1014,7 +1167,8 @@ def main(argv: Optional[Sequence[str]] = None,
                 "profile": _cmd_profile, "why": _cmd_why,
                 "stats": _cmd_stats, "diverge": _cmd_diverge,
                 "eval": _cmd_eval, "serve": _cmd_serve,
-                "connect": _cmd_connect, "top": _cmd_top}
+                "connect": _cmd_connect, "top": _cmd_top,
+                "plans": _cmd_plans}
     # Text-format structured log on a dynamic stderr sink: renders the
     # historical ``error: <message>`` lines byte-for-byte, but through
     # the same repro.obs layer the server uses.

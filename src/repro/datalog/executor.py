@@ -645,6 +645,11 @@ class BatchExecutor:
         self.tracer = tracer
         #: Stratum index stamped on emitted events (set by the caller).
         self.stratum = 0
+        #: Per-stage estimate-vs-actual capture of the most recent traced
+        #: ``execute_coded`` call (None when nothing was captured) — the
+        #: semi-naive loop attaches it to the ``clause_fire`` event.
+        #: Only maintained while a tracer is installed.
+        self.last_stages: Optional[list[dict]] = None
         self._pipelines: dict[tuple[int, Optional[int]], _Pipeline] = {}
 
     def execute_coded(self, clause: Clause, store: "RelationStore",
@@ -659,9 +664,12 @@ class BatchExecutor:
         straight into :meth:`Relation.merge_coded`.  Accounting matches
         :meth:`execute` exactly (it is the same computation).
         """
+        estimates = None
         if planner is not None:
-            order = planner.order(clause, store.base_relation,
-                                  delta_index=delta_index, stats=stats)
+            plan = planner.plan(clause, store.base_relation,
+                                delta_index=delta_index, stats=stats)
+            order = plan.order
+            estimates = plan.estimates
         else:
             first: Optional[Literal] = None
             if delta_index is not None:
@@ -686,6 +694,11 @@ class BatchExecutor:
             stats.pipelines_reused += 1
 
         override = delta if delta_index is not None else None
+        if self.tracer is not None:
+            self.last_stages = None  # never leak a previous call's capture
+            if estimates is not None:
+                return self._run_instrumented(pipeline, estimates, store,
+                                              stats, override)
         batch: Batch = [()]
         for i, op in enumerate(pipeline.ops):
             if op.atom is None:
@@ -699,6 +712,60 @@ class BatchExecutor:
         fused = pipeline.fused
         if fused is not None:
             batch = fused.run(batch, store.resolve(fused.atom), stats)
+            stats.firings += len(batch)
+            return batch
+        stats.firings += len(batch)
+        head_of = pipeline.head_of
+        return list(map(head_of, batch))
+
+    def _run_instrumented(self, pipeline: "_Pipeline", estimates,
+                          store: "RelationStore", stats: "EvalStats",
+                          override) -> list[tuple[int, ...]]:
+        """The pipeline loop with per-stage estimate-vs-actual capture.
+
+        Identical computation and accounting to the uninstrumented loop
+        in :meth:`execute_coded` — the only addition is snapshotting
+        ``stats.probes`` and the batch size around every operator so
+        each ``clause_fire`` event can carry ``(est_rows, actual_rows,
+        est_probes, actual_probes)`` per join stage.  Stages the
+        pipeline never reached (an upstream join emptied the batch)
+        are recorded with zero actuals: the planner predicted work
+        there that never happened.
+        """
+        stages: list[dict] = []
+        self.last_stages = stages
+
+        def capture(index: int, rows: int, probes: int) -> None:
+            est = estimates[index]
+            stages.append({
+                "literal": format_literal(est.literal),
+                "kind": est.kind,
+                "est_rows": est.rows, "actual_rows": rows,
+                "est_probes": est.probes, "actual_probes": probes})
+
+        def fill_unreached(next_index: int) -> None:
+            for index in range(next_index, len(estimates)):
+                capture(index, 0, 0)
+
+        batch: Batch = [()]
+        for i, op in enumerate(pipeline.ops):
+            probes_before = stats.probes
+            if op.atom is None:
+                batch = op.run(batch, None, stats)
+            elif i == 0 and override is not None:
+                batch = op.run(batch, override, stats)
+            else:
+                batch = op.run(batch, store.resolve(op.atom), stats)
+            capture(i, len(batch), stats.probes - probes_before)
+            if not batch:
+                fill_unreached(i + 1)
+                return []
+        fused = pipeline.fused
+        if fused is not None:
+            probes_before = stats.probes
+            batch = fused.run(batch, store.resolve(fused.atom), stats)
+            capture(len(estimates) - 1, len(batch),
+                    stats.probes - probes_before)
             stats.firings += len(batch)
             return batch
         stats.firings += len(batch)

@@ -21,10 +21,11 @@ from .ast import Atom, Literal, Program
 from .database import Database
 from .parser import parse_program
 from .planner import ClausePlan, check_plan_mode, plan_body
-from .pretty import format_atom
+from .pretty import format_atom, format_clause, format_literal
 from .safety import binding_pattern, order_body
 from .stratify import stratify
 from .terms import Var
+from .trace import ClauseProfile, Profile, StageProfile
 
 
 def _describe_literal(literal: Literal, bound: frozenset[Var]) -> str:
@@ -93,23 +94,52 @@ def _format_count(value: float) -> str:
     return f"{value:.2f}"
 
 
-def _render_plan(plan: ClausePlan, indent: str) -> list[str]:
+def _match_stage(actuals: ClauseProfile, rendered: str,
+                 used: set[int]) -> Optional[StageProfile]:
+    """The recorded stage for one rendered literal (first unused match).
+
+    Stages are matched by literal text rather than position: the
+    recorded profile aggregates the clause's delta variants, whose
+    pipelines may order the same literals differently.
+    """
+    for index, stage in sorted(actuals.stages.items()):
+        if index not in used and stage.literal == rendered:
+            used.add(index)
+            return stage
+    return None
+
+
+def _render_plan(plan: ClausePlan, indent: str,
+                 actuals: Optional[ClauseProfile] = None) -> list[str]:
     lines = []
+    used: set[int] = set()
     for est in plan.estimates:
-        rendered = format_atom(est.literal.atom) if est.literal.positive \
-            else f"not {format_atom(est.literal.atom)}"
-        lines.append(
-            f"{indent}{rendered}  [{est.kind}, pattern {est.pattern}, "
-            f"est matches {_format_count(est.matches)}, "
-            f"est probes {_format_count(est.probes)}]")
-    lines.append(
-        f"{indent}=> est cost {_format_count(plan.cost)} probes")
+        rendered = format_literal(est.literal)
+        line = (f"{indent}{rendered}  [{est.kind}, pattern {est.pattern}, "
+                f"est matches {_format_count(est.matches)}, "
+                f"est probes {_format_count(est.probes)}]")
+        if actuals is not None:
+            stage = _match_stage(actuals, rendered, used)
+            if stage is not None:
+                line += (f"  {{actual rows {stage.actual_rows}, "
+                         f"actual probes {stage.actual_probes}, "
+                         f"q-err {stage.rows_q_error:.1f}}}")
+        lines.append(line)
+    tail = f"{indent}=> est cost {_format_count(plan.cost)} probes"
+    if actuals is not None and actuals.estimated_calls:
+        tail += (f"  {{actual {actuals.probes} probes over "
+                 f"{actuals.calls} call(s), "
+                 f"q-err {actuals.probe_q_error:.1f}"
+                 + ("  MISESTIMATE" if actuals.misestimated else "")
+                 + "}")
+    lines.append(tail)
     return lines
 
 
 def explain_plan(program: Union[str, Program],
                  db: Optional[Database] = None,
-                 plan: str = "cost") -> str:
+                 plan: str = "cost",
+                 profile: Optional[Profile] = None) -> str:
     """Render the planner's chosen orders with their cost estimates.
 
     For programs without ID-atoms the program is first evaluated to its
@@ -124,11 +154,26 @@ def explain_plan(program: Union[str, Program],
             meaningful.
         plan: ``"cost"`` (default) or ``"greedy"`` — handy for rendering
             both and diffing them.
+        profile: Optional recorded
+            :class:`~repro.datalog.trace.Profile` (e.g. a
+            :class:`~repro.datalog.trace.TimingTracer`'s after a run of
+            the same program).  Estimated figures then carry the
+            recorded actuals and their q-error side by side, with
+            ``MISESTIMATE`` flagged past the threshold — actuals sum
+            over every call the profile recorded.
     """
     check_plan_mode(plan)
     if isinstance(program, str):
         program = parse_program(program)
     strat = stratify(program)
+
+    recorded: dict[str, ClauseProfile] = {}
+    if profile is not None:
+        for row in profile.clause_rows():
+            existing = recorded.get(row.clause)
+            if existing is None or (row.estimated_calls
+                                    and not existing.estimated_calls):
+                recorded[row.clause] = row
 
     if db is None:
         sizes = Database()
@@ -148,6 +193,10 @@ def explain_plan(program: Union[str, Program],
     lines = [f"program: {program.name} (plan={plan})",
              f"note: {note}",
              f"strata: {strat.depth}"]
+    if profile is not None:
+        calls = sum(row.calls for row in recorded.values())
+        lines.insert(2, "actuals: from recorded profile, summed over "
+                        f"{calls} clause execution(s)")
     heads = program.head_predicates
     for level, stratum in enumerate(strat.strata):
         defined = sorted(stratum & heads)
@@ -162,7 +211,8 @@ def explain_plan(program: Union[str, Program],
                 lines.append("    (fact)")
                 continue
             body_plan = plan_body(clause, resolver, mode=plan)
-            lines.extend(_render_plan(body_plan, "    "))
+            lines.extend(_render_plan(body_plan, "    ",
+                                      recorded.get(format_clause(clause))))
             # Semi-naive delta variants: one per in-stratum positive
             # relation literal, with that literal forced first.
             for position, literal in enumerate(clause.body):

@@ -43,9 +43,10 @@ from typing import Optional, Sequence, TextIO
 
 from .trace import (EV_CLAUSE_FIRE, EV_EVAL_END, EV_EVAL_START,
                     EV_ID_CHOICE, EV_ID_MATERIALIZED, EV_INCREMENTAL,
-                    EV_PIPELINE_COMPILED, EV_PLAN_BUILT, EV_ROUND,
-                    EV_STRATUM_END, EV_STRATUM_START, EV_TOPDOWN_QUERY,
-                    SCHEMA_VERSION)
+                    EV_PIPELINE_COMPILED, EV_PLAN_BUILT, EV_PLAN_DRIFT,
+                    EV_ROUND, EV_STRATUM_END, EV_STRATUM_START,
+                    EV_TOPDOWN_QUERY, MISESTIMATE_THRESHOLD,
+                    SCHEMA_VERSION, q_error)
 
 INF = float("inf")
 
@@ -72,6 +73,17 @@ TIME_BUCKETS = log_buckets(1e-6, 10.0, 8)
 #: Default histogram buckets for tuple counts (delta sizes, batch sizes):
 #: powers of four from 1 to 16384.
 COUNT_BUCKETS = log_buckets(1.0, 4.0, 8)
+
+#: Histogram buckets for q-errors (estimate-vs-actual factors): powers of
+#: two from 1 to 2048.  A perfect estimate lands in the first bucket; the
+#: misestimate threshold (4x) sits two buckets up.
+Q_ERROR_BUCKETS = log_buckets(1.0, 2.0, 12)
+
+
+def _head_predicate(clause_text: str) -> str:
+    """The head predicate of a formatted clause (metric label)."""
+    head = clause_text.split(":-", 1)[0]
+    return head.split("(", 1)[0].strip() or "?"
 
 
 def _check_name(name: str) -> str:
@@ -466,6 +478,20 @@ class MetricsTracer:
         self._plans = r.counter(
             f"{ns}_plans_built_total", "Clause plans compiled or re-costed",
             labels=("mode",))
+        self._plan_q_error = r.histogram(
+            f"{ns}_plan_q_error",
+            "Per-clause-execution q-error of the planner's probe "
+            "estimate (max(est/actual, actual/est), +1 smoothed)",
+            buckets=Q_ERROR_BUCKETS)
+        self._plan_misestimates = r.counter(
+            f"{ns}_plan_misestimates_total",
+            "Clause executions whose q-error reached the misestimate "
+            f"threshold ({MISESTIMATE_THRESHOLD:g}x)",
+            labels=("predicate",))
+        self._plan_drift = r.counter(
+            f"{ns}_plan_drift_total",
+            "Re-costings that flipped a cached clause's literal order "
+            "mid-fixpoint", labels=("mode",))
         self._pipelines = r.counter(
             f"{ns}_pipelines_compiled_total",
             "Batch pipelines compiled (cache misses)")
@@ -496,6 +522,21 @@ class MetricsTracer:
             self._firings.inc(fields.get("firings", 0))
             self._derived.inc(fields.get("new", 0))
             self._clause_seconds.observe(fields.get("wall_s", 0.0))
+            stages = fields.get("stages")
+            if stages:
+                est_probes = sum(s.get("est_probes", 0.0) for s in stages)
+                err = q_error(est_probes, fields.get("probes", 0))
+                for stage in stages:
+                    err = max(err, q_error(stage.get("est_rows", 0.0),
+                                           stage.get("actual_rows", 0)))
+                self._plan_q_error.observe(err)
+                if err >= MISESTIMATE_THRESHOLD:
+                    self._plan_misestimates.labels(
+                        predicate=_head_predicate(
+                            fields.get("clause", "?"))).inc()
+        elif kind == EV_PLAN_DRIFT:
+            self._plan_drift.labels(
+                mode=fields.get("mode", "cost")).inc()
         elif kind == EV_ROUND:
             self._rounds.inc()
             for size in fields.get("deltas", {}).values():

@@ -51,7 +51,7 @@ from .safety import (_binds, _bound_var_count, _check_head_bound,
                      _choose_filter, _selectable, _stuck_error, _take_first,
                      binding_pattern, order_body)
 from .terms import Const, Var
-from .trace import EV_PLAN_BUILT
+from .trace import EV_PLAN_BUILT, EV_PLAN_DRIFT
 
 GREEDY = "greedy"
 COST = "cost"
@@ -350,13 +350,27 @@ class ClausePlanner:
         if stats is not None:
             stats.plans_built += 1
         if self.tracer is not None:
+            text = format_clause(clause)
             self.tracer.emit(
-                EV_PLAN_BUILT, clause=format_clause(clause),
+                EV_PLAN_BUILT, clause=text,
                 stratum=self.stratum, delta_index=delta_index,
                 mode=self.mode, cost=plan.cost,
                 recosted=cached is not None,
                 order=" -> ".join(format_literal(lit)
                                   for lit in plan.order))
+            # The plan-drift audit trail: re-costing that actually flips
+            # the chosen order mid-fixpoint (not mere re-costing, which
+            # usually re-derives the same order with fresher numbers).
+            if cached is not None and plan.order != cached.order:
+                self.tracer.emit(
+                    EV_PLAN_DRIFT, clause=text,
+                    stratum=self.stratum, delta_index=delta_index,
+                    mode=self.mode,
+                    old_cost=cached.cost, new_cost=plan.cost,
+                    old_order=" -> ".join(format_literal(lit)
+                                          for lit in cached.order),
+                    new_order=" -> ".join(format_literal(lit)
+                                          for lit in plan.order))
         return plan
 
     def order(self, clause: Clause, resolver: Resolver = _no_stats,

@@ -463,7 +463,8 @@ def evaluate_stratum(clauses: tuple[Clause, ...], heads: frozenset[str],
                     probes=stats.probes - probes_before,
                     firings=stats.firings - firings_before,
                     new=new,
-                    delta_size=len(delta) if delta is not None else None)
+                    delta_size=len(delta) if delta is not None else None,
+                    stages=executor.last_stages if coded else None)
 
     # Round 0: naive pass over every clause.  Derivations are buffered per
     # clause so a recursive clause never mutates a relation it is scanning.
@@ -677,7 +678,9 @@ def evaluate_naive(program: Program, db: Database,
                         wall_s=perf_counter() - clause_start,
                         probes=stats.probes - probes_before,
                         firings=stats.firings - firings_before,
-                        new=new, delta_size=None)
+                        new=new, delta_size=None,
+                        stages=executor.last_stages
+                        if executor is not None else None)
         if tracer is not None:
             tracer.emit(
                 EV_STRATUM_END, stratum=level, rounds=rounds,

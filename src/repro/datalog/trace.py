@@ -63,6 +63,7 @@ EV_STRATUM_END = "stratum_end"
 EV_ROUND = "round"
 EV_CLAUSE_FIRE = "clause_fire"
 EV_PLAN_BUILT = "plan_built"
+EV_PLAN_DRIFT = "plan_drift"
 EV_PIPELINE_COMPILED = "pipeline_compiled"
 EV_ID_MATERIALIZED = "id_materialized"
 EV_ID_CHOICE = "id_choice"
@@ -72,10 +73,36 @@ EV_TOPDOWN_QUERY = "topdown_query"
 
 EVENT_KINDS = (
     EV_EVAL_START, EV_EVAL_END, EV_STRATUM_START, EV_STRATUM_END,
-    EV_ROUND, EV_CLAUSE_FIRE, EV_PLAN_BUILT, EV_PIPELINE_COMPILED,
-    EV_ID_MATERIALIZED, EV_ID_CHOICE, EV_INCREMENTAL, EV_TOPDOWN_ROUND,
-    EV_TOPDOWN_QUERY,
+    EV_ROUND, EV_CLAUSE_FIRE, EV_PLAN_BUILT, EV_PLAN_DRIFT,
+    EV_PIPELINE_COMPILED, EV_ID_MATERIALIZED, EV_ID_CHOICE,
+    EV_INCREMENTAL, EV_TOPDOWN_ROUND, EV_TOPDOWN_QUERY,
 )
+
+#: A clause (or join stage) whose q-error reaches this factor is flagged
+#: as *misestimated* — in the EXPLAIN ANALYZE table (a ``!`` on the q-err
+#: column), in ``Profile.plan_quality()`` blocks, and in the
+#: ``idlog_plan_misestimates_total`` metric family.
+MISESTIMATE_THRESHOLD = 4.0
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The q-error of one estimate: ``max(est/actual, actual/est)``.
+
+    Both sides are smoothed by +1 so zero estimates against zero actuals
+    score a perfect 1.0 instead of dividing by zero, and an estimate of 0
+    against an actual of 9 scores 10 — small absolute misses on tiny
+    cardinalities stay small.
+
+    >>> q_error(100, 100)
+    1.0
+    >>> q_error(9, 0)
+    10.0
+    >>> q_error(0, 0)
+    1.0
+    """
+    est = float(estimated) + 1.0
+    act = float(actual) + 1.0
+    return max(est / act, act / est)
 
 
 @dataclass(frozen=True)
@@ -309,6 +336,36 @@ def resolve_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
 # -- profiles: folding the event stream -------------------------------------
 
 @dataclass
+class StageProfile:
+    """Estimated-vs-actual totals for one join stage of one clause.
+
+    One row per literal position of the clause's compiled pipeline,
+    accumulated across calls: ``est_rows``/``est_probes`` sum the
+    planner's :class:`~repro.datalog.planner.LiteralEstimate` figures at
+    fire time, ``actual_rows``/``actual_probes`` the batch the stage
+    really produced and the probes it really charged.
+    """
+
+    index: int
+    literal: str = ""
+    calls: int = 0
+    est_rows: float = 0.0
+    actual_rows: int = 0
+    est_probes: float = 0.0
+    actual_probes: int = 0
+
+    @property
+    def rows_q_error(self) -> float:
+        """q-error of the stage's output-cardinality estimate."""
+        return q_error(self.est_rows, self.actual_rows)
+
+    @property
+    def probes_q_error(self) -> float:
+        """q-error of the stage's probe-count estimate."""
+        return q_error(self.est_probes, self.actual_probes)
+
+
+@dataclass
 class ClauseProfile:
     """Aggregated execution profile of one clause within one stratum.
 
@@ -318,6 +375,13 @@ class ClauseProfile:
     ``pipelines_compiled`` counts batch-pipeline compilations for the
     clause; cache hits are therefore ``calls - pipelines_compiled`` when
     the batch engine is on.
+
+    Plan quality: when the batch executor captured per-stage estimates
+    (``clause_fire`` events carrying ``stages``), ``est_probes`` /
+    ``est_rows`` accumulate the planner's totals, :attr:`stages` the
+    per-stage breakdown, and the q-error properties compare them with
+    the actual counters.  ``plan_drifts`` counts mid-fixpoint order
+    flips (``plan_drift`` events).
     """
 
     clause: str
@@ -331,11 +395,37 @@ class ClauseProfile:
     plan_cost: Optional[float] = None
     plans_built: int = 0
     pipelines_compiled: int = 0
+    est_probes: float = 0.0
+    est_rows: float = 0.0
+    estimated_calls: int = 0
+    plan_drifts: int = 0
+    stages: dict[int, StageProfile] = field(default_factory=dict)
 
     @property
     def pipeline_hits(self) -> int:
         """Pipeline-cache hits (meaningful under the batch engine)."""
         return max(0, self.calls - self.pipelines_compiled)
+
+    @property
+    def probe_q_error(self) -> Optional[float]:
+        """q-error of the total-probe estimate, None without estimates."""
+        if not self.estimated_calls:
+            return None
+        return q_error(self.est_probes, self.probes)
+
+    @property
+    def worst_stage_q_error(self) -> Optional[float]:
+        """Worst per-stage cardinality q-error, None without estimates."""
+        if not self.stages:
+            return None
+        return max(stage.rows_q_error for stage in self.stages.values())
+
+    @property
+    def misestimated(self) -> bool:
+        """True when any q-error reaches :data:`MISESTIMATE_THRESHOLD`."""
+        worst = max(self.probe_q_error or 0.0,
+                    self.worst_stage_q_error or 0.0)
+        return worst >= MISESTIMATE_THRESHOLD
 
 
 @dataclass
@@ -382,15 +472,89 @@ class Profile:
                  "cardinalities": dict(s.cardinalities)}
                 for s in sorted(self.strata.values(),
                                 key=lambda s: s.stratum)],
-            "clauses": [
-                {"clause": c.clause, "stratum": c.stratum,
+            "clauses": [self._clause_dict(c) for c in self.clause_rows()],
+        }
+
+    @staticmethod
+    def _clause_dict(c: ClauseProfile) -> dict:
+        entry = {"clause": c.clause, "stratum": c.stratum,
                  "calls": c.calls, "wall_s": round(c.wall_s, 6),
                  "probes": c.probes, "firings": c.firings, "new": c.new,
                  "plan": c.plan_mode or None,
                  "plan_cost": c.plan_cost,
                  "pipelines_compiled": c.pipelines_compiled,
                  "pipeline_hits": c.pipeline_hits}
-                for c in self.clause_rows()],
+        if c.estimated_calls:
+            entry["est_probes"] = round(c.est_probes, 3)
+            entry["est_rows"] = round(c.est_rows, 3)
+            entry["q_error"] = round(c.probe_q_error, 3)
+            entry["worst_stage_q_error"] = \
+                round(c.worst_stage_q_error or 0.0, 3)
+            entry["misestimated"] = c.misestimated
+            entry["plan_drifts"] = c.plan_drifts
+            entry["stages"] = [
+                {"index": s.index, "literal": s.literal, "calls": s.calls,
+                 "est_rows": round(s.est_rows, 3),
+                 "actual_rows": s.actual_rows,
+                 "est_probes": round(s.est_probes, 3),
+                 "actual_probes": s.actual_probes,
+                 "q_error": round(s.rows_q_error, 3)}
+                for _, s in sorted(c.stages.items())]
+        elif c.plan_drifts:
+            entry["plan_drifts"] = c.plan_drifts
+        return entry
+
+    def plan_quality(self) -> dict:
+        """Estimate-vs-actual summary across all clauses with estimates.
+
+        The compact block ``run`` responses, ``BENCH_*.json`` records and
+        the server's ``plans`` aggregate carry: per-clause q-errors
+        sorted worst-first plus the median/max/misestimate/drift
+        roll-up the compare.py gate consumes.  Clauses that never ran
+        with estimate capture (interp engine, tracing off) are absent.
+        """
+        rows = []
+        for c in self.clause_rows():
+            profile_q = c.probe_q_error
+            if profile_q is None:
+                continue
+            rows.append({
+                "clause": c.clause, "stratum": c.stratum,
+                "calls": c.calls,
+                "est_probes": round(c.est_probes, 3),
+                "probes": c.probes,
+                "q_error": round(profile_q, 3),
+                "worst_stage_q_error": round(c.worst_stage_q_error or 0.0,
+                                             3),
+                "misestimated": c.misestimated,
+                "plan_drifts": c.plan_drifts,
+            })
+        # One miss measure throughout: a clause's q-error is the worst
+        # of its probe-total and per-stage row errors — the same number
+        # the tables render and the misestimate flag thresholds on.
+        rows.sort(key=lambda r: (-max(r["q_error"],
+                                      r["worst_stage_q_error"]),
+                                 r["clause"]))
+        q_errors = sorted(max(r["q_error"], r["worst_stage_q_error"])
+                          for r in rows)
+        if q_errors:
+            mid = len(q_errors) // 2
+            median = q_errors[mid] if len(q_errors) % 2 \
+                else (q_errors[mid - 1] + q_errors[mid]) / 2.0
+        else:
+            median = None
+        return {
+            "schema": SCHEMA_VERSION,
+            "clauses": rows,
+            "median_q_error": round(median, 3) if median is not None
+            else None,
+            "max_q_error": max(rows[0]["q_error"],
+                               rows[0]["worst_stage_q_error"])
+            if rows else None,
+            "misestimates": sum(r["misestimated"] for r in rows),
+            "misestimate_threshold": MISESTIMATE_THRESHOLD,
+            "plan_drifts": sum(c.plan_drifts
+                               for c in self.clauses.values()),
         }
 
 
@@ -421,6 +585,31 @@ class TimingTracer:
             row.probes += fields.get("probes", 0)
             row.firings += fields.get("firings", 0)
             row.new += fields.get("new", 0)
+            stages = fields.get("stages")
+            if stages:
+                row.estimated_calls += 1
+                for i, captured in enumerate(stages):
+                    stage = row.stages.get(i)
+                    if stage is None:
+                        stage = row.stages[i] = StageProfile(
+                            i, captured.get("literal", ""))
+                    stage.calls += 1
+                    stage.est_rows += captured.get("est_rows", 0.0)
+                    stage.actual_rows += captured.get("actual_rows", 0)
+                    stage.est_probes += captured.get("est_probes", 0.0)
+                    stage.actual_probes += captured.get("actual_probes", 0)
+                    row.est_probes += captured.get("est_probes", 0.0)
+                # The final stage's output estimate is the clause's
+                # estimated result cardinality.
+                row.est_rows += stages[-1].get("est_rows", 0.0)
+        elif kind == EV_PLAN_DRIFT:
+            key = (fields.get("stratum", 0), fields["clause"])
+            row = profile.clauses.get(key)
+            if row is None:
+                row = ClauseProfile(fields["clause"],
+                                    fields.get("stratum", 0))
+                profile.clauses[key] = row
+            row.plan_drifts += 1
         elif kind == EV_PLAN_BUILT:
             key = (fields.get("stratum", 0), fields["clause"])
             row = profile.clauses.get(key)
@@ -478,16 +667,36 @@ def _ms(seconds: float) -> str:
     return f"{seconds * 1000:.2f}"
 
 
-def format_profile(profile: Profile, clause_width: int = 44) -> str:
+def _q_err_cell(row: ClauseProfile) -> str:
+    """The q-err column: worst q-error, ``!``-flagged past the
+    misestimate threshold, ``-`` when no estimates were captured."""
+    profile_q = row.probe_q_error
+    if profile_q is None:
+        return "-"
+    worst = max(profile_q, row.worst_stage_q_error or 0.0)
+    return f"{worst:.1f}" + ("!" if row.misestimated else "")
+
+
+def format_profile(profile: Profile,
+                   clause_width: Optional[int] = None) -> str:
     """Render a profile as an ``EXPLAIN ANALYZE``-style text table.
 
     One section per stratum (with its fixpoint rounds, wall time and
     final head-relation cardinalities), one row per clause with the
-    columns ``calls | time | probes | firings | new | plan | pipelines``
-    — time is clause-execution wall time in milliseconds, ``plan`` the
-    planning mode (with the estimated probe cost when the cost planner
-    produced one), ``pipelines`` the batch pipeline compilations ``+``
-    cache hits.
+    columns ``calls | time | probes | est probes | q-err | firings |
+    new | plan | pipelines`` — time is clause-execution wall time in
+    milliseconds, ``est probes`` the planner's probe estimate summed
+    over the calls, ``q-err`` the worst probe/stage-cardinality q-error
+    (``!`` flags a misestimate at or past
+    :data:`MISESTIMATE_THRESHOLD`; ``-`` means no estimates were
+    captured, e.g. under the interp engine), ``plan`` the planning mode
+    (with the estimated probe cost when the cost planner produced one),
+    ``pipelines`` the batch pipeline compilations ``+`` cache hits.
+
+    ``clause_width`` defaults to the longest clause text (floored at
+    44 columns), so no clause is ever truncated out of grep reach; pass
+    an explicit width to clip long clauses with an ellipsis (the full
+    text is always in :meth:`Profile.as_dict`).
     """
     meta = profile.meta
     header_bits = []
@@ -501,10 +710,13 @@ def format_profile(profile: Profile, clause_width: int = 44) -> str:
     if not profile.clauses:
         lines.append("  (no clause executions traced)")
         return "\n".join(lines)
+    if clause_width is None:
+        clause_width = max([44] + [len(c.clause)
+                                   for c in profile.clauses.values()])
 
-    columns = ("calls", "time ms", "probes", "firings", "new",
-               "plan", "pipelines")
-    widths = (6, 9, 9, 9, 7, 14, 10)
+    columns = ("calls", "time ms", "probes", "est probes", "q-err",
+               "firings", "new", "plan", "pipelines")
+    widths = (6, 9, 9, 11, 7, 9, 7, 14, 10)
     head = "  " + "clause".ljust(clause_width) + "  " + "  ".join(
         c.rjust(w) for c, w in zip(columns, widths))
 
@@ -532,13 +744,16 @@ def format_profile(profile: Profile, clause_width: int = 44) -> str:
             plan = row.plan_mode or "-"
             if row.plan_cost is not None:
                 plan = f"{plan}:{row.plan_cost:.0f}"
+            est_probes = f"{row.est_probes:.0f}" \
+                if row.estimated_calls else "-"
             # No compile event means no batch pipeline ever ran this
             # clause (interp engine), so "hits" would be meaningless.
             pipelines = f"{row.pipelines_compiled}+{row.pipeline_hits}" \
                 if row.pipelines_compiled else "-"
             cells = (str(row.calls), _ms(row.wall_s), str(row.probes),
+                     est_probes, _q_err_cell(row),
                      str(row.firings), str(row.new),
-                     _clip(plan, widths[5]), pipelines)
+                     _clip(plan, widths[7]), pipelines)
             lines.append(
                 "  " + _clip(row.clause, clause_width).ljust(clause_width)
                 + "  " + "  ".join(c.rjust(w)

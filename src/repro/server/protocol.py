@@ -54,6 +54,7 @@ REQUEST_TYPES = (
     "server_stats",
     "recent",
     "slowlog",
+    "plans",
     "cancel",
     "shutdown",
 )

@@ -53,8 +53,9 @@ from ..datalog.metrics import MetricsRegistry, MetricsTracer
 from ..datalog.parser import parse_program
 from ..datalog.planner import check_plan_mode
 from ..datalog.storage import STORAGE_FORMAT, load_database, save_database
-from ..datalog.trace import (SCHEMA_VERSION, ContextTracer, JsonTracer,
-                             TeeTracer, TimingTracer)
+from ..datalog.trace import (MISESTIMATE_THRESHOLD, SCHEMA_VERSION,
+                             ContextTracer, JsonTracer, TeeTracer,
+                             TimingTracer)
 from ..obs.log import StructuredLogger, check_log_level
 from .protocol import (PROTOCOL_VERSION, REQUEST_TYPES, RequestError,
                        field, positive_number)
@@ -174,6 +175,9 @@ class RequestContext:
     answers: Optional[dict] = None
     profile: Optional[dict] = dataclass_field(default=None, repr=False)
     choice_digest: Optional[str] = None
+    #: Compact plan-quality roll-up (median/max q-error, misestimate and
+    #: plan-drift counts, worst clause) — small enough for the ring.
+    plan_quality: Optional[dict] = None
 
     def summary(self) -> dict:
         """The JSON-ready ring-buffer row (profile excluded: bulky)."""
@@ -190,6 +194,7 @@ class RequestContext:
             "counters": self.counters,
             "answers": self.answers,
             "choice_digest": self.choice_digest,
+            "plan_quality": self.plan_quality,
         }
 
 
@@ -318,6 +323,12 @@ class IdlogService:
         #: In-memory tail of slow-request entries (``slowlog``).
         self._slow: collections.deque = collections.deque(maxlen=64)
         self._slow_lock = threading.Lock()
+        #: Per-clause plan-quality aggregate across observed runs (the
+        #: ``plans`` request), keyed by clause text.  Fed by every run
+        #: that captured per-stage estimates (profile/trace requested,
+        #: or slow-query capture on).
+        self._plans_agg: dict[str, dict] = {}
+        self._plan_requests = 0
 
     # -- dispatch -----------------------------------------------------------
 
@@ -409,6 +420,22 @@ class IdlogService:
             self.log.warning("slow_request", **summary)
         elif self.log.enabled("debug"):
             self.log.debug("request", **summary)
+        # Plan-drift audit log: a request whose re-costing flipped a
+        # cached clause order lands in the slow-query ring (and file)
+        # regardless of its wall time — order flips mid-fixpoint are
+        # rare and worth a post-mortem trail.
+        plan_quality = context.plan_quality
+        if plan_quality and plan_quality.get("plan_drifts"):
+            entry = {"event": "plan_drift", "schema": SCHEMA_VERSION,
+                     **summary}
+            with self._slow_lock:
+                self._slow.append(entry)
+                path = self.config.slow_log_path
+                if path:
+                    with open(path, "a", encoding="utf-8") as handle:
+                        handle.write(json.dumps(entry, sort_keys=True)
+                                     + "\n")
+            self.log.warning("plan_drift", **summary)
 
     # -- sessions -----------------------------------------------------------
 
@@ -713,6 +740,18 @@ class IdlogService:
                 context.profile = timing.profile.as_dict()
                 if want_profile:
                     out["profile"] = context.profile
+                plan_quality = timing.profile.plan_quality()
+                if plan_quality["clauses"]:
+                    out["plan_quality"] = plan_quality
+                    context.plan_quality = {
+                        "median_q_error": plan_quality["median_q_error"],
+                        "max_q_error": plan_quality["max_q_error"],
+                        "misestimates": plan_quality["misestimates"],
+                        "plan_drifts": plan_quality["plan_drifts"],
+                        "worst_clause":
+                            plan_quality["clauses"][0]["clause"],
+                    }
+                    self._fold_plan_quality(plan_quality)
             if trace_buf is not None:
                 out["trace"] = [json.loads(line) for line
                                 in trace_buf.getvalue().splitlines()]
@@ -733,6 +772,37 @@ class IdlogService:
             context.answers = {pred: len(rows)
                                for pred, rows in out["answers"].items()}
         return out
+
+    def _fold_plan_quality(self, plan_quality: dict) -> None:
+        """Fold one run's plan-quality block into the ``plans`` aggregate.
+
+        Bounded: once 4096 distinct clauses have been seen, new clause
+        texts are dropped (existing ones keep accumulating) — a garbage
+        client cannot grow the aggregate without bound.
+        """
+        with self._lock:
+            self._plan_requests += 1
+            for row in plan_quality["clauses"]:
+                agg = self._plans_agg.get(row["clause"])
+                if agg is None:
+                    if len(self._plans_agg) >= 4096:
+                        continue
+                    agg = self._plans_agg[row["clause"]] = {
+                        "clause": row["clause"],
+                        "stratum": row["stratum"],
+                        "requests": 0, "calls": 0,
+                        "est_probes": 0.0, "probes": 0,
+                        "worst_q_error": 0.0,
+                        "misestimates": 0, "plan_drifts": 0}
+                agg["requests"] += 1
+                agg["calls"] += row["calls"]
+                agg["est_probes"] += row["est_probes"]
+                agg["probes"] += row["probes"]
+                agg["worst_q_error"] = max(
+                    agg["worst_q_error"], row["q_error"],
+                    row["worst_stage_q_error"])
+                agg["misestimates"] += bool(row["misestimated"])
+                agg["plan_drifts"] += row["plan_drifts"]
 
     def _handle_answers(self, request: dict,
                         context: RequestContext) -> dict:
@@ -820,6 +890,24 @@ class IdlogService:
                 "count": len(items),
                 "capacity": self.config.recent_requests,
                 "requests_served": served}
+
+    def _handle_plans(self, request: dict,
+                      context: RequestContext) -> dict:
+        limit = field(request, "limit", int, required=False, default=20)
+        if limit < 1:
+            raise RequestError("bad_request", "limit must be >= 1")
+        with self._lock:
+            rows = sorted(self._plans_agg.values(),
+                          key=lambda r: (-r["worst_q_error"], r["clause"]))
+            dropped = max(0, len(rows) - limit)
+            rows = [dict(row, est_probes=round(row["est_probes"], 3),
+                         worst_q_error=round(row["worst_q_error"], 3))
+                    for row in rows[:limit]]
+            observed = self._plan_requests
+        return {"clauses": rows, "count": len(rows), "dropped": dropped,
+                "requests_observed": observed,
+                "misestimate_threshold": MISESTIMATE_THRESHOLD,
+                "observing": self.config.slow_ms is not None}
 
     def _handle_slowlog(self, request: dict,
                         context: RequestContext) -> dict:

@@ -330,3 +330,73 @@ class TestProgressTracer:
         text = stream.getvalue()
         assert text.count("[progress]   round") <= 1
         assert "[progress] eval done" in text
+
+
+class TestPlanQualityMetrics:
+    """idlog_plan_q_error / _misestimates_total / _drift_total."""
+
+    def test_batch_run_observes_q_errors(self):
+        tracer = MetricsTracer()
+        _, stats = evaluate(parse_program(STRATIFIED), graph_db(),
+                            engine="batch", tracer=tracer)
+        histogram = tracer.registry.histogram(
+            "idlog_plan_q_error").unlabeled()
+        # One q-error observation per clause execution under the batch
+        # engine (every compiled call carries its stage estimates).
+        executions = tracer.registry.counter(
+            "idlog_clause_executions_total", labels=("stratum",))
+        total = sum(child.value
+                    for _, child in executions.children())
+        assert histogram.count == total > 0
+        assert histogram.sum >= histogram.count  # every q-error >= 1
+
+    def test_interp_run_observes_none(self):
+        tracer = MetricsTracer()
+        evaluate(parse_program(STRATIFIED), graph_db(),
+                 engine="interp", tracer=tracer)
+        assert tracer.registry.histogram(
+            "idlog_plan_q_error").unlabeled().count == 0
+
+    def test_misestimate_counter_labeled_by_head_predicate(self):
+        tracer = MetricsTracer()
+        # Deliberate 50x misestimate on a synthetic clause execution.
+        tracer.emit("clause_fire", clause="sel(X) :- emp(X, D).",
+                    stratum=0, probes=100, firings=99, new=99,
+                    stages=[{"literal": "emp(X, D)", "est_rows": 1.0,
+                             "actual_rows": 99, "est_probes": 1.0,
+                             "actual_probes": 100}])
+        family = tracer.registry.counter("idlog_plan_misestimates_total",
+                                         labels=("predicate",))
+        assert family.labels(predicate="sel").value == 1.0
+        assert tracer.registry.histogram(
+            "idlog_plan_q_error").unlabeled().count == 1
+
+    def test_accurate_estimates_do_not_count_as_misestimates(self):
+        tracer = MetricsTracer()
+        tracer.emit("clause_fire", clause="sel(X) :- emp(X, D).",
+                    stratum=0, probes=100, firings=99, new=99,
+                    stages=[{"literal": "emp(X, D)", "est_rows": 99.0,
+                             "actual_rows": 99, "est_probes": 100.0,
+                             "actual_probes": 100}])
+        family = tracer.registry.counter("idlog_plan_misestimates_total",
+                                         labels=("predicate",))
+        assert family.cardinality() == 0
+        assert tracer.registry.histogram(
+            "idlog_plan_q_error").unlabeled().count == 1
+
+    def test_plan_drift_counter_labeled_by_mode(self):
+        tracer = MetricsTracer()
+        tracer.emit("plan_drift", clause="p(X) :- q(X), r(X).",
+                    stratum=0, mode="cost", old_cost=9.0, new_cost=4.0)
+        family = tracer.registry.counter("idlog_plan_drift_total",
+                                         labels=("mode",))
+        assert family.labels(mode="cost").value == 1.0
+
+    def test_families_reach_the_prometheus_exposition(self):
+        tracer = MetricsTracer()
+        evaluate(parse_program(STRATIFIED), graph_db(), tracer=tracer)
+        text = tracer.to_prometheus()
+        assert "# TYPE idlog_plan_q_error histogram" in text
+        assert 'idlog_plan_q_error_bucket{le="1"}' in text
+        assert "# TYPE idlog_plan_misestimates_total counter" in text
+        assert "# TYPE idlog_plan_drift_total counter" in text

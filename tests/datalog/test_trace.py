@@ -19,8 +19,9 @@ from repro.datalog import (
     CallbackTracer, Database, EvalStats, IncrementalEngine, JsonTracer,
     NullTracer, TeeTracer, TimingTracer, TopDownEngine, current_tracer,
     evaluate, format_profile, parse_program, use_tracer)
-from repro.datalog.trace import (CONTEXT_FIELDS, SCHEMA_VERSION,
-                                 ContextTracer, resolve_tracer)
+from repro.datalog.trace import (CONTEXT_FIELDS, MISESTIMATE_THRESHOLD,
+                                 SCHEMA_VERSION, ContextTracer,
+                                 q_error, resolve_tracer)
 
 STRATIFIED = """
     path(X, Y) :- edge(X, Y).
@@ -373,3 +374,170 @@ class TestProfile:
             evaluate(program, graph_db())
             evaluate(program, graph_db())
         assert timing.profile.meta["evaluations"] == 2
+
+
+def _synthetic_fire(tracer, clause="p(X) :- q(X).", est_rows=1.0,
+                    actual_rows=99, est_probes=1.0, actual_probes=100):
+    """One clause_fire with a deliberately wrong single-stage estimate."""
+    tracer.emit("clause_fire", clause=clause, stratum=0, wall_s=0.001,
+                probes=actual_probes, firings=actual_rows, new=actual_rows,
+                stages=[{"literal": "q(X)", "kind": "scan",
+                         "est_rows": est_rows, "actual_rows": actual_rows,
+                         "est_probes": est_probes,
+                         "actual_probes": actual_probes}])
+
+
+class TestPlanQuality:
+    """Estimated-vs-actual capture: the tentpole of the plan-quality PR."""
+
+    def profile_of(self, plan="greedy", engine="batch"):
+        timing = TimingTracer()
+        _, stats = evaluate(parse_program(STRATIFIED), graph_db(),
+                            plan=plan, engine=engine, tracer=timing)
+        return timing.profile, stats
+
+    def test_q_error_is_symmetric_and_smoothed(self):
+        assert q_error(10, 10) == 1.0
+        assert q_error(10, 1000) == q_error(1000, 10)
+        assert q_error(0, 0) == 1.0
+        assert q_error(9, 0) == 10.0
+
+    @pytest.mark.parametrize("plan", ["greedy", "cost"])
+    def test_batch_engine_captures_stages(self, plan):
+        profile, _ = self.profile_of(plan=plan)
+        for row in profile.clause_rows():
+            assert row.estimated_calls == row.calls
+            assert row.stages
+            # Per-stage actual probes partition the clause's probe total.
+            assert sum(s.actual_probes for s in row.stages.values()) \
+                == row.probes
+            assert row.probe_q_error >= 1.0
+            assert row.worst_stage_q_error >= 1.0
+
+    def test_interp_engine_captures_no_stages(self):
+        profile, _ = self.profile_of(engine="interp")
+        for row in profile.clause_rows():
+            assert row.estimated_calls == 0
+            assert row.stages == {}
+            assert row.probe_q_error is None
+            assert row.worst_stage_q_error is None
+            assert row.misestimated is False
+
+    def test_as_dict_carries_stage_breakdown(self):
+        profile, _ = self.profile_of()
+        data = json.loads(json.dumps(profile.as_dict()))
+        row = next(c for c in data["clauses"]
+                   if "path(Z, Y)" in c["clause"])
+        assert row["est_probes"] > 0
+        assert row["q_error"] >= 1.0
+        assert isinstance(row["misestimated"], bool)
+        stage = row["stages"][0]
+        assert {"index", "literal", "calls", "est_rows", "actual_rows",
+                "est_probes", "actual_probes", "q_error"} <= set(stage)
+
+    def test_plan_quality_block_shape(self):
+        profile, _ = self.profile_of()
+        quality = profile.plan_quality()
+        assert quality["schema"] == SCHEMA_VERSION
+        assert quality["misestimate_threshold"] == MISESTIMATE_THRESHOLD
+        assert len(quality["clauses"]) == len(profile.clauses)
+        worsts = [max(r["q_error"], r["worst_stage_q_error"])
+                  for r in quality["clauses"]]
+        assert worsts == sorted(worsts, reverse=True)  # worst first
+        top = quality["clauses"][0]
+        assert quality["max_q_error"] == max(top["q_error"],
+                                             top["worst_stage_q_error"])
+        assert quality["median_q_error"] is not None
+
+    def test_plan_quality_empty_without_estimates(self):
+        profile, _ = self.profile_of(engine="interp")
+        quality = profile.plan_quality()
+        assert quality["clauses"] == []
+        assert quality["median_q_error"] is None
+        assert quality["max_q_error"] is None
+        assert quality["misestimates"] == 0
+
+    def test_misestimate_flagged_past_threshold(self):
+        timing = TimingTracer()
+        _synthetic_fire(timing)  # est 1 row vs actual 99 -> q-error 50
+        row = next(iter(timing.profile.clauses.values()))
+        assert row.misestimated
+        quality = timing.profile.plan_quality()
+        assert quality["misestimates"] == 1
+        assert quality["clauses"][0]["misestimated"] is True
+
+    def test_accurate_estimate_not_flagged(self):
+        timing = TimingTracer()
+        _synthetic_fire(timing, est_rows=100.0, actual_rows=99,
+                        est_probes=100.0, actual_probes=100)
+        row = next(iter(timing.profile.clauses.values()))
+        assert not row.misestimated
+
+    def test_plan_drift_events_fold_into_the_clause_row(self):
+        timing = TimingTracer()
+        _synthetic_fire(timing)
+        timing.emit("plan_drift", clause="p(X) :- q(X).", stratum=0,
+                    mode="cost", old_cost=5.0, new_cost=3.0,
+                    old_order="q -> r", new_order="r -> q")
+        row = next(iter(timing.profile.clauses.values()))
+        assert row.plan_drifts == 1
+        data = timing.profile.as_dict()
+        assert data["clauses"][0]["plan_drifts"] == 1
+        assert timing.profile.plan_quality()["plan_drifts"] == 1
+
+    def test_plan_drift_alone_still_creates_a_row(self):
+        timing = TimingTracer()
+        timing.emit("plan_drift", clause="p(X) :- q(X).", stratum=0,
+                    mode="cost")
+        data = timing.profile.as_dict()
+        assert data["clauses"][0]["plan_drifts"] == 1
+        assert "q_error" not in data["clauses"][0]
+
+    def test_format_profile_renders_estimate_columns(self):
+        profile, _ = self.profile_of()
+        table = format_profile(profile)
+        header = next(line for line in table.splitlines()
+                      if "est probes" in line)
+        assert "q-err" in header
+        for line in table.splitlines():
+            if line.lstrip().startswith(("path(", "lone(")):
+                assert " - " not in f" {line.split()[-4]} "  # q-err filled
+
+    def test_format_profile_flags_misestimates(self):
+        timing = TimingTracer()
+        _synthetic_fire(timing)
+        table = format_profile(timing.profile)
+        assert "50.5!" in table  # q_error(1, 100) probes, '!'-flagged
+
+    def test_format_profile_dashes_without_estimates(self):
+        profile, _ = self.profile_of(engine="interp")
+        table = format_profile(profile)
+        row = next(line for line in table.splitlines()
+                   if line.lstrip().startswith("path("))
+        # est probes and q-err both render "-" under the interp engine.
+        cells = row.split()
+        assert cells[-6] == "-" and cells[-5] == "-"
+
+
+class TestFormatProfileWidth:
+    """The clause column widens to the longest clause (satellite fix)."""
+
+    def test_long_clauses_are_not_truncated_by_default(self):
+        timing = TimingTracer()
+        clause = ("very_long_predicate_name(X, Y, Z) :- " +
+                  ", ".join(f"wide_body_literal_{i}(X, Y, Z)"
+                            for i in range(4)) + ".")
+        assert len(clause) > 44
+        _synthetic_fire(timing, clause=clause)
+        table = format_profile(timing.profile)
+        assert clause in table
+        assert "…" not in table
+
+    def test_explicit_width_still_clips(self):
+        timing = TimingTracer()
+        clause = "p(X) :- " + ", ".join(
+            f"q{i}(X)" for i in range(20)) + "."
+        _synthetic_fire(timing, clause=clause)
+        table = format_profile(timing.profile, clause_width=30)
+        assert clause not in table
+        assert "…" in table

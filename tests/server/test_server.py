@@ -607,3 +607,91 @@ class TestServeVsInProcessDifferential:
                   tuple(r.ordering)) for r in remote_log.records),
                 key=repr)
             assert remote_records == local_records, seed
+
+
+class TestPlanQuality:
+    """The estimated-vs-actual cardinality feedback loop over the wire:
+    profiled runs return a ``plan_quality`` block, the ring summary
+    carries a compact roll-up, and the ``plans`` request serves the
+    cross-request aggregate ranked by q-error."""
+
+    EDGES = [["a", "b"], ["b", "c"], ["c", "d"]]
+
+    def profiled_run(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": self.EDGES})
+        return client.call("run", session=session, program=TC_PROGRAM,
+                           profile=True)
+
+    def test_profiled_run_returns_plan_quality(self, client, session):
+        result = self.profiled_run(client, session)
+        quality = result["plan_quality"]
+        assert quality["schema"] == 1
+        assert quality["misestimate_threshold"] == 4.0
+        assert quality["clauses"], "estimate-bearing rows expected"
+        for row in quality["clauses"]:
+            assert {"clause", "calls", "est_probes", "probes",
+                    "q_error", "worst_stage_q_error",
+                    "misestimated"} <= set(row)
+        assert quality["max_q_error"] >= quality["median_q_error"] >= 1.0
+
+    def test_plain_run_has_no_plan_quality(self, client, session):
+        client.call("assert_facts", session=session,
+                    facts={"edge": self.EDGES})
+        result = client.call("run", session=session, program=TC_PROGRAM)
+        assert "plan_quality" not in result
+
+    def test_ring_summary_carries_the_rollup(self, client, session):
+        result = self.profiled_run(client, session)
+        recent = client.call("recent", limit=50)
+        entry = next(e for e in recent["requests"]
+                     if e["request_id"] == result["request_id"])
+        rollup = entry["plan_quality"]
+        assert set(rollup) == {"median_q_error", "max_q_error",
+                               "misestimates", "plan_drifts",
+                               "worst_clause"}
+        assert rollup["max_q_error"] == \
+            result["plan_quality"]["max_q_error"]
+        assert rollup["worst_clause"] == \
+            result["plan_quality"]["clauses"][0]["clause"]
+
+    def test_plans_aggregates_across_requests(self, client, session):
+        self.profiled_run(client, session)
+        self.profiled_run(client, session)
+        report = client.call("plans", limit=10)
+        assert report["requests_observed"] >= 2
+        assert report["misestimate_threshold"] == 4.0
+        assert report["count"] == len(report["clauses"])
+        rows = report["clauses"]
+        assert rows, "the profiled runs must have folded in"
+        for row in rows:
+            assert {"clause", "stratum", "requests", "calls",
+                    "est_probes", "probes", "worst_q_error",
+                    "misestimates", "plan_drifts"} <= set(row)
+        # Worst-estimated first; clause text breaks ties.
+        worsts = [r["worst_q_error"] for r in rows]
+        assert worsts == sorted(worsts, reverse=True)
+        both = next(r for r in rows
+                    if r["clause"].startswith("path(X, Y) :- edge(X, Y)"))
+        assert both["requests"] >= 2
+
+    def test_plans_limit_drops_the_tail(self, client, session):
+        self.profiled_run(client, session)
+        full = client.call("plans", limit=4096)
+        cut = client.call("plans", limit=1)
+        assert len(cut["clauses"]) == 1
+        assert cut["dropped"] == full["count"] - 1
+        assert cut["clauses"][0] == full["clauses"][0]
+
+    def test_plans_rejects_bad_limit(self, client):
+        with pytest.raises(ServerError, match="limit"):
+            client.call("plans", limit=0)
+
+    def test_plans_on_idle_server_is_empty(self, tmp_path):
+        config = ServerConfig(workers=1, log_level="error")
+        with ServerThread(config) as handle:
+            with handle.client() as client:
+                report = client.call("plans")
+        assert report["clauses"] == []
+        assert report["requests_observed"] == 0
+        assert report["observing"] is False

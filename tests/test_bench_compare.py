@@ -162,6 +162,8 @@ class TestCommittedTrajectories:
         ("BENCH_pr2.json", "BENCH_pr3.json"),
         ("BENCH_pr3.json", "BENCH_pr4.json"),
         ("BENCH_pr4.json", "BENCH_pr5.json"),
+        ("BENCH_pr7.json", "BENCH_pr8.json"),
+        ("BENCH_pr8.json", "BENCH_pr10.json"),
     ])
     def test_history_compares_clean(self, base, cand):
         base_path, cand_path = REPO_ROOT / base, REPO_ROOT / cand
@@ -198,3 +200,78 @@ class TestCommittedTrajectories:
         assert report["benchmarks"]["bench_e4_sampling_one"][
             "batch/greedy"]["answer_size"] == sum(
                 len(rows) for rows in log.answers.values())
+
+    def test_quick_baseline_carries_plan_quality(self):
+        """Since PR 10 the committed quick baseline measures estimate
+        quality, so the CI q-error ceiling actually engages."""
+        path = REPO_ROOT / "benchmarks" / "BENCH_quick_baseline.json"
+        report = json.loads(path.read_text())
+        gated = [(kernel, mode)
+                 for kernel, modes in report["benchmarks"].items()
+                 for mode, rec in modes.items()
+                 if isinstance(rec, dict) and rec.get("plan_quality")]
+        assert len(gated) >= 10, gated
+        kernel, mode = gated[0]
+        block = report["benchmarks"][kernel][mode]["plan_quality"]
+        assert block["median_q_error"] >= 1.0
+        assert block["clauses"]
+
+
+def with_plan_quality(report, median=1.5, maximum=3.0):
+    report = copy.deepcopy(report)
+    record = report["benchmarks"]["bench_x"]["batch/greedy"]
+    record["plan_quality"] = {
+        "schema": 1, "median_q_error": median, "max_q_error": maximum,
+        "misestimates": 0, "misestimate_threshold": 4.0,
+        "plan_drifts": 0, "clauses": [{"clause": "p(X) :- q(X)."}],
+    }
+    return report
+
+
+class TestPlanQualityGate:
+    """The estimated-vs-actual q-error ceiling (compare_plan_quality)."""
+
+    def test_stable_median_is_clean_and_noted(self):
+        base = with_plan_quality(make_report())
+        problems, notes = compare_mod.compare(base, copy.deepcopy(base))
+        assert problems == []
+        assert any("plan quality: median q-error gated on 1 record(s)"
+                   in n for n in notes)
+
+    def test_worsened_median_is_a_regression(self):
+        base = with_plan_quality(make_report(), median=1.5)
+        cand = with_plan_quality(make_report(), median=3.1)
+        problems, _ = compare_mod.compare(base, cand)
+        assert len(problems) == 1
+        assert "median q-error 1.5 -> 3.1" in problems[0]
+        assert "drifted from executed actuals" in problems[0]
+
+    def test_tolerance_flag_widens_the_ceiling(self):
+        base = with_plan_quality(make_report(), median=1.5)
+        cand = with_plan_quality(make_report(), median=3.1)
+        problems, _ = compare_mod.compare(base, cand,
+                                          q_error_tolerance=3.0)
+        assert problems == []
+
+    def test_lost_estimate_capture_is_a_regression(self):
+        base = with_plan_quality(make_report())
+        problems, _ = compare_mod.compare(base, make_report())
+        assert any("estimate capture lost" in p for p in problems)
+
+    def test_pre_pr10_baseline_is_a_noop(self):
+        # Trajectories before estimate capture carry no blocks; a
+        # candidate that adds them must not trip the gate.
+        problems, notes = compare_mod.compare(
+            make_report(), with_plan_quality(make_report()))
+        assert problems == []
+        assert not any("plan quality" in n for n in notes)
+
+    def test_main_flag_reaches_the_gate(self, tmp_path):
+        runner = TestCompareMain()
+        base = with_plan_quality(make_report(), median=1.5)
+        cand = with_plan_quality(make_report(), median=3.1)
+        rc, text = runner.run_main(tmp_path, base, cand)
+        assert rc == 1 and "median q-error" in text
+        rc, text = runner.run_main(tmp_path, base, cand,
+                                   "--q-error-tolerance", "3.0")
+        assert rc == 0

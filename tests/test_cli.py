@@ -759,3 +759,87 @@ class TestEvalCommand:
         assert data["schema"] == 1
         assert data["complete"] is False
         assert {c["scenario"] for c in data["cases"]} == {"first"}
+
+
+class TestPlansCommand:
+    """repro-idlog plans: plan-quality report from a recorded trace."""
+
+    @pytest.fixture
+    def traced(self, tc_files, tmp_path):
+        prog, facts = tc_files
+        trace = tmp_path / "tc_trace.jsonl"
+        code, _ = run_cli("profile", prog, "-f", facts,
+                          "--trace", str(trace))
+        assert code == 0
+        return str(trace)
+
+    def test_ranks_clauses_from_trace(self, traced):
+        code, output = run_cli("plans", traced)
+        assert code == 0
+        assert f"plan quality: {traced}" in output
+        assert "span event(s))" in output
+        assert "median q-err" in output and "max q-err" in output
+        assert "misestimate(s) at threshold 4" in output
+        # The ranked table: header plus one row per clause, worst first.
+        assert "q-err" in output and "est probes" in output \
+            and "clause" in output
+        assert "path(X, Y) :- edge(X, Z), path(Z, Y)." in output
+        assert "path(X, Y) :- edge(X, Y)." in output
+        lines = [l for l in output.splitlines() if " :- " in l]
+        worsts = [float(l.split()[0].rstrip("!")) for l in lines]
+        assert worsts == sorted(worsts, reverse=True)
+
+    def test_limit_truncates_with_note(self, traced):
+        code, output = run_cli("plans", traced, "--limit", "1")
+        assert code == 0
+        assert sum(" :- " in l for l in output.splitlines()) == 1
+        assert "more clause(s); --limit raises the cut" in output
+
+    def test_interp_trace_has_no_estimates(self, tc_files, tmp_path):
+        prog, facts = tc_files
+        trace = tmp_path / "interp.jsonl"
+        code, _ = run_cli("profile", prog, "-f", facts,
+                          "--engine", "interp", "--trace", str(trace))
+        assert code == 0
+        code, output = run_cli("plans", str(trace))
+        assert code == 0
+        assert "no estimate-bearing clause executions" in output
+
+    def test_bad_jsonl_reports_line(self, tmp_path):
+        path = tmp_path / "mangled.jsonl"
+        path.write_text('{"event": "eval_start"}\nnot json\n')
+        code, output = run_cli("plans", str(path))
+        assert code == 1
+        assert output == ""  # error goes to the structured log, not out
+
+    def test_non_span_record_rejected(self, tmp_path):
+        path = tmp_path / "plain.jsonl"
+        path.write_text('{"rows": 3}\n')
+        code, _ = run_cli("plans", str(path))
+        assert code == 1
+
+    def test_missing_source_is_an_error(self):
+        code, output = run_cli("plans")
+        assert code == 1
+        assert output == ""
+
+    def test_limit_must_be_positive(self, traced):
+        code, _ = run_cli("plans", traced, "--limit", "0")
+        assert code == 1
+
+    def test_bad_server_target_rejected(self):
+        code, _ = run_cli("plans", "--server", "noport")
+        assert code == 1
+
+
+class TestTopQErrColumn:
+    """The top table's q-err cell folds a ring-buffer roll-up."""
+
+    def test_fmt_q_err_cells(self):
+        from repro.cli import _fmt_q_err
+        assert _fmt_q_err(None) == "-"
+        assert _fmt_q_err({}) == "-"
+        assert _fmt_q_err({"max_q_error": 7.25, "misestimates": 0}) \
+            == "7.2"
+        assert _fmt_q_err({"max_q_error": 50.5, "misestimates": 2}) \
+            == "50.5!"
